@@ -1,0 +1,18 @@
+"""AREA — Section VI-A ablation: sensing area decides, shape does not.
+
+Paper shape: equal-area fleets with sector aspect ratios from pi/6 to
+1.6*pi achieve statistically indistinguishable full-view rates.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_area_decisiveness(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("AREA", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,19 @@
+"""BARRIER — extension: barrier full-view coverage emergence.
+
+Regenerates the barrier-vs-area transition study (Section VIII's
+future-work topic): weak/strong full-view barriers appear at a small
+fraction of the sensing area that full area coverage needs.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_barrier_emergence(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("BARRIER", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,19 @@
+"""CLUSTER — extension: Matern-clustered drops vs the uniform assumption.
+
+Heavily clustered deployments collapse full-view coverage at equal
+sensor count and sensing area; coverage recovers toward the Poisson
+baseline as the number of independent drop passes grows.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_clustered_deployment(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("CLUSTER", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

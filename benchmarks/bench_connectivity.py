@@ -1,0 +1,19 @@
+"""CONN — extension: connectivity of coverage-grade fleets.
+
+Critical communication radius follows the sqrt(log n/(pi n)) law, and
+fleets provisioned at the sufficient CSA are connected at twice their
+sensing radius — coverage-grade networks get connectivity for free.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_connectivity(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("CONN", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

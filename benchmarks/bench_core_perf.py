@@ -1,0 +1,123 @@
+"""PERF — throughput of the core primitives (engineering benchmark).
+
+Not a paper artifact: tracks the speed of the hot paths so performance
+regressions in the geometry/fleet layers are visible.  These run with
+real repetition (pytest-benchmark defaults) unlike the single-shot
+experiment benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import necessary_condition_holds, sufficient_condition_holds
+from repro.core.csa import csa_necessary, csa_sufficient
+from repro.core.full_view import is_full_view_covered
+from repro.core.uniform_theory import necessary_failure_probability
+from repro.deployment.uniform import UniformDeployment
+from repro.geometry.intervals import AngularIntervalSet, max_circular_gap
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+
+THETA = math.pi / 3
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.1, angle_of_view=math.pi / 2)
+    )
+    fleet = UniformDeployment().deploy(profile, 2000, np.random.default_rng(0))
+    fleet.build_index()
+    return fleet
+
+
+@pytest.fixture(scope="module")
+def directions():
+    return np.random.default_rng(1).uniform(0, 2 * math.pi, size=64)
+
+
+def test_perf_covering_query(benchmark, fleet):
+    """Spatial-indexed covering query on a 2000-sensor fleet."""
+    result = benchmark(fleet.covering, (0.5, 0.5))
+    assert result is not None
+
+
+def test_perf_covering_query_no_index(benchmark, fleet):
+    """Unindexed (vectorised brute force) covering query."""
+    result = benchmark(fleet.covering, (0.5, 0.5), False)
+    assert result is not None
+
+
+def test_perf_covering_directions(benchmark, fleet):
+    benchmark(fleet.covering_directions, (0.5, 0.5))
+
+
+def test_perf_exact_full_view(benchmark, directions):
+    benchmark(is_full_view_covered, directions, THETA)
+
+
+def test_perf_max_circular_gap(benchmark, directions):
+    benchmark(max_circular_gap, directions)
+
+
+def test_perf_interval_set_union(benchmark, directions):
+    benchmark(AngularIntervalSet.from_directions, directions, THETA)
+
+
+def test_perf_necessary_condition(benchmark, directions):
+    benchmark(necessary_condition_holds, directions, THETA)
+
+
+def test_perf_sufficient_condition(benchmark, directions):
+    benchmark(sufficient_condition_holds, directions, THETA)
+
+
+def test_perf_csa_formulas(benchmark):
+    def both():
+        csa_necessary(1000, THETA)
+        csa_sufficient(1000, THETA)
+
+    benchmark(both)
+
+
+def test_perf_failure_probability(benchmark):
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.1, angle_of_view=math.pi / 2)
+    )
+    benchmark(necessary_failure_probability, profile, 1000, THETA)
+
+
+def test_perf_full_view_mask_batch(benchmark, fleet):
+    """Vectorised batch checker over 256 points x 2000 sensors."""
+    from repro.core.batch import full_view_mask
+
+    points = np.random.default_rng(2).uniform(size=(256, 2))
+    result = benchmark(full_view_mask, fleet, points, THETA)
+    assert result.shape == (256,)
+
+
+def test_perf_breach_cost(benchmark, directions):
+    from repro.core.redundancy import breach_cost
+
+    benchmark(breach_cost, directions, THETA)
+
+
+def test_perf_minimum_guard_set(benchmark, directions):
+    from repro.core.redundancy import minimum_guard_set
+
+    benchmark(minimum_guard_set, directions, THETA)
+
+
+def test_perf_deployment(benchmark):
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.1, angle_of_view=math.pi / 2)
+    )
+
+    def deploy():
+        return UniformDeployment().deploy(profile, 1000, np.random.default_rng(0))
+
+    fleet = benchmark(deploy)
+    assert len(fleet) == 1000

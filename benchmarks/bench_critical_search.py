@@ -1,0 +1,19 @@
+"""CRIT — extension: empirical coverage transition inside the CSA band.
+
+Bisects for the weighted sensing area with 50% grid-coverage
+probability, anchoring the paper's open problem (Section VI-C) with a
+measured transition point between the two CSAs.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_critical_search(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("CRIT", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,19 @@
+"""EQ19 — Section VII-A: theta = pi degeneration to the 1-coverage CSA.
+
+Paper shape: an identity — s_N,c(n) at theta = pi equals
+(log n + log log n)/n to machine precision, matching Wang et al.'s
+critical effective sensing radius converted to an area.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_eq19_degenerate(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("EQ19", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,18 @@
+"""FIG7 — regenerate Figure 7: CSA vs effective angle (n = 1000).
+
+Paper shape: both CSAs decay ~1/theta over [0.1*pi, 0.5*pi]; the
+sufficient curve sits ~2x above the necessary one.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_figure7(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("FIG7", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,18 @@
+"""FIG8 — regenerate Figure 8: CSA vs sensor count (theta = pi/4).
+
+Paper shape: ~0.5-0.7 sufficient CSA at n = 100 ("not tolerable"),
+monotone decline that flattens past n ~ 1000.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_figure8(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("FIG8", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

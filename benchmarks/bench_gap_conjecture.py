@@ -1,0 +1,19 @@
+"""GAP — Section VI-C / Fig. 9: coverage is a random event in the band.
+
+Paper shape: near-sure failure below the necessary CSA, reliable
+success above the sufficient CSA, and a genuinely random outcome in the
+band between them.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_gap_conjecture(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("GAP", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,19 @@
+"""HET — ablation: heterogeneity enters only through weighted s_c.
+
+Paper shape: profiles with identical weighted sensing area but
+different group structures are treated identically by the CSA
+criterion, analytically and in simulation.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_heterogeneity(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("HET", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

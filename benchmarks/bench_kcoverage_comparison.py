@@ -1,0 +1,19 @@
+"""KCOV — Section VII-B: full view demands more than k-coverage.
+
+Paper shape: s_N,c(n) >= Kumar's s_K(n) at k = ceil(pi/theta), and on
+simulated deployments full-view coverage implies k-coverage while the
+converse fails on a positive fraction of deployments.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_kcoverage_comparison(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("KCOV", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

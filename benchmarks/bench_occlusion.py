@@ -1,0 +1,19 @@
+"""OCCL — extension: terrain occlusion vs the stadium-model prediction.
+
+Opaque disks thin camera sight lines; coverage degrades with obstacle
+density and tracks a Boolean-model visibility prediction, whose
+documented optimism (angularly correlated blocking) is also reported.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_occlusion(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("OCCL", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

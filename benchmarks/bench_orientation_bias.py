@@ -1,0 +1,19 @@
+"""ORIENT — extension: orientation-bias ablation.
+
+Von-Mises-concentrated camera orientations collapse full-view coverage
+while leaving plain detection intact — quantifying how load-bearing the
+model's uniform-orientation assumption is.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_orientation_bias(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("ORIENT", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

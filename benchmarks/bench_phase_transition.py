@@ -1,0 +1,18 @@
+"""PHASE — the Definition 2 phase transition at s_c = q * CSA.
+
+Paper shape: grid failure probability stays high for q < 1 and
+collapses for q > 1 (Propositions 1-4).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_phase_transition(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("PHASE", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,19 @@
+"""PLAN — extension: optimised aiming vs random orientations.
+
+At identical positions and hardware, coordinate-ascent aiming covers a
+multiple of the targets that the model's uniform-random orientations
+cover — the constructive value the random-deployment setting forfeits.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_planning_gain(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("PLAN", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

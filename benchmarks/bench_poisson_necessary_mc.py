@@ -1,0 +1,18 @@
+"""THM3-MC — validate Theorem 3 by Monte Carlo (Poisson, necessary).
+
+Also cross-checks the paper's series form against the closed form and
+tabulates the uniform-vs-Poisson per-point gap.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_poisson_necessary_mc(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("THM3-MC", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

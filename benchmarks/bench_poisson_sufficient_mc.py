@@ -1,0 +1,14 @@
+"""THM4-MC — validate Theorem 4 by Monte Carlo (Poisson, sufficient)."""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_poisson_sufficient_mc(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("THM4-MC", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

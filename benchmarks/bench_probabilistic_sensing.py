@@ -1,0 +1,20 @@
+"""PROB — extension: probabilistic sensing via rho-scaled areas.
+
+Validates that a distance-decaying detection model behaves like a
+binary fleet whose sensing areas are scaled by the model's expected
+in-sector detection probability — the natural route to the paper's
+"probabilistic sensing models" future work.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_probabilistic_sensing(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("PROB", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

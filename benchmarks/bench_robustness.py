@@ -1,0 +1,19 @@
+"""ROBUST — extension: random and adversarial sensor failures.
+
+Random thinning matches survivor-count theory; adversarial breach cost
+(minimum sensors to disable to break full-view coverage) grows with
+provisioning.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_robustness(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("ROBUST", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

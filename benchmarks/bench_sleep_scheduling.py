@@ -1,0 +1,20 @@
+"""SLEEP — extension: shift scheduling on the CSA frontier.
+
+Splitting a fleet into k disjoint shifts multiplies lifetime by k;
+per-shift coverage follows eq. (2) at n/k, so the admissible k is read
+directly off the CSA — Section VII-B's sleep-probability framing as a
+design tool.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_sleep_scheduling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("SLEEP", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

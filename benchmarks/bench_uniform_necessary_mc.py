@@ -1,0 +1,20 @@
+"""EQ2-MC — validate eq. (2) by Monte Carlo (uniform, necessary).
+
+Heterogeneous fleets are deployed uniformly at random; the frequency of
+a fixed point meeting the necessary condition is compared against the
+paper's closed form, plus the inclusion-exclusion ablation of the
+independence approximation.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_uniform_necessary_mc(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("EQ2-MC", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,14 @@
+"""EQ13-MC — validate eq. (13) by Monte Carlo (uniform, sufficient)."""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_uniform_sufficient_mc(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("EQ13-MC", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one artifact from the paper's
+evaluation (see DESIGN.md's experiment index).  Benchmarks execute the
+experiment under ``pytest-benchmark`` timing, assert the experiment's
+shape-level checks, and export every produced table to
+``results/<experiment>.csv`` so the regenerated figures are inspectable
+after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Where regenerated figure/table data lands.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_export(experiment_id: str, results_dir: Path, fast: bool = True, seed: int = 0):
+    """Run a registered experiment, export tables, and return the result."""
+    from repro.experiments import get_experiment
+
+    result = get_experiment(experiment_id).run(fast=fast, seed=seed)
+    for i, table in enumerate(result.tables):
+        suffix = f"_{i}" if len(result.tables) > 1 else ""
+        table.save_csv(results_dir / f"{experiment_id.lower()}{suffix}.csv")
+    return result

@@ -1,0 +1,93 @@
+"""Network design: finding the cheapest fleet that full-view covers.
+
+A procurement study on top of the CSA theory.  Camera cost is modelled
+as proportional to sensing area (bigger optics, longer reach), so the
+fleet cost is ``n * s`` with ``s`` the per-camera sensing area.  Since
+coverage requires ``s >= q * s_S,c(n)`` and ``s_S,c(n)`` is roughly
+``(2 pi / (theta n)) * log(K n log n)``, total cost
+``n * s_S,c(n) ~ (2 pi/theta) log(K n log n)`` *grows* slowly with n —
+so fewer, better cameras are cheaper in pure sensing-area terms, but
+real deployments also price per-unit installation.  The study sweeps n
+under a two-part cost model and verifies the chosen design by
+simulation.
+
+Run:  python examples/network_design.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import MonteCarloConfig, estimate_area_fraction
+from repro.core.csa import csa_sufficient
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.results import ResultTable
+
+#: Cost model: dollars per unit sensing area, and per installed unit.
+AREA_COST = 10_000.0
+UNIT_COST = 40.0
+
+
+def fleet_cost(n: int, sensing_area: float) -> float:
+    return n * (AREA_COST * sensing_area + UNIT_COST)
+
+
+def main() -> None:
+    theta = math.pi / 4
+    q = 1.2  # provisioning margin above the sufficient CSA
+    phi = math.radians(70)
+
+    # A camera whose reach spans the whole region is not buildable;
+    # designs needing r beyond this are rejected as infeasible.
+    max_radius = 0.35
+
+    table = ResultTable(
+        title=f"Design sweep: cheapest fleet meeting q={q} x sufficient CSA "
+        "(theta = pi/4)",
+        columns=[
+            "n",
+            "per_camera_area",
+            "per_camera_radius",
+            "feasible",
+            "area_cost",
+            "unit_cost",
+            "total_cost",
+        ],
+    )
+    candidates = []
+    for n in (100, 200, 400, 800, 1600, 3200):
+        s = q * csa_sufficient(n, theta)
+        r = math.sqrt(2 * s / phi)
+        feasible = r <= max_radius
+        cost = fleet_cost(n, s)
+        table.add_row(n, s, r, feasible, n * AREA_COST * s, n * UNIT_COST, cost)
+        if feasible:
+            candidates.append((cost, n, s))
+    print(table.pretty())
+
+    best_cost, best_n, best_s = min(candidates)
+    print(
+        f"\ncheapest FEASIBLE design: n = {best_n} cameras of sensing area "
+        f"{best_s:.4f} (total ${best_cost:,.0f})"
+    )
+
+    # Verify the winning design by simulation.
+    profile = HeterogeneousProfile.homogeneous(CameraSpec.from_area(best_s, phi))
+    cfg = MonteCarloConfig(trials=30, seed=0)
+    mean, half = estimate_area_fraction(
+        profile, best_n, theta, "exact", cfg, sample_points=128
+    )
+    print(
+        f"simulated full-view covered area fraction: {mean:.1%} "
+        f"(+/- {half:.1%}) over {cfg.trials} random deployments"
+    )
+    print(
+        "\nTrend to note: the area term n * s_S,c(n) grows only "
+        "logarithmically with n, so unit cost dominates at large n and "
+        "the optimum sits at moderate fleet sizes — the quantitative "
+        "version of Figure 8's 'more cameras stop helping' remark."
+    )
+
+
+if __name__ == "__main__":
+    main()

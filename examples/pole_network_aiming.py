@@ -1,0 +1,82 @@
+"""Pole-network aiming: what informed installation buys over randomness.
+
+A city already owns a grid of camera poles (fixed positions); the only
+freedom is where each camera points.  The paper's random-deployment
+model assumes uniform random orientations — right for air drops, but an
+installer can do better.  This example
+
+1. scatters protection targets (entrances, crossings) over the region,
+2. measures full-view coverage of the targets under random aiming,
+3. runs the coordinate-ascent orientation optimiser
+   (``repro.planning``) on the very same hardware,
+4. shows the minimum-ring construction for a single high-value target
+   — the provable ``ceil(pi/theta)`` floor, attained.
+
+Run:  python examples/pole_network_aiming.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.full_view import minimum_sensors_for_full_view, point_is_full_view_covered
+from repro.planning import (
+    covered_target_count,
+    full_view_ring,
+    optimize_orientations,
+)
+from repro.sensors.fleet import SensorFleet
+
+
+def main() -> None:
+    theta = math.pi / 3
+    rng = np.random.default_rng(42)
+
+    # 1. The pole grid and the targets.
+    n, m = 72, 16
+    positions = rng.uniform(size=(n, 2))
+    targets = rng.uniform(size=(m, 2))
+    radii = np.full(n, 0.3)
+    angles = np.full(n, math.pi / 2)
+    print(f"{n} pole cameras (r=0.3, 90-degree FoV), {m} targets, "
+          f"theta = {theta / math.pi:.2f}*pi\n")
+
+    # 2. Random aiming, averaged over installation draws.
+    random_scores = []
+    for seed in range(50):
+        orientations = np.random.default_rng(seed).uniform(0, 2 * math.pi, size=n)
+        fleet = SensorFleet(
+            positions=positions, orientations=orientations, radii=radii, angles=angles
+        )
+        random_scores.append(covered_target_count(fleet, targets, theta))
+    print(
+        f"random aiming: {np.mean(random_scores):.1f} / {m} targets full-view "
+        f"covered on average (best draw: {max(random_scores)})"
+    )
+
+    # 3. Optimised aiming on identical hardware.
+    result = optimize_orientations(
+        positions, radii, angles, targets, theta,
+        initial_orientations=np.random.default_rng(0).uniform(0, 2 * math.pi, size=n),
+    )
+    print(
+        f"optimised aiming: {result.covered_after} / {m} targets "
+        f"({result.passes} ascent passes; started at {result.covered_before})"
+    )
+    gain = result.covered_after / max(np.mean(random_scores), 1e-9)
+    print(f"gain over the random-orientation model: {gain:.1f}x\n")
+
+    # 4. Minimum ring for one high-value target.
+    vip = (0.5, 0.5)
+    k = minimum_sensors_for_full_view(theta)
+    ring = full_view_ring(vip, theta, standoff=0.2, reach=0.3)
+    assert point_is_full_view_covered(ring, vip, theta)
+    print(
+        f"single high-value target: a ring of exactly {k} cameras "
+        f"(the ceil(pi/theta) lower bound) full-view covers it — "
+        "the paper's per-point minimum, attained constructively."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: deploy a camera network and check full-view coverage.
+
+Walks the core loop of the library in ~40 lines:
+
+1. describe the cameras (binary sector model),
+2. deploy them uniformly at random on the unit torus,
+3. test whether a point is full-view covered and diagnose why,
+4. compare the fleet against the paper's critical sensing area.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import (
+    CameraSpec,
+    HeterogeneousProfile,
+    UniformDeployment,
+    csa_necessary,
+    csa_sufficient,
+    diagnose_point,
+    point_is_full_view_covered,
+)
+
+
+def main() -> None:
+    # Effective angle theta: a facing direction is "safe" if some camera
+    # views it within theta.  pi/3 is a moderate recognition requirement.
+    theta = math.pi / 3
+    n = 500
+
+    # 1. A homogeneous fleet: radius 0.2, 60-degree angle of view.
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.2, angle_of_view=math.pi / 3)
+    )
+    print(f"fleet profile: {profile}")
+    print(f"per-sensor sensing area s = {profile.weighted_sensing_area:.4f}")
+
+    # 2. Deploy n sensors uniformly at random (fixed seed = reproducible).
+    fleet = UniformDeployment().deploy(profile, n=n, rng=np.random.default_rng(7))
+    fleet.build_index()
+    print(f"deployed: {fleet}")
+
+    # 3. Check the centre point and explain the verdict.
+    point = (0.5, 0.5)
+    covered = point_is_full_view_covered(fleet, point, theta)
+    diag = diagnose_point(fleet, point, theta)
+    print(f"\npoint {point} full-view covered: {covered}")
+    print(f"  covering sensors: {diag.num_covering_sensors}")
+    print(f"  widest angular gap between viewed directions: {diag.max_gap:.3f} rad")
+    print(f"  allowed gap (2*theta):                        {2 * theta:.3f} rad")
+    if not covered and diag.worst_direction is not None:
+        print(f"  an unsafe facing direction: {diag.worst_direction:.3f} rad")
+
+    # 4. Compare against the critical sensing area (Theorems 1-2).
+    s_c = profile.weighted_sensing_area
+    nec, suf = csa_necessary(n, theta), csa_sufficient(n, theta)
+    print(f"\nweighted sensing area s_c = {s_c:.4f}")
+    print(f"necessary CSA  s_N,c({n}) = {nec:.4f}")
+    print(f"sufficient CSA s_S,c({n}) = {suf:.4f}")
+    if s_c < nec:
+        print("verdict: below the necessary CSA -> full-view coverage of the "
+              "whole region is asymptotically impossible")
+    elif s_c > suf:
+        print("verdict: above the sufficient CSA -> full-view coverage is "
+              "asymptotically guaranteed")
+    else:
+        print("verdict: inside the CSA band -> coverage depends on the "
+              "actual deployment (Section VI-C)")
+
+
+if __name__ == "__main__":
+    main()

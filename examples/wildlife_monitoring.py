@@ -1,0 +1,87 @@
+"""Wildlife monitoring: air-dropped sensors as a Poisson process.
+
+Sensors dropped by plane over an inaccessible reserve land as a 2-D
+Poisson point process (Section V of the paper); the realised sensor
+count varies between drops.  This example
+
+1. uses the built-in ``wildlife_protection`` workload (70% healthy
+   cameras, 30% field-degraded),
+2. evaluates Theorems 3 and 4 — the analytic probability that a point
+   meets the necessary/sufficient full-view conditions under Poisson
+   deployment — across candidate drop densities,
+3. validates one density by simulation, and
+4. quantifies what field degradation costs: the same fleet with all
+   cameras healthy.
+
+Run:  python examples/wildlife_monitoring.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import (
+    MonteCarloConfig,
+    PoissonDeployment,
+    estimate_point_probability,
+    poisson_necessary_probability,
+    poisson_sufficient_probability,
+)
+from repro.sensors.catalog import mixed_profile
+from repro.simulation.results import ResultTable
+from repro.simulation.workloads import wildlife_protection
+
+
+def main() -> None:
+    workload = wildlife_protection()
+    # Field cameras are too small for full-view coverage at reserve
+    # scale; provision them to a budget of 20% of the sufficient CSA
+    # (full provisioning saturates every probability at 1 — density is
+    # then irrelevant; at 20% the drop density genuinely matters).
+    workload = workload.provisioned(q=0.2)
+    profile = workload.profile
+    theta = workload.theta
+    print(f"workload: {workload.description}")
+    print(f"theta = {theta / math.pi:.2f}*pi, camera mix: "
+          + ", ".join(f"{g.name} {g.fraction:.0%}" for g in profile))
+
+    # 2. Theorems 3 & 4 across drop densities.
+    table = ResultTable(
+        title="Poisson drop density vs full-view condition probabilities",
+        columns=["density_n", "P_necessary (Thm 3)", "P_sufficient (Thm 4)"],
+    )
+    for n in (150, 300, 600, 1200, 2400):
+        table.add_row(
+            n,
+            poisson_necessary_probability(profile, n, theta),
+            poisson_sufficient_probability(profile, n, theta),
+        )
+    print()
+    print(table.pretty())
+
+    # 3. Validate the workload's own density by simulation.
+    n = workload.n
+    cfg = MonteCarloConfig(trials=300, seed=1)
+    sim = estimate_point_probability(
+        profile, n, theta, "necessary", cfg, scheme=PoissonDeployment()
+    )
+    theory = poisson_necessary_probability(profile, n, theta)
+    print(f"\nvalidation at n = {n}: Theorem 3 predicts {theory:.3f}, "
+          f"simulation measured {sim}")
+
+    # 4. The cost of degradation: replace the degraded 30% with healthy
+    #    cameras of the same provisioning budget split.
+    healthy = mixed_profile([("standard", 0.999), ("degraded", 0.001)])
+    healthy = healthy.scaled_to_weighted_area(profile.weighted_sensing_area)
+    p_mixed = poisson_necessary_probability(profile, n, theta)
+    p_healthy = poisson_necessary_probability(healthy, n, theta)
+    print(
+        f"\ndegradation ablation at equal weighted sensing area: "
+        f"mixed fleet P_N = {p_mixed:.4f}, all-healthy P_N = {p_healthy:.4f} "
+        "(nearly identical — under random deployment only the weighted "
+        "sensing area matters, Section VI-A)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Full-view coverage of randomly-deployed heterogeneous camera sensor networks.
+
+A from-scratch reproduction of Wu & Wang, *Achieving Full View Coverage
+with Randomly-Deployed Heterogeneous Camera Sensors* (ICDCS 2012):
+binary-sector camera sensing on the unit torus, heterogeneous sensor
+groups, the exact full-view coverage criterion, the paper's necessary
+and sufficient geometric conditions, critical sensing area (CSA)
+theory under uniform deployment, Poisson-deployment probabilities, and
+a Monte-Carlo harness that validates every formula by simulation.
+
+Quickstart
+----------
+>>> import math
+>>> import numpy as np
+>>> from repro import (
+...     CameraSpec, HeterogeneousProfile, UniformDeployment,
+...     point_is_full_view_covered, csa_sufficient,
+... )
+>>> profile = HeterogeneousProfile.homogeneous(
+...     CameraSpec(radius=0.2, angle_of_view=math.pi / 3))
+>>> fleet = UniformDeployment().deploy(
+...     profile, n=500, rng=np.random.default_rng(7))
+>>> point_is_full_view_covered(fleet, (0.5, 0.5), theta=math.pi / 3)  # doctest: +SKIP
+True
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+paper's figures and tables.
+"""
+
+from repro._version import __version__
+from repro.barrier import barrier_exists, find_widest_covered_strip
+from repro.core import (
+    csa_necessary,
+    csa_sufficient,
+    diagnose_point,
+    full_view_coverage_fraction,
+    is_full_view_covered,
+    necessary_failure_probability,
+    point_is_full_view_covered,
+    point_meets_necessary_condition,
+    point_meets_sufficient_condition,
+    poisson_necessary_probability,
+    poisson_sufficient_probability,
+    sufficient_failure_probability,
+)
+from repro.core.batch import coverage_fraction_fast, full_view_mask
+from repro.core.design import (
+    design_report,
+    solve_area_for_point_probability,
+    solve_n_for_point_probability,
+)
+from repro.core.redundancy import (
+    breach_cost,
+    minimum_guard_set,
+    redundant_sensors,
+)
+from repro.deployment import (
+    PoissonDeployment,
+    SquareLatticeDeployment,
+    TriangularLatticeDeployment,
+    UniformDeployment,
+)
+from repro.deployment.cluster import MaternClusterDeployment
+from repro.sensors.io import load_fleet, save_fleet
+from repro.errors import (
+    DeploymentError,
+    FullViewError,
+    InvalidParameterError,
+    InvalidProfileError,
+)
+from repro.geometry import DenseGrid, Region
+from repro.sensors import CameraSpec, GroupSpec, HeterogeneousProfile, SensorFleet
+from repro.simulation import (
+    BernoulliEstimate,
+    MonteCarloConfig,
+    ResultTable,
+    estimate_area_fraction,
+    estimate_grid_failure_probability,
+    estimate_point_probability,
+)
+
+__all__ = [
+    "BernoulliEstimate",
+    "CameraSpec",
+    "DenseGrid",
+    "DeploymentError",
+    "FullViewError",
+    "GroupSpec",
+    "HeterogeneousProfile",
+    "InvalidParameterError",
+    "InvalidProfileError",
+    "MaternClusterDeployment",
+    "MonteCarloConfig",
+    "PoissonDeployment",
+    "Region",
+    "ResultTable",
+    "SensorFleet",
+    "SquareLatticeDeployment",
+    "TriangularLatticeDeployment",
+    "UniformDeployment",
+    "__version__",
+    "barrier_exists",
+    "breach_cost",
+    "coverage_fraction_fast",
+    "csa_necessary",
+    "csa_sufficient",
+    "design_report",
+    "diagnose_point",
+    "estimate_area_fraction",
+    "estimate_grid_failure_probability",
+    "estimate_point_probability",
+    "find_widest_covered_strip",
+    "full_view_coverage_fraction",
+    "full_view_mask",
+    "is_full_view_covered",
+    "load_fleet",
+    "minimum_guard_set",
+    "necessary_failure_probability",
+    "point_is_full_view_covered",
+    "point_meets_necessary_condition",
+    "point_meets_sufficient_condition",
+    "poisson_necessary_probability",
+    "poisson_sufficient_probability",
+    "redundant_sensors",
+    "save_fleet",
+    "solve_area_for_point_probability",
+    "solve_n_for_point_probability",
+    "sufficient_failure_probability",
+]

@@ -1,0 +1,21 @@
+"""Network-level analyses beyond coverage.
+
+- :mod:`repro.analysis.connectivity` — communication-graph
+  connectivity of a deployed fleet: coverage without connectivity
+  cannot report what it captures (the concern the paper's introduction
+  cites alongside multiple coverage).
+"""
+
+from repro.analysis.connectivity import (
+    communication_graph,
+    critical_communication_radius,
+    is_connected,
+    largest_component_fraction,
+)
+
+__all__ = [
+    "communication_graph",
+    "critical_communication_radius",
+    "is_connected",
+    "largest_component_fraction",
+]

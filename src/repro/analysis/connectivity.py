@@ -1,0 +1,148 @@
+"""Communication connectivity of deployed camera fleets.
+
+A camera network must move its captures to a sink, so deployments are
+judged on *connectivity* as well as coverage (the pairing the paper's
+introduction cites).  Sensors communicate within a disk of radius
+``R_c`` (on the torus, like sensing); the communication graph has an
+edge between every pair within ``R_c``.
+
+Key quantity: the **critical communication radius** — the smallest
+``R_c`` making the graph connected.  It equals the longest edge of the
+Euclidean minimum spanning tree (bottleneck-shortest-path optimality of
+MSTs), computed here with a union-find Kruskal sweep over the sorted
+pairwise distances; for uniform deployments it scales as
+``Theta(sqrt(log n / n))`` (Penrose), which the CONN experiment
+verifies, along with the folk theorem that ``R_c >= 2 r`` makes
+coverage-grade fleets connected.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sensors.fleet import SensorFleet
+
+
+def _pairwise_distances(fleet: SensorFleet) -> np.ndarray:
+    """Condensed upper-triangle pairwise (toroidal) distances."""
+    positions = fleet.positions
+    n = positions.shape[0]
+    if n < 2:
+        return np.empty(0)
+    delta = fleet.region.pairwise_displacements(positions, positions)
+    dists = np.hypot(delta[..., 0], delta[..., 1])
+    iu = np.triu_indices(n, k=1)
+    return dists[iu]
+
+
+def communication_graph(fleet: SensorFleet, radius: float) -> nx.Graph:
+    """The graph with an edge between every sensor pair within ``radius``.
+
+    Quadratic in fleet size; intended for the fleet scales the paper
+    studies (up to a few thousand sensors).
+    """
+    if radius <= 0:
+        raise InvalidParameterError(f"radius must be positive, got {radius!r}")
+    n = len(fleet)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    if n < 2:
+        return graph
+    positions = fleet.positions
+    delta = fleet.region.pairwise_displacements(positions, positions)
+    dists = np.hypot(delta[..., 0], delta[..., 1])
+    ii, jj = np.nonzero(np.triu(dists <= radius, k=1))
+    graph.add_edges_from(zip(ii.tolist(), jj.tolist()))
+    return graph
+
+
+def is_connected(fleet: SensorFleet, radius: float) -> bool:
+    """Whether the communication graph at ``radius`` is connected.
+
+    An empty fleet is vacuously connected; a single sensor trivially
+    so.
+    """
+    if len(fleet) <= 1:
+        return True
+    return nx.is_connected(communication_graph(fleet, radius))
+
+
+def largest_component_fraction(fleet: SensorFleet, radius: float) -> float:
+    """Fraction of sensors in the largest communication component."""
+    n = len(fleet)
+    if n == 0:
+        return 1.0
+    graph = communication_graph(fleet, radius)
+    return max(len(c) for c in nx.connected_components(graph)) / n
+
+
+class _UnionFind:
+    """Minimal union-find for the Kruskal bottleneck sweep."""
+
+    __slots__ = ("parent", "rank", "components")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+        self.components = n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.components -= 1
+        return True
+
+
+def critical_communication_radius(fleet: SensorFleet) -> float:
+    """Smallest radius making the communication graph connected.
+
+    Equals the largest edge of the minimum spanning tree: Kruskal over
+    the sorted pairwise distances, returning the weight of the edge
+    that merges the last two components.  ``0`` for fleets of size
+    0 or 1.
+    """
+    n = len(fleet)
+    if n <= 1:
+        return 0.0
+    condensed = _pairwise_distances(fleet)
+    order = np.argsort(condensed)
+    iu_i, iu_j = np.triu_indices(n, k=1)
+    uf = _UnionFind(n)
+    for k in order:
+        if uf.union(int(iu_i[k]), int(iu_j[k])):
+            if uf.components == 1:
+                return float(condensed[k])
+    raise AssertionError("MST sweep failed to connect")  # pragma: no cover
+
+
+def connectivity_scaling_constant(fleet: SensorFleet) -> float:
+    """``R_crit / sqrt(log n / (pi n))`` — Penrose's normalisation.
+
+    For uniform deployments this ratio converges (in probability) to 1
+    as ``n`` grows; the CONN experiment tracks it across fleet sizes.
+    """
+    n = len(fleet)
+    if n < 2:
+        raise InvalidParameterError("need at least 2 sensors")
+    return critical_communication_radius(fleet) / math.sqrt(
+        math.log(n) / (math.pi * n)
+    )

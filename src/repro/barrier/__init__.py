@@ -1,0 +1,39 @@
+"""Barrier full-view coverage — the paper's named future work.
+
+Section VIII closes: "the critical condition to reach barrier full view
+coverage will be an absorbing topic as well."  This subpackage provides
+the simulation side of that topic:
+
+- :mod:`repro.barrier.grid_barrier` — discretise the region into cells,
+  mark each cell full-view covered or not (exact test, vectorised), and
+  decide whether the covered cells form a *barrier*: a band that every
+  bottom-to-top crossing must intersect.  Decided by the percolation
+  dual — an intruder path exists iff the *uncovered* cells connect the
+  bottom edge to the top edge (8-connectivity for the intruder, so the
+  covered dual band is 4-connected) — via networkx.
+- :mod:`repro.barrier.strip` — strong barriers: a horizontal strip
+  whose every grid point is full-view covered, plus a search for the
+  widest such strip.
+
+The BARRIER experiment measures how the probability that a full-view
+barrier exists transitions with the CSA multiple ``q`` — it emerges far
+below full area coverage, quantifying how much cheaper barrier
+full-view coverage is.
+"""
+
+from repro.barrier.grid_barrier import (
+    BarrierAnalysis,
+    CoverageGrid,
+    barrier_exists,
+    find_breach_path,
+)
+from repro.barrier.strip import find_widest_covered_strip, strip_fully_covered
+
+__all__ = [
+    "BarrierAnalysis",
+    "CoverageGrid",
+    "barrier_exists",
+    "find_breach_path",
+    "find_widest_covered_strip",
+    "strip_fully_covered",
+]

@@ -1,0 +1,211 @@
+"""Grid-based full-view barrier detection.
+
+An intruder crosses the region from the bottom edge (``y = 0``) to the
+top edge (``y = side``); the network forms a (weak) *full-view barrier*
+when every such crossing passes through at least one full-view covered
+cell — i.e. when no path of uncovered cells connects bottom to top.
+
+Discretisation: the region is split into ``resolution x resolution``
+square cells; a cell counts as covered when its centre is full-view
+covered (exact gap test, evaluated with the vectorised batch path).  An
+intruder moving continuously can slip between two uncovered cells that
+touch even only diagonally, so intruder connectivity is 8-way; the
+left-right seam wraps when the region is a torus, the top and bottom do
+not (they are the edges being defended).
+
+The dual statement — covered cells containing a 4-connected left-right
+band — is implied, and :func:`find_covered_band` extracts such a band
+as a certificate when one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.batch import full_view_mask
+from repro.core.full_view import validate_effective_angle
+from repro.errors import InvalidParameterError
+from repro.sensors.fleet import SensorFleet
+
+Cell = Tuple[int, int]  # (column index, row index); row 0 is the bottom
+
+#: 8-neighbourhood offsets for the intruder graph.
+_NEIGHBOURS_8 = [
+    (-1, -1), (0, -1), (1, -1),
+    (-1, 0), (1, 0),
+    (-1, 1), (0, 1), (1, 1),
+]
+
+#: 4-neighbourhood offsets for the covered band certificate.
+_NEIGHBOURS_4 = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+
+
+@dataclass(frozen=True)
+class CoverageGrid:
+    """Cell-level full-view coverage of the region.
+
+    Attributes
+    ----------
+    covered:
+        Boolean ``(resolution, resolution)`` array indexed
+        ``[column, row]``; row 0 is the bottom edge.
+    resolution:
+        Cells per side.
+    torus_x:
+        Whether the left-right seam wraps (from the fleet's region).
+    """
+
+    covered: np.ndarray
+    resolution: int
+    torus_x: bool
+
+    @property
+    def covered_fraction(self) -> float:
+        return float(self.covered.mean())
+
+    def cell_center(self, cell: Cell, side: float = 1.0) -> Tuple[float, float]:
+        cx, cy = cell
+        step = side / self.resolution
+        return ((cx + 0.5) * step, (cy + 0.5) * step)
+
+
+def compute_coverage_grid(
+    fleet: SensorFleet, theta: float, resolution: int = 32
+) -> CoverageGrid:
+    """Evaluate the exact full-view test on every cell centre."""
+    theta = validate_effective_angle(theta)
+    if resolution < 2:
+        raise InvalidParameterError(f"resolution must be >= 2, got {resolution!r}")
+    side = fleet.region.side
+    coords = (np.arange(resolution, dtype=float) + 0.5) * (side / resolution)
+    xs, ys = np.meshgrid(coords, coords, indexing="ij")
+    points = np.stack([xs.ravel(), ys.ravel()], axis=1)
+    mask = full_view_mask(fleet, points, theta)
+    return CoverageGrid(
+        covered=mask.reshape(resolution, resolution),
+        resolution=resolution,
+        torus_x=fleet.region.torus,
+    )
+
+
+def _intruder_graph(grid: CoverageGrid) -> nx.Graph:
+    """Graph of uncovered cells plus virtual bottom/top source/sink."""
+    res = grid.resolution
+    graph = nx.Graph()
+    graph.add_nodes_from(("bottom", "top"))
+    uncovered = ~grid.covered
+    for cx in range(res):
+        for cy in range(res):
+            if not uncovered[cx, cy]:
+                continue
+            node = (cx, cy)
+            graph.add_node(node)
+            if cy == 0:
+                graph.add_edge("bottom", node)
+            if cy == res - 1:
+                graph.add_edge(node, "top")
+            for dx, dy in _NEIGHBOURS_8:
+                nx_, ny_ = cx + dx, cy + dy
+                if grid.torus_x:
+                    nx_ %= res
+                elif not (0 <= nx_ < res):
+                    continue
+                if not (0 <= ny_ < res):
+                    continue
+                if uncovered[nx_, ny_]:
+                    graph.add_edge(node, (nx_, ny_))
+    return graph
+
+
+def find_breach_path(grid: CoverageGrid) -> Optional[List[Cell]]:
+    """A bottom-to-top path through uncovered cells, if one exists.
+
+    Returns the cell sequence of a shortest breach (excluding the
+    virtual endpoints), or ``None`` when the covered cells form a
+    barrier.
+    """
+    graph = _intruder_graph(grid)
+    try:
+        path = nx.shortest_path(graph, "bottom", "top")
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+    return [cell for cell in path if isinstance(cell, tuple)]
+
+
+def find_covered_band(grid: CoverageGrid) -> Optional[List[Cell]]:
+    """A 4-connected left-to-right band of covered cells, if one exists.
+
+    This is the positive certificate dual to the absence of a breach;
+    on the torus the band must also join across the seam, which the
+    wrapped edges encode.
+    """
+    res = grid.resolution
+    graph = nx.Graph()
+    graph.add_nodes_from(("left", "right"))
+    for cx in range(res):
+        for cy in range(res):
+            if not grid.covered[cx, cy]:
+                continue
+            node = (cx, cy)
+            graph.add_node(node)
+            if cx == 0:
+                graph.add_edge("left", node)
+            if cx == res - 1:
+                graph.add_edge(node, "right")
+            for dx, dy in _NEIGHBOURS_4:
+                nx_, ny_ = cx + dx, cy + dy
+                if not (0 <= nx_ < res) or not (0 <= ny_ < res):
+                    continue
+                if grid.covered[nx_, ny_]:
+                    graph.add_edge(node, (nx_, ny_))
+    try:
+        path = nx.shortest_path(graph, "left", "right")
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+    return [cell for cell in path if isinstance(cell, tuple)]
+
+
+@dataclass(frozen=True)
+class BarrierAnalysis:
+    """Outcome of a barrier check.
+
+    Attributes
+    ----------
+    has_barrier:
+        Whether every bottom-to-top crossing hits a covered cell.
+    covered_fraction:
+        Fraction of cells full-view covered.
+    breach:
+        A breach path (cells) when ``has_barrier`` is false.
+    band:
+        A covered left-right band certificate when one exists (plane
+        geometry guarantees one exists whenever ``has_barrier`` holds
+        on a bounded region; on the torus a covered non-contractible
+        band is sufficient but a barrier can also arise from more
+        complex covered sets, so ``band`` may be ``None`` even with a
+        barrier).
+    """
+
+    has_barrier: bool
+    covered_fraction: float
+    breach: Optional[List[Cell]]
+    band: Optional[List[Cell]]
+
+
+def barrier_exists(
+    fleet: SensorFleet, theta: float, resolution: int = 32
+) -> BarrierAnalysis:
+    """Full barrier analysis of a deployed fleet."""
+    grid = compute_coverage_grid(fleet, theta, resolution)
+    breach = find_breach_path(grid)
+    band = find_covered_band(grid) if breach is None else None
+    return BarrierAnalysis(
+        has_barrier=breach is None,
+        covered_fraction=grid.covered_fraction,
+        breach=breach,
+        band=band,
+    )

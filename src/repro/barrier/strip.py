@@ -1,0 +1,89 @@
+"""Strong full-view barriers: fully covered horizontal strips.
+
+A *strong* barrier is a horizontal strip ``y in [y_min, y_max]`` every
+point of which is full-view covered — an intruder cannot cross it at
+any speed or path without being captured near-frontally.  This is the
+strip analogue of the paper's area coverage and strictly implies the
+weak (grid/percolation) barrier of
+:mod:`repro.barrier.grid_barrier`.
+
+The strip test discretises at the dense-grid density used for area
+coverage; :func:`find_widest_covered_strip` scans cell rows for the
+tallest run of fully covered rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import full_view_mask
+from repro.core.full_view import validate_effective_angle
+from repro.errors import InvalidParameterError
+from repro.sensors.fleet import SensorFleet
+
+
+def strip_fully_covered(
+    fleet: SensorFleet,
+    theta: float,
+    y_min: float,
+    y_max: float,
+    resolution: int = 32,
+) -> bool:
+    """Whether every sampled point of the strip is full-view covered.
+
+    The strip is sampled on a grid with ``resolution`` columns and
+    ``max(2, ...)`` rows proportional to its height; the test is the
+    exact full-view criterion.
+    """
+    theta = validate_effective_angle(theta)
+    side = fleet.region.side
+    if not (0.0 <= y_min < y_max <= side):
+        raise InvalidParameterError(
+            f"need 0 <= y_min < y_max <= side, got [{y_min!r}, {y_max!r}]"
+        )
+    if resolution < 2:
+        raise InvalidParameterError(f"resolution must be >= 2, got {resolution!r}")
+    height = y_max - y_min
+    rows = max(2, int(np.ceil(resolution * height / side)))
+    xs = (np.arange(resolution, dtype=float) + 0.5) * (side / resolution)
+    ys = np.linspace(y_min, y_max, rows)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    points = np.stack([gx.ravel(), gy.ravel()], axis=1)
+    return bool(full_view_mask(fleet, points, theta).all())
+
+
+def find_widest_covered_strip(
+    fleet: SensorFleet, theta: float, resolution: int = 32
+) -> Optional[Tuple[float, float]]:
+    """The tallest horizontal strip of fully covered cell rows.
+
+    Scans the ``resolution x resolution`` cell grid for the longest run
+    of rows whose every cell centre is full-view covered, and returns
+    that run's ``(y_min, y_max)`` in region coordinates — or ``None``
+    when no complete row is covered.
+    """
+    from repro.barrier.grid_barrier import compute_coverage_grid
+
+    grid = compute_coverage_grid(fleet, theta, resolution)
+    # covered is indexed [column, row]; a row is usable when all columns hold.
+    full_rows = grid.covered.all(axis=0)
+    best_len = 0
+    best_start = -1
+    run_start = 0
+    current = 0
+    for i, ok in enumerate(full_rows):
+        if ok:
+            if current == 0:
+                run_start = i
+            current += 1
+            if current > best_len:
+                best_len = current
+                best_start = run_start
+        else:
+            current = 0
+    if best_len == 0:
+        return None
+    step = fleet.region.side / resolution
+    return (best_start * step, (best_start + best_len) * step)

@@ -1,0 +1,287 @@
+"""Command-line interface: ``fullview`` (or ``python -m repro``).
+
+Subcommands
+-----------
+- ``fullview list`` — registered experiments and their paper artifacts.
+- ``fullview run FIG7 FIG8 ...`` — run experiments (``--full`` for
+  publication-quality budgets), print reports, optionally ``--out DIR``
+  to export every table as CSV.
+- ``fullview figures`` — render Figures 7 and 8 as ASCII charts and
+  CSV series.
+- ``fullview workloads`` — assess the built-in scenarios against CSA
+  theory and simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments
+
+    experiments = all_experiments()
+    width = max(len(k) for k in experiments)
+    for key in sorted(experiments):
+        exp = experiments[key]
+        print(f"{key.ljust(width)}  {exp.title}  [{exp.paper_artifact}]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments, get_experiment
+
+    ids: List[str] = args.ids or sorted(all_experiments())
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    any_failed = False
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        result = experiment.run(fast=not args.full, seed=args.seed)
+        print(result.render())
+        print()
+        if out_dir is not None:
+            for i, table in enumerate(result.tables):
+                suffix = f"_{i}" if len(result.tables) > 1 else ""
+                path = out_dir / f"{result.experiment_id.lower()}{suffix}.csv"
+                table.save_csv(path)
+                print(f"wrote {path}")
+        any_failed |= not result.passed
+    return 1 if any_failed else 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figure7 import build_table as fig7_table
+    from repro.experiments.figure8 import build_table as fig8_table
+    from repro.viz.ascii_plot import ascii_line_plot
+    from repro.viz.csv_export import export_table
+
+    fig7 = fig7_table(points=17)
+    fig8 = fig8_table(count=17)
+    print(
+        ascii_line_plot(
+            {
+                "necessary": (fig7.column("theta_over_pi"), fig7.column("csa_necessary")),
+                "sufficient": (fig7.column("theta_over_pi"), fig7.column("csa_sufficient")),
+            },
+            title="Figure 7: CSA vs effective angle (n = 1000)",
+            x_label="theta / pi",
+            y_label="critical sensing area",
+        )
+    )
+    print()
+    print(
+        ascii_line_plot(
+            {
+                "necessary": (fig8.column("n"), fig8.column("csa_necessary")),
+                "sufficient": (fig8.column("n"), fig8.column("csa_sufficient")),
+            },
+            title="Figure 8: CSA vs sensor count (theta = pi/4)",
+            x_label="n",
+            y_label="critical sensing area",
+        )
+    )
+    if args.out:
+        out_dir = Path(args.out)
+        print(f"wrote {export_table(out_dir / 'figure7.csv', fig7)}")
+        print(f"wrote {export_table(out_dir / 'figure8.csv', fig8)}")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.core.csa import csa_necessary, csa_sufficient
+    from repro.simulation.montecarlo import MonteCarloConfig, estimate_area_fraction
+    from repro.simulation.workloads import registry
+
+    for name, workload in registry().items():
+        s_c = workload.profile.weighted_sensing_area
+        nec = csa_necessary(workload.n, workload.theta)
+        suf = csa_sufficient(workload.n, workload.theta)
+        if s_c < nec:
+            verdict = "below the necessary CSA: full-view coverage impossible"
+        elif s_c > suf:
+            verdict = "above the sufficient CSA: full-view coverage guaranteed (asymptotically)"
+        else:
+            verdict = "inside the CSA band: coverage depends on the deployment"
+        print(f"{name}: {workload.description}")
+        print(
+            f"  n={workload.n}, theta={workload.theta / math.pi:.3f}*pi, "
+            f"s_c={s_c:.4f}, CSA_N={nec:.4f}, CSA_S={suf:.4f}"
+        )
+        print(f"  verdict: {verdict}")
+        if args.simulate:
+            cfg = MonteCarloConfig(trials=args.trials, seed=args.seed)
+            mean, half = estimate_area_fraction(
+                workload.profile,
+                workload.n,
+                workload.theta,
+                "exact",
+                cfg,
+                scheme=workload.scheme,
+                sample_points=128,
+            )
+            print(f"  simulated full-view area fraction: {mean:.3f} +/- {half:.3f}")
+        print()
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.barrier.grid_barrier import barrier_exists, compute_coverage_grid
+    from repro.core.csa import csa_necessary, csa_sufficient
+    from repro.core.full_view import diagnose_point
+    from repro.sensors.io import save_fleet
+    from repro.simulation.workloads import registry
+    from repro.viz.ascii_plot import ascii_coverage_map, ascii_scatter_map
+
+    workloads = registry()
+    if args.workload not in workloads:
+        print(f"unknown workload {args.workload!r}; known: {', '.join(workloads)}")
+        return 1
+    workload = workloads[args.workload]
+    if args.provision is not None:
+        workload = workload.provisioned(q=args.provision)
+    fleet = workload.scheme.deploy(
+        workload.profile, workload.n, np.random.default_rng(args.seed)
+    )
+    fleet.build_index()
+    theta = workload.theta
+
+    print(f"workload: {workload.name} — {workload.description}")
+    print(f"deployed {len(fleet)} sensors, theta = {theta / math.pi:.3f}*pi")
+    s_c = workload.profile.weighted_sensing_area
+    print(
+        f"s_c = {s_c:.4f} | CSA_N = {csa_necessary(workload.n, theta):.4f} | "
+        f"CSA_S = {csa_sufficient(workload.n, theta):.4f}"
+    )
+    print()
+    print(ascii_scatter_map(fleet.positions, side=fleet.region.side,
+                            title="sensor positions"))
+    grid = compute_coverage_grid(fleet, theta, resolution=args.resolution)
+    print()
+    print(
+        ascii_coverage_map(
+            grid.covered,
+            title=f"full-view covered cells ({grid.covered_fraction:.1%})",
+        )
+    )
+    analysis = barrier_exists(fleet, theta, resolution=args.resolution)
+    if analysis.has_barrier:
+        print("\nbarrier: YES — every bottom-to-top crossing hits a covered cell")
+    else:
+        breach = analysis.breach or []
+        print(
+            f"\nbarrier: NO — an intruder can cross through {len(breach)} "
+            "uncovered cells, e.g. entering near "
+            f"x = {grid.cell_center(breach[0])[0]:.2f}" if breach else "\nbarrier: NO"
+        )
+    diag = diagnose_point(fleet, (0.5, 0.5), theta)
+    print(
+        f"\ncentre point: covered={diag.covered}, covering sensors="
+        f"{diag.num_covering_sensors}, max gap={diag.max_gap:.3f} "
+        f"(allowed {2 * theta:.3f})"
+    )
+    if args.save_fleet:
+        path = save_fleet(fleet, args.save_fleet)
+        print(f"\nfleet saved to {path}")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.core.design import design_report
+    from repro.simulation.workloads import registry
+
+    workloads = registry()
+    if args.workload not in workloads:
+        print(f"unknown workload {args.workload!r}; known: {', '.join(workloads)}")
+        return 1
+    workload = workloads[args.workload]
+    report = design_report(
+        workload.profile, workload.n, workload.theta, target=args.target
+    )
+    print(f"design report: {workload.name} — {workload.description}")
+    print(f"  n = {report.n}, theta = {report.theta / math.pi:.3f}*pi, "
+          f"target per-point P(necessary) = {args.target}")
+    print(f"  CSA necessary / sufficient: {report.csa_necessary:.4f} / "
+          f"{report.csa_sufficient:.4f}")
+    print(f"  current weighted sensing area: {report.current_weighted_area:.4f} "
+          f"({report.csa_margin:.1%} of the sufficient CSA)")
+    print(f"  required weighted area at n={report.n}: {report.required_area:.4f} "
+          f"(scale every radius by {report.required_scale:.2f}x)")
+    if report.minimum_n_with_current_cameras > 0:
+        print(f"  or keep the cameras and deploy n >= "
+              f"{report.minimum_n_with_current_cameras}")
+    else:
+        print("  current cameras cannot reach the target at any fleet size")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fullview",
+        description="Full-view coverage of heterogeneous camera sensor networks "
+        "(reproduction of Wu & Wang, ICDCS 2012).",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments")
+    p_run.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_run.add_argument("--full", action="store_true", help="publication-quality budgets")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--out", help="directory for CSV exports")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figures", help="render Figures 7 and 8")
+    p_fig.add_argument("--out", help="directory for CSV exports")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_work = sub.add_parser("workloads", help="assess built-in scenarios")
+    p_work.add_argument("--simulate", action="store_true", help="also run Monte Carlo")
+    p_work.add_argument("--trials", type=int, default=50)
+    p_work.add_argument("--seed", type=int, default=0)
+    p_work.set_defaults(func=_cmd_workloads)
+
+    p_diag = sub.add_parser(
+        "diagnose", help="deploy a workload and render coverage/barrier maps"
+    )
+    p_diag.add_argument("workload", help="workload name (see `fullview workloads`)")
+    p_diag.add_argument("--seed", type=int, default=0)
+    p_diag.add_argument("--resolution", type=int, default=24)
+    p_diag.add_argument(
+        "--provision", type=float, default=None,
+        help="rescale cameras to this multiple of the sufficient CSA first",
+    )
+    p_diag.add_argument("--save-fleet", help="write the deployed fleet to this .npz")
+    p_diag.set_defaults(func=_cmd_diagnose)
+
+    p_design = sub.add_parser(
+        "design", help="invert the theory into requirements for a workload"
+    )
+    p_design.add_argument("workload", help="workload name (see `fullview workloads`)")
+    p_design.add_argument(
+        "--target", type=float, default=0.99,
+        help="target per-point necessary-condition probability",
+    )
+    p_design.set_defaults(func=_cmd_design)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

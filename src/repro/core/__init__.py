@@ -1,0 +1,92 @@
+"""The paper's primary contribution: full-view coverage theory.
+
+Layout
+------
+- :mod:`repro.core.full_view` — the *exact* full-view coverage test
+  (Definition 1) via the angular-gap criterion, plus rich per-point
+  diagnostics.
+- :mod:`repro.core.conditions` — the paper's geometric *necessary*
+  (Section III, Fig. 4) and *sufficient* (Section IV, Fig. 6) sector
+  conditions.
+- :mod:`repro.core.csa` — critical sensing area (Definition 2,
+  Theorems 1 and 2).
+- :mod:`repro.core.uniform_theory` — per-point failure probabilities
+  under uniform deployment (eqs. (2), (13)) and the Bonferroni grid
+  bounds (eqs. (3)-(4), (14)-(15)).
+- :mod:`repro.core.poisson_theory` — Theorems 3 and 4 (Poisson
+  deployment).
+- :mod:`repro.core.asymptotics` — Lemmas 1-3 as numerical tools.
+- :mod:`repro.core.kcoverage` — classic 1-/k-coverage machinery used by
+  the Section VII comparisons.
+"""
+
+from repro.core.conditions import (
+    SectorPartition,
+    necessary_condition_holds,
+    point_meets_necessary_condition,
+    point_meets_sufficient_condition,
+    sector_count_necessary,
+    sector_count_sufficient,
+    sufficient_condition_holds,
+)
+from repro.core.csa import (
+    csa_necessary,
+    csa_sufficient,
+    csa_necessary_xi,
+    csa_sufficient_xi,
+)
+from repro.core.full_view import (
+    FullViewDiagnostics,
+    diagnose_point,
+    full_view_coverage_fraction,
+    is_full_view_covered,
+    point_is_full_view_covered,
+    safe_direction_set,
+)
+from repro.core.kcoverage import (
+    critical_esr,
+    implied_k,
+    is_k_covered,
+    k_coverage_fraction,
+    kumar_sufficient_area,
+    one_coverage_csa,
+)
+from repro.core.poisson_theory import (
+    poisson_necessary_probability,
+    poisson_sufficient_probability,
+)
+from repro.core.uniform_theory import (
+    grid_failure_bounds,
+    necessary_failure_probability,
+    sufficient_failure_probability,
+)
+
+__all__ = [
+    "FullViewDiagnostics",
+    "SectorPartition",
+    "critical_esr",
+    "csa_necessary",
+    "csa_necessary_xi",
+    "csa_sufficient",
+    "csa_sufficient_xi",
+    "diagnose_point",
+    "full_view_coverage_fraction",
+    "grid_failure_bounds",
+    "implied_k",
+    "is_full_view_covered",
+    "is_k_covered",
+    "k_coverage_fraction",
+    "kumar_sufficient_area",
+    "necessary_condition_holds",
+    "necessary_failure_probability",
+    "one_coverage_csa",
+    "point_is_full_view_covered",
+    "point_meets_necessary_condition",
+    "point_meets_sufficient_condition",
+    "poisson_necessary_probability",
+    "poisson_sufficient_probability",
+    "safe_direction_set",
+    "sector_count_necessary",
+    "sector_count_sufficient",
+    "sufficient_condition_holds",
+]

@@ -1,0 +1,106 @@
+"""Lemmas 1-3 of the paper as reusable numerical tools.
+
+These small analytic facts drive the CSA proofs; exposing them lets the
+test suite verify each proof ingredient independently, and lets the
+phase-transition experiment reason about orders of magnitude.
+
+- Lemma 1: for ``0 < x < 1/2``,
+  ``log(1 - x) in (-(x + 5/6 x^2), -(x + 1/2 x^2))``.
+- Lemma 2: if ``x(n) in (0, 1/2)``, ``y(n) > 0`` and ``x^2 y -> 0``,
+  then ``(1 - x)^y ~ e^{-x y}``.
+- Lemma 3: with ``s_c`` at the necessary CSA,
+  ``s_c = Theta((log n + log log n)/n)`` so ``s_c -> 0`` and
+  ``n s_c^2 -> 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import InvalidParameterError
+
+
+def log1m_bounds(x: float) -> Tuple[float, float]:
+    """Lemma 1's sandwich on ``log(1 - x)`` for ``0 < x < 1/2``.
+
+    Returns ``(lower, upper) = (-(x + 5/6 x^2), -(x + 1/2 x^2))`` with
+    ``lower < log(1-x) < upper``.
+    """
+    if not (0.0 < x < 0.5):
+        raise InvalidParameterError(f"Lemma 1 requires 0 < x < 1/2, got {x!r}")
+    return (-(x + (5.0 / 6.0) * x * x), -(x + 0.5 * x * x))
+
+
+def pow_one_minus_bounds(x: float, y: float) -> Tuple[float, float]:
+    """Lemma 2's sandwich on ``(1 - x)^y``.
+
+    Exponentiating Lemma 1: ``e^{-xy - 5/6 x^2 y} < (1-x)^y <
+    e^{-xy - 1/2 x^2 y}``.  The interval collapses onto ``e^{-xy}``
+    as ``x^2 y -> 0``.
+    """
+    if y <= 0:
+        raise InvalidParameterError(f"Lemma 2 requires y > 0, got {y!r}")
+    lower_log, upper_log = log1m_bounds(x)
+    return (math.exp(y * lower_log), math.exp(y * upper_log))
+
+
+def exp_approximation_error(x: float, y: float) -> float:
+    """Relative error of the Lemma 2 approximation ``(1-x)^y ~ e^{-xy}``.
+
+    Returns ``|(1-x)^y - e^{-xy}| / e^{-xy}``; bounded by
+    ``1 - e^{-5/6 x^2 y}`` on the lemma's domain.
+    """
+    if not (0.0 < x < 0.5) or y <= 0:
+        raise InvalidParameterError("requires 0 < x < 1/2 and y > 0")
+    exact = math.exp(y * math.log1p(-x))
+    approx = math.exp(-x * y)
+    return abs(exact - approx) / approx
+
+
+@dataclass(frozen=True)
+class Lemma3Orders:
+    """The quantities Lemma 3 sends to zero, evaluated at finite ``n``."""
+
+    s_c: float
+    s_c_over_order: float
+    n_s_c_squared: float
+
+
+def lemma3_orders(n: int, theta: float) -> Lemma3Orders:
+    """Evaluate Lemma 3's vanishing quantities at the necessary CSA.
+
+    ``s_c_over_order`` is ``s_c / ((log n + log log n)/n)``, which
+    Lemma 3 says converges to a positive constant
+    (``pi/(theta)`` up to the sector-count factor); ``n_s_c_squared``
+    is ``n * s_c^2 -> 0``.
+    """
+    from repro.core.csa import csa_necessary  # local import avoids a cycle
+
+    if n < 3:
+        raise InvalidParameterError(f"need n >= 3 for log log n > 0, got {n!r}")
+    s_c = csa_necessary(n, theta)
+    order = (math.log(n) + math.log(math.log(n))) / n
+    return Lemma3Orders(
+        s_c=s_c,
+        s_c_over_order=s_c / order,
+        n_s_c_squared=n * s_c * s_c,
+    )
+
+
+def proposition1_floor(xi: float) -> float:
+    """Proposition 1's asymptotic failure floor ``e^{-xi} - e^{-2 xi}``.
+
+    At the parametrised CSA the grid-failure probability stays at or
+    above this value, which is maximised at ``xi = log 2`` with value
+    ``1/4`` — the strongest obstruction the proof certifies.
+    """
+    if xi < 0:
+        raise InvalidParameterError(f"xi must be non-negative, got {xi!r}")
+    return math.exp(-xi) - math.exp(-2.0 * xi)
+
+
+def optimal_xi() -> float:
+    """The ``xi`` maximising :func:`proposition1_floor` (``log 2``)."""
+    return math.log(2.0)

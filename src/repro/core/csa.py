@@ -1,0 +1,171 @@
+"""Critical sensing area (Definition 2, Theorems 1 and 2).
+
+The *critical sensing area* (CSA) ``s_c(n)`` for an event ``H`` is the
+threshold on the weighted sensing area ``s_c = sum_y c_y s_y`` such
+that ``P(H) -> 1`` whenever ``s_c >= c * s_c(n)`` for any ``c > 1``,
+while ``P(H)`` stays bounded below 1 whenever ``s_c <= c * s_c(n)`` for
+any ``c < 1``.
+
+For the dense grid ``M`` with ``m = n log n`` points and effective
+angle ``theta``, the paper's Theorems 1 and 2 give
+
+- necessary condition (Theorem 1)::
+
+      s_N,c(n) = -(pi /(theta*n)) * log(1 - (1 - 1/(n log n))**(1/K_N))
+
+- sufficient condition (Theorem 2)::
+
+      s_S,c(n) = -(2*pi/(theta*n)) * log(1 - (1 - 1/(n log n))**(1/K_S))
+
+with ``K_N = ceil(pi/theta)`` and ``K_S = ceil(2*pi/theta)`` the sector
+counts of the respective partitions.  (See DESIGN.md for how these
+forms were reconstructed from the OCR'd text and validated against the
+paper's own consistency checks: the theta = pi degeneration to the
+1-coverage CSA, eq. (19), and the factor-two gap of Section VI-C.)
+
+The ``*_xi`` variants expose the paper's sharper parametrised form with
+``e^{-xi}/(n log n)`` in place of ``1/(n log n)`` (Propositions 1 and
+3), used by the phase-transition analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.conditions import sector_count_necessary, sector_count_sufficient
+from repro.core.full_view import validate_effective_angle
+from repro.errors import InvalidParameterError
+
+
+def _validate_n(n: int) -> int:
+    """CSA formulas need ``n log n > 1``; ``n >= 2`` suffices."""
+    if n < 2:
+        raise InvalidParameterError(
+            f"CSA formulas require n >= 2 (need n*log(n) > 1), got {n!r}"
+        )
+    return int(n)
+
+
+def _csa(n: int, theta: float, coefficient_pi_multiple: float, sectors: int, xi: float) -> float:
+    """Shared CSA kernel.
+
+    ``s_c = -(coeff*pi/(theta*n)) * log(1 - (1 - e^{-xi}/(n log n))**(1/sectors))``
+    """
+    n = _validate_n(n)
+    theta = validate_effective_angle(theta)
+    if xi < 0:
+        raise InvalidParameterError(f"xi must be non-negative, got {xi!r}")
+    m = n * math.log(n)
+    # (1 - eps)^(1/K): use exp/log1p for precision at large n.
+    root = math.exp(math.log1p(-math.exp(-xi) / m) / sectors)
+    if root >= 1.0:
+        # The per-sector failure allowance underflowed (theta so small
+        # that K = ceil(pi/theta) dwarfs float precision).
+        raise InvalidParameterError(
+            f"theta={theta!r} is too small to evaluate the CSA in float "
+            "precision (sector count overwhelms the failure budget)"
+        )
+    return -(coefficient_pi_multiple * math.pi / (theta * n)) * math.log1p(-root)
+
+
+def csa_necessary(n: int, theta: float) -> float:
+    """``s_N,c(n)``: CSA for the necessary condition (Theorem 1)."""
+    return _csa(n, theta, 1.0, sector_count_necessary(theta), 0.0)
+
+
+def csa_sufficient(n: int, theta: float) -> float:
+    """``s_S,c(n)``: CSA for the sufficient condition (Theorem 2)."""
+    return _csa(n, theta, 2.0, sector_count_sufficient(theta), 0.0)
+
+
+def csa_necessary_xi(n: int, theta: float, xi: float) -> float:
+    """Proposition 1's parametrised necessary CSA (``e^{-xi}`` numerator).
+
+    At ``xi = 0`` this is :func:`csa_necessary`.  Larger ``xi`` shrinks
+    the allowed per-grid failure mass ``e^{-xi}/(n log n)`` and so
+    *raises* the area threshold; Proposition 1 shows that even at this
+    raised threshold the grid-failure probability stays at or above
+    ``e^{-xi} - e^{-2 xi}`` asymptotically — which is what makes the
+    necessary-condition CSA genuinely necessary.
+    """
+    return _csa(n, theta, 1.0, sector_count_necessary(theta), xi)
+
+
+def csa_sufficient_xi(n: int, theta: float, xi: float) -> float:
+    """Proposition 3's parametrised sufficient CSA."""
+    return _csa(n, theta, 2.0, sector_count_sufficient(theta), xi)
+
+
+def csa_ratio(n: int, theta: float) -> float:
+    """``s_S,c(n) / s_N,c(n)`` — Section VI-C observes this is ~2."""
+    return csa_sufficient(n, theta) / csa_necessary(n, theta)
+
+
+def csa_leading_order(n: int, theta: float, condition: str = "necessary") -> float:
+    """Leading-order approximation of the CSA for large ``n``.
+
+    From Lemma 3's derivation, for large ``n``::
+
+        s_c(n) ~ (coeff*pi/(theta*n)) * log(K * n * log n)
+               = Theta((log n + log log n) / n)
+
+    with ``coeff = 1, K = K_N`` (necessary) or ``coeff = 2, K = K_S``
+    (sufficient).  Uses ``(1-eps)^{1/K} ~ 1 - eps/K``.
+    """
+    n = _validate_n(n)
+    theta = validate_effective_angle(theta)
+    if condition == "necessary":
+        coeff, sectors = 1.0, sector_count_necessary(theta)
+    elif condition == "sufficient":
+        coeff, sectors = 2.0, sector_count_sufficient(theta)
+    else:
+        raise InvalidParameterError(
+            f"condition must be 'necessary' or 'sufficient', got {condition!r}"
+        )
+    m = n * math.log(n)
+    return (coeff * math.pi / (theta * n)) * math.log(sectors * m)
+
+
+def csa_curve_over_theta(
+    n: int, thetas: Iterable[float], condition: str = "necessary"
+) -> np.ndarray:
+    """Vector of CSA values across effective angles (Figure 7 driver)."""
+    fn = csa_necessary if condition == "necessary" else csa_sufficient
+    if condition not in ("necessary", "sufficient"):
+        raise InvalidParameterError(
+            f"condition must be 'necessary' or 'sufficient', got {condition!r}"
+        )
+    return np.array([fn(n, float(t)) for t in thetas], dtype=float)
+
+
+def csa_curve_over_n(
+    ns: Iterable[int], theta: float, condition: str = "necessary"
+) -> np.ndarray:
+    """Vector of CSA values across sensor counts (Figure 8 driver)."""
+    fn = csa_necessary if condition == "necessary" else csa_sufficient
+    if condition not in ("necessary", "sufficient"):
+        raise InvalidParameterError(
+            f"condition must be 'necessary' or 'sufficient', got {condition!r}"
+        )
+    return np.array([fn(int(n), theta) for n in ns], dtype=float)
+
+
+def required_radius_homogeneous(n: int, theta: float, phi: float, q: float = 1.0, condition: str = "sufficient") -> float:
+    """Sensing radius placing a homogeneous fleet at ``q x CSA``.
+
+    Solves ``phi * r**2 / 2 = q * s_c(n)`` — the design question a
+    network engineer actually asks ("how good must my cameras be?").
+    """
+    if phi <= 0 or phi > 2.0 * math.pi + 1e-12:
+        raise InvalidParameterError(f"angle of view must be in (0, 2*pi], got {phi!r}")
+    if q <= 0:
+        raise InvalidParameterError(f"q must be positive, got {q!r}")
+    base = csa_necessary(n, theta) if condition == "necessary" else csa_sufficient(n, theta)
+    if condition not in ("necessary", "sufficient"):
+        raise InvalidParameterError(
+            f"condition must be 'necessary' or 'sufficient', got {condition!r}"
+        )
+    return math.sqrt(2.0 * q * base / min(phi, 2.0 * math.pi))

@@ -1,0 +1,197 @@
+"""Design solvers: inverting the theory into engineering answers.
+
+Section VII-C argues the CSA's value is that "designers and engineers
+can assess the demand for the quality of cameras on the basis of it".
+This module completes that promise by inverting the per-point formulas
+numerically:
+
+- :func:`solve_n_for_point_probability` — fewest sensors of a given
+  profile shape reaching a target per-point condition probability;
+- :func:`solve_area_for_point_probability` — smallest weighted sensing
+  area doing the same at fixed ``n``;
+- :func:`design_report` — the full bill of requirements for a scenario
+  (CSA thresholds, minimum n, minimum area, per-camera radius).
+
+All solvers work on the exact monotone formulas (eq. (2)/(13) or the
+Poisson theorems), by bisection; monotonicity in ``n`` and ``s_c`` is
+what makes the inversion well-posed (and is property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+from repro.core.csa import csa_necessary, csa_sufficient
+from repro.core.poisson_theory import (
+    poisson_necessary_probability,
+    poisson_sufficient_probability,
+)
+from repro.core.uniform_theory import point_failure_probability
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.sensors.model import HeterogeneousProfile
+
+Condition = Literal["necessary", "sufficient"]
+Scheme = Literal["uniform", "poisson"]
+
+#: Hard cap for the n bisection, far beyond practical fleets.
+_MAX_N = 100_000_000
+
+
+def point_success_probability(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    condition: Condition = "necessary",
+    scheme: Scheme = "uniform",
+) -> float:
+    """P(a point meets the condition) under either deployment scheme."""
+    if scheme == "uniform":
+        return 1.0 - point_failure_probability(profile, n, theta, condition)
+    if scheme != "poisson":
+        raise InvalidParameterError(
+            f"scheme must be 'uniform' or 'poisson', got {scheme!r}"
+        )
+    fn = (
+        poisson_necessary_probability
+        if condition == "necessary"
+        else poisson_sufficient_probability
+    )
+    return fn(profile, n, theta)
+
+
+def solve_n_for_point_probability(
+    profile: HeterogeneousProfile,
+    theta: float,
+    target: float,
+    condition: Condition = "necessary",
+    scheme: Scheme = "uniform",
+) -> int:
+    """Smallest ``n`` with point success probability >= ``target``.
+
+    Raises :class:`ConvergenceError` when even ``10^8`` sensors cannot
+    reach the target (e.g. per-camera areas so small that float
+    precision swallows the per-sensor contribution).
+    """
+    if not (0.0 < target < 1.0):
+        raise InvalidParameterError(f"target must be in (0, 1), got {target!r}")
+    lo, hi = 1, 2
+    while point_success_probability(profile, hi, theta, condition, scheme) < target:
+        hi *= 2
+        if hi > _MAX_N:
+            raise ConvergenceError(
+                f"no n <= {_MAX_N} reaches target {target} for this profile"
+            )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if point_success_probability(profile, mid, theta, condition, scheme) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def solve_area_for_point_probability(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    target: float,
+    condition: Condition = "necessary",
+    scheme: Scheme = "uniform",
+    tolerance: float = 1e-6,
+) -> float:
+    """Smallest weighted sensing area reaching ``target`` at fixed ``n``.
+
+    The profile's group structure (fractions, angles, area ratios) is
+    preserved; only the common radius scale moves.  Returns the
+    weighted sensing area; build the concrete profile with
+    :meth:`HeterogeneousProfile.scaled_to_weighted_area`.
+    """
+    if not (0.0 < target < 1.0):
+        raise InvalidParameterError(f"target must be in (0, 1), got {target!r}")
+    if tolerance <= 0:
+        raise InvalidParameterError(f"tolerance must be positive, got {tolerance!r}")
+
+    def probability_at(area: float) -> float:
+        scaled = profile.scaled_to_weighted_area(area)
+        return point_success_probability(scaled, n, theta, condition, scheme)
+
+    lo, hi = 1e-9, 1e-6
+    while probability_at(hi) < target:
+        hi *= 2.0
+        if hi > 16.0:
+            raise ConvergenceError(
+                f"no sensible area reaches target {target} at n={n}"
+            )
+    while hi - lo > tolerance * hi:
+        mid = math.sqrt(lo * hi)
+        if probability_at(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """Bill of requirements for a coverage scenario.
+
+    Attributes
+    ----------
+    theta, n:
+        The scenario.
+    csa_necessary, csa_sufficient:
+        Theorem 1/2 thresholds at ``n``.
+    current_weighted_area, csa_margin:
+        The profile's weighted sensing area, and its ratio to the
+        sufficient CSA.
+    required_area:
+        Smallest weighted sensing area reaching the target per-point
+        probability (eq. (2)).
+    required_scale:
+        Radius multiplier turning the current profile into the
+        required one.
+    minimum_n_with_current_cameras:
+        Fewest sensors of the current profile reaching the target.
+    """
+
+    theta: float
+    n: int
+    csa_necessary: float
+    csa_sufficient: float
+    current_weighted_area: float
+    csa_margin: float
+    required_area: float
+    required_scale: float
+    minimum_n_with_current_cameras: int
+
+
+def design_report(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    target: float = 0.99,
+    condition: Condition = "necessary",
+) -> DesignReport:
+    """Everything a network designer asks of the theory, in one call."""
+    current = profile.weighted_sensing_area
+    required_area = solve_area_for_point_probability(
+        profile, n, theta, target, condition
+    )
+    try:
+        min_n = solve_n_for_point_probability(profile, theta, target, condition)
+    except ConvergenceError:
+        min_n = -1
+    suf = csa_sufficient(n, theta)
+    return DesignReport(
+        theta=theta,
+        n=n,
+        csa_necessary=csa_necessary(n, theta),
+        csa_sufficient=suf,
+        current_weighted_area=current,
+        csa_margin=current / suf,
+        required_area=required_area,
+        required_scale=math.sqrt(required_area / current),
+        minimum_n_with_current_cameras=min_n,
+    )

@@ -1,0 +1,172 @@
+"""Redundancy and robustness of full-view coverage at a point.
+
+Section VI-C observes that the sufficient condition over-provisions
+("some sensors might be redundant if they stay close enough", Fig. 9
+right) while the necessary condition under-provisions (a hole direction
+can survive, Fig. 9 left).  This module makes those remarks
+quantitative, working directly on the viewed directions
+``psi_1..psi_k`` of the sensors covering a point:
+
+- :func:`breach_cost` — the minimum number of sensors an adversary must
+  disable to break full-view coverage: the smallest number of viewed
+  directions inside any closed arc of width ``2*theta`` (disabling all
+  sensors within ``theta`` of some facing direction makes it unsafe).
+- :func:`minimum_guard_set` — an exact minimum-cardinality subset of
+  the covering sensors that still full-view covers the point (the
+  classic minimum circle cover by arcs, O(k^2)); its size is bounded
+  below by ``ceil(pi/theta)``, the paper's per-point minimum.
+- :func:`redundant_sensors` — sensors removable *individually* without
+  breaking coverage.
+
+All functions take raw direction arrays so they compose with both the
+binary and probabilistic sensing models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.full_view import validate_effective_angle
+from repro.geometry.angles import TWO_PI, normalize_angle
+from repro.geometry.intervals import max_circular_gap
+
+
+def _sorted_directions(directions: Sequence[float]) -> np.ndarray:
+    return np.sort(normalize_angle(np.asarray(directions, dtype=float).ravel()))
+
+
+def is_covered(directions: Sequence[float], theta: float) -> bool:
+    """Exact full-view test (thin wrapper, for internal symmetry)."""
+    theta = validate_effective_angle(theta)
+    dirs = np.asarray(directions, dtype=float).ravel()
+    return dirs.size > 0 and max_circular_gap(dirs) <= 2.0 * theta + 1e-12
+
+
+def breach_cost(directions: Sequence[float], theta: float) -> int:
+    """Minimum sensors to disable to break full-view coverage.
+
+    Zero when the point is not full-view covered to begin with.  For a
+    covered point this is ``min_d #{i : angdist(psi_i, d) <= theta}``
+    over facing directions ``d`` — the count is piecewise constant with
+    breakpoints at ``psi_i +/- theta``, so the minimum is attained on
+    an interval between consecutive breakpoints and is found by
+    evaluating interval midpoints, O(k^2).
+    """
+    theta = validate_effective_angle(theta)
+    if not is_covered(directions, theta):
+        return 0
+    dirs = _sorted_directions(directions)
+    k = dirs.size
+    breakpoints = normalize_angle(
+        np.concatenate([dirs - theta, dirs + theta])
+    )
+    breakpoints = np.unique(breakpoints)
+    # Candidate facing directions: midpoints between consecutive
+    # breakpoints (wrapping), plus the breakpoints themselves (the
+    # closed-arc count can jump down exactly at a breakpoint).
+    mids = normalize_angle(
+        breakpoints + 0.5 * np.diff(np.concatenate([breakpoints, [breakpoints[0] + TWO_PI]]))
+    )
+    candidates = np.concatenate([breakpoints, mids])
+    best = k
+    for d in candidates:
+        offsets = np.abs(np.mod(dirs - d + math.pi, TWO_PI) - math.pi)
+        count = int((offsets <= theta + 1e-12).sum())
+        if count < best:
+            best = count
+    return best
+
+
+def minimum_guard_set(
+    directions: Sequence[float], theta: float
+) -> Optional[List[int]]:
+    """An exact minimum subset of sensors that still full-view covers.
+
+    Returns indices into ``directions`` (original order), or ``None``
+    when even the full set does not cover.  This is minimum cover of
+    the circle by the arcs ``[psi_i - theta, psi_i + theta]``: for each
+    candidate first arc, greedily chain arcs that start within the
+    covered prefix and extend it furthest, until the prefix wraps
+    around; the best chain over all starts is optimal (standard
+    circular interval covering).
+    """
+    theta = validate_effective_angle(theta)
+    dirs = np.asarray(directions, dtype=float).ravel()
+    if not is_covered(dirs, theta):
+        return None
+    order = np.argsort(normalize_angle(dirs))
+    sorted_dirs = normalize_angle(dirs)[order]
+    k = sorted_dirs.size
+    if theta >= math.pi - 1e-12:
+        # One sensor covers everything.
+        return [int(order[0])]
+    starts = normalize_angle(sorted_dirs - theta)
+    extents = np.full(k, 2.0 * theta)
+
+    best: Optional[List[int]] = None
+    for first in range(k):
+        chain = [first]
+        cover_start = starts[first]
+        cover_end = cover_start + extents[first]  # unwrapped coordinate
+        failed = False
+        while cover_end - cover_start < TWO_PI - 1e-12:
+            # Furthest-reaching arc whose start lies in the covered
+            # prefix (in unwrapped coordinates from cover_start).
+            rel_starts = np.mod(starts - cover_start, TWO_PI)
+            reachable = rel_starts <= (cover_end - cover_start) + 1e-12
+            if not reachable.any():
+                failed = True
+                break
+            reach_ends = rel_starts + extents
+            candidate = int(np.argmax(np.where(reachable, reach_ends, -1.0)))
+            new_end = cover_start + float(reach_ends[candidate])
+            if new_end <= cover_end + 1e-15:
+                failed = True  # no progress: uncoverable gap
+                break
+            cover_end = new_end
+            chain.append(candidate)
+        if not failed and (best is None or len(chain) < len(best)):
+            best = chain
+    if best is None:
+        return None
+    # Map back to original indices, deduplicated preserving order.
+    result: List[int] = []
+    for idx in best:
+        original = int(order[idx])
+        if original not in result:
+            result.append(original)
+    return result
+
+
+def redundant_sensors(directions: Sequence[float], theta: float) -> List[int]:
+    """Indices of sensors individually removable without breaking coverage.
+
+    Exactly the paper's Fig. 9 (right) situation: sensor ``S`` can be
+    removed when its neighbours' viewed directions stay within ``2*theta``
+    of each other.  Empty when the point is not covered.
+    """
+    theta = validate_effective_angle(theta)
+    dirs = np.asarray(directions, dtype=float).ravel()
+    if not is_covered(dirs, theta):
+        return []
+    removable = []
+    for i in range(dirs.size):
+        rest = np.delete(dirs, i)
+        if rest.size and max_circular_gap(rest) <= 2.0 * theta + 1e-12:
+            removable.append(i)
+    return removable
+
+
+def robustness_margin(directions: Sequence[float], theta: float) -> float:
+    """Fraction of covering sensors that must fail to break coverage.
+
+    ``breach_cost / k`` — a dimensionless robustness score in [0, 1]
+    comparable across points and fleets.  Zero when uncovered.
+    """
+    dirs = np.asarray(directions, dtype=float).ravel()
+    if dirs.size == 0:
+        return 0.0
+    return breach_cost(dirs, theta) / dirs.size

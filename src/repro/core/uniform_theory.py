@@ -1,0 +1,241 @@
+"""Per-point probabilities under uniform deployment (Section III/IV).
+
+For a point ``P`` and one sensor of group ``G_y`` placed uniformly at
+random with uniform random orientation, the probability that it lands
+in a given sector ``T_j`` of the Fig. 4 partition *and* covers ``P``
+factorises (Section III-A) as::
+
+    P(in T_j) * P(covers P | in T_j)
+        = (2*theta/(2*pi)) * pi * r_y**2   *   phi_y/(2*pi)
+        = theta * s_y / pi                       (necessary; sector 2*theta)
+
+and ``theta * s_y / (2*pi)`` for the sufficient partition's
+``theta``-sectors.  Note only the *area* ``s_y = phi_y r_y^2/2`` enters
+— the Section VI-A "decisive role of sensing area".
+
+With ``n_y = c_y n`` sensors per group and sector occupancies treated
+as independent (exact asymptotically; see the inclusion-exclusion
+ablation below), the failure events are
+
+- eq. (2):  ``P(F_N,P) = 1 - [1 - prod_y (1 - theta s_y/pi )^{n_y}]^{K_N}``
+- eq. (13): ``P(F_S,P) = 1 - [1 - prod_y (1 - theta s_y/(2*pi))^{n_y}]^{K_S}``
+
+and the Bonferroni grid bounds (eqs. (3)-(4), (14)-(15)) sandwich the
+probability that the dense grid fails the condition anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.special import comb
+
+from repro.core.conditions import sector_count_necessary, sector_count_sufficient
+from repro.core.full_view import validate_effective_angle
+from repro.errors import InvalidParameterError
+from repro.geometry.grid import grid_points_required
+from repro.sensors.model import HeterogeneousProfile
+
+
+def per_sensor_sector_probability(
+    sensing_area: float, theta: float, condition: str
+) -> float:
+    """Probability one uniform sensor lands in a given sector and covers ``P``.
+
+    ``theta * s / pi`` for the necessary partition (sector angle
+    ``2*theta``), ``theta * s / (2*pi)`` for the sufficient partition
+    (sector angle ``theta``).
+    """
+    theta = validate_effective_angle(theta)
+    if sensing_area <= 0:
+        raise InvalidParameterError(f"sensing area must be positive, got {sensing_area!r}")
+    if condition == "necessary":
+        p = theta * sensing_area / math.pi
+    elif condition == "sufficient":
+        p = theta * sensing_area / (2.0 * math.pi)
+    else:
+        raise InvalidParameterError(
+            f"condition must be 'necessary' or 'sufficient', got {condition!r}"
+        )
+    if p > 1.0:
+        # Physically the sensing region saturates the sector; cap.
+        p = 1.0
+    return p
+
+
+def _sector_vacancy_probability(
+    profile: HeterogeneousProfile, n: int, theta: float, condition: str
+) -> float:
+    """``prod_y (1 - p_y)^{n_y}``: no sensor in a given sector covers ``P``.
+
+    Uses exact integer group counts ``n_y`` (largest remainder), the
+    same counts the simulator deploys, so theory and simulation are
+    compared on identical populations.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"sensor count must be >= 1, got {n!r}")
+    counts = profile.group_counts(n)
+    log_vacancy = 0.0
+    for group, n_y in zip(profile.groups, counts):
+        if n_y == 0:
+            continue
+        p = per_sensor_sector_probability(group.sensing_area, theta, condition)
+        if p >= 1.0:
+            return 0.0
+        log_vacancy += n_y * math.log1p(-p)
+    return math.exp(log_vacancy)
+
+
+def _failure_from_vacancy(vacancy: float, sectors: int) -> float:
+    """``1 - (1 - v)^K`` computed stably, handling the v -> 1 corner."""
+    if vacancy >= 1.0:
+        return 1.0
+    return -math.expm1(sectors * math.log1p(-vacancy))
+
+
+def necessary_failure_probability(
+    profile: HeterogeneousProfile, n: int, theta: float
+) -> float:
+    """Eq. (2): probability a point fails the necessary condition."""
+    theta = validate_effective_angle(theta)
+    vacancy = _sector_vacancy_probability(profile, n, theta, "necessary")
+    return _failure_from_vacancy(vacancy, sector_count_necessary(theta))
+
+
+def sufficient_failure_probability(
+    profile: HeterogeneousProfile, n: int, theta: float
+) -> float:
+    """Eq. (13): probability a point fails the sufficient condition."""
+    theta = validate_effective_angle(theta)
+    vacancy = _sector_vacancy_probability(profile, n, theta, "sufficient")
+    return _failure_from_vacancy(vacancy, sector_count_sufficient(theta))
+
+
+def point_failure_probability(
+    profile: HeterogeneousProfile, n: int, theta: float, condition: str
+) -> float:
+    """Dispatch to eq. (2) or eq. (13) by condition name."""
+    if condition == "necessary":
+        return necessary_failure_probability(profile, n, theta)
+    if condition == "sufficient":
+        return sufficient_failure_probability(profile, n, theta)
+    raise InvalidParameterError(
+        f"condition must be 'necessary' or 'sufficient', got {condition!r}"
+    )
+
+
+@dataclass(frozen=True)
+class GridFailureBounds:
+    """Bonferroni sandwich on the grid-level failure probability.
+
+    ``P(not H) <= upper`` (eq. (3)/(14): union bound) and
+    ``P(not H) >= lower`` (eq. (4)/(15): second Bonferroni term with the
+    paper's asymptotic-independence approximation
+    ``P(F_i and F_j) = P(F)^2``).  ``lower`` is clamped at 0.
+    """
+
+    lower: float
+    upper: float
+    grid_points: int
+    point_failure: float
+
+
+def grid_failure_bounds(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    condition: str = "necessary",
+    grid_points: int | None = None,
+) -> GridFailureBounds:
+    """Bounds on P(some grid point fails the condition).
+
+    ``grid_points`` defaults to the paper's ``m = ceil(n log n)``.
+    """
+    p_fail = point_failure_probability(profile, n, theta, condition)
+    m = grid_points_required(n) if grid_points is None else int(grid_points)
+    if m < 1:
+        raise InvalidParameterError(f"grid_points must be >= 1, got {m!r}")
+    upper = min(1.0, m * p_fail)
+    lower = max(0.0, m * p_fail - (m * p_fail) ** 2)
+    return GridFailureBounds(
+        lower=lower, upper=upper, grid_points=m, point_failure=p_fail
+    )
+
+
+def necessary_failure_probability_exact(
+    profile: HeterogeneousProfile, n: int, theta: float
+) -> float:
+    """Inclusion-exclusion version of eq. (2) without the independence step.
+
+    The paper treats the occupancies of different sectors as independent
+    ("this impact is negligible as n -> infinity").  When the sector
+    angle divides ``2*pi`` exactly (no overlapping patch sector) the
+    sectors are disjoint, the per-sensor events "lands in sector j and
+    covers P" are mutually exclusive across ``j``, and inclusion-
+    exclusion is exact::
+
+        P(some sector vacant) =
+            sum_{j=1}^{K} (-1)^{j+1} C(K, j) prod_y (1 - j p_y)^{n_y}
+
+    For non-dividing angles the patch sector overlaps its neighbours and
+    this formula is itself an approximation (a tight one; the overlap
+    involves only one sector).  This ablation quantifies the error of
+    the paper's independence assumption — see
+    ``benchmarks/bench_uniform_necessary_mc.py``.
+    """
+    theta = validate_effective_angle(theta)
+    sectors = sector_count_necessary(theta)
+    counts = profile.group_counts(n)
+    probs = [
+        per_sensor_sector_probability(g.sensing_area, theta, "necessary")
+        for g in profile.groups
+    ]
+    total = 0.0
+    for j in range(1, sectors + 1):
+        log_term = 0.0
+        degenerate = False
+        for p, n_y in zip(probs, counts):
+            if n_y == 0:
+                continue
+            q = 1.0 - j * p
+            if q <= 0.0:
+                degenerate = True
+                break
+            log_term += n_y * math.log(q)
+        term = 0.0 if degenerate else math.exp(log_term)
+        total += (-1.0) ** (j + 1) * comb(sectors, j, exact=True) * term
+    return min(1.0, max(0.0, total))
+
+
+def expected_covering_sensors(
+    profile: HeterogeneousProfile, n: int
+) -> float:
+    """Expected number of sensors covering a fixed point.
+
+    Each group-``y`` sensor covers ``P`` with probability ``s_y`` (its
+    sensing area; Section VI-A), so the expectation is
+    ``sum_y n_y s_y ~= n * s_c``.
+    """
+    counts = profile.group_counts(n)
+    return float(
+        sum(n_y * g.sensing_area for g, n_y in zip(profile.groups, counts))
+    )
+
+
+def coverage_probability_single_point(
+    profile: HeterogeneousProfile, n: int
+) -> float:
+    """Probability a fixed point is covered by at least one sensor (1-coverage)."""
+    counts = profile.group_counts(n)
+    log_miss = 0.0
+    for group, n_y in zip(profile.groups, counts):
+        if n_y == 0:
+            continue
+        s = min(1.0, group.sensing_area)
+        if s >= 1.0:
+            return 1.0
+        log_miss += n_y * math.log1p(-s)
+    return -math.expm1(log_miss)

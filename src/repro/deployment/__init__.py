@@ -1,0 +1,30 @@
+"""Sensor deployment schemes.
+
+The paper studies two random schemes (Section II-A): *uniform
+deployment* (``n`` i.i.d. uniform positions) and *Poisson deployment*
+(a 2-D Poisson point process of intensity ``n``).  The triangular
+lattice of Wang & Cao and a square lattice are provided as the
+deterministic baselines the related-work comparison references.
+
+Every scheme consumes a :class:`~repro.sensors.model.HeterogeneousProfile`
+and a seeded :class:`numpy.random.Generator` and returns a
+:class:`~repro.sensors.fleet.SensorFleet` with orientations drawn
+uniformly on the circle (orientations are fixed once deployed —
+cameras cannot steer).
+"""
+
+from repro.deployment.base import DeploymentScheme
+from repro.deployment.lattice import (
+    SquareLatticeDeployment,
+    TriangularLatticeDeployment,
+)
+from repro.deployment.poisson import PoissonDeployment
+from repro.deployment.uniform import UniformDeployment
+
+__all__ = [
+    "DeploymentScheme",
+    "PoissonDeployment",
+    "SquareLatticeDeployment",
+    "TriangularLatticeDeployment",
+    "UniformDeployment",
+]

@@ -1,0 +1,71 @@
+"""Deployment scheme interface.
+
+A deployment scheme turns (profile, target count, RNG) into a deployed
+:class:`~repro.sensors.fleet.SensorFleet`.  Implementations must be
+pure: the same RNG state yields the same fleet, which is what makes
+Monte-Carlo experiments reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.torus import Region, UNIT_TORUS
+from repro.sensors.fleet import SensorFleet, fleet_from_profile_arrays
+from repro.sensors.model import HeterogeneousProfile
+
+
+class DeploymentScheme(ABC):
+    """Base class for deployment schemes.
+
+    Parameters
+    ----------
+    region:
+        The operational region; defaults to the paper's unit torus.
+    """
+
+    def __init__(self, region: Region = UNIT_TORUS) -> None:
+        self.region = region
+
+    @abstractmethod
+    def positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate sensor positions.
+
+        May return more or fewer than ``n`` rows for schemes where the
+        realised count is itself random (Poisson) or constrained
+        (lattices); the fleet size follows the returned array.
+        """
+
+    def deploy(
+        self,
+        profile: HeterogeneousProfile,
+        n: int,
+        rng: np.random.Generator,
+    ) -> SensorFleet:
+        """Deploy ``~n`` sensors drawn from ``profile``.
+
+        Group membership is assigned by randomly permuting positions and
+        slicing them into blocks of size ``n_y = c_y * n`` (largest
+        remainder), so membership is independent of location, as the
+        model requires.  Orientations are i.i.d. uniform on the circle.
+        """
+        if n < 1:
+            raise InvalidParameterError(f"sensor count must be >= 1, got {n!r}")
+        positions = self.positions(n, rng)
+        realised = positions.shape[0]
+        if realised == 0:
+            # An empty fleet is a legitimate Poisson outcome; represent
+            # it with zero-length arrays.
+            return SensorFleet(
+                positions=np.empty((0, 2)),
+                orientations=np.empty(0),
+                radii=np.empty(0),
+                angles=np.empty(0),
+                region=self.region,
+            )
+        positions = positions[rng.permutation(realised)]
+        orientations = rng.uniform(0.0, 2.0 * np.pi, size=realised)
+        return fleet_from_profile_arrays(profile, positions, orientations, self.region)

@@ -1,0 +1,75 @@
+"""Matérn cluster deployment.
+
+Air-dropped sensors rarely land i.i.d. uniform: each pass of the plane
+scatters a *cluster*.  The Matérn cluster process models this — parent
+points form a Poisson process, and each parent spawns a Poisson number
+of sensors uniformly inside a disk around it.  As the number of parents
+grows (at fixed total intensity) the process converges back to the
+homogeneous Poisson process, so the parent count interpolates between
+"one heap per drop" and the paper's idealised randomness.
+
+The CLUSTER experiment uses this to quantify how much the paper's
+uniform/Poisson assumption flatters real deployments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.deployment.base import DeploymentScheme
+from repro.errors import InvalidParameterError
+from repro.geometry.torus import Region, UNIT_TORUS
+
+
+class MaternClusterDeployment(DeploymentScheme):
+    """Matérn cluster process with ``~n`` total sensors.
+
+    Parameters
+    ----------
+    expected_parents:
+        Mean number of cluster parents (drop passes).  Each parent
+        receives a Poisson-distributed share of the ``n`` sensors.
+    cluster_radius:
+        Radius of the disk around each parent in which its children
+        land uniformly.
+    region:
+        Operational region; children wrap on the torus.
+    """
+
+    def __init__(
+        self,
+        expected_parents: float = 8.0,
+        cluster_radius: float = 0.1,
+        region: Region = UNIT_TORUS,
+    ) -> None:
+        super().__init__(region)
+        if expected_parents <= 0:
+            raise InvalidParameterError(
+                f"expected_parents must be positive, got {expected_parents!r}"
+            )
+        if not (0 < cluster_radius <= region.side):
+            raise InvalidParameterError(
+                f"cluster_radius must be in (0, side], got {cluster_radius!r}"
+            )
+        self.expected_parents = float(expected_parents)
+        self.cluster_radius = float(cluster_radius)
+
+    def positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        num_parents = int(rng.poisson(self.expected_parents))
+        if num_parents == 0:
+            return np.empty((0, 2))
+        parents = rng.uniform(0.0, self.region.side, size=(num_parents, 2))
+        # Children per parent: Poisson with mean n / num_parents keeps
+        # the expected total at n regardless of the parent draw.
+        counts = rng.poisson(lam=n / num_parents, size=num_parents)
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty((0, 2))
+        centers = np.repeat(parents, counts, axis=0)
+        # Uniform in the disk: sqrt-radius times random angle.
+        radii = self.cluster_radius * np.sqrt(rng.uniform(size=total))
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=total)
+        offsets = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
+        return self.region.wrap_points(centers + offsets)

@@ -1,0 +1,63 @@
+"""Deterministic lattice deployments.
+
+Wang & Cao's companion analysis (the paper's reference [4], discussed
+in Section VII-C) derives a *critical* full-view condition under
+triangular-lattice deployment; a square lattice is the natural second
+baseline.  Lattice positions are deterministic; only orientations stay
+random, matching the "orientation cannot steer" model.
+
+Both lattices place as close to ``n`` points as their symmetry allows
+(the realised count is reported by the returned array length).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.deployment.base import DeploymentScheme
+
+
+class SquareLatticeDeployment(DeploymentScheme):
+    """Points of a ``k x k`` square lattice, ``k = round(sqrt(n))``.
+
+    Points sit at cell centres so the lattice is symmetric on the torus.
+    """
+
+    def positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        side = max(1, round(math.sqrt(n)))
+        coords = (np.arange(side, dtype=float) + 0.5) * (self.region.side / side)
+        xs, ys = np.meshgrid(coords, coords, indexing="ij")
+        return np.stack([xs.ravel(), ys.ravel()], axis=1)
+
+
+class TriangularLatticeDeployment(DeploymentScheme):
+    """A triangular (hexagonal-packing) lattice of roughly ``n`` points.
+
+    Rows are offset by half a column spacing; row spacing is
+    ``sqrt(3)/2`` times column spacing, giving equilateral triangles in
+    the plane.  On the torus the lattice wraps; the slight aspect
+    mismatch between rows and columns is absorbed by rounding the row
+    count, which preserves the triangular neighbourhood structure that
+    the Wang-Cao analysis relies on.
+    """
+
+    def positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n == 1:
+            return np.array([[0.5 * self.region.side, 0.5 * self.region.side]])
+        # cols * rows ~= n with rows/cols ~= 2/sqrt(3) spacing ratio.
+        cols = max(1, round(math.sqrt(n * math.sqrt(3.0) / 2.0)))
+        rows = max(1, round(n / cols))
+        dx = self.region.side / cols
+        dy = self.region.side / rows
+        points = np.empty((rows * cols, 2), dtype=float)
+        k = 0
+        for j in range(rows):
+            offset = 0.25 * dx if j % 2 == 0 else 0.75 * dx
+            y = (j + 0.5) * dy
+            for i in range(cols):
+                points[k, 0] = offset + i * dx
+                points[k, 1] = y
+                k += 1
+        return self.region.wrap_points(points)

@@ -1,0 +1,83 @@
+"""Orientation samplers.
+
+The model fixes each camera's orientation at deployment time, drawn
+uniformly on the circle (Section II-A).  Alternative samplers here
+support ablations: biased orientations break the ``phi / 2*pi``
+orientation-success probability that the analytical layer assumes, and
+the inward sampler models hand-aimed perimeter installations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI, normalize_angle
+
+
+class OrientationSampler(ABC):
+    """Draws one orientation per sensor position."""
+
+    @abstractmethod
+    def sample(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Orientations (radians) for each row of ``positions``."""
+
+
+@dataclass(frozen=True)
+class UniformOrientation(OrientationSampler):
+    """The paper's model: i.i.d. uniform orientations."""
+
+    def sample(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(0.0, TWO_PI, size=positions.shape[0])
+
+
+@dataclass(frozen=True)
+class VonMisesOrientation(OrientationSampler):
+    """Orientations concentrated around a preferred heading.
+
+    ``kappa = 0`` reduces to uniform; large ``kappa`` aims every camera
+    the same way, the worst case for full-view coverage.
+    """
+
+    mean: float = 0.0
+    kappa: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kappa < 0:
+            raise InvalidParameterError(f"kappa must be non-negative, got {self.kappa!r}")
+
+    def sample(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        mu = normalize_angle(self.mean) - math.pi  # vonmises wants mu in [-pi, pi]
+        draws = rng.vonmises(mu=mu, kappa=self.kappa, size=positions.shape[0])
+        return normalize_angle(draws + math.pi)
+
+
+@dataclass(frozen=True)
+class InwardOrientation(OrientationSampler):
+    """Each camera aims at a common focal point (e.g. the region centre).
+
+    Models hand-installed perimeter cameras around an object of
+    interest; full-view coverage of the focal point is then achieved
+    with far fewer sensors than random aiming needs.
+    """
+
+    focus_x: float = 0.5
+    focus_y: float = 0.5
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise InvalidParameterError(f"jitter must be non-negative, got {self.jitter!r}")
+
+    def sample(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        dx = self.focus_x - positions[:, 0]
+        dy = self.focus_y - positions[:, 1]
+        headings = np.arctan2(dy, dx)
+        if self.jitter > 0:
+            headings = headings + rng.normal(scale=self.jitter, size=headings.shape)
+        return normalize_angle(headings)

@@ -1,0 +1,29 @@
+"""Poisson random deployment.
+
+A homogeneous 2-D Poisson point process over the region.  With ``n``
+requested sensors on the unit square the intensity is ``lambda = n``
+(Section V of the paper), so the realised count is ``Poisson(n * area)``
+and positions are i.i.d. uniform given the count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deployment.base import DeploymentScheme
+
+
+class PoissonDeployment(DeploymentScheme):
+    """Homogeneous Poisson point process of intensity ``n / area``.
+
+    The ``n`` passed to :meth:`positions` is the *expected* total count
+    over the region; the realised count varies between trials, which is
+    exactly the difference from uniform deployment that Section V
+    studies.
+    """
+
+    def positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        realised = int(rng.poisson(lam=float(n)))
+        if realised == 0:
+            return np.empty((0, 2))
+        return rng.uniform(0.0, self.region.side, size=(realised, 2))

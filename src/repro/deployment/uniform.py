@@ -1,0 +1,18 @@
+"""Uniform random deployment.
+
+The paper's primary scheme: ``n`` sensors placed "randomly, uniformly
+and independently" in the operational region (Section II-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deployment.base import DeploymentScheme
+
+
+class UniformDeployment(DeploymentScheme):
+    """``n`` i.i.d. uniform positions in the region."""
+
+    def positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(0.0, self.region.side, size=(n, 2))

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`FullViewError`, so callers can catch library failures without
+also swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class FullViewError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidParameterError(FullViewError, ValueError):
+    """A model parameter is outside its documented domain.
+
+    Raised, for example, for a non-positive sensing radius, an angle of
+    view outside ``(0, 2*pi]``, or an effective angle outside ``(0, pi]``.
+    """
+
+
+class InvalidProfileError(FullViewError, ValueError):
+    """A heterogeneous sensor profile violates its invariants.
+
+    The paper (Section II-A) requires group fractions ``c_y`` with
+    ``0 < c_y <= 1`` and ``sum(c_y) == 1``, and that no two groups share
+    both radius and angle of view.
+    """
+
+
+class DeploymentError(FullViewError, RuntimeError):
+    """A deployment scheme could not produce a valid sensor placement."""
+
+
+class ConvergenceError(FullViewError, RuntimeError):
+    """An iterative numerical routine failed to converge."""
+
+
+class ExperimentError(FullViewError, RuntimeError):
+    """An experiment driver was misconfigured or failed to run."""

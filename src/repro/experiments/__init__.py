@@ -1,0 +1,79 @@
+"""Reproductions of the paper's figures, tables and quantitative claims.
+
+Each module reproduces one artifact from the paper's evaluation
+(Sections VI-VII) or validates one theorem by Monte Carlo; the
+experiment ids match DESIGN.md's experiment index:
+
+========  =============================================================
+FIG7      Figure 7 — CSA vs effective angle theta (n = 1000)
+FIG8      Figure 8 — CSA vs sensor count n (theta = pi/4)
+EQ2-MC    eq. (2) validated by simulation (uniform, necessary)
+EQ13-MC   eq. (13) validated by simulation (uniform, sufficient)
+THM3-MC   Theorem 3 validated by simulation (Poisson, necessary)
+THM4-MC   Theorem 4 validated by simulation (Poisson, sufficient)
+PHASE     Definition 2 phase transition at s_c = q * CSA
+GAP       Section VI-C — coverage is a random event between the CSAs
+EQ19      Section VII-A — theta = pi degeneration to 1-coverage
+KCOV      Section VII-B — full-view demands more than k-coverage
+AREA      Section VI-A — only the sensing area matters, not its shape
+HET       heterogeneity invariance of the weighted sensing area
+BARRIER   extension — barrier full-view coverage (Section VIII outlook)
+CRIT      extension — empirical transition inside the CSA band
+ORIENT    extension — orientation-bias ablation of the model
+PROB      extension — probabilistic sensing via rho-scaled areas
+ROBUST    extension — random/adversarial sensor failures
+CLUSTER   extension — Matern-clustered drops vs the uniform assumption
+OCCL      extension — terrain occlusion vs a stadium-model prediction
+PLAN      extension — optimised aiming vs random orientations
+SLEEP     extension — shift scheduling on the CSA frontier
+CONN      extension — connectivity of coverage-grade fleets
+========  =============================================================
+
+Run them via the registry::
+
+    from repro.experiments import get_experiment, run_all
+    result = get_experiment("FIG7").run(fast=True, seed=0)
+    print(result.tables[0].to_markdown())
+
+or from the CLI: ``fullview run FIG7``.
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    run_all,
+)
+
+# Importing the modules registers their experiments.
+from repro.experiments import (  # noqa: F401  (import for side effect)
+    area_decisiveness,
+    barrier_emergence,
+    clustered_deployment,
+    connectivity_analysis,
+    critical_search,
+    degenerate_1coverage,
+    figure7,
+    figure8,
+    gap_conjecture,
+    heterogeneity,
+    kcoverage_comparison,
+    occlusion,
+    orientation_bias,
+    phase_transition,
+    planning_gain,
+    poisson_validation,
+    probabilistic_sensing,
+    robustness,
+    sleep_scheduling,
+    uniform_validation,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_all",
+]

@@ -1,0 +1,99 @@
+"""AREA — Section VI-A: only the sensing area matters, not its shape.
+
+"Cameras with different r and phi but own the same s = phi r^2 / 2
+will perform all the same in the network."  Analytically this is
+visible in eqs. (2)/(13), where ``r`` and ``phi`` appear only through
+``s``; this experiment confirms it empirically: three homogeneous
+fleets with the same per-sensor sensing area but very different sector
+shapes (narrow-and-long, standard, wide-and-short) are deployed and
+their exact full-view point probabilities compared.
+
+Check: all pairwise differences are within Monte-Carlo noise (pooled
+two-proportion z-test at 3 sigma, plus an absolute cap).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.experiments.registry import ExperimentResult, register
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
+from repro.simulation.results import ResultTable
+
+
+def _z_statistic(p1: float, n1: int, p2: float, n2: int) -> float:
+    """Two-proportion pooled z statistic."""
+    pooled = (p1 * n1 + p2 * n2) / (n1 + n2)
+    if pooled in (0.0, 1.0):
+        return 0.0
+    se = math.sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2))
+    return abs(p1 - p2) / se
+
+
+@register(
+    "AREA",
+    "Sensing area is decisive; sector shape is irrelevant (Section VI-A)",
+    "Section VI-A discussion",
+)
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    sensing_area = 0.012
+    n = 400
+    theta = math.pi / 3.0
+    trials = 400 if fast else 4000
+    shapes: List[Tuple[str, float]] = [
+        ("narrow_long", math.pi / 6.0),
+        ("standard", math.pi / 2.0),
+        ("wide_short", 1.6 * math.pi),
+    ]
+    table = ResultTable(
+        title=f"AREA: equal sensing area s={sensing_area}, different shapes "
+        f"(n={n}, theta=pi/3)",
+        columns=[
+            "shape",
+            "angle_of_view",
+            "radius",
+            "sensing_area",
+            "p_full_view",
+            "wilson_low",
+            "wilson_high",
+        ],
+    )
+    estimates = []
+    for i, (label, phi) in enumerate(shapes):
+        spec = CameraSpec.from_area(sensing_area, phi)
+        profile = HeterogeneousProfile.homogeneous(spec)
+        cfg = MonteCarloConfig(trials=trials, seed=seed + 5000 * i)
+        estimate = estimate_point_probability(profile, n, theta, "exact", cfg)
+        low, high = estimate.wilson()
+        table.add_row(
+            label, phi, spec.radius, spec.sensing_area, estimate.proportion, low, high
+        )
+        estimates.append(estimate)
+    checks = {}
+    for i in range(len(estimates)):
+        for j in range(i + 1, len(estimates)):
+            z = _z_statistic(
+                estimates[i].proportion,
+                estimates[i].trials,
+                estimates[j].proportion,
+                estimates[j].trials,
+            )
+            diff = abs(estimates[i].proportion - estimates[j].proportion)
+            checks[f"equal_{shapes[i][0]}_vs_{shapes[j][0]}"] = z < 3.0 or diff < 0.05
+    notes = [
+        "Three fleets share s = phi r^2/2 exactly; their full-view point "
+        "probabilities agree within Monte-Carlo noise, confirming that "
+        "under uniform deployment only the sensing area matters.",
+        "The paper further conjectures the same for irregular sensing "
+        "regions; the sector family here spans aspect ratios from "
+        "pi/6 to 1.6*pi.",
+    ]
+    return ExperimentResult(
+        experiment_id="AREA",
+        title="Sensing area is decisive; sector shape is irrelevant",
+        tables=[table],
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,109 @@
+"""BARRIER — full-view barriers emerge far below full area coverage.
+
+The paper names "the critical condition to reach barrier full view
+coverage" as future work (Section VIII).  This extension experiment
+measures the barrier's emergence empirically: fleets scaled to
+``q x s_S,c(n)`` are deployed, and three events are compared per
+deployment —
+
+- a weak full-view *barrier* exists (no uncovered bottom-to-top path,
+  percolation test on the coverage grid);
+- a *strong* barrier exists (some horizontal strip of fully covered
+  rows);
+- the whole grid is full-view covered (area coverage).
+
+Expected shape: P(barrier) >= P(strong barrier) >= P(area), with the
+barrier transition occurring at visibly smaller ``q`` — barrier
+full-view coverage is the cheaper service the paper anticipates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.barrier.grid_barrier import barrier_exists, compute_coverage_grid
+from repro.barrier.strip import find_widest_covered_strip
+from repro.core.csa import csa_sufficient
+from repro.deployment.uniform import UniformDeployment
+from repro.experiments.registry import ExperimentResult, register
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.results import ResultTable
+
+_PHI = math.pi / 2.0
+
+
+@register(
+    "BARRIER",
+    "Full-view barriers emerge below full area coverage (extension)",
+    "Section VIII future work",
+)
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 250 if fast else 800
+    theta = math.pi / 2.0
+    trials = 40 if fast else 200
+    resolution = 14 if fast else 24
+    q_values = [0.02, 0.05, 0.1, 0.2, 0.5, 1.0]
+    base = csa_sufficient(n, theta)
+    scheme = UniformDeployment()
+    table = ResultTable(
+        title=f"BARRIER: P(weak barrier) / P(strong barrier) / P(area covered) "
+        f"vs q (n={n}, theta=pi/2)",
+        columns=[
+            "q",
+            "p_weak_barrier",
+            "p_strong_barrier",
+            "p_area_covered",
+            "mean_covered_fraction",
+        ],
+    )
+    weak_series = []
+    area_series = []
+    checks = {}
+    for i, q in enumerate(q_values):
+        profile = HeterogeneousProfile.homogeneous(CameraSpec.from_area(q * base, _PHI))
+        cfg = MonteCarloConfig(trials=trials, seed=seed + 11000 * i)
+        weak = strong = area = 0
+        fraction_sum = 0.0
+        ordering_ok = True
+        for rng in cfg.rngs():
+            fleet = scheme.deploy(profile, n, rng)
+            analysis = barrier_exists(fleet, theta, resolution)
+            grid_covered = analysis.covered_fraction == 1.0
+            strip = find_widest_covered_strip(fleet, theta, resolution)
+            weak += analysis.has_barrier
+            strong += strip is not None
+            area += grid_covered
+            fraction_sum += analysis.covered_fraction
+            # Per-deployment implications: area => strong => weak.
+            if grid_covered and strip is None:
+                ordering_ok = False
+            if strip is not None and not analysis.has_barrier:
+                ordering_ok = False
+        table.add_row(q, weak / trials, strong / trials, area / trials, fraction_sum / trials)
+        weak_series.append(weak / trials)
+        area_series.append(area / trials)
+        checks[f"implication_chain_q{q}"] = ordering_ok
+    checks["barrier_dominates_area_everywhere"] = all(
+        w >= a for w, a in zip(weak_series, area_series)
+    )
+    checks["barrier_emerges_earlier"] = any(
+        w - a > 0.2 for w, a in zip(weak_series, area_series)
+    )
+    checks["barrier_monotone_in_q"] = all(
+        weak_series[i + 1] >= weak_series[i] - 0.1 for i in range(len(weak_series) - 1)
+    )
+    notes = [
+        "Weak barrier: no uncovered 8-connected path crosses bottom-to-top "
+        "(networkx percolation test).  Strong barrier: a horizontal strip "
+        "of fully covered grid rows.  Area: every grid cell covered.",
+        "The barrier transition precedes area coverage by a wide q margin — "
+        "the quantitative form of the paper's barrier-coverage outlook.",
+    ]
+    return ExperimentResult(
+        experiment_id="BARRIER",
+        title="Full-view barriers emerge below full area coverage",
+        tables=[table],
+        checks=checks,
+        notes=notes,
+    )

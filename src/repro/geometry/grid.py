@@ -1,0 +1,107 @@
+"""The dense grid ``M`` used to discretise area coverage.
+
+Following Kumar et al. (and Section III-A of the paper), the coverage of
+the unit square is reduced to coverage of a ``sqrt(m) x sqrt(m)`` grid
+``M`` with ``m >= n log n`` points: conditions achieving (full-view)
+coverage of the grid asymptotically achieve coverage of the whole
+square, while grid coverage is trivially necessary.
+
+:func:`grid_side_for` computes the smallest admissible grid side for a
+given sensor count; :class:`DenseGrid` materialises the points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.torus import Region, UNIT_TORUS
+
+Point = Tuple[float, float]
+
+
+def grid_points_required(n: int) -> int:
+    """The paper's grid density: ``m = ceil(n * log n)`` points.
+
+    For ``n == 1`` (``log 1 == 0``) a single grid point is used.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"sensor count must be >= 1, got {n!r}")
+    return max(1, math.ceil(n * math.log(n)))
+
+
+def grid_side_for(n: int) -> int:
+    """Smallest grid side ``k`` with ``k*k >= n log n`` points."""
+    return max(1, math.ceil(math.sqrt(grid_points_required(n))))
+
+
+@dataclass(frozen=True)
+class DenseGrid:
+    """A ``side x side`` grid of points in a square region.
+
+    Points are placed at cell centres ``((i + 1/2)/side, (j + 1/2)/side)``
+    scaled by the region side, so no grid point sits on the seam of the
+    torus and spacing is uniform in both dimensions.
+    """
+
+    side: int
+    region: Region = UNIT_TORUS
+    _points: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.side < 1:
+            raise InvalidParameterError(f"grid side must be >= 1, got {self.side!r}")
+        coords = (np.arange(self.side, dtype=float) + 0.5) * (self.region.side / self.side)
+        xs, ys = np.meshgrid(coords, coords, indexing="ij")
+        points = np.stack([xs.ravel(), ys.ravel()], axis=1)
+        object.__setattr__(self, "_points", points)
+
+    @classmethod
+    def for_sensor_count(cls, n: int, region: Region = UNIT_TORUS) -> "DenseGrid":
+        """The grid ``M`` for ``n`` sensors (``m = side**2 >= n log n``)."""
+        return cls(side=grid_side_for(n), region=region)
+
+    @property
+    def points(self) -> np.ndarray:
+        """All grid points as an ``(m, 2)`` array (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def spacing(self) -> float:
+        """Distance between adjacent grid points."""
+        return self.region.side / self.side
+
+    def __len__(self) -> int:
+        return self.side * self.side
+
+    def __iter__(self) -> Iterator[Point]:
+        for x, y in self._points:
+            yield (float(x), float(y))
+
+    def point(self, i: int, j: int) -> Point:
+        """The grid point at row ``i``, column ``j``."""
+        if not (0 <= i < self.side and 0 <= j < self.side):
+            raise IndexError(f"grid index ({i}, {j}) out of range for side {self.side}")
+        idx = i * self.side + j
+        x, y = self._points[idx]
+        return (float(x), float(y))
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """A uniform random subset of ``count`` distinct grid points.
+
+        Monte-Carlo estimators use this to bound work on very dense
+        grids while remaining unbiased over grid points.
+        """
+        total = len(self)
+        if count <= 0:
+            raise InvalidParameterError(f"sample count must be positive, got {count!r}")
+        if count >= total:
+            return self.points.copy()
+        idx = rng.choice(total, size=count, replace=False)
+        return self._points[idx].copy()

@@ -1,0 +1,372 @@
+"""An exact algebra of angular intervals (arcs) on the circle.
+
+The exact full-view coverage test (Definition 1 of the paper) reduces to
+a statement about arcs: a point ``P`` is full-view covered with
+effective angle ``theta`` iff the union of the arcs
+``[psi_i - theta, psi_i + theta]`` over the viewed directions ``psi_i``
+of the sensors covering ``P`` is the whole circle.  Equivalently, the
+largest circular gap between consecutive viewed directions is at most
+``2 * theta``.
+
+:class:`AngularInterval` is a single closed arc described by a start
+direction and an anticlockwise extent; :class:`AngularIntervalSet` is a
+normalised (sorted, merged, disjoint) union of arcs supporting union,
+complement, intersection, measure and gap queries.
+
+All arithmetic uses a small tolerance ``EPS`` so that arcs produced from
+floating-point directions merge when they abut.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.angles import TWO_PI, normalize_angle
+
+#: Merge tolerance for abutting arcs, in radians.
+EPS: float = 1e-12
+
+
+@dataclass(frozen=True)
+class AngularInterval:
+    """A closed arc on the circle.
+
+    The arc starts at direction ``start`` (normalised to ``[0, 2*pi)``)
+    and sweeps anticlockwise for ``extent`` radians,
+    ``0 <= extent <= 2*pi``.  An extent of ``2*pi`` denotes the full
+    circle; an extent of ``0`` denotes the single direction ``start``.
+    """
+
+    start: float
+    extent: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.start) or not math.isfinite(self.extent):
+            raise ValueError("interval endpoints must be finite")
+        if self.extent < 0.0 or self.extent > TWO_PI + EPS:
+            raise ValueError(f"extent must be in [0, 2*pi], got {self.extent!r}")
+        object.__setattr__(self, "start", normalize_angle(self.start))
+        object.__setattr__(self, "extent", min(self.extent, TWO_PI))
+
+    @classmethod
+    def from_endpoints(cls, start: float, end: float) -> "AngularInterval":
+        """Arc from ``start`` anticlockwise to ``end``.
+
+        When the normalised endpoints coincide the result is the single
+        direction, not the full circle (use ``full_circle`` for that).
+        """
+        return cls(start, normalize_angle(end - start))
+
+    @classmethod
+    def centered(cls, center: float, halfwidth: float) -> "AngularInterval":
+        """Arc of total width ``2*halfwidth`` centred on ``center``."""
+        if halfwidth < 0:
+            raise ValueError(f"halfwidth must be non-negative, got {halfwidth!r}")
+        if 2.0 * halfwidth >= TWO_PI:
+            return cls.full_circle()
+        return cls(center - halfwidth, 2.0 * halfwidth)
+
+    @classmethod
+    def full_circle(cls) -> "AngularInterval":
+        """The whole circle."""
+        return cls(0.0, TWO_PI)
+
+    @property
+    def end(self) -> float:
+        """End direction of the arc, normalised to ``[0, 2*pi)``."""
+        return normalize_angle(self.start + self.extent)
+
+    @property
+    def midpoint(self) -> float:
+        """Angular bisector of the arc."""
+        return normalize_angle(self.start + 0.5 * self.extent)
+
+    @property
+    def is_full_circle(self) -> bool:
+        return self.extent >= TWO_PI - EPS
+
+    def contains(self, angle: float, tol: float = EPS) -> bool:
+        """Whether direction ``angle`` lies on the (closed) arc."""
+        if self.is_full_circle:
+            return True
+        offset = normalize_angle(angle - self.start)
+        return offset <= self.extent + tol or offset >= TWO_PI - tol
+
+    def contains_interval(self, other: "AngularInterval", tol: float = EPS) -> bool:
+        """Whether ``other`` is entirely inside this arc."""
+        if self.is_full_circle:
+            return True
+        if other.extent > self.extent + tol:
+            return False
+        offset = normalize_angle(other.start - self.start)
+        if offset > TWO_PI - tol:
+            offset = 0.0
+        return offset + other.extent <= self.extent + tol
+
+    def overlaps(self, other: "AngularInterval", tol: float = EPS) -> bool:
+        """Whether the two (closed) arcs intersect."""
+        if self.is_full_circle or other.is_full_circle:
+            return True
+        return (
+            self.contains(other.start, tol)
+            or self.contains(other.end, tol)
+            or other.contains(self.start, tol)
+        )
+
+    def rotated(self, angle: float) -> "AngularInterval":
+        """The arc rotated anticlockwise by ``angle``."""
+        return AngularInterval(self.start + angle, self.extent)
+
+    def sample(self, count: int) -> np.ndarray:
+        """``count`` directions evenly spread over the arc (inclusive ends).
+
+        For ``count == 1`` the midpoint is returned.  For the full
+        circle the samples are uniform with the duplicate endpoint
+        dropped.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count!r}")
+        if count == 1:
+            return np.array([self.midpoint])
+        if self.is_full_circle:
+            steps = np.arange(count, dtype=float) * (TWO_PI / count)
+            return normalize_angle(self.start + steps)
+        steps = np.linspace(0.0, self.extent, count)
+        return normalize_angle(self.start + steps)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.start
+        yield self.extent
+
+
+def _merge_sorted(arcs: List[Tuple[float, float]], tol: float) -> List[Tuple[float, float]]:
+    """Merge a start-sorted list of ``(start, end)`` pairs on the line.
+
+    ``end`` may exceed ``2*pi`` for arcs that wrap; the caller handles
+    re-wrapping.  Arcs that touch within ``tol`` are merged.
+    """
+    merged: List[Tuple[float, float]] = []
+    for start, end in arcs:
+        if merged and start <= merged[-1][1] + tol:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class AngularIntervalSet:
+    """A normalised union of disjoint closed arcs on the circle.
+
+    The set is immutable after construction: every operation returns a
+    new set.  Arcs separated by less than the merge tolerance are fused,
+    so ``measure`` is stable under floating-point noise.
+    """
+
+    __slots__ = ("_arcs",)
+
+    def __init__(self, intervals: Iterable[AngularInterval] = (), *, tol: float = EPS):
+        arcs: List[Tuple[float, float]] = []
+        total = 0.0
+        for interval in intervals:
+            if interval.extent <= 0.0:
+                continue
+            if interval.is_full_circle:
+                arcs = [(0.0, TWO_PI)]
+                total = TWO_PI
+                break
+            arcs.append((interval.start, interval.start + interval.extent))
+            total += interval.extent
+        self._arcs: Tuple[Tuple[float, float], ...]
+        if total >= TWO_PI and arcs and arcs[0] == (0.0, TWO_PI):
+            self._arcs = ((0.0, TWO_PI),)
+            return
+        self._arcs = tuple(self._normalize(arcs, tol))
+
+    @staticmethod
+    def _normalize(
+        arcs: List[Tuple[float, float]], tol: float
+    ) -> List[Tuple[float, float]]:
+        """Sort, unwrap and merge raw ``(start, start+extent)`` pairs."""
+        if not arcs:
+            return []
+        # Split wrapping arcs at 0 so every piece lies in [0, 2*pi].
+        pieces: List[Tuple[float, float]] = []
+        for start, end in arcs:
+            extent = end - start
+            start = normalize_angle(start)
+            end = start + extent
+            if end > TWO_PI + tol:
+                pieces.append((start, TWO_PI))
+                pieces.append((0.0, end - TWO_PI))
+            else:
+                pieces.append((start, min(end, TWO_PI)))
+        pieces.sort()
+        merged = _merge_sorted(pieces, tol)
+        # Re-join across the 0/2*pi seam.
+        if len(merged) >= 2:
+            first_start, first_end = merged[0]
+            last_start, last_end = merged[-1]
+            if first_start <= tol and last_end >= TWO_PI - tol:
+                merged = merged[1:-1] + [(last_start, last_end + (first_end - first_start))]
+                merged.sort()
+        elif len(merged) == 1:
+            start, end = merged[0]
+            if end - start >= TWO_PI - tol:
+                return [(0.0, TWO_PI)]
+        # Detect full coverage after seam-joining.
+        if len(merged) == 1 and merged[0][1] - merged[0][0] >= TWO_PI - tol:
+            return [(0.0, TWO_PI)]
+        return merged
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "AngularIntervalSet":
+        return cls(())
+
+    @classmethod
+    def full_circle(cls) -> "AngularIntervalSet":
+        return cls((AngularInterval.full_circle(),))
+
+    @classmethod
+    def from_directions(
+        cls, directions: Sequence[float], halfwidth: float
+    ) -> "AngularIntervalSet":
+        """Union of arcs of half-width ``halfwidth`` around each direction.
+
+        This is the set of *safe facing directions* (Definition 1) when
+        ``directions`` are the viewed directions of the sensors covering
+        a point and ``halfwidth`` is the effective angle ``theta``.
+        """
+        return cls(
+            AngularInterval.centered(float(d), halfwidth) for d in np.asarray(directions).ravel()
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[AngularInterval, ...]:
+        """The disjoint arcs, sorted by start (wrapping arc last)."""
+        return tuple(
+            AngularInterval(start, end - start) for start, end in self._arcs
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._arcs
+
+    @property
+    def is_full_circle(self) -> bool:
+        return len(self._arcs) == 1 and self._arcs[0][1] - self._arcs[0][0] >= TWO_PI - EPS
+
+    def measure(self) -> float:
+        """Total angular measure of the set, in ``[0, 2*pi]``."""
+        return min(sum(end - start for start, end in self._arcs), TWO_PI)
+
+    def contains(self, angle: float, tol: float = EPS) -> bool:
+        """Whether direction ``angle`` lies in the set."""
+        if self.is_full_circle:
+            return True
+        offset = normalize_angle(angle)
+        if offset >= TWO_PI - tol:
+            offset = 0.0
+        for start, end in self._arcs:
+            if start - tol <= offset <= end + tol:
+                return True
+            # A piece may extend beyond 2*pi when it wraps.
+            if end > TWO_PI and offset + TWO_PI <= end + tol:
+                return True
+        return False
+
+    def complement(self) -> "AngularIntervalSet":
+        """The closure of the complement of the set."""
+        if self.is_empty:
+            return AngularIntervalSet.full_circle()
+        if self.is_full_circle:
+            return AngularIntervalSet.empty()
+        gaps: List[AngularInterval] = []
+        arcs = list(self._arcs)
+        for (start_a, end_a), (start_b, _end_b) in zip(arcs, arcs[1:]):
+            gaps.append(AngularInterval.from_endpoints(end_a, start_b))
+        # Gap from the last arc's end around to the first arc's start.
+        last_end = arcs[-1][1]
+        first_start = arcs[0][0]
+        wrap_extent = normalize_angle(first_start - last_end)
+        if wrap_extent > EPS or (len(arcs) == 1 and not self.is_full_circle):
+            extent = wrap_extent if wrap_extent > EPS else TWO_PI - self.measure()
+            gaps.append(AngularInterval(last_end, extent))
+        return AngularIntervalSet(gaps)
+
+    def gaps(self) -> Tuple[AngularInterval, ...]:
+        """The maximal arcs not covered by the set."""
+        return self.complement().intervals
+
+    def max_gap(self) -> float:
+        """Extent of the widest uncovered arc (``0`` when full)."""
+        gap_arcs = self.gaps()
+        if not gap_arcs:
+            return 0.0
+        return max(arc.extent for arc in gap_arcs)
+
+    def union(self, other: "AngularIntervalSet") -> "AngularIntervalSet":
+        return AngularIntervalSet(self.intervals + other.intervals)
+
+    def add(self, interval: AngularInterval) -> "AngularIntervalSet":
+        return AngularIntervalSet(self.intervals + (interval,))
+
+    def intersection(self, other: "AngularIntervalSet") -> "AngularIntervalSet":
+        """Set intersection via De Morgan on complements."""
+        return self.complement().union(other.complement()).complement()
+
+    def covers_circle(self, tol: float = 1e-9) -> bool:
+        """Whether the set covers the whole circle (within tolerance)."""
+        return self.measure() >= TWO_PI - tol
+
+    # -- dunder -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._arcs)
+
+    def __iter__(self) -> Iterator[AngularInterval]:
+        return iter(self.intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AngularIntervalSet):
+            return NotImplemented
+        if len(self._arcs) != len(other._arcs):
+            return False
+        return all(
+            math.isclose(a[0], b[0], abs_tol=1e-9) and math.isclose(a[1], b[1], abs_tol=1e-9)
+            for a, b in zip(self._arcs, other._arcs)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - sets are rarely hashed
+        return hash(tuple((round(s, 9), round(e, 9)) for s, e in self._arcs))
+
+    def __repr__(self) -> str:
+        arcs = ", ".join(f"[{s:.4f}, {e:.4f}]" for s, e in self._arcs)
+        return f"AngularIntervalSet({arcs})"
+
+
+def max_circular_gap(directions: Sequence[float]) -> float:
+    """Largest gap between consecutive directions around the circle.
+
+    For an empty input the gap is the full circle (``2*pi``); for a
+    single direction it is also ``2*pi`` minus nothing — the whole
+    circle must be swept to come back, so the gap is ``2*pi``.  This
+    matches the full-view criterion: a point seen by one sensor can
+    always face directly away from it.
+    """
+    array = np.sort(normalize_angle(np.asarray(directions, dtype=float).ravel()))
+    if array.size == 0:
+        return TWO_PI
+    if array.size == 1:
+        return TWO_PI
+    diffs = np.diff(array)
+    wrap = TWO_PI - (array[-1] - array[0])
+    return float(max(diffs.max(), wrap))

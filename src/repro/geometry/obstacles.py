@@ -1,0 +1,206 @@
+"""Occlusion: opaque obstacles blocking camera sight lines.
+
+The paper's introduction lists "the obstruction of terrains" among the
+reasons real camera fleets are heterogeneous and degraded.  This module
+provides the geometric substrate for studying that effect directly: a
+field of opaque disks, and a visibility test that decides whether the
+segment from a sensor to an object is blocked.
+
+Visibility is computed on the torus by taking the *shortest*
+displacement between the two points (the same geodesic the sensing
+model uses) and testing segment-disk intersection against each obstacle
+within reach.  Points inside an obstacle are never visible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.torus import Region, UNIT_TORUS
+
+Point = Tuple[float, float]
+
+
+class ObstacleField:
+    """A set of opaque disks inside a region.
+
+    Parameters
+    ----------
+    centers:
+        ``(k, 2)`` disk centres (wrapped into the region).
+    radii:
+        ``(k,)`` disk radii, all positive.
+    region:
+        Geometry provider (wrapping behaviour).
+    """
+
+    __slots__ = ("region", "_centers", "_radii")
+
+    def __init__(
+        self,
+        centers: np.ndarray,
+        radii: np.ndarray,
+        region: Region = UNIT_TORUS,
+    ) -> None:
+        centers = np.asarray(centers, dtype=float).reshape(-1, 2)
+        radii = np.asarray(radii, dtype=float).reshape(-1)
+        if centers.shape[0] != radii.shape[0]:
+            raise InvalidParameterError("centers and radii must have equal length")
+        if radii.size and ((radii <= 0) | ~np.isfinite(radii)).any():
+            raise InvalidParameterError("all obstacle radii must be positive and finite")
+        self.region = region
+        self._centers = region.wrap_points(centers).copy()
+        self._radii = radii.copy()
+
+    @classmethod
+    def empty(cls, region: Region = UNIT_TORUS) -> "ObstacleField":
+        return cls(np.empty((0, 2)), np.empty(0), region)
+
+    @classmethod
+    def random(
+        cls,
+        count: int,
+        radius: float,
+        rng: np.random.Generator,
+        region: Region = UNIT_TORUS,
+        radius_jitter: float = 0.0,
+    ) -> "ObstacleField":
+        """``count`` uniformly placed disks of (jittered) ``radius``."""
+        if count < 0:
+            raise InvalidParameterError(f"count must be >= 0, got {count!r}")
+        if count == 0:
+            return cls.empty(region)
+        if radius <= 0:
+            raise InvalidParameterError(f"radius must be positive, got {radius!r}")
+        if radius_jitter < 0:
+            raise InvalidParameterError("radius_jitter must be >= 0")
+        centers = rng.uniform(0.0, region.side, size=(count, 2))
+        radii = np.full(count, radius)
+        if radius_jitter > 0:
+            radii = np.maximum(1e-6, radii + rng.normal(scale=radius_jitter, size=count))
+        return cls(centers, radii, region)
+
+    def __len__(self) -> int:
+        return self._centers.shape[0]
+
+    @property
+    def centers(self) -> np.ndarray:
+        view = self._centers.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def radii(self) -> np.ndarray:
+        view = self._radii.view()
+        view.flags.writeable = False
+        return view
+
+    def total_area(self) -> float:
+        """Total disk area (ignoring overlaps)."""
+        return float(np.sum(math.pi * self._radii**2))
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on) any obstacle."""
+        if len(self) == 0:
+            return False
+        dists = self.region.distances(point, self._centers)
+        return bool((dists <= self._radii).any())
+
+    def _center_images(self, source: Point) -> np.ndarray:
+        """Obstacle-centre displacements from ``source``, with torus images.
+
+        On the torus the geodesic segment can pass near a *periodic
+        image* of an obstacle other than the image nearest the source,
+        so all nine translates are returned (``(k*9, 2)``); on a
+        bounded region just the plain displacements (``(k, 2)``).
+        """
+        base = self.region.displacements(source, self._centers)
+        if not self.region.torus:
+            return base
+        side = self.region.side
+        offsets = np.array(
+            [(ix * side, iy * side) for ix in (-1, 0, 1) for iy in (-1, 0, 1)]
+        )
+        return (base[:, None, :] + offsets[None, :, :]).reshape(-1, 2)
+
+    def _image_radii(self) -> np.ndarray:
+        """Radii aligned with :meth:`_center_images` rows."""
+        if not self.region.torus:
+            return self._radii
+        return np.repeat(self._radii, 9)
+
+    def blocks(self, source: Point, target: Point) -> bool:
+        """Whether any obstacle intersects the geodesic segment.
+
+        The segment is the shortest path from ``source`` to ``target``
+        on the region (wrapped on the torus).  Endpoints strictly
+        inside an obstacle count as blocked.
+        """
+        if len(self) == 0:
+            return False
+        dx, dy = self.region.displacement(source, target)
+        centers = self._center_images(source)
+        radii = self._image_radii()
+        seg_len_sq = dx * dx + dy * dy
+        if seg_len_sq == 0.0:
+            dists = np.hypot(centers[:, 0], centers[:, 1])
+        else:
+            t = np.clip((centers[:, 0] * dx + centers[:, 1] * dy) / seg_len_sq, 0.0, 1.0)
+            dists = np.hypot(centers[:, 0] - t * dx, centers[:, 1] - t * dy)
+        return bool((dists <= radii).any())
+
+    def visible_mask(self, source: Point, targets: np.ndarray) -> np.ndarray:
+        """Vectorised visibility from one point to many.
+
+        Returns a boolean array, true where the sight line to the
+        target is unobstructed.
+        """
+        targets = np.asarray(targets, dtype=float).reshape(-1, 2)
+        if len(self) == 0:
+            return np.ones(targets.shape[0], dtype=bool)
+        deltas = self.region.displacements(source, targets)  # (m, 2)
+        centers = self._center_images(source)  # (K, 2)
+        radii = self._image_radii()  # (K,)
+        dx = deltas[:, 0][:, None]
+        dy = deltas[:, 1][:, None]
+        seg_len_sq = dx * dx + dy * dy
+        cx = centers[:, 0][None, :]
+        cy = centers[:, 1][None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(seg_len_sq > 0, (cx * dx + cy * dy) / seg_len_sq, 0.0)
+        t = np.clip(t, 0.0, 1.0)
+        ddx = cx - t * dx
+        ddy = cy - t * dy
+        blocked = (np.hypot(ddx, ddy) <= radii[None, :]).any(axis=1)
+        return ~blocked
+
+
+def occluded_covering_directions(
+    fleet, point: Point, obstacles: ObstacleField
+) -> np.ndarray:
+    """Viewed directions of sensors that cover ``point`` AND see it.
+
+    The binary-sector covering set of the fleet, thinned by
+    line-of-sight through the obstacle field.  An object standing
+    inside an obstacle is seen by nobody.
+    """
+    if obstacles.contains(point):
+        return np.empty(0, dtype=float)
+    idx = fleet.covering(point)
+    if idx.size == 0:
+        return np.empty(0, dtype=float)
+    positions = fleet.positions[idx]
+    visible = obstacles.visible_mask(point, positions)
+    idx = idx[visible]
+    if idx.size == 0:
+        return np.empty(0, dtype=float)
+    delta = fleet.region.displacements(point, fleet.positions[idx])
+    apart = delta[:, 0] ** 2 + delta[:, 1] ** 2 > 1e-24  # apex tolerance
+    delta = delta[apart]
+    if delta.shape[0] == 0:
+        return np.empty(0, dtype=float)
+    return np.mod(np.arctan2(delta[:, 1], delta[:, 0]), 2.0 * math.pi)

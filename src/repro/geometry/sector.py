@@ -1,0 +1,180 @@
+"""The binary sector sensing region.
+
+A camera sensor senses perfectly inside a sector of radius ``r`` and
+central angle ``phi`` whose angular bisector is the camera orientation,
+and senses nothing outside it (the *binary sector model*, Section II-A
+of the paper).  :class:`Sector` is that region, anchored at an apex
+point inside a :class:`~repro.geometry.torus.Region`.
+
+The scalar predicates here are the readable reference implementation;
+:mod:`repro.sensors.fleet` provides the vectorised equivalents used on
+hot paths, and the test suite asserts they agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI, angular_distance, normalize_angle
+from repro.geometry.torus import Region, UNIT_TORUS
+
+Point = Tuple[float, float]
+
+#: Squared distance below which a point counts as being at the apex
+#: (covered regardless of bearing — the bearing is numerically
+#: meaningless at this scale).
+_APEX_TOL_SQ = 1e-24
+
+
+@dataclass(frozen=True)
+class Sector:
+    """A sector-shaped sensing region.
+
+    Parameters
+    ----------
+    apex:
+        Location of the sensor (the sector's apex).
+    radius:
+        Sensing radius ``r > 0``.
+    angle:
+        Angle of view ``phi`` in ``(0, 2*pi]``.  ``phi == 2*pi`` models
+        an omnidirectional (disk) sensor.
+    orientation:
+        Heading of the angular bisector ``f`` of the sector.
+    region:
+        Geometry provider; defaults to the paper's unit torus.
+    """
+
+    apex: Point
+    radius: float
+    angle: float
+    orientation: float
+    region: Region = UNIT_TORUS
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.radius) and self.radius > 0.0):
+            raise InvalidParameterError(f"sensing radius must be positive, got {self.radius!r}")
+        if not (0.0 < self.angle <= TWO_PI + 1e-12):
+            raise InvalidParameterError(
+                f"angle of view must be in (0, 2*pi], got {self.angle!r}"
+            )
+        object.__setattr__(self, "angle", min(float(self.angle), TWO_PI))
+        object.__setattr__(self, "orientation", normalize_angle(self.orientation))
+        object.__setattr__(
+            self, "apex", self.region.wrap_point((float(self.apex[0]), float(self.apex[1])))
+        )
+
+    @property
+    def is_omnidirectional(self) -> bool:
+        """Whether the sector is a full disk (``phi == 2*pi``)."""
+        return self.angle >= TWO_PI - 1e-12
+
+    @property
+    def area(self) -> float:
+        """Sensing area ``s = phi * r**2 / 2`` (Section II-C)."""
+        return 0.5 * self.angle * self.radius**2
+
+    @property
+    def half_angle(self) -> float:
+        return 0.5 * self.angle
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the sector (closed region).
+
+        A point coincident with the apex is considered covered, matching
+        the binary model's "senses perfectly within the sector".
+        """
+        dx, dy = self.region.displacement(self.apex, point)
+        dist_sq = dx * dx + dy * dy
+        if dist_sq > self.radius * self.radius:
+            return False
+        if self.is_omnidirectional:
+            return True
+        if dist_sq <= _APEX_TOL_SQ:
+            return True
+        bearing = math.atan2(dy, dx)
+        return angular_distance(bearing, self.orientation) <= self.half_angle + 1e-12
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` for an ``(n, 2)`` array of points."""
+        delta = self.region.displacements(self.apex, np.asarray(points, dtype=float))
+        dist_sq = delta[:, 0] ** 2 + delta[:, 1] ** 2
+        inside_radius = dist_sq <= self.radius**2
+        if self.is_omnidirectional:
+            return inside_radius
+        bearing = np.arctan2(delta[:, 1], delta[:, 0])
+        at_apex = dist_sq <= _APEX_TOL_SQ
+        in_wedge = angular_distance(bearing, self.orientation) <= self.half_angle + 1e-12
+        return inside_radius & (in_wedge | at_apex)
+
+    def viewed_direction_of(self, point: Point) -> float:
+        """The viewed direction ``P -> S`` of an object at ``point``.
+
+        This is the heading from the object back to the sensor (the
+        paper's ``vector PS``), the quantity compared against the facing
+        direction in Definition 1.
+        """
+        return self.region.direction(point, self.apex)
+
+    def boundary_points(self, samples_per_edge: int = 16) -> np.ndarray:
+        """Sample points on the sector boundary (two radii + the arc).
+
+        Useful for plotting and for containment property tests.
+        """
+        if samples_per_edge < 2:
+            raise InvalidParameterError("samples_per_edge must be at least 2")
+        lo = self.orientation - self.half_angle
+        hi = self.orientation + self.half_angle
+        # Stay a hair inside the rim so samples survive the closed-region
+        # containment test despite float rounding in wrapped distances.
+        rim = self.radius * (1.0 - 1e-9)
+        ts = np.linspace(0.0, 1.0, samples_per_edge)
+        edge_lo = np.stack(
+            [
+                self.apex[0] + ts * rim * math.cos(lo),
+                self.apex[1] + ts * rim * math.sin(lo),
+            ],
+            axis=1,
+        )
+        edge_hi = np.stack(
+            [
+                self.apex[0] + ts * rim * math.cos(hi),
+                self.apex[1] + ts * rim * math.sin(hi),
+            ],
+            axis=1,
+        )
+        arc_angles = np.linspace(lo, hi, samples_per_edge)
+        arc = np.stack(
+            [
+                self.apex[0] + rim * np.cos(arc_angles),
+                self.apex[1] + rim * np.sin(arc_angles),
+            ],
+            axis=1,
+        )
+        return self.region.wrap_points(np.concatenate([edge_lo, arc, edge_hi[::-1]]))
+
+
+def sector_area(radius: float, angle: float) -> float:
+    """Sensing area ``s = phi * r**2 / 2`` of a sector.
+
+    This standalone helper mirrors :attr:`Sector.area` for use in the
+    analytical layer, where no concrete sector exists.
+    """
+    if not (math.isfinite(radius) and radius > 0):
+        raise InvalidParameterError(f"sensing radius must be positive, got {radius!r}")
+    if not (0.0 < angle <= TWO_PI + 1e-12):
+        raise InvalidParameterError(f"angle of view must be in (0, 2*pi], got {angle!r}")
+    area = 0.5 * min(angle, TWO_PI) * radius * radius
+    # Guard float under/overflow: a radius around 1e-160 squares to 0,
+    # one around 1e160 to inf — both would silently break every formula
+    # downstream that divides by or logs the area.
+    if not (math.isfinite(area) and area > 0.0):
+        raise InvalidParameterError(
+            f"sensing area over/underflows for radius {radius!r}, angle {angle!r}"
+        )
+    return area

@@ -1,0 +1,75 @@
+"""Light-weight 2-D vector helpers.
+
+Points and directions are plain ``(x, y)`` tuples or ``(..., 2)`` numpy
+arrays; this module provides the handful of operations coverage code
+needs (polar conversion, rotation, heading extraction) without
+introducing a vector class that would slow down the hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.geometry.angles import normalize_angle
+
+Point = Tuple[float, float]
+ArrayOrPoint = Union[Point, np.ndarray]
+
+
+def unit_vector(angle: float) -> Point:
+    """Unit vector pointing in direction ``angle``."""
+    return (math.cos(angle), math.sin(angle))
+
+
+def from_polar(radius: float, angle: float) -> Point:
+    """Cartesian coordinates of the polar point ``(radius, angle)``."""
+    return (radius * math.cos(angle), radius * math.sin(angle))
+
+
+def angle_of(vector: ArrayOrPoint) -> Union[float, np.ndarray]:
+    """Heading of a vector (or rows of an ``(..., 2)`` array) in ``[0, 2*pi)``.
+
+    The zero vector has no heading; for scalar input a
+    :class:`ValueError` is raised, while array input returns ``0.0`` for
+    zero rows (callers on vectorised paths mask those rows themselves).
+    """
+    if isinstance(vector, np.ndarray) and vector.ndim >= 2:
+        return normalize_angle(np.arctan2(vector[..., 1], vector[..., 0]))
+    x, y = float(vector[0]), float(vector[1])
+    if x == 0.0 and y == 0.0:
+        raise ValueError("the zero vector has no heading")
+    return normalize_angle(math.atan2(y, x))
+
+
+def rotate(vector: Point, angle: float) -> Point:
+    """Rotate a vector anticlockwise by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    x, y = vector
+    return (c * x - s * y, s * x + c * y)
+
+
+def norm(vector: ArrayOrPoint) -> Union[float, np.ndarray]:
+    """Euclidean length of a vector or of rows of an ``(..., 2)`` array."""
+    if isinstance(vector, np.ndarray) and vector.ndim >= 2:
+        return np.hypot(vector[..., 0], vector[..., 1])
+    return math.hypot(float(vector[0]), float(vector[1]))
+
+
+def translate(point: Point, offset: Point) -> Point:
+    """Translate ``point`` by ``offset``."""
+    return (point[0] + offset[0], point[1] + offset[1])
+
+
+def as_points_array(points) -> np.ndarray:
+    """Coerce a point, sequence of points, or array to an ``(n, 2)`` array."""
+    array = np.asarray(points, dtype=float)
+    if array.ndim == 1:
+        if array.shape[0] != 2:
+            raise ValueError(f"expected a 2-D point, got shape {array.shape}")
+        array = array.reshape(1, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array of points, got shape {array.shape}")
+    return array

@@ -1,0 +1,31 @@
+"""Constructive placement and aiming — the deterministic counterpart.
+
+The paper studies *random* deployment because careful arrangement is
+sometimes impossible; when it IS possible, the same theory yields
+constructions:
+
+- :mod:`repro.planning.ring` — the minimum ring: ``ceil(pi/theta)``
+  cameras evenly spaced around a target, each aimed at it, achieve
+  full-view coverage with the provably fewest sensors (Section III's
+  per-point lower bound, attained).
+- :mod:`repro.planning.orientation_opt` — fixed positions (e.g. an
+  existing pole network), free orientations: coordinate-ascent aiming
+  that maximises the number of full-view covered targets.  Quantifies
+  how much the "orientations cannot steer and are random" assumption
+  leaves on the table.
+"""
+
+from repro.planning.orientation_opt import (
+    OptimizationResult,
+    covered_target_count,
+    optimize_orientations,
+)
+from repro.planning.ring import full_view_ring, ring_radius_bounds
+
+__all__ = [
+    "OptimizationResult",
+    "covered_target_count",
+    "full_view_ring",
+    "optimize_orientations",
+    "ring_radius_bounds",
+]

@@ -1,0 +1,213 @@
+"""Orientation optimisation for fixed camera positions.
+
+The model fixes orientations at deployment, drawn uniformly — fine for
+air drops, wasteful for pole-mounted cameras that installers can aim.
+Given fixed positions and a set of target points, this module assigns
+orientations to maximise the number of *full-view covered* targets by
+coordinate ascent:
+
+- each sensor's candidate orientations are the bearings towards the
+  targets within its sensing radius (aiming between targets is never
+  better than aiming at one, because coverage of a target only depends
+  on whether it falls inside the wedge — the candidate set containing
+  each target-aligned wedge boundary sweep is reduced to target
+  bearings, which preserves at least one optimum wedge per covered
+  subset up to wedge-width granularity);
+- sensors are visited round-robin; each takes the candidate that
+  maximises the global objective (covered targets, tie-broken by total
+  safe-direction measure), keeping its current aim on ties;
+- passes repeat until a full sweep makes no improvement.
+
+This is a heuristic (the exact problem is combinatorial), but it is
+monotone in the objective, terminates, and in practice roughly doubles
+the covered-target count over random aiming (see the PLAN experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.full_view import validate_effective_angle
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
+from repro.geometry.intervals import max_circular_gap
+from repro.geometry.torus import Region, UNIT_TORUS
+from repro.sensors.fleet import SensorFleet
+
+Point = Tuple[float, float]
+
+
+def covered_target_count(
+    fleet: SensorFleet, targets: np.ndarray, theta: float
+) -> int:
+    """Number of targets full-view covered by the fleet (exact test)."""
+    from repro.core.batch import full_view_mask
+
+    return int(full_view_mask(fleet, targets, theta).sum())
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of :func:`optimize_orientations`.
+
+    Attributes
+    ----------
+    fleet:
+        The fleet with optimised orientations.
+    covered_before, covered_after:
+        Full-view covered target counts under the initial and final
+        orientations.
+    passes:
+        Completed coordinate-ascent sweeps (including the final
+        no-improvement sweep).
+    """
+
+    fleet: SensorFleet
+    covered_before: int
+    covered_after: int
+    passes: int
+
+
+def _objective(
+    covers: np.ndarray, directions: np.ndarray, theta: float
+) -> Tuple[int, float]:
+    """(covered targets, total safe measure) for a configuration.
+
+    ``covers``: (m, n) boolean; ``directions``: (m, n) viewed
+    directions.  The secondary term — the summed angular measure of
+    each target's safe facing-direction set — rewards *partial*
+    progress towards covering a target, which is what lets coordinate
+    ascent escape the all-or-nothing plateau of the primary count.
+    """
+    from repro.geometry.intervals import AngularIntervalSet
+
+    m = covers.shape[0]
+    covered = 0
+    safe_total = 0.0
+    for i in range(m):
+        dirs = directions[i][covers[i]]
+        if dirs.size == 0:
+            continue
+        gap = max_circular_gap(dirs)
+        if gap <= 2.0 * theta + 1e-12:
+            covered += 1
+            safe_total += TWO_PI
+        else:
+            safe_total += AngularIntervalSet.from_directions(dirs, theta).measure()
+    return covered, safe_total
+
+
+def optimize_orientations(
+    positions: np.ndarray,
+    radii: np.ndarray,
+    angles: np.ndarray,
+    targets: np.ndarray,
+    theta: float,
+    initial_orientations: np.ndarray | None = None,
+    max_passes: int = 8,
+    region: Region = UNIT_TORUS,
+) -> OptimizationResult:
+    """Aim fixed cameras to maximise full-view covered targets.
+
+    Parameters mirror :class:`SensorFleet` columns; ``targets`` is an
+    ``(m, 2)`` array of points to protect.  When
+    ``initial_orientations`` is omitted, cameras start aimed at their
+    nearest in-range target (or bearing 0 if none).
+    """
+    theta = validate_effective_angle(theta)
+    positions = np.asarray(positions, dtype=float).reshape(-1, 2)
+    radii = np.asarray(radii, dtype=float).reshape(-1)
+    angles = np.asarray(angles, dtype=float).reshape(-1)
+    targets = np.asarray(targets, dtype=float).reshape(-1, 2)
+    n = positions.shape[0]
+    m = targets.shape[0]
+    if n == 0 or m == 0:
+        raise InvalidParameterError("need at least one sensor and one target")
+    if max_passes < 1:
+        raise InvalidParameterError(f"max_passes must be >= 1, got {max_passes!r}")
+
+    # Static geometry: bearings sensor->target, distances, and the
+    # viewed directions target->sensor.
+    bearing_st = np.empty((n, m))
+    viewed = np.empty((m, n))
+    in_range = np.empty((n, m), dtype=bool)
+    for j in range(n):
+        delta = region.displacements(
+            (positions[j, 0], positions[j, 1]), targets
+        )  # sensor -> target
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        bearing_st[j] = np.mod(np.arctan2(delta[:, 1], delta[:, 0]), TWO_PI)
+        viewed[:, j] = np.mod(np.arctan2(-delta[:, 1], -delta[:, 0]), TWO_PI)
+        in_range[j] = (dist <= radii[j]) & (dist > 0)
+
+    half = 0.5 * angles
+
+    def covers_for(j: int, orientation: float) -> np.ndarray:
+        offset = np.abs(np.mod(bearing_st[j] - orientation + math.pi, TWO_PI) - math.pi)
+        return in_range[j] & (offset <= half[j] + 1e-12)
+
+    # Initial orientations.
+    if initial_orientations is None:
+        orientations = np.zeros(n)
+        for j in range(n):
+            candidates = np.flatnonzero(in_range[j])
+            if candidates.size:
+                orientations[j] = bearing_st[j][candidates[0]]
+    else:
+        orientations = np.mod(
+            np.asarray(initial_orientations, dtype=float).reshape(-1).copy(), TWO_PI
+        )
+        if orientations.shape[0] != n:
+            raise InvalidParameterError("initial_orientations length mismatch")
+
+    covers = np.stack([covers_for(j, orientations[j]) for j in range(n)], axis=1)  # (m, n)
+    viewed_matrix = viewed  # (m, n)
+
+    initial_score = _objective(covers, viewed_matrix, theta)
+    best_score = initial_score
+
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        improved = False
+        for j in range(n):
+            candidates = bearing_st[j][in_range[j]]
+            if candidates.size == 0:
+                continue
+            current = orientations[j]
+            best_orientation = current
+            local_best = best_score
+            for candidate in np.unique(candidates):
+                if candidate == current:
+                    continue
+                covers[:, j] = covers_for(j, float(candidate))
+                score = _objective(covers, viewed_matrix, theta)
+                if score > local_best:
+                    local_best = score
+                    best_orientation = float(candidate)
+            covers[:, j] = covers_for(j, best_orientation)
+            if best_orientation != current:
+                orientations[j] = best_orientation
+                best_score = local_best
+                improved = True
+        if not improved:
+            break
+
+    fleet = SensorFleet(
+        positions=positions,
+        orientations=orientations,
+        radii=radii,
+        angles=angles,
+        region=region,
+    )
+    final_covered = _objective(covers, viewed_matrix, theta)[0]
+    return OptimizationResult(
+        fleet=fleet,
+        covered_before=initial_score[0],
+        covered_after=final_covered,
+        passes=passes,
+    )

@@ -1,0 +1,96 @@
+"""Minimum-sensor rings: optimal single-target constructions.
+
+Section III proves a point needs at least ``ceil(pi/theta)`` covering
+sensors for full-view coverage; a ring of exactly that many cameras,
+evenly spaced and aimed at the target, attains the bound (the viewed
+directions are evenly spaced, so the largest gap is
+``2*pi/k <= 2*theta``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.full_view import minimum_sensors_for_full_view, validate_effective_angle
+from repro.errors import InvalidParameterError
+from repro.geometry.torus import Region, UNIT_TORUS
+from repro.sensors.fleet import SensorFleet
+
+Point = Tuple[float, float]
+
+
+def ring_radius_bounds(reach: float) -> Tuple[float, float]:
+    """Admissible standoff distances for a camera of sensing radius ``reach``.
+
+    Any standoff in ``(0, reach]`` works for the aimed ring; the upper
+    bound is the sensing radius itself.
+    """
+    if reach <= 0:
+        raise InvalidParameterError(f"reach must be positive, got {reach!r}")
+    return (0.0, reach)
+
+
+def full_view_ring(
+    target: Point,
+    theta: float,
+    standoff: float,
+    reach: float,
+    angle_of_view: float = math.pi / 2.0,
+    count: int | None = None,
+    phase: float = 0.0,
+    region: Region = UNIT_TORUS,
+) -> SensorFleet:
+    """A minimum ring of cameras full-view covering ``target``.
+
+    Parameters
+    ----------
+    target:
+        The point to cover.
+    theta:
+        Effective angle; the ring uses ``ceil(pi/theta)`` cameras
+        unless ``count`` overrides it (must be at least the minimum).
+    standoff:
+        Distance of each camera from the target; must not exceed
+        ``reach``.
+    reach, angle_of_view:
+        Sensing parameters of each camera.
+    phase:
+        Rotation of the whole ring (radians), for tiling multiple
+        rings without alignment artifacts.
+    """
+    theta = validate_effective_angle(theta)
+    minimum = minimum_sensors_for_full_view(theta)
+    k = minimum if count is None else int(count)
+    if k < minimum:
+        raise InvalidParameterError(
+            f"count {k} is below the minimum {minimum} for theta={theta!r}"
+        )
+    if not (0.0 < standoff <= reach):
+        raise InvalidParameterError(
+            f"standoff must be in (0, reach]; got standoff={standoff!r}, reach={reach!r}"
+        )
+    if standoff > 0.5 * region.side:
+        raise InvalidParameterError(
+            "standoff exceeds half the region side; the ring would self-intersect "
+            "on the torus"
+        )
+    bearings = phase + np.arange(k) * (2.0 * math.pi / k)
+    positions = np.stack(
+        [
+            target[0] + standoff * np.cos(bearings),
+            target[1] + standoff * np.sin(bearings),
+        ],
+        axis=1,
+    )
+    # Aim each camera back at the target.
+    orientations = np.mod(bearings + math.pi, 2.0 * math.pi)
+    return SensorFleet(
+        positions=positions,
+        orientations=orientations,
+        radii=np.full(k, float(reach)),
+        angles=np.full(k, float(angle_of_view)),
+        region=region,
+    )

@@ -1,0 +1,26 @@
+"""Camera sensor models.
+
+- :mod:`repro.sensors.model` — static sensor descriptions: a single
+  camera's sensing parameters (:class:`CameraSpec`), heterogeneous group
+  structure (:class:`GroupSpec`, :class:`HeterogeneousProfile`,
+  Section II-A of the paper) and the weighted sensing area ``s_c``.
+- :mod:`repro.sensors.fleet` — a deployed population of sensors stored
+  as numpy arrays with vectorised coverage queries
+  (:class:`SensorFleet`).
+- :mod:`repro.sensors.probabilistic` — a distance-decaying detection
+  model, the probabilistic extension the paper names as future work.
+- :mod:`repro.sensors.catalog` — named presets for realistic cameras.
+"""
+
+from repro.sensors.fleet import SensorFleet
+from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
+from repro.sensors.probabilistic import ExponentialDecayModel, ProbabilisticSensingModel
+
+__all__ = [
+    "CameraSpec",
+    "ExponentialDecayModel",
+    "GroupSpec",
+    "HeterogeneousProfile",
+    "ProbabilisticSensingModel",
+    "SensorFleet",
+]

@@ -1,0 +1,110 @@
+"""Named camera presets and profile builders for realistic scenarios.
+
+The paper motivates heterogeneity with cameras "from different
+manufacturers", mixes of "high-end and low-end cameras", and sensing
+decline over time (Section I).  This catalog provides concrete,
+documented presets for those situations so examples and workloads can
+speak in equipment terms rather than raw ``(r, phi)`` pairs.
+
+All radii are in region units (the unit square has side 1); angles of
+view are radians.  The absolute radii are calibrated for networks of a
+few hundred to a few thousand sensors on the unit square — the regime
+the paper's Figures 7 and 8 explore.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
+
+#: Named presets: name -> (radius, angle_of_view).
+CAMERA_PRESETS: Dict[str, Tuple[float, float]] = {
+    # Narrow, long-reach lens: small phi, large r.
+    "telephoto": (0.18, math.radians(30.0)),
+    # Standard surveillance camera.
+    "standard": (0.10, math.radians(60.0)),
+    # Wide-angle, short reach.
+    "wide_angle": (0.06, math.radians(110.0)),
+    # Fisheye dome camera.
+    "fisheye": (0.04, math.radians(180.0)),
+    # Aged/degraded standard camera (Section I: sensing declines
+    # with time or terrain obstruction).
+    "degraded": (0.07, math.radians(50.0)),
+    # Omnidirectional assembly ("several cameras bundled together",
+    # Section VII-A).
+    "omnidirectional": (0.05, 2.0 * math.pi),
+}
+
+
+def camera(name: str) -> CameraSpec:
+    """Look up a preset camera by name."""
+    try:
+        radius, angle = CAMERA_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMERA_PRESETS))
+        raise InvalidParameterError(f"unknown camera preset {name!r}; known: {known}") from None
+    return CameraSpec(radius=radius, angle_of_view=angle)
+
+
+def mixed_profile(parts: Sequence[Tuple[str, float]]) -> HeterogeneousProfile:
+    """Heterogeneous profile from ``(preset_name, fraction)`` parts.
+
+    >>> profile = mixed_profile([("standard", 0.7), ("telephoto", 0.3)])
+    >>> profile.num_groups
+    2
+    """
+    return HeterogeneousProfile(
+        GroupSpec(spec=camera(name), fraction=fraction, name=name)
+        for name, fraction in parts
+    )
+
+
+def equal_area_pair(
+    sensing_area: float, angle_narrow: float, angle_wide: float
+) -> List[CameraSpec]:
+    """Two specs with different shapes but identical sensing area.
+
+    The Section VI-A experiment ("decisive role of sensing area") needs
+    cameras that differ in ``(r, phi)`` but share ``s = phi r^2 / 2``;
+    this helper builds such a pair.
+    """
+    if angle_narrow == angle_wide:
+        raise InvalidParameterError("the two angles must differ to make distinct shapes")
+    return [
+        CameraSpec.from_area(sensing_area, angle_narrow),
+        CameraSpec.from_area(sensing_area, angle_wide),
+    ]
+
+
+def budget_mix(
+    high_end_fraction: float,
+    high_end: str = "telephoto",
+    low_end: str = "wide_angle",
+) -> HeterogeneousProfile:
+    """The paper's funds-limited mix of high-end and low-end cameras.
+
+    ``high_end_fraction`` of the fleet gets the expensive camera; the
+    rest get the cheap one.
+    """
+    if not (0.0 < high_end_fraction < 1.0):
+        raise InvalidParameterError(
+            f"high_end_fraction must be in (0, 1), got {high_end_fraction!r}"
+        )
+    return mixed_profile([(high_end, high_end_fraction), (low_end, 1.0 - high_end_fraction)])
+
+
+def aging_fleet(new_fraction: float, preset: str = "standard") -> HeterogeneousProfile:
+    """A fleet where part of the population has degraded with age.
+
+    Models Section I's observation that "cameras' sensing capability
+    will decline as time passes": ``new_fraction`` of sensors keep the
+    preset's parameters, the rest drop to the ``degraded`` preset.
+    """
+    if not (0.0 < new_fraction < 1.0):
+        raise InvalidParameterError(
+            f"new_fraction must be in (0, 1), got {new_fraction!r}"
+        )
+    return mixed_profile([(preset, new_fraction), ("degraded", 1.0 - new_fraction)])

@@ -1,0 +1,340 @@
+"""A deployed population of camera sensors, stored column-wise.
+
+:class:`SensorFleet` is the workhorse of the simulation layer: it holds
+the positions, orientations and sensing parameters of all ``n`` deployed
+sensors as flat numpy arrays, and answers the two queries every coverage
+check reduces to:
+
+- :meth:`SensorFleet.covering` — which sensors cover a point ``P``
+  (binary sector model: ``|PS| <= r`` and the bearing from the sensor to
+  ``P`` lies within ``phi/2`` of its orientation);
+- :meth:`SensorFleet.covering_directions` — the *viewed directions*
+  ``P -> S`` of those sensors, the inputs to the full-view criterion.
+
+An optional :class:`~repro.geometry.spatial.ToroidalCellIndex` restricts
+the candidate set per query; results are identical with or without it
+(property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI, normalize_angle
+from repro.geometry.sector import Sector
+from repro.geometry.spatial import ToroidalCellIndex
+from repro.geometry.torus import Region, UNIT_TORUS
+from repro.sensors.model import HeterogeneousProfile
+
+Point = Tuple[float, float]
+
+#: Angular slack used in wedge tests, mirroring :class:`Sector`.
+_ANGLE_TOL = 1e-12
+
+#: Squared apex tolerance, mirroring :data:`repro.geometry.sector._APEX_TOL_SQ`.
+_APEX_TOL_SQ = 1e-24
+
+
+class SensorFleet:
+    """A fixed set of deployed camera sensors.
+
+    Construct directly from arrays, or via the deployment schemes in
+    :mod:`repro.deployment` which return fleets.  The fleet is
+    logically immutable; arrays are copied on construction and exposed
+    as read-only views.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` sensor locations.
+    orientations:
+        ``(n,)`` orientation headings ``f`` (angular bisector of the
+        sector), radians.
+    radii:
+        ``(n,)`` sensing radii.
+    angles:
+        ``(n,)`` angles of view in ``(0, 2*pi]``.
+    group_ids:
+        ``(n,)`` integer group labels (``0..u-1``); optional, defaults
+        to all zeros.
+    region:
+        Geometry provider; defaults to the unit torus.
+    """
+
+    __slots__ = (
+        "region",
+        "_positions",
+        "_orientations",
+        "_radii",
+        "_angles",
+        "_half_angles",
+        "_group_ids",
+        "_index",
+        "_max_radius",
+    )
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        orientations: np.ndarray,
+        radii: np.ndarray,
+        angles: np.ndarray,
+        group_ids: Optional[np.ndarray] = None,
+        region: Region = UNIT_TORUS,
+    ) -> None:
+        positions = np.asarray(positions, dtype=float).reshape(-1, 2)
+        n = positions.shape[0]
+        orientations = normalize_angle(np.asarray(orientations, dtype=float).reshape(-1))
+        radii = np.asarray(radii, dtype=float).reshape(-1)
+        angles = np.asarray(angles, dtype=float).reshape(-1)
+        if orientations.shape[0] != n or radii.shape[0] != n or angles.shape[0] != n:
+            raise InvalidParameterError(
+                "positions, orientations, radii and angles must have equal length"
+            )
+        if n and (radii <= 0).any():
+            raise InvalidParameterError("all sensing radii must be positive")
+        if n and ((angles <= 0) | (angles > TWO_PI + 1e-12)).any():
+            raise InvalidParameterError("all angles of view must be in (0, 2*pi]")
+        if group_ids is None:
+            group_ids = np.zeros(n, dtype=np.intp)
+        else:
+            group_ids = np.asarray(group_ids, dtype=np.intp).reshape(-1)
+            if group_ids.shape[0] != n:
+                raise InvalidParameterError("group_ids length must match positions")
+        self.region = region
+        self._positions = region.wrap_points(positions).copy()
+        self._orientations = orientations.copy()
+        self._radii = radii.copy()
+        self._angles = np.minimum(angles, TWO_PI).copy()
+        self._half_angles = 0.5 * self._angles
+        self._group_ids = group_ids.copy()
+        self._index: Optional[ToroidalCellIndex] = None
+        self._max_radius = float(radii.max()) if n else 0.0
+
+    # -- basic accessors ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._positions.shape[0]
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._read_only(self._positions)
+
+    @property
+    def orientations(self) -> np.ndarray:
+        return self._read_only(self._orientations)
+
+    @property
+    def radii(self) -> np.ndarray:
+        return self._read_only(self._radii)
+
+    @property
+    def angles(self) -> np.ndarray:
+        return self._read_only(self._angles)
+
+    @property
+    def group_ids(self) -> np.ndarray:
+        return self._read_only(self._group_ids)
+
+    @property
+    def max_radius(self) -> float:
+        """Largest sensing radius in the fleet (coverage reach bound)."""
+        return self._max_radius
+
+    @staticmethod
+    def _read_only(array: np.ndarray) -> np.ndarray:
+        view = array.view()
+        view.flags.writeable = False
+        return view
+
+    def sensing_areas(self) -> np.ndarray:
+        """Per-sensor sensing areas ``phi * r**2 / 2``."""
+        return 0.5 * self._angles * self._radii**2
+
+    def total_weighted_sensing_area(self) -> float:
+        """Empirical ``s_c``: mean per-sensor sensing area.
+
+        For a fleet drawn from a :class:`HeterogeneousProfile` this
+        estimates the profile's weighted sensing area (and equals it
+        exactly when group counts are exact multiples).
+        """
+        if len(self) == 0:
+            return 0.0
+        return float(self.sensing_areas().mean())
+
+    def sensor(self, index: int) -> Sector:
+        """The ``index``-th sensor as a scalar :class:`Sector`."""
+        x, y = self._positions[index]
+        return Sector(
+            apex=(float(x), float(y)),
+            radius=float(self._radii[index]),
+            angle=float(self._angles[index]),
+            orientation=float(self._orientations[index]),
+            region=self.region,
+        )
+
+    def subset(self, indices: Sequence[int]) -> "SensorFleet":
+        """A new fleet containing only the selected sensors."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return SensorFleet(
+            positions=self._positions[idx],
+            orientations=self._orientations[idx],
+            radii=self._radii[idx],
+            angles=self._angles[idx],
+            group_ids=self._group_ids[idx],
+            region=self.region,
+        )
+
+    def concat(self, other: "SensorFleet") -> "SensorFleet":
+        """Union of two fleets over the same region.
+
+        Group ids of ``other`` are shifted past this fleet's maximum so
+        the two populations stay distinguishable.
+        """
+        if other.region != self.region:
+            raise InvalidParameterError("cannot concat fleets over different regions")
+        shift = int(self._group_ids.max()) + 1 if len(self) else 0
+        return SensorFleet(
+            positions=np.concatenate([self._positions, other._positions]),
+            orientations=np.concatenate([self._orientations, other._orientations]),
+            radii=np.concatenate([self._radii, other._radii]),
+            angles=np.concatenate([self._angles, other._angles]),
+            group_ids=np.concatenate([self._group_ids, other._group_ids + shift]),
+            region=self.region,
+        )
+
+    # -- spatial index -------------------------------------------------------
+
+    def build_index(self, cell_size: Optional[float] = None) -> ToroidalCellIndex:
+        """Build (and cache) a spatial index over sensor positions.
+
+        The default cell size is the maximum sensing radius, so a single
+        3x3 cell neighbourhood contains every sensor that can reach the
+        query point.
+        """
+        if cell_size is None:
+            cell_size = self._max_radius if self._max_radius > 0 else self.region.side
+        self._index = ToroidalCellIndex(self._positions, cell_size, self.region)
+        return self._index
+
+    @property
+    def index(self) -> Optional[ToroidalCellIndex]:
+        return self._index
+
+    # -- coverage queries -------------------------------------------------------
+
+    def covering(self, point: Point, use_index: bool = True) -> np.ndarray:
+        """Indices of sensors covering ``point`` under the sector model.
+
+        A sensor ``S`` covers ``P`` when ``|PS| <= r_S`` and the bearing
+        ``S -> P`` lies within ``phi_S / 2`` of the orientation of
+        ``S``.  A sensor exactly at ``P`` covers it.
+        """
+        if len(self) == 0:
+            return np.empty(0, dtype=np.intp)
+        if use_index and self._index is not None:
+            candidates = self._index.candidates_within(point, self._max_radius)
+            if candidates.size == 0:
+                return candidates
+        else:
+            candidates = np.arange(len(self), dtype=np.intp)
+        pos = self._positions[candidates]
+        # Displacement from sensor to point (the direction the sensor
+        # must look along to see P).
+        delta = -self.region.displacements(point, pos)
+        dist_sq = delta[:, 0] ** 2 + delta[:, 1] ** 2
+        within = dist_sq <= self._radii[candidates] ** 2
+        if not within.any():
+            return candidates[:0]
+        bearing = np.arctan2(delta[:, 1], delta[:, 0])
+        offset = np.abs(
+            np.mod(bearing - self._orientations[candidates] + math.pi, TWO_PI) - math.pi
+        )
+        in_wedge = offset <= self._half_angles[candidates] + _ANGLE_TOL
+        at_apex = dist_sq <= _APEX_TOL_SQ
+        return candidates[within & (in_wedge | at_apex)]
+
+    def covering_directions(self, point: Point, use_index: bool = True) -> np.ndarray:
+        """Viewed directions ``P -> S`` of the sensors covering ``point``.
+
+        Sensors coincident with the point are dropped (their viewed
+        direction is undefined); under continuous random deployment this
+        is a measure-zero event.
+        """
+        idx = self.covering(point, use_index=use_index)
+        if idx.size == 0:
+            return np.empty(0, dtype=float)
+        delta = self.region.displacements(point, self._positions[idx])
+        # Sensors within the apex tolerance have no meaningful bearing.
+        apart = delta[:, 0] ** 2 + delta[:, 1] ** 2 > _APEX_TOL_SQ
+        delta = delta[apart]
+        if delta.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        return normalize_angle(np.arctan2(delta[:, 1], delta[:, 0]))
+
+    def coverage_count(self, point: Point, use_index: bool = True) -> int:
+        """Number of sensors covering ``point`` (for k-coverage checks)."""
+        return int(self.covering(point, use_index=use_index).size)
+
+    def coverage_counts(self, points: np.ndarray, use_index: bool = True) -> np.ndarray:
+        """Vector of coverage counts for an ``(m, 2)`` array of points."""
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        return np.array(
+            [self.coverage_count((float(x), float(y)), use_index=use_index) for x, y in pts],
+            dtype=np.intp,
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def group_sizes(self) -> np.ndarray:
+        """Sensor count per group id (length = max group id + 1)."""
+        if len(self) == 0:
+            return np.zeros(0, dtype=np.intp)
+        return np.bincount(self._group_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"SensorFleet(n={len(self)}, groups={len(self.group_sizes())}, "
+            f"max_radius={self._max_radius:.4g}, region_side={self.region.side:g})"
+        )
+
+
+def fleet_from_profile_arrays(
+    profile: HeterogeneousProfile,
+    positions: np.ndarray,
+    orientations: np.ndarray,
+    region: Region = UNIT_TORUS,
+) -> SensorFleet:
+    """Assemble a fleet from a profile plus position/orientation arrays.
+
+    The first ``n_1`` rows get group 1's parameters, the next ``n_2``
+    group 2's, and so on, with ``n_y`` from
+    :meth:`HeterogeneousProfile.group_counts`.  Deployment schemes
+    shuffle positions before calling this, so the block assignment does
+    not bias geometry.
+    """
+    positions = np.asarray(positions, dtype=float).reshape(-1, 2)
+    n = positions.shape[0]
+    counts = profile.group_counts(n)
+    radii = np.empty(n, dtype=float)
+    angles = np.empty(n, dtype=float)
+    group_ids = np.empty(n, dtype=np.intp)
+    start = 0
+    for gid, (group, count) in enumerate(zip(profile.groups, counts)):
+        stop = start + count
+        radii[start:stop] = group.radius
+        angles[start:stop] = group.angle_of_view
+        group_ids[start:stop] = gid
+        start = stop
+    return SensorFleet(
+        positions=positions,
+        orientations=orientations,
+        radii=radii,
+        angles=angles,
+        group_ids=group_ids,
+        region=region,
+    )

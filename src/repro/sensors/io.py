@@ -1,0 +1,66 @@
+"""Fleet persistence.
+
+Deployments are the expensive, randomness-bearing artifact of any
+study; saving them makes results point-for-point reproducible and lets
+post-hoc analyses (new theta, new condition, barrier checks) run on the
+exact same fleets.  Fleets round-trip through a single ``.npz`` file
+holding the column arrays plus the region parameters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.torus import Region
+from repro.sensors.fleet import SensorFleet
+
+#: Format tag stored in every file; bumped on incompatible changes.
+_FORMAT_VERSION = 1
+
+
+def save_fleet(fleet: SensorFleet, path: Union[str, Path]) -> Path:
+    """Write a fleet to ``path`` (``.npz``; parent dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.array([_FORMAT_VERSION]),
+        positions=fleet.positions,
+        orientations=fleet.orientations,
+        radii=fleet.radii,
+        angles=fleet.angles,
+        group_ids=fleet.group_ids,
+        region_side=np.array([fleet.region.side]),
+        region_torus=np.array([fleet.region.torus]),
+    )
+    # np.savez appends .npz when missing; report the real location.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_fleet(path: Union[str, Path]) -> SensorFleet:
+    """Read a fleet previously written by :func:`save_fleet`."""
+    path = Path(path)
+    if not path.exists():
+        raise InvalidParameterError(f"no fleet file at {path}")
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise InvalidParameterError(
+                f"fleet file format {version} unsupported (expected {_FORMAT_VERSION})"
+            )
+        region = Region(
+            side=float(data["region_side"][0]),
+            torus=bool(data["region_torus"][0]),
+        )
+        return SensorFleet(
+            positions=data["positions"],
+            orientations=data["orientations"],
+            radii=data["radii"],
+            angles=data["angles"],
+            group_ids=data["group_ids"],
+            region=region,
+        )

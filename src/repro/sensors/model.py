@@ -1,0 +1,294 @@
+"""Static camera sensor descriptions and heterogeneous group structure.
+
+The paper (Section II-A) partitions the ``n`` deployed sensors into a
+constant number ``u`` of groups ``G_1 .. G_u``.  Group ``G_y`` holds a
+fraction ``c_y`` of the sensors (``0 < c_y < 1``, ``sum c_y = 1``), all
+with the same sensing radius ``r_y`` and angle of view ``phi_y``; no two
+groups share both parameters.  The *weighted sensing area*
+``s_c = sum_y c_y * s_y`` with ``s_y = phi_y * r_y**2 / 2`` is the
+quantity the critical-sensing-area theory (Definition 2) is expressed
+in.
+
+This module is purely descriptive — deployment and coverage live in
+:mod:`repro.deployment` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError, InvalidProfileError
+from repro.geometry.angles import TWO_PI
+from repro.geometry.sector import sector_area
+
+#: Tolerance for the "fractions sum to one" profile invariant.
+_FRACTION_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CameraSpec:
+    """Sensing parameters of a single camera model.
+
+    Parameters
+    ----------
+    radius:
+        Sensing radius ``r > 0``.
+    angle_of_view:
+        Angle of view ``phi`` in ``(0, 2*pi]``; ``2*pi`` models an
+        omnidirectional sensor (the disk model of classic coverage
+        theory, used in the Section VII comparisons).
+    """
+
+    radius: float
+    angle_of_view: float
+
+    def __post_init__(self) -> None:
+        # sector_area performs full domain validation.
+        sector_area(self.radius, self.angle_of_view)
+        object.__setattr__(self, "radius", float(self.radius))
+        object.__setattr__(self, "angle_of_view", min(float(self.angle_of_view), TWO_PI))
+
+    @property
+    def sensing_area(self) -> float:
+        """``s = phi * r**2 / 2``."""
+        return sector_area(self.radius, self.angle_of_view)
+
+    @property
+    def is_omnidirectional(self) -> bool:
+        return self.angle_of_view >= TWO_PI - 1e-12
+
+    @classmethod
+    def from_area(cls, sensing_area: float, angle_of_view: float) -> "CameraSpec":
+        """The spec with the given angle of view and sensing area.
+
+        Solves ``s = phi * r**2 / 2`` for ``r``; the inverse of
+        :attr:`sensing_area`.  This is how experiments pin a fleet to a
+        target critical sensing area.
+        """
+        if sensing_area <= 0:
+            raise InvalidParameterError(
+                f"sensing area must be positive, got {sensing_area!r}"
+            )
+        if not (0.0 < angle_of_view <= TWO_PI + 1e-12):
+            raise InvalidParameterError(
+                f"angle of view must be in (0, 2*pi], got {angle_of_view!r}"
+            )
+        radius = math.sqrt(2.0 * sensing_area / min(angle_of_view, TWO_PI))
+        return cls(radius=radius, angle_of_view=angle_of_view)
+
+    @classmethod
+    def disk(cls, radius: float) -> "CameraSpec":
+        """An omnidirectional (disk) sensor of the given radius."""
+        return cls(radius=radius, angle_of_view=TWO_PI)
+
+    def scaled_to_area(self, sensing_area: float) -> "CameraSpec":
+        """Same angle of view, radius rescaled to hit ``sensing_area``."""
+        return CameraSpec.from_area(sensing_area, self.angle_of_view)
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One heterogeneous group ``G_y``: a camera spec plus its fraction.
+
+    ``fraction`` is the paper's ``c_y``: the constant share of the total
+    sensor population belonging to this group.
+    """
+
+    spec: CameraSpec
+    fraction: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.fraction <= 1.0):
+            raise InvalidProfileError(
+                f"group fraction must be in (0, 1], got {self.fraction!r}"
+            )
+
+    @property
+    def radius(self) -> float:
+        return self.spec.radius
+
+    @property
+    def angle_of_view(self) -> float:
+        return self.spec.angle_of_view
+
+    @property
+    def sensing_area(self) -> float:
+        return self.spec.sensing_area
+
+    @property
+    def weighted_sensing_area(self) -> float:
+        """This group's contribution ``c_y * s_y`` to ``s_c``."""
+        return self.fraction * self.sensing_area
+
+
+class HeterogeneousProfile:
+    """The full heterogeneity structure of a camera sensor network.
+
+    An immutable, validated collection of :class:`GroupSpec` whose
+    fractions sum to one and whose camera specs are pairwise distinct
+    (either radius or angle of view differs), exactly as Section II-A
+    requires.
+
+    The profile is the unit the analytical layer consumes: theorems take
+    a profile (for ``s_y``, ``phi_y``, ``r_y``, ``c_y``) plus a sensor
+    count ``n``.
+    """
+
+    __slots__ = ("_groups",)
+
+    def __init__(self, groups: Iterable[GroupSpec]):
+        group_list = tuple(groups)
+        if not group_list:
+            raise InvalidProfileError("a profile needs at least one group")
+        total = sum(g.fraction for g in group_list)
+        if abs(total - 1.0) > _FRACTION_TOL:
+            raise InvalidProfileError(
+                f"group fractions must sum to 1, got {total!r}"
+            )
+        seen: set = set()
+        for group in group_list:
+            key = (round(group.radius, 12), round(group.angle_of_view, 12))
+            if key in seen:
+                raise InvalidProfileError(
+                    "two groups share both radius and angle of view; merge them"
+                )
+            seen.add(key)
+        self._groups = group_list
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, spec: CameraSpec) -> "HeterogeneousProfile":
+        """A single-group (homogeneous) profile."""
+        return cls((GroupSpec(spec=spec, fraction=1.0, name="all"),))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[Tuple[CameraSpec, float]]
+    ) -> "HeterogeneousProfile":
+        """Build from ``(spec, fraction)`` pairs."""
+        return cls(
+            GroupSpec(spec=spec, fraction=frac, name=f"G{i + 1}")
+            for i, (spec, frac) in enumerate(pairs)
+        )
+
+    # -- structure --------------------------------------------------------
+
+    @property
+    def groups(self) -> Tuple[GroupSpec, ...]:
+        return self._groups
+
+    @property
+    def num_groups(self) -> int:
+        """The paper's ``u``."""
+        return len(self._groups)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(self._groups) == 1
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self):
+        return iter(self._groups)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeterogeneousProfile):
+            return NotImplemented
+        return self._groups == other._groups
+
+    def __hash__(self) -> int:
+        return hash(self._groups)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{g.name or 'G' + str(i + 1)}(r={g.radius:.4g}, phi={g.angle_of_view:.4g}, "
+            f"c={g.fraction:.4g})"
+            for i, g in enumerate(self._groups)
+        )
+        return f"HeterogeneousProfile({parts})"
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def weighted_sensing_area(self) -> float:
+        """The paper's ``s_c = sum_y c_y * s_y`` (Section II-C)."""
+        return sum(g.weighted_sensing_area for g in self._groups)
+
+    @property
+    def max_radius(self) -> float:
+        """Largest sensing radius across groups (bounds coverage reach)."""
+        return max(g.radius for g in self._groups)
+
+    def sensing_areas(self) -> List[float]:
+        """``[s_1, .., s_u]`` in group order."""
+        return [g.sensing_area for g in self._groups]
+
+    def fractions(self) -> List[float]:
+        """``[c_1, .., c_u]`` in group order."""
+        return [g.fraction for g in self._groups]
+
+    def group_counts(self, n: int) -> List[int]:
+        """Integer sensor counts ``n_y ~= c_y * n`` summing exactly to ``n``.
+
+        Uses the largest-remainder method so rounding error never
+        accumulates and every group with positive fraction receives at
+        least its floor share.
+        """
+        if n < 1:
+            raise InvalidParameterError(f"sensor count must be >= 1, got {n!r}")
+        raw = [g.fraction * n for g in self._groups]
+        floors = [int(math.floor(v)) for v in raw]
+        deficit = n - sum(floors)
+        remainders = sorted(
+            range(len(raw)), key=lambda i: raw[i] - floors[i], reverse=True
+        )
+        for i in remainders[:deficit]:
+            floors[i] += 1
+        return floors
+
+    # -- rescaling ------------------------------------------------------------
+
+    def scaled_to_weighted_area(self, target: float) -> "HeterogeneousProfile":
+        """A profile with the same shape but ``s_c`` rescaled to ``target``.
+
+        Every group keeps its angle of view and fraction; radii scale by
+        a common factor so that each ``s_y`` scales proportionally and
+        the weighted sum hits ``target`` exactly.  This is the primitive
+        experiments use to place a fleet at ``q * CSA``.
+        """
+        if target <= 0:
+            raise InvalidParameterError(f"target area must be positive, got {target!r}")
+        ratio = target / self.weighted_sensing_area
+        scale = math.sqrt(ratio)
+        return HeterogeneousProfile(
+            GroupSpec(
+                spec=CameraSpec(
+                    radius=g.radius * scale, angle_of_view=g.angle_of_view
+                ),
+                fraction=g.fraction,
+                name=g.name,
+            )
+            for g in self._groups
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """A plain-dict summary suitable for logging and result tables."""
+        return {
+            "num_groups": self.num_groups,
+            "weighted_sensing_area": self.weighted_sensing_area,
+            "groups": [
+                {
+                    "name": g.name or f"G{i + 1}",
+                    "radius": g.radius,
+                    "angle_of_view": g.angle_of_view,
+                    "fraction": g.fraction,
+                    "sensing_area": g.sensing_area,
+                }
+                for i, g in enumerate(self._groups)
+            ],
+        }

@@ -1,0 +1,158 @@
+"""Probabilistic sensing models (the paper's named future work).
+
+Section VIII closes with "extending our results in probabilistic
+sensing models".  This module provides that extension surface: a
+detection model maps object distance to a detection probability, and
+:func:`probabilistic_covering` thins the binary covering set of a fleet
+accordingly.  The binary sector model is the special case of a
+probability that is 1 inside the sector.
+
+All coverage machinery in :mod:`repro.core` accepts the thinned
+covering directions, so full-view analysis composes with these models
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sensors.fleet import SensorFleet
+
+Point = Tuple[float, float]
+
+
+class ProbabilisticSensingModel(ABC):
+    """Maps distance (within the sector) to detection probability."""
+
+    @abstractmethod
+    def detection_probability(self, distance: np.ndarray, radius: np.ndarray) -> np.ndarray:
+        """Probability of detecting an object at ``distance``.
+
+        Parameters
+        ----------
+        distance:
+            Object distances from the sensor apex; guaranteed to be
+            within the sensing radius when called by
+            :func:`probabilistic_covering`.
+        radius:
+            The corresponding sensing radii (same shape), so models can
+            normalise by reach.
+        """
+
+    def expected_coverage_ratio(self) -> float:
+        """Mean detection probability over a uniformly random in-sector point.
+
+        Integrates ``p(d)`` against the in-sector radial density
+        ``2 d / r^2`` numerically.  Used to rescale analytical
+        predictions: a probabilistic sensor behaves like a binary sensor
+        with its sensing area shrunk by this factor.
+        """
+        # 256-point midpoint rule is ample for the smooth models here.
+        ts = (np.arange(256, dtype=float) + 0.5) / 256.0
+        probs = self.detection_probability(ts, np.ones_like(ts))
+        return float(np.sum(probs * 2.0 * ts) / 256.0)
+
+
+@dataclass(frozen=True)
+class BinaryModel(ProbabilisticSensingModel):
+    """Perfect detection everywhere inside the sector (the paper's model)."""
+
+    def detection_probability(self, distance: np.ndarray, radius: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(distance, dtype=float))
+
+
+@dataclass(frozen=True)
+class ExponentialDecayModel(ProbabilisticSensingModel):
+    """Detection probability ``exp(-beta * (d / r) ** gamma)``.
+
+    ``beta`` controls how fast quality degrades towards the sector rim;
+    ``gamma`` shapes the decay (``gamma = 2`` models energy-like decay).
+    """
+
+    beta: float = 1.0
+    gamma: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.beta < 0:
+            raise InvalidParameterError(f"beta must be non-negative, got {self.beta!r}")
+        if self.gamma <= 0:
+            raise InvalidParameterError(f"gamma must be positive, got {self.gamma!r}")
+
+    def detection_probability(self, distance: np.ndarray, radius: np.ndarray) -> np.ndarray:
+        distance = np.asarray(distance, dtype=float)
+        radius = np.asarray(radius, dtype=float)
+        return np.exp(-self.beta * (distance / radius) ** self.gamma)
+
+
+@dataclass(frozen=True)
+class StaircaseModel(ProbabilisticSensingModel):
+    """Perfect detection up to ``reliable_fraction * r``, then ``far_probability``.
+
+    A two-level model often used for cameras whose recognition quality
+    collapses past a focus distance.
+    """
+
+    reliable_fraction: float = 0.5
+    far_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.reliable_fraction <= 1.0):
+            raise InvalidParameterError(
+                f"reliable_fraction must be in [0, 1], got {self.reliable_fraction!r}"
+            )
+        if not (0.0 <= self.far_probability <= 1.0):
+            raise InvalidParameterError(
+                f"far_probability must be in [0, 1], got {self.far_probability!r}"
+            )
+
+    def detection_probability(self, distance: np.ndarray, radius: np.ndarray) -> np.ndarray:
+        distance = np.asarray(distance, dtype=float)
+        radius = np.asarray(radius, dtype=float)
+        return np.where(
+            distance <= self.reliable_fraction * radius, 1.0, self.far_probability
+        )
+
+
+def probabilistic_covering(
+    fleet: SensorFleet,
+    point: Point,
+    model: ProbabilisticSensingModel,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Indices of sensors that cover *and detect* an object at ``point``.
+
+    The binary covering set is computed first (sector containment),
+    then each covering sensor keeps the point with the model's
+    distance-dependent probability, independently.
+    """
+    idx = fleet.covering(point)
+    if idx.size == 0:
+        return idx
+    distances = fleet.region.distances(point, fleet.positions[idx])
+    probs = model.detection_probability(distances, fleet.radii[idx])
+    keep = rng.random(idx.size) < probs
+    return idx[keep]
+
+
+def probabilistic_covering_directions(
+    fleet: SensorFleet,
+    point: Point,
+    model: ProbabilisticSensingModel,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Viewed directions of the probabilistically detected sensors."""
+    idx = probabilistic_covering(fleet, point, model, rng)
+    if idx.size == 0:
+        return np.empty(0, dtype=float)
+    delta = fleet.region.displacements(point, fleet.positions[idx])
+    apart = delta[:, 0] ** 2 + delta[:, 1] ** 2 > 1e-24  # apex tolerance
+    delta = delta[apart]
+    if delta.shape[0] == 0:
+        return np.empty(0, dtype=float)
+    return np.mod(np.arctan2(delta[:, 1], delta[:, 0]), 2.0 * math.pi)

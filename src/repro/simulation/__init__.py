@@ -1,0 +1,36 @@
+"""Monte-Carlo simulation harness.
+
+The analytical layer (:mod:`repro.core`) predicts probabilities; this
+package measures them on actual random deployments so every theorem in
+the paper can be validated by simulation:
+
+- :mod:`repro.simulation.statistics` — Bernoulli estimates with Wilson
+  and Clopper-Pearson intervals, and agreement tests against theory.
+- :mod:`repro.simulation.montecarlo` — seeded trial runners for
+  per-point condition probabilities, grid events and area fractions.
+- :mod:`repro.simulation.sweeps` — parameter sweeps over ``n``,
+  ``theta`` and the CSA multiple ``q``.
+- :mod:`repro.simulation.results` — result tables with CSV/markdown
+  rendering (the "figures" of this reproduction).
+- :mod:`repro.simulation.workloads` — the intro's motivating scenarios
+  as ready-made heterogeneous profiles.
+"""
+
+from repro.simulation.montecarlo import (
+    MonteCarloConfig,
+    estimate_area_fraction,
+    estimate_grid_failure_probability,
+    estimate_point_probability,
+)
+from repro.simulation.results import ResultTable
+from repro.simulation.statistics import BernoulliEstimate, wilson_interval
+
+__all__ = [
+    "BernoulliEstimate",
+    "MonteCarloConfig",
+    "ResultTable",
+    "estimate_area_fraction",
+    "estimate_grid_failure_probability",
+    "estimate_point_probability",
+    "wilson_interval",
+]

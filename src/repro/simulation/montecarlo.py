@@ -1,0 +1,287 @@
+"""Seeded Monte-Carlo estimators for coverage probabilities.
+
+Three estimators cover everything the paper's evaluation needs:
+
+- :func:`estimate_point_probability` — the probability that a *fixed
+  point* meets a condition (necessary / sufficient / exact full-view /
+  k-coverage) over fresh random deployments.  This is the simulated
+  counterpart of eq. (2), eq. (13) and Theorems 3-4.
+- :func:`estimate_grid_failure_probability` — the probability that
+  *some* point of the dense grid fails the condition, the event
+  ``not H`` whose CSA-driven phase transition Theorems 1-2 describe.
+- :func:`estimate_area_fraction` — the expected fraction of the region
+  meeting a condition, the quantity Section V identifies with the
+  per-point probability.
+
+All estimators consume a :class:`MonteCarloConfig` carrying the trial
+count and master seed; every trial derives its own
+:class:`numpy.random.Generator` via ``spawn``, so runs are reproducible
+and trials are independent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.conditions import (
+    necessary_condition_holds,
+    sufficient_condition_holds,
+)
+from repro.core.full_view import is_full_view_covered, validate_effective_angle
+from repro.deployment.base import DeploymentScheme
+from repro.deployment.uniform import UniformDeployment
+from repro.errors import InvalidParameterError
+from repro.geometry.grid import DenseGrid
+from repro.geometry.torus import Region, UNIT_TORUS
+from repro.sensors.fleet import SensorFleet
+from repro.sensors.model import HeterogeneousProfile
+from repro.simulation.statistics import BernoulliEstimate
+
+Point = Tuple[float, float]
+
+#: Predicate over the viewed directions of the covering sensors.
+DirectionPredicate = Callable[[np.ndarray], bool]
+
+
+def condition_predicate(condition: str, theta: float, k: int = 1) -> DirectionPredicate:
+    """Build a direction-set predicate for a named condition.
+
+    ``condition`` is one of ``"necessary"``, ``"sufficient"``,
+    ``"exact"`` (full-view, gap test) or ``"k_coverage"`` (at least
+    ``k`` covering sensors, ignoring directions).
+    """
+    theta = validate_effective_angle(theta)
+    if condition == "necessary":
+        return lambda dirs: necessary_condition_holds(dirs, theta)
+    if condition == "sufficient":
+        return lambda dirs: sufficient_condition_holds(dirs, theta)
+    if condition == "exact":
+        return lambda dirs: is_full_view_covered(dirs, theta)
+    if condition == "k_coverage":
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k!r}")
+        return lambda dirs: dirs.size >= k
+    raise InvalidParameterError(
+        "condition must be one of 'necessary', 'sufficient', 'exact', "
+        f"'k_coverage'; got {condition!r}"
+    )
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Trial budget and reproducibility settings.
+
+    Attributes
+    ----------
+    trials:
+        Number of independent deployments.
+    seed:
+        Master seed; each trial gets a spawned child generator.
+    use_index:
+        Whether fleets build a spatial index before queries (identical
+        results either way; index pays off from a few hundred sensors).
+    """
+
+    trials: int = 200
+    seed: int = 0
+    use_index: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {self.trials!r}")
+
+    def rngs(self) -> Sequence[np.random.Generator]:
+        """One independent generator per trial."""
+        seq = np.random.SeedSequence(self.seed)
+        return [np.random.Generator(np.random.PCG64(s)) for s in seq.spawn(self.trials)]
+
+
+def _deploy(
+    scheme: DeploymentScheme,
+    profile: HeterogeneousProfile,
+    n: int,
+    rng: np.random.Generator,
+    use_index: bool,
+) -> SensorFleet:
+    fleet = scheme.deploy(profile, n, rng)
+    if use_index and len(fleet) > 0:
+        fleet.build_index()
+    return fleet
+
+
+def estimate_point_probability(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    condition: str,
+    config: MonteCarloConfig,
+    scheme: Optional[DeploymentScheme] = None,
+    point: Optional[Point] = None,
+    k: int = 1,
+) -> BernoulliEstimate:
+    """P(a fixed point meets ``condition``) over random deployments.
+
+    The default point is the region centre (on the torus every point is
+    equivalent, so the choice is immaterial — property-tested).
+    """
+    scheme = scheme or UniformDeployment()
+    region = scheme.region
+    target: Point = point if point is not None else (0.5 * region.side, 0.5 * region.side)
+    predicate = condition_predicate(condition, theta, k)
+    successes = 0
+    for rng in config.rngs():
+        fleet = _deploy(scheme, profile, n, rng, config.use_index)
+        directions = (
+            fleet.covering_directions(target, use_index=config.use_index)
+            if len(fleet)
+            else np.empty(0)
+        )
+        if predicate(directions):
+            successes += 1
+    return BernoulliEstimate(successes=successes, trials=config.trials)
+
+
+def estimate_grid_failure_probability(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    condition: str,
+    config: MonteCarloConfig,
+    scheme: Optional[DeploymentScheme] = None,
+    grid: Optional[DenseGrid] = None,
+    max_grid_points: Optional[int] = None,
+) -> BernoulliEstimate:
+    """P(some grid point fails ``condition``) — the event ``not H``.
+
+    ``grid`` defaults to the paper's dense grid for ``n`` sensors.
+    ``max_grid_points`` subsamples the grid (uniformly, per trial) to
+    bound work on large grids; the resulting estimate lower-bounds the
+    full-grid failure probability and converges to it as the cap grows.
+    """
+    from repro.core.batch import condition_mask  # local import avoids a cycle
+
+    scheme = scheme or UniformDeployment()
+    grid = grid or DenseGrid.for_sensor_count(n, scheme.region)
+    if condition not in ("necessary", "sufficient", "exact"):
+        raise InvalidParameterError(
+            f"grid conditions are 'necessary', 'sufficient' or 'exact', got {condition!r}"
+        )
+    failures = 0
+    for rng in config.rngs():
+        fleet = _deploy(scheme, profile, n, rng, config.use_index)
+        if max_grid_points is not None and max_grid_points < len(grid):
+            points = grid.sample(max_grid_points, rng)
+        else:
+            points = grid.points
+        trial_failed = False
+        if len(fleet) == 0:
+            trial_failed = True
+        else:
+            # Vectorised evaluation with growing chunks: small first
+            # chunks keep the early exit cheap in failing regimes,
+            # large later chunks amortise vectorisation when the trial
+            # is (nearly) fully covered.  Verdict identical to a
+            # point-by-point scalar loop.
+            start = 0
+            chunk = 32
+            while start < points.shape[0]:
+                mask = condition_mask(
+                    fleet, points[start : start + chunk], theta, condition
+                )
+                if not mask.all():
+                    trial_failed = True
+                    break
+                start += chunk
+                chunk = min(4 * chunk, 2048)
+        if trial_failed:
+            failures += 1
+    return BernoulliEstimate(successes=failures, trials=config.trials)
+
+
+def estimate_area_fraction(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    condition: str,
+    config: MonteCarloConfig,
+    scheme: Optional[DeploymentScheme] = None,
+    sample_points: int = 256,
+    k: int = 1,
+) -> Tuple[float, float]:
+    """Expected fraction of the region meeting ``condition``.
+
+    Each trial deploys a fleet and evaluates ``sample_points`` uniform
+    random points; fractions are averaged across trials.  Returns
+    ``(mean, ci_half_width)`` at 95% confidence.
+    """
+    from repro.simulation.statistics import mean_and_half_width
+
+    if sample_points < 1:
+        raise InvalidParameterError(
+            f"sample_points must be >= 1, got {sample_points!r}"
+        )
+    scheme = scheme or UniformDeployment()
+    predicate = condition_predicate(condition, theta, k)
+    fractions = []
+    for rng in config.rngs():
+        fleet = _deploy(scheme, profile, n, rng, config.use_index)
+        points = rng.uniform(0.0, scheme.region.side, size=(sample_points, 2))
+        hits = 0
+        for x, y in points:
+            directions = (
+                fleet.covering_directions((float(x), float(y)), use_index=config.use_index)
+                if len(fleet)
+                else np.empty(0)
+            )
+            if predicate(directions):
+                hits += 1
+        fractions.append(hits / sample_points)
+    return mean_and_half_width(fractions)
+
+
+def estimate_condition_chain(
+    profile: HeterogeneousProfile,
+    n: int,
+    theta: float,
+    config: MonteCarloConfig,
+    scheme: Optional[DeploymentScheme] = None,
+    point: Optional[Point] = None,
+) -> dict:
+    """Joint per-trial evaluation of necessary / exact / sufficient.
+
+    Evaluates all three conditions on the *same* deployments, returning
+    a dict of :class:`BernoulliEstimate` plus the count of sandwich
+    violations (which must be zero: sufficient => exact => necessary).
+    Used by the GAP experiment (Section VI-C).
+    """
+    scheme = scheme or UniformDeployment()
+    region = scheme.region
+    target: Point = point if point is not None else (0.5 * region.side, 0.5 * region.side)
+    theta = validate_effective_angle(theta)
+    counts = {"necessary": 0, "exact": 0, "sufficient": 0}
+    violations = 0
+    for rng in config.rngs():
+        fleet = _deploy(scheme, profile, n, rng, config.use_index)
+        directions = (
+            fleet.covering_directions(target, use_index=config.use_index)
+            if len(fleet)
+            else np.empty(0)
+        )
+        nec = necessary_condition_holds(directions, theta)
+        exact = is_full_view_covered(directions, theta)
+        suf = sufficient_condition_holds(directions, theta)
+        counts["necessary"] += nec
+        counts["exact"] += exact
+        counts["sufficient"] += suf
+        if (suf and not exact) or (exact and not nec):
+            violations += 1
+    estimates = {
+        name: BernoulliEstimate(successes=val, trials=config.trials)
+        for name, val in counts.items()
+    }
+    estimates["sandwich_violations"] = violations
+    return estimates

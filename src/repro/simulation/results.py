@@ -1,0 +1,132 @@
+"""Result tables: the tabular output format of every experiment.
+
+A :class:`ResultTable` is a named list of columns plus rows, with
+markdown and CSV renderers.  Experiments return tables; benchmarks
+print them; EXPERIMENTS.md embeds them.  Keeping the format in one
+place guarantees every figure/table of the reproduction renders
+consistently.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import InvalidParameterError
+
+Cell = Union[str, int, float, bool, None]
+
+
+def _format_cell(value: Cell, float_format: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A simple column-ordered table of experiment results.
+
+    Parameters
+    ----------
+    title:
+        Table caption (e.g. ``"Figure 7: CSA vs effective angle"``).
+    columns:
+        Ordered column names.
+    float_format:
+        ``format()`` spec applied to float cells when rendering.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    float_format: str = ".6g"
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise InvalidParameterError("a table needs at least one column")
+        self.columns = list(self.columns)
+
+    def add_row(self, *values: Cell, **named: Cell) -> None:
+        """Append a row given positionally or by column name."""
+        if values and named:
+            raise InvalidParameterError("pass cells positionally or by name, not both")
+        if named:
+            unknown = set(named) - set(self.columns)
+            if unknown:
+                raise InvalidParameterError(f"unknown columns: {sorted(unknown)}")
+            row = [named.get(col) for col in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise InvalidParameterError(
+                    f"expected {len(self.columns)} cells, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def add_rows(self, rows: Iterable[Sequence[Cell]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of one column, in row order."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise InvalidParameterError(f"unknown column {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering with the title as a heading."""
+        header = "| " + " | ".join(self.columns) + " |"
+        divider = "|" + "|".join(" --- " for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(_format_cell(c, self.float_format) for c in row) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([f"### {self.title}", "", header, divider, *body])
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(["" if c is None else c for c in row])
+        return buffer.getvalue()
+
+    def to_records(self) -> List[Dict[str, Cell]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def save_csv(self, path: Union[str, Path]) -> Path:
+        """Write CSV to ``path`` (parent directories created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_csv())
+        return path
+
+    def pretty(self, max_width: int = 14) -> str:
+        """Fixed-width terminal rendering."""
+        cells = [[_format_cell(c, self.float_format) for c in row] for row in self.rows]
+        widths = [
+            min(max_width, max([len(col)] + [len(r[i]) for r in cells] or [0]))
+            for i, col in enumerate(self.columns)
+        ]
+        def fmt_row(row: Sequence[str]) -> str:
+            return "  ".join(val[:w].rjust(w) for val, w in zip(row, widths))
+
+        lines = [self.title, fmt_row(list(self.columns)), fmt_row(["-" * w for w in widths])]
+        lines.extend(fmt_row(row) for row in cells)
+        return "\n".join(lines)

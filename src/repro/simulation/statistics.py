@@ -1,0 +1,146 @@
+"""Statistics for Monte-Carlo Bernoulli estimates.
+
+Every simulated probability in this reproduction is a Bernoulli
+proportion.  :class:`BernoulliEstimate` bundles the counts with
+confidence intervals: the Wilson score interval (good coverage at all
+proportions, never leaves ``[0, 1]``) as the default, and the exact
+Clopper-Pearson interval for the strictest comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from scipy import stats
+
+from repro.errors import InvalidParameterError
+
+#: Standard-normal quantile for the default 95% confidence level.
+_Z_95 = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise InvalidParameterError(f"trials must be positive, got {trials!r}")
+    if not (0 <= successes <= trials):
+        raise InvalidParameterError(
+            f"successes must be in [0, trials], got {successes}/{trials}"
+        )
+    if not (0.0 < confidence < 1.0):
+        raise InvalidParameterError(f"confidence must be in (0, 1), got {confidence!r}")
+    z = _Z_95 if confidence == 0.95 else float(stats.norm.ppf(0.5 + confidence / 2.0))
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+    # Degenerate proportions pin the matching endpoint exactly, avoiding
+    # float rounding that would exclude the MLE.
+    lower = 0.0 if successes == 0 else max(0.0, centre - half)
+    upper = 1.0 if successes == trials else min(1.0, centre + half)
+    return (lower, upper)
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Exact (Clopper-Pearson) binomial interval."""
+    if trials <= 0:
+        raise InvalidParameterError(f"trials must be positive, got {trials!r}")
+    if not (0 <= successes <= trials):
+        raise InvalidParameterError(
+            f"successes must be in [0, trials], got {successes}/{trials}"
+        )
+    alpha = 1.0 - confidence
+    lower = (
+        0.0
+        if successes == 0
+        else float(stats.beta.ppf(alpha / 2.0, successes, trials - successes + 1))
+    )
+    upper = (
+        1.0
+        if successes == trials
+        else float(stats.beta.ppf(1.0 - alpha / 2.0, successes + 1, trials - successes))
+    )
+    return (lower, upper)
+
+
+@dataclass(frozen=True)
+class BernoulliEstimate:
+    """A simulated probability with its uncertainty.
+
+    Attributes
+    ----------
+    successes, trials:
+        Raw counts.
+    """
+
+    successes: int
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise InvalidParameterError(f"trials must be positive, got {self.trials!r}")
+        if not (0 <= self.successes <= self.trials):
+            raise InvalidParameterError(
+                f"successes must be in [0, trials], got {self.successes}/{self.trials}"
+            )
+
+    @property
+    def proportion(self) -> float:
+        return self.successes / self.trials
+
+    def std_error(self) -> float:
+        """Plug-in standard error of the proportion."""
+        p = self.proportion
+        return math.sqrt(p * (1.0 - p) / self.trials)
+
+    def wilson(self, confidence: float = 0.95) -> Tuple[float, float]:
+        return wilson_interval(self.successes, self.trials, confidence)
+
+    def clopper_pearson(self, confidence: float = 0.95) -> Tuple[float, float]:
+        return clopper_pearson_interval(self.successes, self.trials, confidence)
+
+    def contains(self, theory: float, confidence: float = 0.95, slack: float = 0.0) -> bool:
+        """Whether a theoretical value is consistent with this estimate.
+
+        Uses the Wilson interval widened by ``slack`` on both sides
+        (absolute probability units).  ``slack`` absorbs known model
+        error, e.g. the paper's independence approximation at finite n.
+        """
+        lower, upper = self.wilson(confidence)
+        return lower - slack <= theory <= upper + slack
+
+    def merged(self, other: "BernoulliEstimate") -> "BernoulliEstimate":
+        """Pool two independent estimates of the same probability."""
+        return BernoulliEstimate(
+            successes=self.successes + other.successes,
+            trials=self.trials + other.trials,
+        )
+
+    def __str__(self) -> str:
+        lo, hi = self.wilson()
+        return f"{self.proportion:.4f} [{lo:.4f}, {hi:.4f}] ({self.successes}/{self.trials})"
+
+
+def mean_and_half_width(values, confidence: float = 0.95) -> Tuple[float, float]:
+    """Mean and normal-approximation CI half-width of a sample of reals.
+
+    For averaging area fractions across deployments (each fraction is
+    itself an average, so normality is a good approximation).
+    """
+    import numpy as np
+
+    array = np.asarray(values, dtype=float).ravel()
+    if array.size == 0:
+        raise InvalidParameterError("need at least one value")
+    if array.size == 1:
+        return float(array[0]), float("inf")
+    z = _Z_95 if confidence == 0.95 else float(stats.norm.ppf(0.5 + confidence / 2.0))
+    mean = float(array.mean())
+    sem = float(array.std(ddof=1) / math.sqrt(array.size))
+    return mean, z * sem

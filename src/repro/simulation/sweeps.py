@@ -1,0 +1,87 @@
+"""Parameter sweeps over the quantities the paper varies.
+
+Three axes recur across the evaluation: the effective angle ``theta``
+(Figure 7), the sensor count ``n`` (Figure 8), and the CSA multiple
+``q`` (the Propositions' phase-transition parameter).  The sweep
+helpers here turn an axis plus an evaluator into a
+:class:`~repro.simulation.results.ResultTable` with uniform column
+conventions, so the experiment modules stay declarative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.simulation.results import ResultTable
+
+Evaluator = Callable[[float], Mapping[str, object]]
+
+
+def sweep(
+    title: str,
+    axis_name: str,
+    axis_values: Sequence[float],
+    evaluator: Evaluator,
+    columns: Optional[Sequence[str]] = None,
+) -> ResultTable:
+    """Run ``evaluator`` over an axis and collect rows.
+
+    ``evaluator`` maps one axis value to a mapping of column -> cell;
+    the axis value itself becomes the first column.  Column order is
+    taken from ``columns`` when given, else from the first result's
+    insertion order.
+    """
+    values = list(axis_values)
+    if not values:
+        raise InvalidParameterError("sweep needs at least one axis value")
+    first = evaluator(values[0])
+    cols = [axis_name] + (list(columns) if columns is not None else list(first.keys()))
+    table = ResultTable(title=title, columns=cols)
+    table.add_row(values[0], *[first.get(c) for c in cols[1:]])
+    for value in values[1:]:
+        result = evaluator(value)
+        table.add_row(value, *[result.get(c) for c in cols[1:]])
+    return table
+
+
+def theta_axis(
+    start_fraction_of_pi: float = 0.1,
+    stop_fraction_of_pi: float = 0.5,
+    count: int = 9,
+) -> np.ndarray:
+    """Effective angles ``theta`` as fractions of pi (Figure 7's axis)."""
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count!r}")
+    if not (0.0 < start_fraction_of_pi <= stop_fraction_of_pi <= 1.0):
+        raise InvalidParameterError("need 0 < start <= stop <= 1 (fractions of pi)")
+    return np.linspace(start_fraction_of_pi, stop_fraction_of_pi, count) * math.pi
+
+
+def n_axis_log(start: int = 100, stop: int = 10_000, count: int = 13) -> List[int]:
+    """Log-spaced sensor counts (Figure 8's axis), deduplicated."""
+    if start < 2 or stop < start or count < 1:
+        raise InvalidParameterError("need 2 <= start <= stop and count >= 1")
+    raw = np.logspace(math.log10(start), math.log10(stop), count)
+    values: List[int] = []
+    for v in raw:
+        iv = int(round(v))
+        if not values or iv > values[-1]:
+            values.append(iv)
+    return values
+
+
+def q_axis(
+    below: Sequence[float] = (0.25, 0.5, 0.75),
+    above: Sequence[float] = (1.5, 2.0, 3.0),
+    include_unit: bool = True,
+) -> List[float]:
+    """CSA multiples ``q`` straddling the threshold ``q = 1``."""
+    values = sorted(set(below) | (set((1.0,)) if include_unit else set()) | set(above))
+    if any(v <= 0 for v in values):
+        raise InvalidParameterError("all q values must be positive")
+    return values

@@ -1,0 +1,23 @@
+"""Text-mode visualisation.
+
+The reproduction environment has no plotting backend, so figures are
+rendered two ways: numeric series exported as CSV
+(:mod:`repro.viz.csv_export`) for external plotting, and ASCII charts
+(:mod:`repro.viz.ascii_plot`) for terminal inspection — line charts
+for the CSA curves of Figures 7-8 and scatter maps for deployments.
+"""
+
+from repro.viz.ascii_plot import (
+    ascii_coverage_map,
+    ascii_line_plot,
+    ascii_scatter_map,
+)
+from repro.viz.csv_export import export_series, export_table
+
+__all__ = [
+    "ascii_coverage_map",
+    "ascii_line_plot",
+    "ascii_scatter_map",
+    "export_series",
+    "export_table",
+]

@@ -1,0 +1,142 @@
+"""ASCII charts for terminals without a plotting backend.
+
+:func:`ascii_line_plot` renders one or more ``(x, y)`` series on a
+character grid with axis labels — enough to eyeball the monotone decay
+and factor-two gap of the CSA curves.  :func:`ascii_scatter_map`
+renders a deployment (sensor positions, optionally orientations) over
+the unit square.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Glyphs assigned to successive series.
+_SERIES_GLYPHS = "*o+x#@%&"
+
+
+def ascii_line_plot(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(xs, ys)`` series as an ASCII chart.
+
+    Each series gets the next glyph from ``* o + x ...``; collisions
+    show the later series.  Axes are linear; ranges are the union over
+    all series, padded by 2%.
+    """
+    if not series:
+        raise InvalidParameterError("need at least one series")
+    if width < 16 or height < 4:
+        raise InvalidParameterError("plot must be at least 16x4 characters")
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for _, ys in series.values()])
+    if all_x.size == 0:
+        raise InvalidParameterError("series must contain points")
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    x_pad = 0.02 * (x_max - x_min) or 1.0
+    y_pad = 0.02 * (y_max - y_min) or 1.0
+    x_min, x_max = x_min - x_pad, x_max + x_pad
+    y_min, y_max = y_min - y_pad, y_max + y_pad
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min) * (height - 1))
+        return (height - 1 - row, col)
+
+    legend = []
+    for (name, (xs, ys)), glyph in zip(series.items(), _SERIES_GLYPHS):
+        legend.append(f"{glyph} {name}")
+        for x, y in zip(xs, ys):
+            row, col = to_cell(float(x), float(y))
+            canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (range [{y_min:.4g}, {y_max:.4g}])")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (range [{x_min:.4g}, {x_max:.4g}])")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_coverage_map(covered: np.ndarray, title: str = "") -> str:
+    """Render a boolean coverage grid (indexed ``[column, row]``).
+
+    Covered cells print ``#``, uncovered cells ``.``; row 0 (the bottom
+    of the region) renders at the bottom, matching
+    :class:`repro.barrier.grid_barrier.CoverageGrid` conventions.
+    """
+    covered = np.asarray(covered, dtype=bool)
+    if covered.ndim != 2:
+        raise InvalidParameterError(
+            f"coverage grid must be 2-D, got shape {covered.shape}"
+        )
+    cols, rows = covered.shape
+    border = "+" + "-" * cols + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(border)
+    for row in range(rows - 1, -1, -1):
+        lines.append(
+            "|" + "".join("#" if covered[col, row] else "." for col in range(cols)) + "|"
+        )
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def ascii_scatter_map(
+    positions: np.ndarray,
+    side: float = 1.0,
+    width: int = 48,
+    height: int = 24,
+    marks: Optional[np.ndarray] = None,
+    title: str = "",
+) -> str:
+    """Render point positions over a square region.
+
+    ``marks`` (optional boolean array) highlights a subset with ``#``
+    (e.g. the sensors covering a probe point); other points render as
+    ``.``.
+    """
+    positions = np.asarray(positions, dtype=float).reshape(-1, 2)
+    if width < 8 or height < 4:
+        raise InvalidParameterError("map must be at least 8x4 characters")
+    if side <= 0:
+        raise InvalidParameterError(f"side must be positive, got {side!r}")
+    if marks is not None:
+        marks = np.asarray(marks, dtype=bool).reshape(-1)
+        if marks.shape[0] != positions.shape[0]:
+            raise InvalidParameterError("marks length must match positions")
+    canvas = [[" "] * width for _ in range(height)]
+    for i, (x, y) in enumerate(positions):
+        col = min(width - 1, int(x / side * width))
+        row = min(height - 1, int(y / side * height))
+        glyph = "#" if marks is not None and marks[i] else "."
+        current = canvas[height - 1 - row][col]
+        if current != "#":  # highlighted points always win
+            canvas[height - 1 - row][col] = glyph
+    border = "+" + "-" * width + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in canvas)
+    lines.append(border)
+    return "\n".join(lines)

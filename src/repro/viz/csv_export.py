@@ -1,0 +1,43 @@
+"""CSV export helpers.
+
+Benchmarks write each reproduced figure's series to
+``results/<experiment>.csv`` so the numbers behind every chart are
+inspectable and re-plottable outside this environment.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from repro.errors import InvalidParameterError
+from repro.simulation.results import ResultTable
+
+
+def export_series(
+    path: Union[str, Path],
+    x_name: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+) -> Path:
+    """Write an x column plus named y columns to CSV."""
+    xs = list(x_values)
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(ys)} values, expected {len(xs)}"
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, lineterminator="\n")
+        writer.writerow([x_name, *series.keys()])
+        for i, x in enumerate(xs):
+            writer.writerow([x, *[series[name][i] for name in series]])
+    return path
+
+
+def export_table(path: Union[str, Path], table: ResultTable) -> Path:
+    """Write a :class:`ResultTable` to CSV (delegates to the table)."""
+    return table.save_csv(path)

@@ -1,0 +1,137 @@
+"""Tests for communication connectivity analysis."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.connectivity import (
+    communication_graph,
+    connectivity_scaling_constant,
+    critical_communication_radius,
+    is_connected,
+    largest_component_fraction,
+)
+from repro.deployment.uniform import UniformDeployment
+from repro.errors import InvalidParameterError
+from repro.sensors.fleet import SensorFleet
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+
+
+def line_fleet(xs):
+    n = len(xs)
+    return SensorFleet(
+        positions=np.array([[x, 0.5] for x in xs]),
+        orientations=np.zeros(n),
+        radii=np.full(n, 0.1),
+        angles=np.full(n, 1.0),
+    )
+
+
+class TestCommunicationGraph:
+    def test_edges_by_distance(self):
+        fleet = line_fleet([0.1, 0.2, 0.5])
+        graph = communication_graph(fleet, 0.15)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 2)
+        assert graph.number_of_nodes() == 3
+
+    def test_radius_validation(self):
+        with pytest.raises(InvalidParameterError):
+            communication_graph(line_fleet([0.1]), 0.0)
+
+    def test_torus_edges(self):
+        fleet = line_fleet([0.02, 0.98])
+        graph = communication_graph(fleet, 0.1)
+        assert graph.has_edge(0, 1)
+
+    def test_single_sensor(self):
+        graph = communication_graph(line_fleet([0.5]), 0.1)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+
+class TestIsConnected:
+    def test_trivial_cases(self):
+        assert is_connected(line_fleet([0.5]), 0.01)
+
+    def test_chain(self):
+        fleet = line_fleet([0.1, 0.2, 0.3, 0.4])
+        assert is_connected(fleet, 0.11)
+        assert not is_connected(fleet, 0.09)
+
+    def test_largest_component(self):
+        fleet = line_fleet([0.1, 0.2, 0.6])
+        assert largest_component_fraction(fleet, 0.11) == pytest.approx(2 / 3)
+        assert largest_component_fraction(fleet, 0.5) == 1.0
+
+
+class TestCriticalRadius:
+    def test_chain_bottleneck(self):
+        fleet = line_fleet([0.1, 0.25, 0.33])
+        # Gaps: 0.15 and 0.08 -> critical = 0.15.
+        assert critical_communication_radius(fleet) == pytest.approx(0.15)
+
+    def test_trivial(self):
+        assert critical_communication_radius(line_fleet([0.5])) == 0.0
+
+    def test_connect_at_critical_disconnect_below(self, homogeneous_profile, rng):
+        fleet = UniformDeployment().deploy(homogeneous_profile, 60, rng)
+        r_crit = critical_communication_radius(fleet)
+        assert is_connected(fleet, r_crit + 1e-12)
+        assert not is_connected(fleet, r_crit * 0.999)
+
+    def test_matches_networkx_mst(self, homogeneous_profile, rng):
+        """The union-find sweep equals the max edge of a networkx MST."""
+        fleet = UniformDeployment().deploy(homogeneous_profile, 40, rng)
+        positions = fleet.positions
+        n = len(fleet)
+        graph = nx.Graph()
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = fleet.region.distance(
+                    (positions[i, 0], positions[i, 1]),
+                    (positions[j, 0], positions[j, 1]),
+                )
+                graph.add_edge(i, j, weight=d)
+        mst = nx.minimum_spanning_tree(graph)
+        expected = max(d["weight"] for _, _, d in mst.edges(data=True))
+        assert critical_communication_radius(fleet) == pytest.approx(expected)
+
+
+class TestScaling:
+    def test_constant_is_order_one(self):
+        """Penrose scaling: R_crit / sqrt(log n/(pi n)) stays O(1)."""
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.1, angle_of_view=1.0)
+        )
+        constants = []
+        for seed in range(8):
+            fleet = UniformDeployment().deploy(
+                profile, 300, np.random.default_rng(seed)
+            )
+            constants.append(connectivity_scaling_constant(fleet))
+        mean = float(np.mean(constants))
+        assert 0.5 < mean < 2.5
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            connectivity_scaling_constant(line_fleet([0.5]))
+
+    def test_coverage_grade_fleet_connected_at_twice_radius(self, rng):
+        """Folk theorem: R_c = 2 r connects fleets provisioned for
+        coverage (their sensing radius is far above the connectivity
+        threshold)."""
+        from repro.core.csa import csa_sufficient
+
+        n = 300
+        theta = math.pi / 3
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec.from_area(csa_sufficient(n, theta), math.pi / 2)
+        )
+        fleet = UniformDeployment().deploy(profile, n, rng)
+        r = profile.groups[0].radius
+        assert is_connected(fleet, 2.0 * r)

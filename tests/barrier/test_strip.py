@@ -1,0 +1,95 @@
+"""Tests for strong-barrier strips."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.barrier.strip import find_widest_covered_strip, strip_fully_covered
+from repro.deployment.uniform import UniformDeployment
+from repro.errors import InvalidParameterError
+from repro.sensors.fleet import SensorFleet
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+
+
+def band_fleet(y_center=0.5, columns=14, reach=0.4):
+    """Two staggered rows of opposed cameras covering a horizontal band."""
+    xs = (np.arange(columns) + 0.5) / columns
+    # Cameras below the band looking up, above looking down.
+    below = np.stack([xs, np.full(columns, y_center - 0.15)], axis=1)
+    above = np.stack([xs, np.full(columns, y_center + 0.15)], axis=1)
+    positions = np.concatenate([below, above])
+    orientations = np.concatenate(
+        [np.full(columns, math.pi / 2), np.full(columns, -math.pi / 2)]
+    )
+    n = positions.shape[0]
+    return SensorFleet(
+        positions=positions,
+        orientations=orientations,
+        radii=np.full(n, reach),
+        angles=np.full(n, math.pi),
+    )
+
+
+class TestStripFullyCovered:
+    def test_validation(self):
+        fleet = band_fleet()
+        with pytest.raises(InvalidParameterError):
+            strip_fully_covered(fleet, math.pi / 2, 0.6, 0.4)
+        with pytest.raises(InvalidParameterError):
+            strip_fully_covered(fleet, math.pi / 2, 0.4, 0.6, resolution=1)
+
+    def test_band_fleet_covers_its_band(self):
+        fleet = band_fleet()
+        assert strip_fully_covered(fleet, math.pi / 2, 0.45, 0.55, resolution=20)
+
+    def test_band_fleet_does_not_cover_far_strip(self):
+        fleet = band_fleet()
+        assert not strip_fully_covered(fleet, math.pi / 2, 0.0, 0.1, resolution=20)
+
+    def test_sparse_fleet_covers_nothing(self):
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.05, angle_of_view=0.5)
+        )
+        fleet = UniformDeployment().deploy(profile, 10, np.random.default_rng(0))
+        assert not strip_fully_covered(fleet, math.pi / 3, 0.4, 0.6)
+
+
+class TestWidestStrip:
+    def test_band_fleet_strip_contains_center(self):
+        fleet = band_fleet()
+        strip = find_widest_covered_strip(fleet, math.pi / 2, resolution=20)
+        assert strip is not None
+        y_min, y_max = strip
+        assert y_min < 0.5 < y_max
+
+    def test_none_when_uncovered(self):
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.05, angle_of_view=0.5)
+        )
+        fleet = UniformDeployment().deploy(profile, 10, np.random.default_rng(0))
+        assert find_widest_covered_strip(fleet, math.pi / 3, resolution=12) is None
+
+    def test_strip_is_verified_by_strip_test(self):
+        """The reported strip passes strip_fully_covered at the same
+        resolution (cell centres)."""
+        fleet = band_fleet()
+        strip = find_widest_covered_strip(fleet, math.pi / 2, resolution=16)
+        assert strip is not None
+        y_min, y_max = strip
+        # Shrink slightly inside cell centres before re-testing.
+        pad = (y_max - y_min) * 0.26
+        assert strip_fully_covered(
+            fleet, math.pi / 2, y_min + pad, y_max - pad, resolution=16
+        )
+
+    def test_full_coverage_returns_whole_region(self):
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.45, angle_of_view=2 * math.pi)
+        )
+        fleet = UniformDeployment().deploy(profile, 400, np.random.default_rng(1))
+        strip = find_widest_covered_strip(fleet, math.pi / 2, resolution=10)
+        if strip is not None and strip[0] == 0.0:
+            assert strip[1] == pytest.approx(1.0)

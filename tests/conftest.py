@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.deployment.uniform import UniformDeployment
+from repro.geometry.torus import Region
+from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for the test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def unit_torus() -> Region:
+    return Region(side=1.0, torus=True)
+
+
+@pytest.fixture
+def unit_square() -> Region:
+    return Region(side=1.0, torus=False)
+
+
+@pytest.fixture
+def homogeneous_profile() -> HeterogeneousProfile:
+    """A single-group profile with a generous sector."""
+    return HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.25, angle_of_view=math.pi / 2.0)
+    )
+
+
+@pytest.fixture
+def two_group_profile() -> HeterogeneousProfile:
+    """The validation mix used across theory/simulation comparisons."""
+    return HeterogeneousProfile(
+        [
+            GroupSpec(CameraSpec(radius=0.22, angle_of_view=math.pi / 2.0), 0.6, "big"),
+            GroupSpec(CameraSpec(radius=0.14, angle_of_view=1.8), 0.4, "small"),
+        ]
+    )
+
+
+@pytest.fixture
+def small_fleet(homogeneous_profile, rng):
+    """A deployed fleet of 200 sensors on the unit torus."""
+    fleet = UniformDeployment().deploy(homogeneous_profile, 200, rng)
+    fleet.build_index()
+    return fleet

@@ -1,0 +1,110 @@
+"""Tests for Lemmas 1-3 as numerical tools."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.asymptotics import (
+    exp_approximation_error,
+    lemma3_orders,
+    log1m_bounds,
+    optimal_xi,
+    pow_one_minus_bounds,
+    proposition1_floor,
+)
+from repro.errors import InvalidParameterError
+
+xs = st.floats(min_value=1e-9, max_value=0.499999, allow_nan=False)
+ys = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+class TestLemma1:
+    @given(xs)
+    @settings(max_examples=300)
+    def test_sandwich(self, x):
+        lower, upper = log1m_bounds(x)
+        actual = math.log1p(-x)
+        # Strict analytically; allow float rounding at tiny x where the
+        # three quantities agree to machine precision.
+        tol = 1e-15 * abs(actual)
+        assert lower - tol <= actual <= upper + tol
+
+    def test_domain(self):
+        for bad in (0.0, 0.5, -0.1, 0.9):
+            with pytest.raises(InvalidParameterError):
+                log1m_bounds(bad)
+
+    def test_tightens_near_zero(self):
+        widths = [log1m_bounds(x)[1] - log1m_bounds(x)[0] for x in (0.4, 0.1, 0.01)]
+        assert widths[0] > widths[1] > widths[2]
+
+
+class TestLemma2:
+    @given(xs, ys)
+    @settings(max_examples=300)
+    def test_sandwich(self, x, y):
+        lower, upper = pow_one_minus_bounds(x, y)
+        actual = math.exp(y * math.log1p(-x))
+        assert lower <= actual * (1 + 1e-12) and actual <= upper * (1 + 1e-12)
+
+    def test_collapses_when_x2y_small(self):
+        """(1-x)^y ~ e^{-xy} when x^2 y -> 0."""
+        for n in (100, 10_000, 1_000_000):
+            x = 1.0 / n
+            y = float(n) * 0.9  # x^2 y = 0.9/n -> 0
+            assert exp_approximation_error(x, y) < 1.0 / n
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            pow_one_minus_bounds(0.1, 0.0)
+        with pytest.raises(InvalidParameterError):
+            exp_approximation_error(0.6, 1.0)
+
+
+class TestLemma3:
+    def test_quantities_vanish(self):
+        theta = math.pi / 4
+        orders = [lemma3_orders(n, theta) for n in (100, 10_000, 1_000_000)]
+        s_cs = [o.s_c for o in orders]
+        ns2 = [o.n_s_c_squared for o in orders]
+        assert s_cs[0] > s_cs[1] > s_cs[2]
+        assert ns2[0] > ns2[1] > ns2[2]
+        assert s_cs[-1] < 1e-4
+        assert ns2[-1] < 0.01
+
+    def test_order_constant_stabilises(self):
+        """s_c / ((log n + log log n)/n) approaches a constant."""
+        theta = math.pi / 4
+        ratios = [
+            lemma3_orders(n, theta).s_c_over_order for n in (10_000, 100_000, 1_000_000)
+        ]
+        assert abs(ratios[2] - ratios[1]) < abs(ratios[1] - ratios[0]) + 1e-9
+        assert ratios[-1] > 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            lemma3_orders(2, 1.0)
+
+
+class TestProposition1Floor:
+    def test_values(self):
+        assert proposition1_floor(0.0) == 0.0
+        assert proposition1_floor(math.log(2.0)) == pytest.approx(0.25)
+
+    def test_optimal_xi(self):
+        xi_star = optimal_xi()
+        assert xi_star == pytest.approx(math.log(2.0))
+        eps = 1e-4
+        assert proposition1_floor(xi_star) >= proposition1_floor(xi_star - eps)
+        assert proposition1_floor(xi_star) >= proposition1_floor(xi_star + eps)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            proposition1_floor(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=20.0))
+    def test_bounded_by_quarter(self, xi):
+        assert 0.0 <= proposition1_floor(xi) <= 0.25 + 1e-12

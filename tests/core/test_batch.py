@@ -1,0 +1,174 @@
+"""Tests: the vectorised batch path is bit-identical to the scalar path."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import (
+    condition_mask,
+    coverage_counts,
+    coverage_fraction_fast,
+    covering_and_directions,
+    full_view_mask,
+    max_gaps,
+)
+from repro.core.conditions import (
+    condition_fraction,
+    necessary_condition_holds,
+    sufficient_condition_holds,
+)
+from repro.core.full_view import is_full_view_covered
+from repro.deployment.uniform import UniformDeployment
+from repro.errors import InvalidParameterError
+from repro.geometry.intervals import max_circular_gap
+from repro.sensors.fleet import SensorFleet
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+
+coords = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    profile = HeterogeneousProfile.from_pairs(
+        [
+            (CameraSpec(radius=0.25, angle_of_view=math.pi / 2), 0.5),
+            (CameraSpec(radius=0.15, angle_of_view=2.0), 0.5),
+        ]
+    )
+    return UniformDeployment().deploy(profile, 150, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(4).uniform(size=(60, 2))
+
+
+class TestCoveringMatrix:
+    def test_matches_scalar_covering(self, fleet, points):
+        covers, _ = covering_and_directions(fleet, points)
+        for i, (x, y) in enumerate(points):
+            expected = set(fleet.covering((float(x), float(y)), use_index=False).tolist())
+            actual = set(np.flatnonzero(covers[i]).tolist())
+            assert actual == expected
+
+    def test_directions_match_scalar(self, fleet, points):
+        covers, directions = covering_and_directions(fleet, points)
+        for i, (x, y) in enumerate(points):
+            expected = np.sort(
+                fleet.covering_directions((float(x), float(y)), use_index=False)
+            )
+            mask = covers[i] & ~np.isnan(directions[i])
+            actual = np.sort(directions[i][mask])
+            assert np.allclose(actual, expected, atol=1e-12)
+
+    def test_empty_fleet(self, points):
+        empty = SensorFleet(
+            positions=np.empty((0, 2)),
+            orientations=np.empty(0),
+            radii=np.empty(0),
+            angles=np.empty(0),
+        )
+        covers, directions = covering_and_directions(empty, points)
+        assert covers.shape == (60, 0)
+
+    def test_coincident_pair_covers_but_nan_direction(self):
+        fleet = SensorFleet(
+            positions=np.array([[0.5, 0.5]]),
+            orientations=np.array([0.0]),
+            radii=np.array([0.2]),
+            angles=np.array([1.0]),
+        )
+        covers, directions = covering_and_directions(fleet, np.array([[0.5, 0.5]]))
+        assert covers[0, 0]
+        assert math.isnan(directions[0, 0])
+
+
+class TestCoverageCounts:
+    def test_matches_scalar(self, fleet, points):
+        batch = coverage_counts(fleet, points)
+        scalar = fleet.coverage_counts(points, use_index=False)
+        assert (batch == scalar).all()
+
+
+class TestMaxGaps:
+    def test_matches_scalar(self, fleet, points):
+        gaps = max_gaps(fleet, points)
+        for i, (x, y) in enumerate(points):
+            dirs = fleet.covering_directions((float(x), float(y)), use_index=False)
+            expected = max_circular_gap(dirs)
+            assert gaps[i] == pytest.approx(expected, abs=1e-12)
+
+
+class TestFullViewMask:
+    @pytest.mark.parametrize("theta", [math.pi / 6, math.pi / 3, math.pi / 2, math.pi])
+    def test_matches_scalar(self, fleet, points, theta):
+        mask = full_view_mask(fleet, points, theta)
+        for i, (x, y) in enumerate(points):
+            dirs = fleet.covering_directions((float(x), float(y)), use_index=False)
+            assert mask[i] == is_full_view_covered(dirs, theta)
+
+    @given(st.tuples(coords, coords), st.floats(min_value=0.1, max_value=math.pi))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_property(self, probe, theta):
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.3, angle_of_view=2.0)
+        )
+        fleet = UniformDeployment().deploy(profile, 60, np.random.default_rng(11))
+        mask = full_view_mask(fleet, np.array([probe]), theta)
+        dirs = fleet.covering_directions(probe, use_index=False)
+        assert bool(mask[0]) == is_full_view_covered(dirs, theta)
+
+
+class TestConditionMask:
+    @pytest.mark.parametrize("condition", ["necessary", "sufficient"])
+    @pytest.mark.parametrize("theta", [math.pi / 4, math.pi / 3, 0.4 * math.pi])
+    def test_matches_scalar(self, fleet, points, condition, theta):
+        mask = condition_mask(fleet, points, theta, condition)
+        check = (
+            necessary_condition_holds
+            if condition == "necessary"
+            else sufficient_condition_holds
+        )
+        for i, (x, y) in enumerate(points):
+            dirs = fleet.covering_directions((float(x), float(y)), use_index=False)
+            assert mask[i] == check(dirs, theta)
+
+    def test_unknown_condition(self, fleet, points):
+        with pytest.raises(InvalidParameterError):
+            condition_mask(fleet, points, 1.0, "bogus")
+
+    def test_sandwich_vectorised(self, fleet, points):
+        theta = math.pi / 3
+        suf = condition_mask(fleet, points, theta, "sufficient")
+        exact = condition_mask(fleet, points, theta, "exact")
+        nec = condition_mask(fleet, points, theta, "necessary")
+        assert (suf <= exact).all()
+        assert (exact <= nec).all()
+
+
+class TestFraction:
+    def test_matches_scalar_fraction(self, fleet, points):
+        theta = math.pi / 3
+        for condition in ("exact", "necessary", "sufficient"):
+            fast = coverage_fraction_fast(fleet, points, theta, condition)
+            slow = condition_fraction(fleet, points, theta, condition, use_index=False)
+            assert fast == pytest.approx(slow)
+
+    def test_empty_points(self, fleet):
+        with pytest.raises(InvalidParameterError):
+            coverage_fraction_fast(fleet, np.empty((0, 2)), 1.0)
+
+
+class TestChunking:
+    def test_results_stable_across_chunk_sizes(self, fleet, monkeypatch):
+        import repro.core.batch as batch_module
+
+        points = np.random.default_rng(5).uniform(size=(30, 2))
+        full = full_view_mask(fleet, points, math.pi / 3)
+        monkeypatch.setattr(batch_module, "_MAX_PAIRS_PER_CHUNK", 500)
+        chunked = full_view_mask(fleet, points, math.pi / 3)
+        assert (full == chunked).all()

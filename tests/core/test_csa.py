@@ -1,0 +1,180 @@
+"""Tests for critical sensing area formulas (Theorems 1 and 2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csa import (
+    csa_curve_over_n,
+    csa_curve_over_theta,
+    csa_leading_order,
+    csa_necessary,
+    csa_necessary_xi,
+    csa_ratio,
+    csa_sufficient,
+    csa_sufficient_xi,
+    required_radius_homogeneous,
+)
+from repro.core.kcoverage import one_coverage_csa
+from repro.errors import InvalidParameterError
+
+ns = st.integers(min_value=3, max_value=1_000_000)
+thetas = st.floats(min_value=0.05, max_value=math.pi, allow_nan=False)
+
+
+class TestValidation:
+    def test_small_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            csa_necessary(1, math.pi / 4)
+
+    def test_bad_theta(self):
+        with pytest.raises(InvalidParameterError):
+            csa_necessary(100, 0.0)
+        with pytest.raises(InvalidParameterError):
+            csa_necessary(100, math.pi + 0.1)
+
+    def test_negative_xi(self):
+        with pytest.raises(InvalidParameterError):
+            csa_necessary_xi(100, 1.0, -0.5)
+
+
+class TestDegeneration:
+    """Section VII-A, eq. (19): the paper's own consistency anchor."""
+
+    @pytest.mark.parametrize("n", [3, 10, 100, 1000, 10_000, 1_000_000])
+    def test_theta_pi_equals_one_coverage(self, n):
+        assert csa_necessary(n, math.pi) == pytest.approx(
+            one_coverage_csa(n), rel=1e-12
+        )
+
+    def test_closed_form(self):
+        n = 1000
+        assert csa_necessary(n, math.pi) == pytest.approx(
+            (math.log(n) + math.log(math.log(n))) / n
+        )
+
+
+class TestShape:
+    @given(ns, thetas)
+    def test_positive(self, n, theta):
+        assert csa_necessary(n, theta) > 0
+        assert csa_sufficient(n, theta) > 0
+
+    @given(ns, thetas)
+    def test_sufficient_exceeds_necessary(self, n, theta):
+        assert csa_sufficient(n, theta) > csa_necessary(n, theta)
+
+    @given(thetas)
+    def test_decreasing_in_n(self, theta):
+        values = [csa_necessary(n, theta) for n in (10, 100, 1000, 10_000)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    @given(ns)
+    def test_decreasing_in_theta(self, n):
+        thetas_grid = np.linspace(0.1 * math.pi, math.pi, 8)
+        values = [csa_necessary(n, float(t)) for t in thetas_grid]
+        assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_factor_two_gap(self):
+        """Section VI-C: s_S,c ~ 2 * s_N,c."""
+        for theta in (0.1 * math.pi, 0.25 * math.pi, 0.5 * math.pi):
+            for n in (100, 1000, 10_000):
+                assert 1.8 < csa_ratio(n, theta) < 2.6
+
+    @given(ns, thetas)
+    def test_vanishes(self, n, theta):
+        """Lemma 3: the CSA is O(log n / n) -> bounded by a multiple."""
+        bound = 20.0 * math.pi / theta * (math.log(n) + 1) / n
+        assert csa_necessary(n, theta) < bound
+
+
+class TestXiParametrisation:
+    def test_xi_zero_matches_base(self):
+        assert csa_necessary_xi(500, 1.0, 0.0) == csa_necessary(500, 1.0)
+        assert csa_sufficient_xi(500, 1.0, 0.0) == csa_sufficient(500, 1.0)
+
+    @given(ns, thetas, st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=100)
+    def test_increasing_in_xi(self, n, theta, xi):
+        """Larger xi shrinks the allowed failure mass, raising the CSA."""
+        assert csa_necessary_xi(n, theta, xi) >= csa_necessary_xi(n, theta, 0.0) - 1e-15
+
+
+class TestLeadingOrder:
+    def test_converges(self):
+        """Leading order approximation converges (ratio -> 1) as n grows."""
+        theta = math.pi / 4
+        ratios = [
+            csa_necessary(n, theta) / csa_leading_order(n, theta, "necessary")
+            for n in (100, 10_000, 1_000_000)
+        ]
+        assert abs(ratios[-1] - 1.0) < abs(ratios[0] - 1.0)
+        assert abs(ratios[-1] - 1.0) < 0.05
+
+    def test_sufficient_variant(self):
+        assert csa_leading_order(1000, 1.0, "sufficient") > csa_leading_order(
+            1000, 1.0, "necessary"
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            csa_leading_order(1000, 1.0, "bogus")
+
+
+class TestCurves:
+    def test_over_theta(self):
+        out = csa_curve_over_theta(1000, [0.5, 1.0, 1.5], "necessary")
+        assert out.shape == (3,)
+        assert (np.diff(out) < 0).all()
+
+    def test_over_n(self):
+        out = csa_curve_over_n([100, 1000], math.pi / 4, "sufficient")
+        assert out[0] > out[1]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            csa_curve_over_theta(1000, [1.0], "bogus")
+        with pytest.raises(InvalidParameterError):
+            csa_curve_over_n([100], 1.0, "bogus")
+
+
+class TestRequiredRadius:
+    def test_round_trip(self):
+        n, theta, phi = 500, math.pi / 4, math.pi / 2
+        r = required_radius_homogeneous(n, theta, phi, q=1.0, condition="sufficient")
+        assert 0.5 * phi * r * r == pytest.approx(csa_sufficient(n, theta))
+
+    def test_q_scales(self):
+        n, theta, phi = 500, math.pi / 4, math.pi / 2
+        r1 = required_radius_homogeneous(n, theta, phi, q=1.0)
+        r2 = required_radius_homogeneous(n, theta, phi, q=4.0)
+        assert r2 == pytest.approx(2.0 * r1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            required_radius_homogeneous(500, 1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            required_radius_homogeneous(500, 1.0, 1.0, q=0.0)
+        with pytest.raises(InvalidParameterError):
+            required_radius_homogeneous(500, 1.0, 1.0, condition="bogus")
+
+
+class TestNumericalStability:
+    def test_huge_n(self):
+        """No overflow/underflow at very large n."""
+        value = csa_necessary(10**9, math.pi / 4)
+        assert 0 < value < 1e-6
+
+    def test_matches_naive_formula_moderate_n(self):
+        """log1p/expm1 path equals the textbook expression."""
+        from repro.core.conditions import sector_count_necessary
+
+        n, theta = 1000, math.pi / 4
+        k = sector_count_necessary(theta)
+        m = n * math.log(n)
+        naive = -(math.pi / (theta * n)) * math.log(1 - (1 - 1 / m) ** (1 / k))
+        assert csa_necessary(n, theta) == pytest.approx(naive, rel=1e-9)

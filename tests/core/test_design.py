@@ -1,0 +1,141 @@
+"""Tests for the design solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.design import (
+    DesignReport,
+    design_report,
+    point_success_probability,
+    solve_area_for_point_probability,
+    solve_n_for_point_probability,
+)
+from repro.core.uniform_theory import necessary_failure_probability
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+
+THETA = math.pi / 3
+
+
+@pytest.fixture
+def profile():
+    return HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=0.2, angle_of_view=math.pi / 2)
+    )
+
+
+class TestPointSuccessProbability:
+    def test_uniform_matches_formula(self, profile):
+        expected = 1.0 - necessary_failure_probability(profile, 300, THETA)
+        assert point_success_probability(profile, 300, THETA) == pytest.approx(expected)
+
+    def test_poisson_scheme(self, profile):
+        p = point_success_probability(profile, 300, THETA, scheme="poisson")
+        assert 0.0 <= p <= 1.0
+
+    def test_unknown_scheme(self, profile):
+        with pytest.raises(InvalidParameterError):
+            point_success_probability(profile, 300, THETA, scheme="bogus")
+
+    def test_monotone_in_n(self, profile):
+        values = [
+            point_success_probability(profile, n, THETA) for n in (10, 100, 1000)
+        ]
+        assert values[0] <= values[1] <= values[2]
+
+
+class TestSolveN:
+    def test_solution_meets_target(self, profile):
+        n = solve_n_for_point_probability(profile, THETA, 0.95)
+        assert point_success_probability(profile, n, THETA) >= 0.95
+
+    def test_solution_is_minimal(self, profile):
+        n = solve_n_for_point_probability(profile, THETA, 0.95)
+        if n > 1:
+            assert point_success_probability(profile, n - 1, THETA) < 0.95
+
+    def test_target_validation(self, profile):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(InvalidParameterError):
+                solve_n_for_point_probability(profile, THETA, bad)
+
+    def test_impossible_target_raises(self):
+        hopeless = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=1e-8, angle_of_view=0.1)
+        )
+        with pytest.raises(ConvergenceError):
+            solve_n_for_point_probability(hopeless, THETA, 0.999)
+
+    def test_poisson_variant(self, profile):
+        n = solve_n_for_point_probability(profile, THETA, 0.9, scheme="poisson")
+        assert point_success_probability(profile, n, THETA, scheme="poisson") >= 0.9
+
+    @given(st.floats(min_value=0.2, max_value=0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_target(self, target):
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.2, angle_of_view=math.pi / 2)
+        )
+        easy = solve_n_for_point_probability(profile, THETA, target * 0.5)
+        hard = solve_n_for_point_probability(profile, THETA, target)
+        assert easy <= hard
+
+
+class TestSolveArea:
+    def test_solution_meets_target(self, profile):
+        area = solve_area_for_point_probability(profile, 300, THETA, 0.95)
+        scaled = profile.scaled_to_weighted_area(area)
+        assert point_success_probability(scaled, 300, THETA) >= 0.95 - 1e-9
+
+    def test_solution_is_tight(self, profile):
+        area = solve_area_for_point_probability(profile, 300, THETA, 0.95)
+        shrunk = profile.scaled_to_weighted_area(area * 0.97)
+        assert point_success_probability(shrunk, 300, THETA) < 0.95
+
+    def test_preserves_structure(self, two_group_profile):
+        area = solve_area_for_point_probability(two_group_profile, 300, THETA, 0.9)
+        scaled = two_group_profile.scaled_to_weighted_area(area)
+        assert scaled.num_groups == two_group_profile.num_groups
+
+    def test_validation(self, profile):
+        with pytest.raises(InvalidParameterError):
+            solve_area_for_point_probability(profile, 300, THETA, 1.5)
+        with pytest.raises(InvalidParameterError):
+            solve_area_for_point_probability(profile, 300, THETA, 0.9, tolerance=0.0)
+
+    def test_more_sensors_need_less_area(self, profile):
+        small = solve_area_for_point_probability(profile, 200, THETA, 0.95)
+        large = solve_area_for_point_probability(profile, 2000, THETA, 0.95)
+        assert large < small
+
+
+class TestDesignReport:
+    def test_fields_consistent(self, two_group_profile):
+        report = design_report(two_group_profile, 400, THETA, target=0.95)
+        assert isinstance(report, DesignReport)
+        assert report.csa_sufficient > report.csa_necessary
+        assert report.csa_margin == pytest.approx(
+            report.current_weighted_area / report.csa_sufficient
+        )
+        assert report.required_scale == pytest.approx(
+            math.sqrt(report.required_area / report.current_weighted_area)
+        )
+        assert report.minimum_n_with_current_cameras > 0
+
+    def test_scaled_profile_achieves_target(self, two_group_profile):
+        report = design_report(two_group_profile, 400, THETA, target=0.95)
+        upgraded = two_group_profile.scaled_to_weighted_area(report.required_area)
+        assert point_success_probability(upgraded, 400, THETA) >= 0.95 - 1e-9
+
+    def test_minimum_n_achieves_target(self, two_group_profile):
+        report = design_report(two_group_profile, 400, THETA, target=0.95)
+        assert (
+            point_success_probability(
+                two_group_profile, report.minimum_n_with_current_cameras, THETA
+            )
+            >= 0.95
+        )

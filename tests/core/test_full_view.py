@@ -1,0 +1,256 @@
+"""Tests for the exact full-view coverage criterion."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.full_view import (
+    FullViewDiagnostics,
+    diagnose_point,
+    full_view_coverage_fraction,
+    is_full_view_covered,
+    minimum_sensors_for_full_view,
+    point_is_full_view_covered,
+    safe_direction_set,
+    validate_effective_angle,
+)
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
+from repro.sensors.fleet import SensorFleet
+
+angles = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False)
+thetas = st.floats(min_value=0.05, max_value=math.pi, allow_nan=False)
+
+
+class TestValidateEffectiveAngle:
+    def test_valid(self):
+        assert validate_effective_angle(math.pi / 4) == math.pi / 4
+
+    def test_pi_allowed(self):
+        assert validate_effective_angle(math.pi) == math.pi
+
+    def test_invalid(self):
+        for bad in (0.0, -1.0, math.pi + 0.1):
+            with pytest.raises(InvalidParameterError):
+                validate_effective_angle(bad)
+
+
+class TestIsFullViewCovered:
+    def test_no_sensors(self):
+        assert not is_full_view_covered([], math.pi / 2)
+
+    def test_single_sensor_needs_theta_pi(self):
+        assert is_full_view_covered([1.0], math.pi)
+        assert not is_full_view_covered([1.0], math.pi - 0.01)
+
+    def test_evenly_spaced_minimum(self):
+        """ceil(pi/theta) evenly spaced directions exactly suffice."""
+        theta = math.pi / 3
+        k = 3  # ceil(pi / (pi/3))
+        dirs = np.arange(k) * (TWO_PI / k)  # gaps of 2*pi/3 = 2*theta
+        assert is_full_view_covered(dirs, theta)
+
+    def test_one_fewer_fails(self):
+        theta = math.pi / 3
+        dirs = np.arange(2) * (TWO_PI / 2)  # gaps of pi > 2*theta
+        assert not is_full_view_covered(dirs, theta)
+
+    def test_clustered_directions_fail(self):
+        theta = math.pi / 4
+        dirs = [0.0, 0.05, 0.1, 0.15]  # huge gap opposite the cluster
+        assert not is_full_view_covered(dirs, theta)
+
+    def test_gap_exactly_two_theta(self):
+        theta = 0.5
+        dirs = np.arange(0, TWO_PI - 1e-9, 2 * theta)
+        # Max gap is at most 2*theta by construction.
+        assert is_full_view_covered(dirs, theta)
+
+    @given(st.lists(angles, min_size=1, max_size=20), thetas)
+    @settings(max_examples=300)
+    def test_matches_interval_cover(self, dirs, theta):
+        """Gap criterion == safe-direction arcs covering the circle."""
+        from repro.geometry.intervals import max_circular_gap
+
+        gap = max_circular_gap(dirs)
+        covered = safe_direction_set(dirs, theta).covers_circle()
+        if gap < 2 * theta - 1e-9:
+            assert is_full_view_covered(dirs, theta)
+            assert covered
+        elif gap > 2 * theta + 1e-9:
+            assert not is_full_view_covered(dirs, theta)
+            assert not covered
+
+    @given(st.lists(angles, min_size=1, max_size=20), thetas, angles)
+    @settings(max_examples=200)
+    def test_rotation_invariant(self, dirs, theta, offset):
+        rotated = [(d + offset) % TWO_PI for d in dirs]
+        assert is_full_view_covered(dirs, theta) == is_full_view_covered(rotated, theta)
+
+    @given(st.lists(angles, min_size=1, max_size=20), thetas, angles)
+    @settings(max_examples=200)
+    def test_monotone_in_sensors(self, dirs, theta, extra):
+        """Adding a sensor can never break full-view coverage."""
+        if is_full_view_covered(dirs, theta):
+            assert is_full_view_covered(dirs + [extra], theta)
+
+    @given(st.lists(angles, min_size=1, max_size=20), thetas)
+    @settings(max_examples=200)
+    def test_monotone_in_theta(self, dirs, theta):
+        """A looser effective angle can never break coverage."""
+        if is_full_view_covered(dirs, theta) and theta < math.pi - 0.01:
+            assert is_full_view_covered(dirs, min(math.pi, theta + 0.01))
+
+
+class TestSafeDirectionSet:
+    def test_empty(self):
+        assert safe_direction_set([], 1.0).is_empty
+
+    def test_single_direction_measure(self):
+        s = safe_direction_set([0.0], 0.5)
+        assert s.measure() == pytest.approx(1.0)
+
+    def test_antipodal_cover(self):
+        s = safe_direction_set([0.0, math.pi], math.pi / 2)
+        assert s.is_full_circle
+
+
+class TestPointIsFullViewCovered:
+    def test_against_fleet(self):
+        # Three sensors around the centre, all looking inward.
+        k = 3
+        theta = math.pi / 3
+        ring = np.arange(k) * (TWO_PI / k)
+        positions = np.stack([0.5 + 0.2 * np.cos(ring), 0.5 + 0.2 * np.sin(ring)], axis=1)
+        fleet = SensorFleet(
+            positions=positions,
+            orientations=(ring + math.pi) % TWO_PI,
+            radii=np.full(k, 0.3),
+            angles=np.full(k, math.pi / 2),
+        )
+        assert point_is_full_view_covered(fleet, (0.5, 0.5), theta)
+        # Stricter theta fails with only 3 sensors at 2pi/3 gaps.
+        assert not point_is_full_view_covered(fleet, (0.5, 0.5), math.pi / 4)
+
+
+class TestDiagnostics:
+    def test_uncovered_point(self):
+        fleet = SensorFleet(
+            positions=np.empty((0, 2)),
+            orientations=np.empty(0),
+            radii=np.empty(0),
+            angles=np.empty(0),
+        )
+        diag = diagnose_point(fleet, (0.5, 0.5), math.pi / 2)
+        assert not diag.covered
+        assert diag.num_covering_sensors == 0
+        assert diag.max_gap == pytest.approx(TWO_PI)
+        assert diag.worst_direction is None
+        assert diag.safe_measure == 0.0
+
+    def test_single_sensor(self):
+        fleet = SensorFleet(
+            positions=np.array([[0.7, 0.5]]),
+            orientations=np.array([math.pi]),
+            radii=np.array([0.3]),
+            angles=np.array([math.pi]),
+        )
+        diag = diagnose_point(fleet, (0.5, 0.5), math.pi / 2)
+        assert diag.num_covering_sensors == 1
+        # Worst direction is directly away from the sensor (west).
+        assert diag.worst_direction == pytest.approx(math.pi)
+        assert not diag.covered
+        assert diag.slack < 0
+
+    def test_worst_direction_is_unsafe_witness(self):
+        """When not covered, the worst direction must be > theta from
+        every viewed direction."""
+        from repro.geometry.angles import angular_distance
+
+        theta = math.pi / 4
+        positions = np.array([[0.6, 0.5], [0.5, 0.65], [0.42, 0.5]])
+        fleet = SensorFleet(
+            positions=positions,
+            orientations=np.array([math.pi, -math.pi / 2, 0.0]),
+            radii=np.full(3, 0.3),
+            angles=np.full(3, math.pi),
+        )
+        diag = diagnose_point(fleet, (0.5, 0.5), theta)
+        if not diag.covered:
+            dirs = fleet.covering_directions((0.5, 0.5))
+            assert all(angular_distance(diag.worst_direction, d) > theta for d in dirs)
+
+    def test_covered_has_positive_slack(self):
+        k = 8
+        ring = np.arange(k) * (TWO_PI / k)
+        positions = np.stack([0.5 + 0.2 * np.cos(ring), 0.5 + 0.2 * np.sin(ring)], axis=1)
+        fleet = SensorFleet(
+            positions=positions,
+            orientations=(ring + math.pi) % TWO_PI,
+            radii=np.full(k, 0.3),
+            angles=np.full(k, math.pi),
+        )
+        diag = diagnose_point(fleet, (0.5, 0.5), math.pi / 2)
+        assert diag.covered
+        assert diag.slack > 0
+        assert diag.max_gap == pytest.approx(TWO_PI / 8)
+        assert diag.safe_measure == pytest.approx(TWO_PI)
+
+
+class TestCoverageFraction:
+    def test_dense_inward_ring_covers_centre_region(self):
+        k = 24
+        ring = np.arange(k) * (TWO_PI / k)
+        positions = np.stack([0.5 + 0.3 * np.cos(ring), 0.5 + 0.3 * np.sin(ring)], axis=1)
+        fleet = SensorFleet(
+            positions=positions,
+            orientations=(ring + math.pi) % TWO_PI,
+            radii=np.full(k, 0.45),
+            angles=np.full(k, math.pi),
+        )
+        probes = np.array([[0.5, 0.5], [0.52, 0.48], [0.45, 0.55]])
+        frac = full_view_coverage_fraction(fleet, probes, math.pi / 3)
+        assert frac == 1.0
+
+    def test_empty_fleet_zero(self):
+        fleet = SensorFleet(
+            positions=np.empty((0, 2)),
+            orientations=np.empty(0),
+            radii=np.empty(0),
+            angles=np.empty(0),
+        )
+        frac = full_view_coverage_fraction(fleet, np.array([[0.5, 0.5]]), 1.0)
+        assert frac == 0.0
+
+    def test_needs_points(self, small_fleet):
+        with pytest.raises(InvalidParameterError):
+            full_view_coverage_fraction(small_fleet, np.empty((0, 2)), 1.0)
+
+
+class TestMinimumSensors:
+    def test_values(self):
+        assert minimum_sensors_for_full_view(math.pi) == 1
+        assert minimum_sensors_for_full_view(math.pi / 2) == 2
+        assert minimum_sensors_for_full_view(math.pi / 3) == 3
+        assert minimum_sensors_for_full_view(math.pi / 4 + 0.001) == 4
+
+    @given(thetas)
+    def test_achievable(self, theta):
+        """The minimum is achievable by evenly spaced directions."""
+        k = minimum_sensors_for_full_view(theta)
+        dirs = np.arange(k) * (TWO_PI / k)
+        assert is_full_view_covered(dirs, theta)
+
+    @given(thetas)
+    def test_tight(self, theta):
+        """One fewer (evenly spaced) direction fails for theta < pi."""
+        k = minimum_sensors_for_full_view(theta)
+        if k >= 2:
+            dirs = np.arange(k - 1) * (TWO_PI / (k - 1))
+            # Gap is 2*pi/(k-1) > 2*theta by minimality unless boundary.
+            if TWO_PI / (k - 1) > 2 * theta + 1e-9:
+                assert not is_full_view_covered(dirs, theta)

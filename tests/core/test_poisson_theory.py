@@ -1,0 +1,134 @@
+"""Tests for Theorems 3 and 4 (Poisson deployment)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.poisson_theory import (
+    group_sector_success,
+    poisson_necessary_probability,
+    poisson_sufficient_probability,
+    uniform_poisson_gap,
+)
+from repro.errors import InvalidParameterError
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+
+thetas = st.floats(min_value=0.05, max_value=math.pi, allow_nan=False)
+radii = st.floats(min_value=0.01, max_value=0.4, allow_nan=False)
+view_angles = st.floats(min_value=0.1, max_value=2 * math.pi, allow_nan=False)
+intensities = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+
+
+def homogeneous(s, phi=math.pi / 2):
+    return HeterogeneousProfile.homogeneous(CameraSpec.from_area(s, phi))
+
+
+class TestGroupSectorSuccess:
+    def test_zero_intensity(self):
+        assert group_sector_success(0.0, 0.2, 1.0, 1.0, "necessary") == 0.0
+
+    def test_closed_form_value(self):
+        """Q = 1 - exp(-theta * n_y * s_y / pi) for the necessary sector."""
+        n_y, r, phi, theta = 300.0, 0.2, math.pi / 2, math.pi / 3
+        s = 0.5 * phi * r * r
+        expected = 1.0 - math.exp(-theta * n_y * s / math.pi)
+        assert group_sector_success(n_y, r, phi, theta, "necessary") == pytest.approx(
+            expected
+        )
+
+    def test_sufficient_rate_is_half(self):
+        n_y, r, phi, theta = 300.0, 0.2, math.pi / 2, math.pi / 3
+        q_n = group_sector_success(n_y, r, phi, theta, "necessary")
+        q_s = group_sector_success(n_y, r, phi, theta, "sufficient")
+        # -log(1-Q) is the exponent rate; sufficient is half the necessary.
+        assert -math.log1p(-q_s) == pytest.approx(-0.5 * math.log1p(-q_n), rel=1e-9)
+
+    @given(intensities, radii, view_angles, thetas)
+    @settings(max_examples=150, deadline=None)  # the series sums ~1000s of terms
+    def test_series_matches_closed_form(self, n_y, r, phi, theta):
+        closed = group_sector_success(n_y, r, phi, theta, "necessary", "closed_form")
+        series = group_sector_success(n_y, r, phi, theta, "necessary", "series")
+        assert series == pytest.approx(closed, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            group_sector_success(-1.0, 0.2, 1.0, 1.0, "necessary")
+        with pytest.raises(InvalidParameterError):
+            group_sector_success(1.0, 0.2, 1.0, 1.0, "bogus")
+        with pytest.raises(InvalidParameterError):
+            group_sector_success(1.0, 0.2, 1.0, 1.0, "necessary", "bogus")
+
+    @given(radii, view_angles, thetas)
+    @settings(max_examples=100)
+    def test_monotone_in_intensity(self, r, phi, theta):
+        values = [
+            group_sector_success(n_y, r, phi, theta, "necessary")
+            for n_y in (10.0, 100.0, 1000.0)
+        ]
+        assert values[0] <= values[1] <= values[2]
+
+
+class TestTheorems:
+    def test_in_unit_interval(self, two_group_profile):
+        for n in (50, 500, 5000):
+            for theta in (0.5, math.pi / 3, math.pi):
+                p_n = poisson_necessary_probability(two_group_profile, n, theta)
+                p_s = poisson_sufficient_probability(two_group_profile, n, theta)
+                assert 0.0 <= p_n <= 1.0
+                assert 0.0 <= p_s <= 1.0
+
+    def test_necessary_easier_than_sufficient(self, two_group_profile):
+        for n in (50, 500):
+            theta = math.pi / 3
+            assert poisson_necessary_probability(
+                two_group_profile, n, theta
+            ) >= poisson_sufficient_probability(two_group_profile, n, theta)
+
+    def test_increasing_in_n(self, two_group_profile):
+        theta = math.pi / 3
+        values = [
+            poisson_necessary_probability(two_group_profile, n, theta)
+            for n in (10, 100, 1000)
+        ]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_series_method_agrees(self, two_group_profile):
+        for condition_fn in (
+            poisson_necessary_probability,
+            poisson_sufficient_probability,
+        ):
+            closed = condition_fn(two_group_profile, 400, math.pi / 4, "closed_form")
+            series = condition_fn(two_group_profile, 400, math.pi / 4, "series")
+            assert closed == pytest.approx(series, abs=1e-9)
+
+    def test_theorem3_manual_homogeneous(self):
+        """Replicate Theorem 3 by hand for a homogeneous fleet."""
+        r, phi, theta, n = 0.15, math.pi / 2, math.pi / 3, 400
+        profile = HeterogeneousProfile.homogeneous(CameraSpec(r, phi))
+        mean = theta * n * r * r  # sector area (angle 2theta) x intensity
+        q = 1.0 - math.exp(-mean * phi / (2 * math.pi))
+        k = math.ceil(math.pi / theta)
+        expected = q**k
+        assert poisson_necessary_probability(profile, n, theta) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_validation(self, two_group_profile):
+        with pytest.raises(InvalidParameterError):
+            poisson_necessary_probability(two_group_profile, 0, 1.0)
+
+
+class TestUniformPoissonGap:
+    def test_small_and_shrinking(self, two_group_profile):
+        gaps = [
+            uniform_poisson_gap(two_group_profile, n, math.pi / 3) for n in (50, 200, 800)
+        ]
+        assert all(g < 0.1 for g in gaps)
+        assert gaps[-1] < gaps[0] + 1e-9
+
+    def test_both_conditions(self, two_group_profile):
+        for condition in ("necessary", "sufficient"):
+            assert uniform_poisson_gap(two_group_profile, 200, 1.0, condition) >= 0.0

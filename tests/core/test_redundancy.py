@@ -1,0 +1,185 @@
+"""Tests for redundancy/robustness analysis, including brute-force
+cross-checks of the exact algorithms."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.full_view import is_full_view_covered, minimum_sensors_for_full_view
+from repro.core.redundancy import (
+    breach_cost,
+    minimum_guard_set,
+    redundant_sensors,
+    robustness_margin,
+)
+from repro.geometry.angles import TWO_PI
+
+angles = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False)
+thetas = st.floats(min_value=0.15, max_value=math.pi, allow_nan=False)
+
+
+def brute_force_min_guard(dirs, theta):
+    """Smallest covering subset by exhaustive search (small k only)."""
+    k = len(dirs)
+    for size in range(1, k + 1):
+        for subset in itertools.combinations(range(k), size):
+            if is_full_view_covered([dirs[i] for i in subset], theta):
+                return size
+    return None
+
+
+def brute_force_breach(dirs, theta):
+    """Smallest removal set that breaks coverage, by exhaustive search."""
+    k = len(dirs)
+    if not is_full_view_covered(dirs, theta):
+        return 0
+    for size in range(1, k + 1):
+        for removal in itertools.combinations(range(k), size):
+            rest = [d for i, d in enumerate(dirs) if i not in removal]
+            if not is_full_view_covered(rest, theta):
+                return size
+    return k
+
+
+class TestBreachCost:
+    def test_uncovered_is_zero(self):
+        assert breach_cost([0.0, 0.1], math.pi / 4) == 0
+        assert breach_cost([], math.pi / 4) == 0
+
+    def test_minimal_cover_costs_one(self):
+        """Evenly spaced minimum configuration: removing any one sensor
+        opens a gap."""
+        theta = math.pi / 3
+        dirs = np.arange(3) * (TWO_PI / 3)
+        assert breach_cost(dirs, theta) == 1
+
+    def test_doubled_cover_costs_two(self):
+        theta = math.pi / 3
+        base = np.arange(3) * (TWO_PI / 3)
+        doubled = np.concatenate([base, base + 1e-4])
+        assert breach_cost(doubled, theta) == 2
+
+    def test_theta_pi_single_sensor(self):
+        # One sensor covers at theta = pi; removing it breaks coverage.
+        assert breach_cost([1.0], math.pi) == 1
+
+    @given(st.lists(angles, min_size=1, max_size=7), thetas)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, dirs, theta):
+        assert breach_cost(dirs, theta) == brute_force_breach(dirs, theta)
+
+    @given(st.lists(angles, min_size=1, max_size=10), thetas)
+    @settings(max_examples=150, deadline=None)
+    def test_positive_iff_covered(self, dirs, theta):
+        cost = breach_cost(dirs, theta)
+        if is_full_view_covered(dirs, theta):
+            assert cost >= 1
+        else:
+            assert cost == 0
+
+
+class TestMinimumGuardSet:
+    def test_none_when_uncovered(self):
+        assert minimum_guard_set([0.0, 0.2], math.pi / 4) is None
+
+    def test_single_at_theta_pi(self):
+        guard = minimum_guard_set([1.0, 2.0, 3.0], math.pi)
+        assert guard is not None
+        assert len(guard) == 1
+
+    def test_already_minimal(self):
+        theta = math.pi / 3
+        dirs = (np.arange(3) * (TWO_PI / 3)).tolist()
+        guard = minimum_guard_set(dirs, theta)
+        assert guard is not None and len(guard) == 3
+
+    def test_prunes_redundancy(self):
+        theta = math.pi / 2
+        # Two antipodal sensors suffice; extras are pruned.
+        dirs = [0.0, math.pi, 0.3, 2.0, 4.0]
+        guard = minimum_guard_set(dirs, theta)
+        assert guard is not None and len(guard) == 2
+
+    def test_guard_set_actually_covers(self):
+        theta = math.pi / 4
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            dirs = rng.uniform(0, TWO_PI, size=12)
+            guard = minimum_guard_set(dirs, theta)
+            if guard is not None:
+                assert is_full_view_covered(dirs[guard], theta)
+
+    @given(st.lists(angles, min_size=1, max_size=7), thetas)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_size(self, dirs, theta):
+        guard = minimum_guard_set(dirs, theta)
+        expected = brute_force_min_guard(dirs, theta)
+        if expected is None:
+            assert guard is None
+        else:
+            assert guard is not None
+            assert len(guard) == expected
+
+    @given(st.lists(angles, min_size=1, max_size=12), thetas)
+    @settings(max_examples=150, deadline=None)
+    def test_lower_bound(self, dirs, theta):
+        """Guard sets respect the paper's ceil(pi/theta) minimum."""
+        guard = minimum_guard_set(dirs, theta)
+        if guard is not None:
+            assert len(guard) >= minimum_sensors_for_full_view(theta)
+
+    @given(st.lists(angles, min_size=1, max_size=12), thetas)
+    @settings(max_examples=100, deadline=None)
+    def test_indices_valid_and_unique(self, dirs, theta):
+        guard = minimum_guard_set(dirs, theta)
+        if guard is not None:
+            assert len(set(guard)) == len(guard)
+            assert all(0 <= i < len(dirs) for i in guard)
+
+
+class TestRedundantSensors:
+    def test_empty_when_uncovered(self):
+        assert redundant_sensors([0.0], math.pi / 4) == []
+
+    def test_none_redundant_in_minimal_cover(self):
+        theta = math.pi / 3
+        dirs = (np.arange(3) * (TWO_PI / 3)).tolist()
+        assert redundant_sensors(dirs, theta) == []
+
+    def test_close_pair_redundant(self):
+        """The paper's Fig. 9 (right): one of two close sensors is
+        removable."""
+        theta = math.pi / 3
+        dirs = [0.0, 0.05, TWO_PI / 3, 2 * TWO_PI / 3]
+        redundant = redundant_sensors(dirs, theta)
+        assert 0 in redundant or 1 in redundant
+
+    @given(st.lists(angles, min_size=1, max_size=10), thetas)
+    @settings(max_examples=150, deadline=None)
+    def test_each_reported_sensor_is_removable(self, dirs, theta):
+        for i in redundant_sensors(dirs, theta):
+            rest = [d for j, d in enumerate(dirs) if j != i]
+            assert is_full_view_covered(rest, theta)
+
+
+class TestRobustnessMargin:
+    def test_range(self):
+        theta = math.pi / 3
+        dirs = np.arange(6) * (TWO_PI / 6)
+        margin = robustness_margin(dirs, theta)
+        assert 0.0 < margin <= 1.0
+
+    def test_zero_when_uncovered(self):
+        assert robustness_margin([0.0], math.pi / 4) == 0.0
+        assert robustness_margin([], math.pi / 4) == 0.0
+
+    def test_denser_ring_is_more_robust(self):
+        theta = math.pi / 3
+        sparse = np.arange(3) * (TWO_PI / 3)
+        dense = np.arange(12) * (TWO_PI / 12)
+        assert breach_cost(dense, theta) > breach_cost(sparse, theta)

@@ -1,0 +1,197 @@
+"""Tests for the uniform-deployment probability formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.uniform_theory import (
+    coverage_probability_single_point,
+    expected_covering_sensors,
+    grid_failure_bounds,
+    necessary_failure_probability,
+    necessary_failure_probability_exact,
+    per_sensor_sector_probability,
+    point_failure_probability,
+    sufficient_failure_probability,
+)
+from repro.errors import InvalidParameterError
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+
+thetas = st.floats(min_value=0.05, max_value=math.pi, allow_nan=False)
+small_areas = st.floats(min_value=1e-6, max_value=0.05, allow_nan=False)
+ns = st.integers(min_value=1, max_value=10_000)
+
+
+def homogeneous(s, phi=math.pi / 2):
+    return HeterogeneousProfile.homogeneous(CameraSpec.from_area(s, phi))
+
+
+class TestPerSensorSectorProbability:
+    def test_necessary_formula(self):
+        """Section III-A: (2theta/2pi) * pi r^2 * (phi/2pi) = theta*s/pi."""
+        theta, r, phi = math.pi / 3, 0.2, math.pi / 2
+        s = 0.5 * phi * r * r
+        expected = (2 * theta / (2 * math.pi)) * math.pi * r * r * (phi / (2 * math.pi))
+        assert per_sensor_sector_probability(s, theta, "necessary") == pytest.approx(
+            expected
+        )
+        assert expected == pytest.approx(theta * s / math.pi)
+
+    def test_sufficient_is_half(self):
+        s, theta = 0.01, 1.0
+        assert per_sensor_sector_probability(
+            s, theta, "sufficient"
+        ) == pytest.approx(0.5 * per_sensor_sector_probability(s, theta, "necessary"))
+
+    def test_caps_at_one(self):
+        assert per_sensor_sector_probability(10.0, math.pi, "necessary") == 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            per_sensor_sector_probability(0.0, 1.0, "necessary")
+        with pytest.raises(InvalidParameterError):
+            per_sensor_sector_probability(0.1, 1.0, "bogus")
+
+
+class TestFailureProbabilities:
+    def test_in_unit_interval(self, two_group_profile):
+        for n in (10, 100, 1000):
+            for theta in (0.5, 1.0, math.pi):
+                p = necessary_failure_probability(two_group_profile, n, theta)
+                q = sufficient_failure_probability(two_group_profile, n, theta)
+                assert 0.0 <= p <= 1.0
+                assert 0.0 <= q <= 1.0
+
+    def test_sufficient_harder_than_necessary(self, two_group_profile):
+        """Failing the sufficient condition is more likely."""
+        for n in (50, 200, 800):
+            p_n = necessary_failure_probability(two_group_profile, n, math.pi / 3)
+            p_s = sufficient_failure_probability(two_group_profile, n, math.pi / 3)
+            assert p_s >= p_n
+
+    def test_decreasing_in_n(self, two_group_profile):
+        values = [
+            necessary_failure_probability(two_group_profile, n, math.pi / 3)
+            for n in (10, 100, 1000, 5000)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_decreasing_in_area(self):
+        theta, n = math.pi / 3, 300
+        values = [
+            necessary_failure_probability(homogeneous(s), n, theta)
+            for s in (0.001, 0.01, 0.05)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_theta_pi_reduces_to_miss_probability(self):
+        """At theta = pi there is one sector: failure = no sensor covers P.
+
+        P(miss) = (1 - s/2)^n since the sector prob is pi*s/pi... i.e.
+        theta*s/pi = s at theta = pi... wait: theta*s/pi = s.  Then
+        P(F) = 1 - [1 - (1-s)^n]^1 = (1-s)^n."""
+        s, n = 0.01, 200
+        p = necessary_failure_probability(homogeneous(s), n, math.pi)
+        assert p == pytest.approx((1 - s) ** n, rel=1e-9)
+
+    def test_dispatch(self, two_group_profile):
+        assert point_failure_probability(
+            two_group_profile, 100, 1.0, "necessary"
+        ) == necessary_failure_probability(two_group_profile, 100, 1.0)
+        with pytest.raises(InvalidParameterError):
+            point_failure_probability(two_group_profile, 100, 1.0, "bogus")
+
+    @given(small_areas, ns, thetas)
+    @settings(max_examples=200)
+    def test_bounds_property(self, s, n, theta):
+        p = necessary_failure_probability(homogeneous(s), n, theta)
+        assert 0.0 <= p <= 1.0
+
+    def test_heterogeneous_matches_manual(self, two_group_profile):
+        """Replicate eq. (2) by hand for the two-group profile."""
+        n, theta = 500, math.pi / 4
+        counts = two_group_profile.group_counts(n)
+        vacancy = 1.0
+        for g, n_y in zip(two_group_profile.groups, counts):
+            vacancy *= (1 - theta * g.sensing_area / math.pi) ** n_y
+        k = math.ceil(math.pi / theta)
+        expected = 1 - (1 - vacancy) ** k
+        assert necessary_failure_probability(
+            two_group_profile, n, theta
+        ) == pytest.approx(expected, rel=1e-9)
+
+
+class TestInclusionExclusion:
+    def test_close_to_independent_version(self):
+        """The paper's independence step is a good approximation."""
+        profile = homogeneous(0.01)
+        for theta in (math.pi / 2, math.pi / 4):  # divide 2*pi: exact IE
+            approx = necessary_failure_probability(profile, 400, theta)
+            exact = necessary_failure_probability_exact(profile, 400, theta)
+            assert approx == pytest.approx(exact, abs=5e-3)
+
+    def test_exact_at_single_sector(self):
+        """theta = pi has one sector: both formulas are identical."""
+        profile = homogeneous(0.02)
+        assert necessary_failure_probability_exact(
+            profile, 300, math.pi
+        ) == pytest.approx(necessary_failure_probability(profile, 300, math.pi), rel=1e-9)
+
+    def test_exact_is_larger(self):
+        """Negative correlation between sector occupancies means the
+        independent approximation slightly *underestimates* failure."""
+        profile = homogeneous(0.02)
+        theta = math.pi / 2
+        exact = necessary_failure_probability_exact(profile, 100, theta)
+        approx = necessary_failure_probability(profile, 100, theta)
+        assert exact >= approx - 1e-12
+
+
+class TestGridBounds:
+    def test_upper_at_least_lower(self, two_group_profile):
+        bounds = grid_failure_bounds(two_group_profile, 300, math.pi / 3)
+        assert 0.0 <= bounds.lower <= bounds.upper <= 1.0
+
+    def test_default_grid_size(self, two_group_profile):
+        bounds = grid_failure_bounds(two_group_profile, 300, math.pi / 3)
+        assert bounds.grid_points == math.ceil(300 * math.log(300))
+
+    def test_custom_grid(self, two_group_profile):
+        bounds = grid_failure_bounds(
+            two_group_profile, 300, math.pi / 3, grid_points=100
+        )
+        assert bounds.grid_points == 100
+        assert bounds.upper == pytest.approx(min(1.0, 100 * bounds.point_failure))
+
+    def test_validation(self, two_group_profile):
+        with pytest.raises(InvalidParameterError):
+            grid_failure_bounds(two_group_profile, 300, 1.0, grid_points=0)
+
+
+class TestAuxiliaries:
+    def test_expected_covering_sensors(self):
+        profile = homogeneous(0.01)
+        assert expected_covering_sensors(profile, 500) == pytest.approx(5.0)
+
+    def test_expected_covering_heterogeneous(self, two_group_profile):
+        n = 1000
+        counts = two_group_profile.group_counts(n)
+        expected = sum(
+            c * g.sensing_area for g, c in zip(two_group_profile.groups, counts)
+        )
+        assert expected_covering_sensors(two_group_profile, n) == pytest.approx(expected)
+
+    def test_coverage_probability(self):
+        profile = homogeneous(0.01)
+        assert coverage_probability_single_point(profile, 300) == pytest.approx(
+            1 - (1 - 0.01) ** 300, rel=1e-9
+        )
+
+    def test_coverage_probability_saturates(self):
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.9, angle_of_view=2 * math.pi)
+        )
+        assert coverage_probability_single_point(profile, 10) == 1.0

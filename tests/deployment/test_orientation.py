@@ -1,0 +1,102 @@
+"""Tests for orientation samplers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.deployment.orientation import (
+    InwardOrientation,
+    UniformOrientation,
+    VonMisesOrientation,
+)
+
+
+@pytest.fixture
+def positions(rng):
+    return rng.uniform(size=(500, 2))
+
+
+class TestUniformOrientation:
+    def test_range(self, positions, rng):
+        out = UniformOrientation().sample(positions, rng)
+        assert out.shape == (500,)
+        assert (out >= 0).all() and (out < 2 * math.pi).all()
+
+    def test_uniformity(self, positions):
+        out = UniformOrientation().sample(positions, np.random.default_rng(0))
+        hist, _ = np.histogram(out, bins=8, range=(0, 2 * math.pi))
+        chi2 = ((hist - 500 / 8) ** 2 / (500 / 8)).sum()
+        assert chi2 < 24.3
+
+
+class TestVonMisesOrientation:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            VonMisesOrientation(kappa=-1.0)
+
+    def test_concentrates_on_mean(self, positions, rng):
+        mean = 1.2
+        out = VonMisesOrientation(mean=mean, kappa=50.0).sample(positions, rng)
+        # Circular distance to the mean should be small for almost all.
+        from repro.geometry.angles import angular_distance
+
+        dists = angular_distance(out, mean)
+        assert np.median(dists) < 0.2
+
+    def test_kappa_zero_is_spread_out(self, positions, rng):
+        out = VonMisesOrientation(mean=0.0, kappa=0.0).sample(positions, rng)
+        hist, _ = np.histogram(out, bins=4, range=(0, 2 * math.pi))
+        assert (hist > 50).all()
+
+    def test_range(self, positions, rng):
+        out = VonMisesOrientation(mean=5.0, kappa=2.0).sample(positions, rng)
+        assert (out >= 0).all() and (out < 2 * math.pi).all()
+
+
+class TestInwardOrientation:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            InwardOrientation(jitter=-0.1)
+
+    def test_aims_at_focus(self, rng):
+        positions = np.array([[0.0, 0.5], [0.5, 0.0], [1.0, 0.5]])
+        out = InwardOrientation(focus_x=0.5, focus_y=0.5).sample(positions, rng)
+        assert out[0] == pytest.approx(0.0)  # east towards centre
+        assert out[1] == pytest.approx(math.pi / 2)  # north
+        assert out[2] == pytest.approx(math.pi)  # west
+
+    def test_jitter_perturbs(self):
+        positions = np.tile([[0.0, 0.5]], (200, 1))
+        exact = InwardOrientation().sample(positions, np.random.default_rng(0))
+        noisy = InwardOrientation(jitter=0.2).sample(positions, np.random.default_rng(0))
+        assert np.allclose(exact, exact[0])
+        assert np.std(noisy) > 0.05
+
+    def test_makes_focus_full_view_covered(self, rng):
+        """Perimeter cameras aimed at the centre full-view cover it with
+        just ceil(pi/theta) sensors — the paper's minimum."""
+        import numpy as np
+
+        from repro.core.full_view import is_full_view_covered
+        from repro.sensors.fleet import SensorFleet
+
+        theta = math.pi / 3
+        k = math.ceil(math.pi / theta)
+        angles = np.arange(k) * (2 * math.pi / k)
+        positions = np.stack(
+            [0.5 + 0.2 * np.cos(angles), 0.5 + 0.2 * np.sin(angles)], axis=1
+        )
+        orientations = InwardOrientation().sample(positions, rng)
+        fleet = SensorFleet(
+            positions=positions,
+            orientations=orientations,
+            radii=np.full(k, 0.3),
+            angles=np.full(k, math.pi / 2),
+        )
+        dirs = fleet.covering_directions((0.5, 0.5))
+        assert dirs.size == k
+        assert is_full_view_covered(dirs, theta)

@@ -1,0 +1,113 @@
+"""Unit tests for experiment-module helper functions.
+
+The pass/fail acceptance tests treat experiments as black boxes; these
+tests pin the internals — table builders, scenario lists, analytic
+helpers — so a regression is localised rather than just 'FIG7 failed'.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.critical_search import (
+    bisect_transition,
+    grid_coverage_probability,
+)
+from repro.experiments.figure7 import build_table as fig7_table
+from repro.experiments.figure8 import build_table as fig8_table
+from repro.experiments.heterogeneity import profiles_with_equal_weighted_area
+from repro.experiments.occlusion import visibility_ratio
+from repro.experiments.uniform_validation import scenarios, validation_profile
+from repro.core.csa import csa_necessary, csa_sufficient
+
+
+class TestFigureTables:
+    def test_fig7_columns_and_rows(self):
+        table = fig7_table(points=5)
+        assert len(table) == 5
+        assert table.column("theta_over_pi")[0] == pytest.approx(0.1)
+        assert table.column("theta_over_pi")[-1] == pytest.approx(0.5)
+
+    def test_fig7_values_match_formulas(self):
+        table = fig7_table(n=1000, points=3)
+        for record in table.to_records():
+            theta = record["theta"]
+            assert record["csa_necessary"] == pytest.approx(csa_necessary(1000, theta))
+            assert record["csa_sufficient"] == pytest.approx(
+                csa_sufficient(1000, theta)
+            )
+
+    def test_fig8_axis_endpoints(self):
+        table = fig8_table(count=7)
+        ns = table.column("n")
+        assert ns[0] == 100 and ns[-1] == 10_000
+
+    def test_fig8_values_match_formulas(self):
+        table = fig8_table(count=5)
+        for record in table.to_records():
+            assert record["csa_necessary"] == pytest.approx(
+                csa_necessary(record["n"], math.pi / 4)
+            )
+
+
+class TestValidationScenarios:
+    def test_profile_is_two_groups(self):
+        assert validation_profile().num_groups == 2
+
+    def test_fast_scenarios_subset_of_full(self):
+        fast = set(scenarios(True))
+        full = set(scenarios(False))
+        assert fast <= full
+
+
+class TestHeterogeneityProfiles:
+    def test_all_profiles_hit_target(self):
+        for label, profile in profiles_with_equal_weighted_area(0.02):
+            assert profile.weighted_sensing_area == pytest.approx(0.02, abs=1e-12), label
+
+    def test_structures_differ(self):
+        structures = [p.num_groups for _, p in profiles_with_equal_weighted_area(0.02)]
+        assert sorted(structures) == [1, 2, 4]
+
+
+class TestVisibilityRatio:
+    def test_no_obstacles_is_one(self):
+        assert visibility_ratio(0.0, 0.02, 0.3) == pytest.approx(1.0)
+
+    def test_decreasing_in_intensity(self):
+        values = [visibility_ratio(lam, 0.02, 0.3) for lam in (0, 10, 50, 200)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_decreasing_in_radius(self):
+        assert visibility_ratio(30, 0.05, 0.3) < visibility_ratio(30, 0.01, 0.3)
+
+    def test_matches_closed_form(self):
+        """For the stadium model the integral has a closed form:
+        with a = lam*2*R*reach and c = exp(-lam*pi*R^2):
+        integral 2 t e^{-a t} dt = 2 (1 - (1+a) e^{-a}) / a^2."""
+        lam, R, reach = 40.0, 0.03, 0.25
+        a = lam * 2 * R * reach
+        c = math.exp(-lam * math.pi * R * R)
+        closed = c * 2.0 * (1.0 - (1.0 + a) * math.exp(-a)) / (a * a)
+        assert visibility_ratio(lam, R, reach) == pytest.approx(closed, rel=1e-3)
+
+
+class TestCriticalSearchHelpers:
+    def test_grid_coverage_probability_extremes(self):
+        theta = math.pi / 2
+        tiny = grid_coverage_probability(1e-4, 100, theta, trials=10, seed=0, max_points=50)
+        huge = grid_coverage_probability(0.8, 100, theta, trials=10, seed=0, max_points=50)
+        assert tiny == 0.0
+        assert huge == 1.0
+
+    def test_bisection_result_in_bracket(self):
+        theta = math.pi / 2
+        n = 120
+        s_star, p_lo, p_hi = bisect_transition(
+            n, theta, trials=15, seed=3, max_points=80, iterations=4
+        )
+        assert 0.25 * csa_necessary(n, theta) <= s_star <= 2.0 * csa_sufficient(n, theta)
+        assert p_lo < 0.5 <= p_hi

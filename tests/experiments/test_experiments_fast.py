@@ -1,0 +1,85 @@
+"""Every registered experiment must pass its own checks in fast mode.
+
+These are the reproduction's acceptance tests: each experiment encodes
+the paper's shape-level claims as named checks; a regression anywhere in
+the stack (geometry, sensing, deployment, theory, simulation) surfaces
+here as a failed check.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+
+ANALYTIC = ["FIG7", "FIG8", "EQ19", "KCOV"]
+MONTE_CARLO = ["EQ2-MC", "EQ13-MC", "THM3-MC", "THM4-MC", "AREA", "HET", "GAP", "PHASE"]
+EXTENSIONS = [
+    "BARRIER",
+    "CLUSTER",
+    "CONN",
+    "CRIT",
+    "OCCL",
+    "ORIENT",
+    "PLAN",
+    "PROB",
+    "ROBUST",
+    "SLEEP",
+]
+
+
+@pytest.mark.parametrize("experiment_id", ANALYTIC)
+def test_analytic_experiment_passes(experiment_id):
+    result = get_experiment(experiment_id).run(fast=True, seed=0)
+    assert result.passed, f"{experiment_id} failed: {result.failed_checks()}"
+    assert result.tables, "every experiment must produce at least one table"
+    assert all(len(t) > 0 for t in result.tables)
+
+
+@pytest.mark.parametrize("experiment_id", MONTE_CARLO)
+def test_monte_carlo_experiment_passes(experiment_id):
+    result = get_experiment(experiment_id).run(fast=True, seed=0)
+    assert result.passed, f"{experiment_id} failed: {result.failed_checks()}"
+    assert result.tables
+
+
+@pytest.mark.parametrize("experiment_id", EXTENSIONS)
+def test_extension_experiment_passes(experiment_id):
+    result = get_experiment(experiment_id).run(fast=True, seed=0)
+    assert result.passed, f"{experiment_id} failed: {result.failed_checks()}"
+    assert result.tables
+
+
+def test_seed_changes_monte_carlo_but_not_verdict():
+    """A different seed shifts numbers but not the qualitative checks."""
+    a = get_experiment("EQ2-MC").run(fast=True, seed=0)
+    b = get_experiment("EQ2-MC").run(fast=True, seed=123)
+    assert a.passed and b.passed
+    sim_a = a.tables[0].column("simulated_success")
+    sim_b = b.tables[0].column("simulated_success")
+    assert sim_a != sim_b
+
+
+def test_figure7_inverse_proportionality_numbers():
+    """theta * CSA is nearly constant across the Figure 7 sweep."""
+    result = get_experiment("FIG7").run(fast=True, seed=0)
+    products = result.tables[0].column("theta_times_csa_nec")
+    spread = (max(products) - min(products)) / (sum(products) / len(products))
+    assert spread < 0.5
+
+
+def test_figure8_paper_anchor():
+    """n=100, theta=pi/4: sufficient CSA is ~0.66 (paper eyeballs ~0.5)."""
+    result = get_experiment("FIG8").run(fast=True, seed=0)
+    table = result.tables[0]
+    first = table.to_records()[0]
+    assert first["n"] == 100
+    assert 0.4 < first["csa_sufficient"] < 0.8
+
+
+def test_eq19_identity_is_tight():
+    result = get_experiment("EQ19").run(fast=True, seed=0)
+    errors = result.tables[0].column("relative_error")
+    assert max(errors) < 1e-9

@@ -1,0 +1,220 @@
+"""Unit and property tests for angular arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_linspace,
+    angular_distance,
+    circular_mean,
+    is_angle_between,
+    normalize_angle,
+    normalize_angle_signed,
+    signed_angular_difference,
+)
+
+finite_angles = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestNormalizeAngle:
+    def test_identity_in_range(self):
+        assert normalize_angle(1.0) == 1.0
+
+    def test_wraps_negative(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_wraps_above_two_pi(self):
+        assert normalize_angle(TWO_PI + 0.5) == pytest.approx(0.5)
+
+    def test_exactly_two_pi_maps_to_zero(self):
+        assert normalize_angle(TWO_PI) == 0.0
+
+    def test_zero(self):
+        assert normalize_angle(0.0) == 0.0
+
+    def test_large_multiple(self):
+        assert normalize_angle(1000 * TWO_PI + 0.25) == pytest.approx(0.25, abs=1e-9)
+
+    def test_array_input(self):
+        out = normalize_angle(np.array([-0.1, 0.0, TWO_PI + 0.1]))
+        assert out.shape == (3,)
+        assert np.allclose(out, [TWO_PI - 0.1, 0.0, 0.1])
+
+    @given(finite_angles)
+    def test_range_property(self, angle):
+        result = normalize_angle(angle)
+        assert 0.0 <= result < TWO_PI
+
+    @given(finite_angles)
+    def test_scalar_matches_array(self, angle):
+        scalar = normalize_angle(angle)
+        vector = normalize_angle(np.array([angle]))[0]
+        assert scalar == pytest.approx(vector, abs=1e-9)
+
+    @given(finite_angles)
+    def test_idempotent(self, angle):
+        once = normalize_angle(angle)
+        assert normalize_angle(once) == pytest.approx(once)
+
+
+class TestNormalizeAngleSigned:
+    def test_positive_stays(self):
+        assert normalize_angle_signed(1.0) == 1.0
+
+    def test_pi_maps_to_pi(self):
+        assert normalize_angle_signed(math.pi) == pytest.approx(math.pi)
+
+    def test_minus_pi_maps_to_pi(self):
+        assert normalize_angle_signed(-math.pi) == pytest.approx(math.pi)
+
+    def test_array(self):
+        out = normalize_angle_signed(np.array([3 * math.pi / 2]))
+        assert out[0] == pytest.approx(-math.pi / 2)
+
+    @given(finite_angles)
+    def test_range_property(self, angle):
+        result = normalize_angle_signed(angle)
+        assert -math.pi < result <= math.pi + 1e-12
+
+    @given(finite_angles)
+    def test_same_direction(self, angle):
+        assert normalize_angle(normalize_angle_signed(angle)) == pytest.approx(
+            normalize_angle(angle), abs=1e-9
+        )
+
+
+class TestSignedAngularDifference:
+    def test_simple(self):
+        assert signed_angular_difference(1.0, 0.5) == pytest.approx(0.5)
+
+    def test_wraps_short_way(self):
+        assert signed_angular_difference(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+    def test_negative_direction(self):
+        assert signed_angular_difference(0.0, 0.5) == pytest.approx(-0.5)
+
+    @given(finite_angles, finite_angles)
+    def test_antisymmetric_modulo_pi(self, a, b):
+        fwd = signed_angular_difference(a, b)
+        back = signed_angular_difference(b, a)
+        if abs(abs(fwd) - math.pi) > 1e-9:  # pi maps to itself both ways
+            assert fwd == pytest.approx(-back, abs=1e-9)
+
+
+class TestAngularDistance:
+    def test_zero(self):
+        assert angular_distance(1.0, 1.0) == 0.0
+
+    def test_across_wrap(self):
+        assert angular_distance(0.05, TWO_PI - 0.05) == pytest.approx(0.1)
+
+    def test_max_is_pi(self):
+        assert angular_distance(0.0, math.pi) == pytest.approx(math.pi)
+
+    def test_arrays_broadcast(self):
+        out = angular_distance(np.array([0.0, 1.0]), 0.5)
+        assert np.allclose(out, [0.5, 0.5])
+
+    @given(finite_angles, finite_angles)
+    def test_symmetric(self, a, b):
+        assert angular_distance(a, b) == pytest.approx(angular_distance(b, a), abs=1e-9)
+
+    @given(finite_angles, finite_angles)
+    def test_range(self, a, b):
+        d = angular_distance(a, b)
+        assert 0.0 <= d <= math.pi + 1e-12
+
+    @given(finite_angles, finite_angles, finite_angles)
+    def test_triangle_inequality(self, a, b, c):
+        assert angular_distance(a, c) <= (
+            angular_distance(a, b) + angular_distance(b, c) + 1e-9
+        )
+
+    @given(finite_angles, finite_angles)
+    def test_invariant_under_rotation(self, a, offset):
+        b = a + 0.7
+        assert angular_distance(a + offset, b + offset) == pytest.approx(
+            angular_distance(a, b), abs=1e-9
+        )
+
+
+class TestIsAngleBetween:
+    def test_inside(self):
+        assert is_angle_between(0.5, 0.0, 1.0)
+
+    def test_outside(self):
+        assert not is_angle_between(1.5, 0.0, 1.0)
+
+    def test_endpoints_inclusive(self):
+        assert is_angle_between(0.0, 0.0, 1.0)
+        assert is_angle_between(1.0, 0.0, 1.0)
+
+    def test_wrapping_arc(self):
+        assert is_angle_between(0.1, TWO_PI - 0.5, 1.0)
+        assert not is_angle_between(math.pi, TWO_PI - 0.5, 1.0)
+
+    def test_full_circle_contains_everything(self):
+        assert is_angle_between(3.7, 1.0, TWO_PI)
+
+    def test_zero_extent_only_start(self):
+        assert is_angle_between(1.0, 1.0, 0.0)
+        assert not is_angle_between(1.1, 1.0, 0.0)
+
+    def test_array(self):
+        out = is_angle_between(np.array([0.5, 1.5]), 0.0, 1.0)
+        assert out.tolist() == [True, False]
+
+    def test_invalid_extent_raises(self):
+        with pytest.raises(ValueError):
+            is_angle_between(0.0, 0.0, -1.0)
+        with pytest.raises(ValueError):
+            is_angle_between(0.0, 0.0, TWO_PI + 1.0)
+
+    @given(finite_angles, finite_angles, st.floats(min_value=0.0, max_value=TWO_PI))
+    def test_matches_offset_definition(self, angle, start, extent):
+        expected = normalize_angle(angle - start) <= extent
+        # Allow boundary ambiguity within float noise.
+        offset = normalize_angle(angle - start)
+        if abs(offset - extent) > 1e-9 and abs(offset - TWO_PI) > 1e-9:
+            assert is_angle_between(angle, start, extent) == expected
+
+
+class TestCircularMean:
+    def test_simple_cluster(self):
+        assert circular_mean(np.array([0.1, 0.2, 0.3])) == pytest.approx(0.2)
+
+    def test_across_wrap(self):
+        mean = circular_mean(np.array([TWO_PI - 0.1, 0.1]))
+        assert mean == pytest.approx(0.0, abs=1e-9) or mean == pytest.approx(
+            TWO_PI, abs=1e-9
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([]))
+
+    def test_antipodal_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean(np.array([0.0, math.pi]))
+
+
+class TestAngleLinspace:
+    def test_full_circle_uniform(self):
+        out = angle_linspace(0.0, TWO_PI, 4)
+        assert np.allclose(out, [0.0, math.pi / 2, math.pi, 3 * math.pi / 2])
+
+    def test_endpoint_excluded(self):
+        out = angle_linspace(0.0, 1.0, 2)
+        assert np.allclose(out, [0.0, 0.5])
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            angle_linspace(0.0, 1.0, 0)

@@ -1,0 +1,116 @@
+"""Tests for the dense grid M."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.grid import DenseGrid, grid_points_required, grid_side_for
+from repro.geometry.torus import Region
+
+
+class TestGridPointsRequired:
+    def test_n1(self):
+        assert grid_points_required(1) == 1
+
+    def test_formula(self):
+        assert grid_points_required(100) == math.ceil(100 * math.log(100))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            grid_points_required(0)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_at_least_n_log_n(self, n):
+        assert grid_points_required(n) >= n * math.log(n)
+
+
+class TestGridSideFor:
+    def test_squares_suffice(self):
+        for n in (2, 10, 100, 1000, 5000):
+            side = grid_side_for(n)
+            assert side * side >= grid_points_required(n)
+            assert (side - 1) * (side - 1) < grid_points_required(n)
+
+
+class TestDenseGrid:
+    def test_point_count(self):
+        grid = DenseGrid(side=5)
+        assert len(grid) == 25
+        assert grid.points.shape == (25, 2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DenseGrid(side=0)
+
+    def test_points_inside_region(self):
+        grid = DenseGrid(side=7)
+        pts = grid.points
+        assert (pts >= 0).all() and (pts < 1).all()
+
+    def test_cell_centres(self):
+        grid = DenseGrid(side=2)
+        expected = {(0.25, 0.25), (0.25, 0.75), (0.75, 0.25), (0.75, 0.75)}
+        actual = {tuple(np.round(p, 9)) for p in grid.points}
+        assert actual == expected
+
+    def test_spacing(self):
+        assert DenseGrid(side=4).spacing == pytest.approx(0.25)
+
+    def test_point_indexing(self):
+        grid = DenseGrid(side=3)
+        assert grid.point(0, 0) == pytest.approx((1 / 6, 1 / 6))
+        with pytest.raises(IndexError):
+            grid.point(3, 0)
+
+    def test_iter_matches_points(self):
+        grid = DenseGrid(side=3)
+        assert list(grid) == [tuple(p) for p in grid.points]
+
+    def test_for_sensor_count(self):
+        grid = DenseGrid.for_sensor_count(100)
+        assert len(grid) >= 100 * math.log(100)
+
+    def test_scales_with_region(self):
+        grid = DenseGrid(side=2, region=Region(side=2.0))
+        assert grid.spacing == pytest.approx(1.0)
+        assert (grid.points < 2.0).all()
+
+    def test_points_read_only(self):
+        grid = DenseGrid(side=3)
+        with pytest.raises(ValueError):
+            grid.points[0, 0] = 99.0
+
+    def test_sample_subset(self, rng):
+        grid = DenseGrid(side=10)
+        sample = grid.sample(17, rng)
+        assert sample.shape == (17, 2)
+        # Every sampled point is a grid point.
+        grid_set = {tuple(np.round(p, 9)) for p in grid.points}
+        assert all(tuple(np.round(p, 9)) in grid_set for p in sample)
+
+    def test_sample_all_when_count_exceeds(self, rng):
+        grid = DenseGrid(side=3)
+        sample = grid.sample(100, rng)
+        assert sample.shape == (9, 2)
+
+    def test_sample_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            DenseGrid(side=3).sample(0, rng)
+
+    def test_sample_distinct(self, rng):
+        grid = DenseGrid(side=5)
+        sample = grid.sample(25, rng)
+        assert len({tuple(p) for p in sample}) == 25
+
+    def test_max_spacing_covers_square(self):
+        """Every point of the region is within spacing/sqrt(2) of a grid point."""
+        grid = DenseGrid(side=8)
+        probes = np.random.default_rng(0).uniform(0, 1, size=(200, 2))
+        for probe in probes:
+            dists = grid.region.distances((probe[0], probe[1]), grid.points)
+            assert dists.min() <= grid.spacing / math.sqrt(2.0) + 1e-9

@@ -1,0 +1,336 @@
+"""Unit and property tests for the angular interval algebra."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.angles import TWO_PI, normalize_angle
+from repro.geometry.intervals import (
+    AngularInterval,
+    AngularIntervalSet,
+    max_circular_gap,
+)
+
+angles = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False)
+extents = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False)
+
+
+def interval_strategy():
+    return st.builds(AngularInterval, angles, extents)
+
+
+class TestAngularInterval:
+    def test_normalises_start(self):
+        arc = AngularInterval(-0.5, 1.0)
+        assert arc.start == pytest.approx(TWO_PI - 0.5)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            AngularInterval(0.0, -0.1)
+        with pytest.raises(ValueError):
+            AngularInterval(0.0, TWO_PI + 0.1)
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            AngularInterval(math.nan, 1.0)
+
+    def test_end_wraps(self):
+        arc = AngularInterval(TWO_PI - 0.2, 0.5)
+        assert arc.end == pytest.approx(0.3)
+
+    def test_midpoint(self):
+        assert AngularInterval(0.0, 1.0).midpoint == pytest.approx(0.5)
+
+    def test_midpoint_wrapping(self):
+        arc = AngularInterval(TWO_PI - 0.5, 1.0)
+        assert arc.midpoint == pytest.approx(0.0, abs=1e-12)
+
+    def test_contains_interior(self):
+        arc = AngularInterval(1.0, 1.0)
+        assert arc.contains(1.5)
+        assert not arc.contains(2.5)
+
+    def test_contains_endpoints(self):
+        arc = AngularInterval(1.0, 1.0)
+        assert arc.contains(1.0)
+        assert arc.contains(2.0)
+
+    def test_contains_across_wrap(self):
+        arc = AngularInterval(TWO_PI - 0.5, 1.0)
+        assert arc.contains(0.2)
+        assert arc.contains(TWO_PI - 0.2)
+        assert not arc.contains(math.pi)
+
+    def test_full_circle(self):
+        arc = AngularInterval.full_circle()
+        assert arc.is_full_circle
+        for angle in np.linspace(0, TWO_PI, 17):
+            assert arc.contains(float(angle))
+
+    def test_from_endpoints(self):
+        arc = AngularInterval.from_endpoints(1.0, 2.5)
+        assert arc.extent == pytest.approx(1.5)
+
+    def test_from_endpoints_wrapping(self):
+        arc = AngularInterval.from_endpoints(TWO_PI - 1.0, 1.0)
+        assert arc.extent == pytest.approx(2.0)
+
+    def test_centered(self):
+        arc = AngularInterval.centered(1.0, 0.25)
+        assert arc.contains(1.0)
+        assert arc.extent == pytest.approx(0.5)
+        assert arc.midpoint == pytest.approx(1.0)
+
+    def test_centered_saturates_to_full_circle(self):
+        assert AngularInterval.centered(0.0, math.pi).is_full_circle
+
+    def test_centered_negative_halfwidth(self):
+        with pytest.raises(ValueError):
+            AngularInterval.centered(0.0, -0.1)
+
+    def test_contains_interval_nested(self):
+        outer = AngularInterval(0.0, 2.0)
+        inner = AngularInterval(0.5, 1.0)
+        assert outer.contains_interval(inner)
+        assert not inner.contains_interval(outer)
+
+    def test_contains_interval_wrap(self):
+        outer = AngularInterval(TWO_PI - 1.0, 2.0)
+        inner = AngularInterval(TWO_PI - 0.5, 1.0)
+        assert outer.contains_interval(inner)
+
+    def test_overlaps(self):
+        a = AngularInterval(0.0, 1.0)
+        b = AngularInterval(0.5, 1.0)
+        c = AngularInterval(2.0, 1.0)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_rotated(self):
+        arc = AngularInterval(1.0, 0.5).rotated(0.5)
+        assert arc.start == pytest.approx(1.5)
+        assert arc.extent == pytest.approx(0.5)
+
+    def test_sample_endpoints(self):
+        arc = AngularInterval(1.0, 1.0)
+        samples = arc.sample(5)
+        assert samples[0] == pytest.approx(1.0)
+        assert samples[-1] == pytest.approx(2.0)
+        assert all(arc.contains(float(s)) for s in samples)
+
+    def test_sample_single_is_midpoint(self):
+        arc = AngularInterval(1.0, 1.0)
+        assert arc.sample(1)[0] == pytest.approx(arc.midpoint)
+
+    def test_iter_unpacks(self):
+        start, extent = AngularInterval(1.0, 0.5)
+        assert (start, extent) == (1.0, 0.5)
+
+    @given(interval_strategy(), angles)
+    def test_contains_respects_offset(self, arc, angle):
+        offset = normalize_angle(angle - arc.start)
+        if offset < arc.extent - 1e-9:
+            assert arc.contains(angle)
+        elif offset > arc.extent + 1e-9 and offset < TWO_PI - 1e-9:
+            assert not arc.contains(angle)
+
+
+class TestAngularIntervalSet:
+    def test_empty(self):
+        s = AngularIntervalSet.empty()
+        assert s.is_empty
+        assert s.measure() == 0.0
+        assert not s.contains(1.0)
+        assert s.max_gap() == pytest.approx(TWO_PI)
+
+    def test_single_interval(self):
+        s = AngularIntervalSet([AngularInterval(0.0, 1.0)])
+        assert s.measure() == pytest.approx(1.0)
+        assert s.contains(0.5)
+        assert not s.contains(2.0)
+
+    def test_merge_overlapping(self):
+        s = AngularIntervalSet([AngularInterval(0.0, 1.0), AngularInterval(0.5, 1.0)])
+        assert len(s) == 1
+        assert s.measure() == pytest.approx(1.5)
+
+    def test_merge_touching(self):
+        s = AngularIntervalSet([AngularInterval(0.0, 1.0), AngularInterval(1.0, 1.0)])
+        assert len(s) == 1
+        assert s.measure() == pytest.approx(2.0)
+
+    def test_disjoint_stay_disjoint(self):
+        s = AngularIntervalSet([AngularInterval(0.0, 1.0), AngularInterval(2.0, 1.0)])
+        assert len(s) == 2
+        assert s.measure() == pytest.approx(2.0)
+
+    def test_merge_across_seam(self):
+        s = AngularIntervalSet(
+            [AngularInterval(TWO_PI - 0.5, 0.5), AngularInterval(0.0, 0.5)]
+        )
+        assert len(s) == 1
+        assert s.measure() == pytest.approx(1.0)
+        assert s.contains(0.0)
+        assert s.contains(TWO_PI - 0.1)
+
+    def test_full_circle_from_cover(self):
+        arcs = [AngularInterval(i * math.pi / 2, math.pi / 2 + 0.01) for i in range(4)]
+        s = AngularIntervalSet(arcs)
+        assert s.is_full_circle
+        assert s.covers_circle()
+
+    def test_complement_of_empty(self):
+        assert AngularIntervalSet.empty().complement().is_full_circle
+
+    def test_complement_of_full(self):
+        assert AngularIntervalSet.full_circle().complement().is_empty
+
+    def test_complement_single(self):
+        s = AngularIntervalSet([AngularInterval(0.0, 1.0)])
+        comp = s.complement()
+        assert comp.measure() == pytest.approx(TWO_PI - 1.0)
+        assert comp.contains(2.0)
+        assert not comp.contains(0.5)
+
+    def test_gaps(self):
+        s = AngularIntervalSet([AngularInterval(0.0, 1.0), AngularInterval(2.0, 1.0)])
+        gaps = s.gaps()
+        extents = sorted(g.extent for g in gaps)
+        assert extents == pytest.approx([1.0, TWO_PI - 3.0])
+        assert s.max_gap() == pytest.approx(TWO_PI - 3.0)
+
+    def test_union(self):
+        a = AngularIntervalSet([AngularInterval(0.0, 1.0)])
+        b = AngularIntervalSet([AngularInterval(2.0, 1.0)])
+        u = a.union(b)
+        assert u.measure() == pytest.approx(2.0)
+
+    def test_add(self):
+        s = AngularIntervalSet.empty().add(AngularInterval(1.0, 0.5))
+        assert s.measure() == pytest.approx(0.5)
+
+    def test_intersection(self):
+        a = AngularIntervalSet([AngularInterval(0.0, 2.0)])
+        b = AngularIntervalSet([AngularInterval(1.0, 2.0)])
+        inter = a.intersection(b)
+        assert inter.measure() == pytest.approx(1.0, abs=1e-9)
+        assert inter.contains(1.5)
+        assert not inter.contains(0.5)
+        assert not inter.contains(2.5)
+
+    def test_from_directions(self):
+        s = AngularIntervalSet.from_directions([0.0, math.pi], math.pi / 2)
+        assert s.measure() == pytest.approx(TWO_PI)
+        assert s.is_full_circle
+
+    def test_from_directions_gap(self):
+        s = AngularIntervalSet.from_directions([0.0, math.pi], math.pi / 4)
+        assert s.measure() == pytest.approx(math.pi)
+        assert not s.covers_circle()
+
+    def test_equality(self):
+        a = AngularIntervalSet([AngularInterval(0.0, 1.0)])
+        b = AngularIntervalSet([AngularInterval(0.0, 0.5), AngularInterval(0.5, 0.5)])
+        assert a == b
+
+    def test_zero_extent_dropped(self):
+        s = AngularIntervalSet([AngularInterval(1.0, 0.0)])
+        assert s.is_empty
+
+    @given(st.lists(interval_strategy(), max_size=8))
+    @settings(max_examples=200)
+    def test_measure_bounds(self, arcs):
+        s = AngularIntervalSet(arcs)
+        assert -1e-9 <= s.measure() <= TWO_PI + 1e-9
+
+    @given(st.lists(interval_strategy(), max_size=8))
+    @settings(max_examples=200)
+    def test_complement_measure(self, arcs):
+        s = AngularIntervalSet(arcs)
+        assert s.measure() + s.complement().measure() == pytest.approx(
+            TWO_PI, abs=1e-6
+        )
+
+    @given(st.lists(interval_strategy(), max_size=8))
+    @settings(max_examples=200)
+    def test_double_complement_is_identity(self, arcs):
+        s = AngularIntervalSet(arcs)
+        twice = s.complement().complement()
+        assert twice.measure() == pytest.approx(s.measure(), abs=1e-6)
+
+    @given(st.lists(interval_strategy(), min_size=1, max_size=8), angles)
+    @settings(max_examples=200)
+    def test_contains_matches_members(self, arcs, probe):
+        # Degenerate (zero-measure) arcs are dropped by the set, so only
+        # positive-extent members are binding.
+        s = AngularIntervalSet(arcs)
+        member_says = any(
+            arc.extent > 1e-9 and arc.contains(probe, tol=1e-9) for arc in arcs
+        )
+        if member_says:
+            assert s.contains(probe, tol=1e-6)
+
+    @given(st.lists(interval_strategy(), max_size=6))
+    @settings(max_examples=150)
+    def test_union_is_monotone(self, arcs):
+        s = AngularIntervalSet(arcs)
+        grown = s.add(AngularInterval(0.3, 0.4))
+        assert grown.measure() >= s.measure() - 1e-9
+
+
+class TestMaxCircularGap:
+    def test_empty(self):
+        assert max_circular_gap([]) == pytest.approx(TWO_PI)
+
+    def test_single(self):
+        assert max_circular_gap([1.0]) == pytest.approx(TWO_PI)
+
+    def test_two_opposite(self):
+        assert max_circular_gap([0.0, math.pi]) == pytest.approx(math.pi)
+
+    def test_uniform_spacing(self):
+        dirs = np.arange(8) * (TWO_PI / 8)
+        assert max_circular_gap(dirs) == pytest.approx(TWO_PI / 8)
+
+    def test_cluster(self):
+        assert max_circular_gap([0.0, 0.1, 0.2]) == pytest.approx(TWO_PI - 0.2)
+
+    def test_wraps(self):
+        assert max_circular_gap([TWO_PI - 0.1, 0.1]) == pytest.approx(TWO_PI - 0.2)
+
+    @given(st.lists(angles, min_size=2, max_size=32))
+    @settings(max_examples=200)
+    def test_gaps_sum_to_circle(self, dirs):
+        ordered = np.sort(normalize_angle(np.asarray(dirs)))
+        gaps = np.diff(ordered).tolist() + [TWO_PI - (ordered[-1] - ordered[0])]
+        assert max(gaps) == pytest.approx(max_circular_gap(dirs), abs=1e-9)
+        assert sum(gaps) == pytest.approx(TWO_PI, abs=1e-6)
+
+    @given(st.lists(angles, min_size=1, max_size=32), angles)
+    @settings(max_examples=200)
+    def test_rotation_invariant(self, dirs, offset):
+        rotated = [normalize_angle(d + offset) for d in dirs]
+        assert max_circular_gap(rotated) == pytest.approx(
+            max_circular_gap(dirs), abs=1e-6
+        )
+
+    @given(st.lists(angles, min_size=1, max_size=16), angles)
+    @settings(max_examples=200)
+    def test_adding_direction_never_increases_gap(self, dirs, extra):
+        assert max_circular_gap(dirs + [extra]) <= max_circular_gap(dirs) + 1e-9
+
+    @given(st.lists(angles, min_size=1, max_size=16), st.floats(min_value=0.01, max_value=math.pi))
+    @settings(max_examples=200)
+    def test_gap_criterion_matches_interval_cover(self, dirs, theta):
+        """max gap <= 2*theta  <=>  theta-arcs around directions cover S^1."""
+        gap = max_circular_gap(dirs)
+        covered = AngularIntervalSet.from_directions(dirs, theta).covers_circle()
+        if gap < 2 * theta - 1e-9:
+            assert covered
+        elif gap > 2 * theta + 1e-9:
+            assert not covered

@@ -1,0 +1,174 @@
+"""Tests for obstacle fields and occlusion."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.obstacles import ObstacleField, occluded_covering_directions
+from repro.geometry.torus import UNIT_SQUARE, UNIT_TORUS
+from repro.sensors.fleet import SensorFleet
+
+coords = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+
+
+def single_obstacle(x, y, r, region=UNIT_TORUS):
+    return ObstacleField(np.array([[x, y]]), np.array([r]), region)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ObstacleField(np.zeros((2, 2)), np.array([0.1]))
+        with pytest.raises(InvalidParameterError):
+            ObstacleField(np.zeros((1, 2)), np.array([0.0]))
+
+    def test_empty(self):
+        field = ObstacleField.empty()
+        assert len(field) == 0
+        assert not field.contains((0.5, 0.5))
+        assert not field.blocks((0.0, 0.0), (1.0, 1.0))
+
+    def test_random(self, rng):
+        field = ObstacleField.random(10, 0.05, rng)
+        assert len(field) == 10
+        assert field.total_area() == pytest.approx(10 * math.pi * 0.0025)
+
+    def test_random_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            ObstacleField.random(-1, 0.1, rng)
+        with pytest.raises(InvalidParameterError):
+            ObstacleField.random(2, 0.0, rng)
+
+    def test_random_zero_count(self, rng):
+        assert len(ObstacleField.random(0, 0.1, rng)) == 0
+
+
+class TestContains:
+    def test_inside(self):
+        field = single_obstacle(0.5, 0.5, 0.1)
+        assert field.contains((0.55, 0.5))
+        assert not field.contains((0.7, 0.5))
+
+    def test_wraps(self):
+        field = single_obstacle(0.02, 0.5, 0.05)
+        assert field.contains((0.99, 0.5))
+
+
+class TestBlocks:
+    def test_obstacle_between(self):
+        field = single_obstacle(0.5, 0.5, 0.05)
+        assert field.blocks((0.3, 0.5), (0.7, 0.5))
+
+    def test_obstacle_beside(self):
+        field = single_obstacle(0.5, 0.6, 0.05)
+        assert not field.blocks((0.3, 0.5), (0.7, 0.5))
+
+    def test_obstacle_behind_target(self):
+        field = single_obstacle(0.9, 0.5, 0.05)
+        assert not field.blocks((0.3, 0.5), (0.7, 0.5))
+
+    def test_obstacle_behind_source(self):
+        field = single_obstacle(0.1, 0.5, 0.05)
+        assert not field.blocks((0.3, 0.5), (0.7, 0.5))
+
+    def test_endpoint_inside_blocked(self):
+        field = single_obstacle(0.3, 0.5, 0.05)
+        assert field.blocks((0.3, 0.5), (0.7, 0.5))
+
+    def test_wrapped_geodesic(self):
+        """The geodesic from 0.9 to 0.1 crosses the seam, not the middle."""
+        middle = single_obstacle(0.5, 0.5, 0.05)
+        seam = single_obstacle(0.0, 0.5, 0.03)
+        assert not middle.blocks((0.9, 0.5), (0.1, 0.5))
+        assert seam.blocks((0.9, 0.5), (0.1, 0.5))
+
+    def test_no_wrap_on_square(self):
+        field = single_obstacle(0.5, 0.5, 0.05, region=UNIT_SQUARE)
+        # On the bounded square the path 0.9 -> 0.1 goes through the middle.
+        assert field.blocks((0.9, 0.5), (0.1, 0.5))
+
+    def test_symmetry(self, rng):
+        field = ObstacleField.random(6, 0.06, rng)
+        for _ in range(30):
+            a = tuple(rng.uniform(size=2))
+            b = tuple(rng.uniform(size=2))
+            assert field.blocks(a, b) == field.blocks(b, a)
+
+    @given(
+        st.tuples(coords, coords),
+        st.tuples(coords, coords),
+        st.tuples(coords, coords),
+        st.floats(min_value=0.01, max_value=0.2),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_blocks_matches_sampling(self, a, b, center, radius):
+        """Segment-disk test agrees with dense sampling of the geodesic."""
+        field = single_obstacle(center[0], center[1], radius)
+        dx, dy = UNIT_TORUS.displacement(a, b)
+        ts = np.linspace(0.0, 1.0, 400)
+        samples = UNIT_TORUS.wrap_points(
+            np.stack([a[0] + ts * dx, a[1] + ts * dy], axis=1)
+        )
+        sampled_blocked = bool(
+            (UNIT_TORUS.distances(center, samples) <= radius - 1e-9).any()
+        )
+        exact = field.blocks(a, b)
+        if sampled_blocked:
+            assert exact
+        # (the converse can differ within a sampling gap; tolerance
+        # handled by the -1e-9 shrink above)
+
+
+class TestVisibleMask:
+    def test_matches_scalar_blocks(self, rng):
+        field = ObstacleField.random(8, 0.05, rng)
+        source = (0.5, 0.5)
+        targets = rng.uniform(size=(40, 2))
+        mask = field.visible_mask(source, targets)
+        for i, (x, y) in enumerate(targets):
+            assert mask[i] == (not field.blocks(source, (float(x), float(y))))
+
+    def test_empty_field_all_visible(self, rng):
+        field = ObstacleField.empty()
+        mask = field.visible_mask((0.5, 0.5), rng.uniform(size=(10, 2)))
+        assert mask.all()
+
+
+class TestOccludedCovering:
+    def _fleet(self):
+        # One sensor east of centre, looking west.
+        return SensorFleet(
+            positions=np.array([[0.7, 0.5]]),
+            orientations=np.array([math.pi]),
+            radii=np.array([0.3]),
+            angles=np.array([math.pi]),
+        )
+
+    def test_unobstructed_matches_plain(self):
+        fleet = self._fleet()
+        dirs = occluded_covering_directions(fleet, (0.5, 0.5), ObstacleField.empty())
+        assert np.allclose(dirs, fleet.covering_directions((0.5, 0.5)))
+
+    def test_wall_blocks(self):
+        fleet = self._fleet()
+        wall = single_obstacle(0.6, 0.5, 0.04)
+        dirs = occluded_covering_directions(fleet, (0.5, 0.5), wall)
+        assert dirs.size == 0
+
+    def test_point_inside_obstacle_unseen(self):
+        fleet = self._fleet()
+        blob = single_obstacle(0.5, 0.5, 0.02)
+        dirs = occluded_covering_directions(fleet, (0.5, 0.5), blob)
+        assert dirs.size == 0
+
+    def test_subset_of_unoccluded(self, small_fleet, rng):
+        field = ObstacleField.random(10, 0.04, rng)
+        point = (0.5, 0.5)
+        occluded = occluded_covering_directions(small_fleet, point, field)
+        plain = set(np.round(small_fleet.covering_directions(point), 9).tolist())
+        assert set(np.round(occluded, 9).tolist()) <= plain

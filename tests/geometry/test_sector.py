@@ -1,0 +1,171 @@
+"""Tests for the binary sector sensing region."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
+from repro.geometry.sector import Sector, sector_area
+from repro.geometry.torus import UNIT_SQUARE, UNIT_TORUS
+
+coords = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+radii = st.floats(min_value=0.01, max_value=0.45, allow_nan=False)
+view_angles = st.floats(min_value=0.05, max_value=TWO_PI, allow_nan=False)
+headings = st.floats(min_value=0.0, max_value=TWO_PI, allow_nan=False)
+
+
+def sector_strategy():
+    return st.builds(
+        Sector,
+        apex=st.tuples(coords, coords),
+        radius=radii,
+        angle=view_angles,
+        orientation=headings,
+    )
+
+
+class TestConstruction:
+    def test_validation_radius(self):
+        with pytest.raises(InvalidParameterError):
+            Sector((0.5, 0.5), radius=0.0, angle=1.0, orientation=0.0)
+        with pytest.raises(InvalidParameterError):
+            Sector((0.5, 0.5), radius=-1.0, angle=1.0, orientation=0.0)
+
+    def test_validation_angle(self):
+        with pytest.raises(InvalidParameterError):
+            Sector((0.5, 0.5), radius=0.1, angle=0.0, orientation=0.0)
+        with pytest.raises(InvalidParameterError):
+            Sector((0.5, 0.5), radius=0.1, angle=TWO_PI + 0.5, orientation=0.0)
+
+    def test_apex_wrapped(self):
+        s = Sector((1.2, -0.3), radius=0.1, angle=1.0, orientation=0.0)
+        assert s.apex == pytest.approx((0.2, 0.7))
+
+    def test_area(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=math.pi / 2, orientation=0.0)
+        assert s.area == pytest.approx(0.5 * (math.pi / 2) * 0.04)
+
+    def test_omnidirectional(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=TWO_PI, orientation=0.0)
+        assert s.is_omnidirectional
+
+
+class TestContains:
+    def test_apex_covered(self):
+        s = Sector((0.5, 0.5), radius=0.1, angle=0.5, orientation=0.0)
+        assert s.contains((0.5, 0.5))
+
+    def test_along_orientation(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=math.pi / 2, orientation=0.0)
+        assert s.contains((0.6, 0.5))
+        assert not s.contains((0.75, 0.5))  # beyond radius
+
+    def test_behind_not_covered(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=math.pi / 2, orientation=0.0)
+        assert not s.contains((0.4, 0.5))
+
+    def test_wedge_edges_inclusive(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=math.pi / 2, orientation=0.0)
+        # Point exactly on the upper wedge edge (45 degrees).
+        d = 0.1
+        assert s.contains((0.5 + d * math.cos(math.pi / 4), 0.5 + d * math.sin(math.pi / 4)))
+
+    def test_circle_boundary_inclusive(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=math.pi, orientation=0.0)
+        assert s.contains((0.7, 0.5))
+
+    def test_wraps_across_torus_seam(self):
+        s = Sector((0.95, 0.5), radius=0.2, angle=math.pi / 2, orientation=0.0)
+        assert s.contains((0.05, 0.5))
+
+    def test_no_wrap_on_square(self):
+        s = Sector(
+            (0.95, 0.5), radius=0.2, angle=math.pi / 2, orientation=0.0,
+            region=UNIT_SQUARE,
+        )
+        assert not s.contains((0.05, 0.5))
+
+    def test_omnidirectional_covers_disk(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=TWO_PI, orientation=0.0)
+        assert s.contains((0.35, 0.5))
+        assert s.contains((0.5, 0.65))
+        assert not s.contains((0.5, 0.75))
+
+    @given(sector_strategy(), st.tuples(coords, coords))
+    @settings(max_examples=300)
+    def test_scalar_matches_vectorised(self, sector, point):
+        scalar = sector.contains(point)
+        vector = bool(sector.contains_many(np.array([point]))[0])
+        assert scalar == vector
+
+    @given(sector_strategy(), st.floats(min_value=0.0, max_value=1.0), headings)
+    @settings(max_examples=300)
+    def test_polar_containment(self, sector, t, bearing):
+        """A point at distance t*r along bearing from the apex is inside
+        iff the bearing is within half the view angle of the orientation."""
+        from repro.geometry.angles import angular_distance
+
+        distance = t * sector.radius
+        point = UNIT_TORUS.wrap_point(
+            (
+                sector.apex[0] + distance * math.cos(bearing),
+                sector.apex[1] + distance * math.sin(bearing),
+            )
+        )
+        # The wrap can only matter when the distance is < half the side,
+        # which the radius strategy guarantees.
+        offset = angular_distance(bearing, sector.orientation)
+        if distance < 1e-12:
+            assert sector.contains(point)
+        elif offset < sector.half_angle - 1e-9 and t < 1.0 - 1e-9:
+            assert sector.contains(point)
+        elif offset > sector.half_angle + 1e-9 and not sector.is_omnidirectional:
+            assert not sector.contains(point)
+
+
+class TestViewedDirection:
+    def test_points_back_to_sensor(self):
+        s = Sector((0.7, 0.5), radius=0.3, angle=math.pi, orientation=math.pi)
+        # Object at (0.5, 0.5) sees the sensor to its east.
+        assert s.viewed_direction_of((0.5, 0.5)) == pytest.approx(0.0)
+
+    def test_wraps(self):
+        s = Sector((0.05, 0.5), radius=0.3, angle=math.pi, orientation=math.pi)
+        # Object at 0.95: shortest path to sensor heads east across the seam.
+        assert s.viewed_direction_of((0.95, 0.5)) == pytest.approx(0.0)
+
+
+class TestBoundaryPoints:
+    def test_boundary_is_inside_closed_region(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=1.2, orientation=0.7)
+        boundary = s.boundary_points(8)
+        inside = s.contains_many(boundary)
+        assert inside.all()
+
+    def test_validation(self):
+        s = Sector((0.5, 0.5), radius=0.2, angle=1.2, orientation=0.7)
+        with pytest.raises(InvalidParameterError):
+            s.boundary_points(1)
+
+
+class TestSectorArea:
+    def test_matches_formula(self):
+        assert sector_area(0.3, 1.5) == pytest.approx(0.5 * 1.5 * 0.09)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sector_area(0.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sector_area(1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            sector_area(1.0, 7.0)
+
+    @given(radii, view_angles)
+    def test_agrees_with_sector(self, r, phi):
+        s = Sector((0.5, 0.5), radius=r, angle=phi, orientation=0.0)
+        assert s.area == pytest.approx(sector_area(r, phi))

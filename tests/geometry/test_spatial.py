@@ -1,0 +1,128 @@
+"""Tests for the toroidal cell index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.spatial import ToroidalCellIndex
+from repro.geometry.torus import UNIT_SQUARE, UNIT_TORUS
+
+coords = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+
+
+def brute_force_query(points, probe, radius, region):
+    dists = region.distances(probe, points)
+    return set(np.flatnonzero(dists <= radius).tolist())
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ToroidalCellIndex(np.zeros((3, 2)), cell_size=0.0)
+
+    def test_len(self):
+        idx = ToroidalCellIndex(np.random.default_rng(0).uniform(size=(10, 2)), 0.1)
+        assert len(idx) == 10
+
+    def test_empty(self):
+        idx = ToroidalCellIndex(np.empty((0, 2)), 0.1)
+        assert len(idx) == 0
+        assert idx.query((0.5, 0.5), 0.2).size == 0
+
+    def test_points_wrapped(self):
+        idx = ToroidalCellIndex(np.array([[1.3, -0.2]]), 0.1)
+        assert np.allclose(idx.points, [[0.3, 0.8]])
+
+
+class TestQuery:
+    def test_matches_brute_force_basic(self, rng):
+        points = rng.uniform(size=(200, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.1)
+        for probe in [(0.5, 0.5), (0.01, 0.99), (0.0, 0.0)]:
+            expected = brute_force_query(points, probe, 0.15, UNIT_TORUS)
+            actual = set(idx.query(probe, 0.15).tolist())
+            assert actual == expected
+
+    def test_query_radius_larger_than_cell(self, rng):
+        points = rng.uniform(size=(100, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.05)
+        expected = brute_force_query(points, (0.3, 0.3), 0.3, UNIT_TORUS)
+        assert set(idx.query((0.3, 0.3), 0.3).tolist()) == expected
+
+    def test_query_spanning_whole_region(self, rng):
+        points = rng.uniform(size=(50, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.2)
+        hits = idx.query((0.5, 0.5), 1.0)
+        assert hits.size == 50
+
+    def test_bounded_square(self, rng):
+        points = rng.uniform(size=(100, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.1, region=UNIT_SQUARE)
+        probe = (0.02, 0.02)
+        expected = brute_force_query(points, probe, 0.15, UNIT_SQUARE)
+        assert set(idx.query(probe, 0.15).tolist()) == expected
+
+    def test_negative_radius_raises(self, rng):
+        idx = ToroidalCellIndex(rng.uniform(size=(10, 2)), 0.1)
+        with pytest.raises(InvalidParameterError):
+            idx.query((0.5, 0.5), -0.1)
+
+    def test_zero_radius_exact_hit(self):
+        idx = ToroidalCellIndex(np.array([[0.5, 0.5]]), 0.1)
+        assert idx.query((0.5, 0.5), 0.0).tolist() == [0]
+
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=1, max_size=60),
+        st.tuples(coords, coords),
+        st.floats(min_value=0.01, max_value=0.6),
+        st.floats(min_value=0.02, max_value=0.3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force_property(self, pts, probe, radius, cell):
+        points = np.array(pts)
+        idx = ToroidalCellIndex(points, cell_size=cell)
+        expected = brute_force_query(points, probe, radius, UNIT_TORUS)
+        actual = set(idx.query(probe, radius).tolist())
+        assert actual == expected
+
+
+class TestCandidates:
+    def test_superset_of_query(self, rng):
+        points = rng.uniform(size=(150, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.12)
+        hits = set(idx.query((0.4, 0.6), 0.12).tolist())
+        candidates = set(idx.candidates_within((0.4, 0.6), 0.12).tolist())
+        assert hits <= candidates
+
+
+class TestNearest:
+    def test_simple(self):
+        points = np.array([[0.1, 0.1], [0.9, 0.9]])
+        idx = ToroidalCellIndex(points, cell_size=0.1)
+        i, d = idx.nearest((0.12, 0.1))
+        assert i == 0
+        assert d == pytest.approx(0.02)
+
+    def test_wraps(self):
+        points = np.array([[0.02, 0.5], [0.5, 0.5]])
+        idx = ToroidalCellIndex(points, cell_size=0.1)
+        i, d = idx.nearest((0.98, 0.5))
+        assert i == 0
+        assert d == pytest.approx(0.04)
+
+    def test_empty_raises(self):
+        idx = ToroidalCellIndex(np.empty((0, 2)), 0.1)
+        with pytest.raises(ValueError):
+            idx.nearest((0.5, 0.5))
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=40), st.tuples(coords, coords))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, pts, probe):
+        points = np.array(pts)
+        idx = ToroidalCellIndex(points, cell_size=0.15)
+        _, d = idx.nearest(probe)
+        expected = UNIT_TORUS.distances(probe, points).min()
+        assert d == pytest.approx(float(expected), abs=1e-12)

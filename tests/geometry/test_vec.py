@@ -1,0 +1,119 @@
+"""Tests for 2-D vector helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec import (
+    angle_of,
+    as_points_array,
+    from_polar,
+    norm,
+    rotate,
+    translate,
+    unit_vector,
+)
+
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+class TestUnitVector:
+    def test_east(self):
+        x, y = unit_vector(0.0)
+        assert (x, y) == pytest.approx((1.0, 0.0))
+
+    def test_north(self):
+        x, y = unit_vector(math.pi / 2)
+        assert x == pytest.approx(0.0, abs=1e-12)
+        assert y == pytest.approx(1.0)
+
+    @given(angles)
+    def test_unit_length(self, angle):
+        assert norm(unit_vector(angle)) == pytest.approx(1.0)
+
+
+class TestFromPolar:
+    def test_radius_scales(self):
+        x, y = from_polar(2.0, 0.0)
+        assert (x, y) == pytest.approx((2.0, 0.0))
+
+    @given(st.floats(min_value=0.0, max_value=100.0), angles)
+    def test_round_trip(self, radius, angle):
+        if radius > 1e-9:
+            vec = from_polar(radius, angle)
+            assert norm(vec) == pytest.approx(radius, rel=1e-9)
+            recovered = angle_of(vec)
+            assert math.cos(recovered) == pytest.approx(math.cos(angle), abs=1e-9)
+            assert math.sin(recovered) == pytest.approx(math.sin(angle), abs=1e-9)
+
+
+class TestAngleOf:
+    def test_axes(self):
+        assert angle_of((1.0, 0.0)) == pytest.approx(0.0)
+        assert angle_of((0.0, 1.0)) == pytest.approx(math.pi / 2)
+        assert angle_of((-1.0, 0.0)) == pytest.approx(math.pi)
+        assert angle_of((0.0, -1.0)) == pytest.approx(3 * math.pi / 2)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            angle_of((0.0, 0.0))
+
+    def test_array_rows(self):
+        arr = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = angle_of(arr)
+        assert np.allclose(out, [0.0, math.pi / 2])
+
+    def test_array_zero_row_is_zero(self):
+        arr = np.array([[0.0, 0.0]])
+        assert angle_of(arr)[0] == 0.0
+
+
+class TestRotate:
+    def test_quarter_turn(self):
+        x, y = rotate((1.0, 0.0), math.pi / 2)
+        assert x == pytest.approx(0.0, abs=1e-12)
+        assert y == pytest.approx(1.0)
+
+    @given(angles, angles)
+    def test_preserves_length(self, heading, by):
+        vec = unit_vector(heading)
+        assert norm(rotate(vec, by)) == pytest.approx(1.0)
+
+    @given(angles)
+    def test_inverse(self, by):
+        vec = (0.3, -0.7)
+        back = rotate(rotate(vec, by), -by)
+        assert back[0] == pytest.approx(vec[0], abs=1e-9)
+        assert back[1] == pytest.approx(vec[1], abs=1e-9)
+
+
+class TestNormTranslate:
+    def test_norm_scalar(self):
+        assert norm((3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_norm_array(self):
+        arr = np.array([[3.0, 4.0], [0.0, 1.0]])
+        assert np.allclose(norm(arr), [5.0, 1.0])
+
+    def test_translate(self):
+        assert translate((1.0, 2.0), (0.5, -0.5)) == (1.5, 1.5)
+
+
+class TestAsPointsArray:
+    def test_single_point(self):
+        out = as_points_array((1.0, 2.0))
+        assert out.shape == (1, 2)
+
+    def test_list_of_points(self):
+        out = as_points_array([(1.0, 2.0), (3.0, 4.0)])
+        assert out.shape == (2, 2)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            as_points_array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            as_points_array(np.zeros((2, 3)))

@@ -1,0 +1,150 @@
+"""End-to-end integration across the whole stack."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import condition_fraction
+from repro.core.csa import csa_sufficient, required_radius_homogeneous
+from repro.core.full_view import (
+    diagnose_point,
+    full_view_coverage_fraction,
+    point_is_full_view_covered,
+)
+from repro.deployment.lattice import TriangularLatticeDeployment
+from repro.deployment.uniform import UniformDeployment
+from repro.geometry.grid import DenseGrid
+from repro.geometry.torus import Region
+from repro.sensors.catalog import mixed_profile
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.sensors.probabilistic import (
+    ExponentialDecayModel,
+    probabilistic_covering_directions,
+)
+
+
+class TestDesignWorkflow:
+    """The workflow a network designer would actually follow."""
+
+    def test_provision_deploy_verify(self):
+        n, theta, phi = 400, math.pi / 3, math.pi / 2
+        # 1. Ask theory for the required radius at 1.3x the sufficient CSA.
+        radius = required_radius_homogeneous(n, theta, phi, q=1.3)
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=radius, angle_of_view=phi)
+        )
+        # 2. Deploy and 3. verify on a grid sample.
+        fleet = UniformDeployment().deploy(profile, n, np.random.default_rng(0))
+        fleet.build_index()
+        grid = DenseGrid(side=8)
+        frac = full_view_coverage_fraction(fleet, grid.points, theta)
+        assert frac > 0.95
+
+    def test_underprovisioned_fleet_fails(self):
+        n, theta, phi = 400, math.pi / 3, math.pi / 2
+        radius = required_radius_homogeneous(n, theta, phi, q=0.05, condition="necessary")
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=radius, angle_of_view=phi)
+        )
+        fleet = UniformDeployment().deploy(profile, n, np.random.default_rng(0))
+        fleet.build_index()
+        grid = DenseGrid(side=8)
+        frac = full_view_coverage_fraction(fleet, grid.points, theta)
+        assert frac < 0.5
+
+
+class TestHeterogeneousEndToEnd:
+    def test_catalog_profile_full_pipeline(self):
+        profile = mixed_profile([("standard", 0.5), ("telephoto", 0.5)])
+        scaled = profile.scaled_to_weighted_area(csa_sufficient(300, math.pi / 3) * 1.5)
+        fleet = UniformDeployment().deploy(scaled, 300, np.random.default_rng(1))
+        fleet.build_index()
+        diag = diagnose_point(fleet, (0.5, 0.5), math.pi / 3)
+        assert diag.num_covering_sensors > 0
+        # Condition fractions ordered on a shared point set.
+        points = np.random.default_rng(2).uniform(size=(40, 2))
+        f_suf = condition_fraction(fleet, points, math.pi / 3, "sufficient")
+        f_exact = condition_fraction(fleet, points, math.pi / 3, "exact")
+        f_nec = condition_fraction(fleet, points, math.pi / 3, "necessary")
+        assert f_suf <= f_exact <= f_nec
+
+
+class TestLatticeVsRandom:
+    def test_lattice_needs_less_area_for_same_coverage(self):
+        """Wang & Cao's premise: deterministic lattices beat random
+        placement — at equal sensing area the lattice covers more."""
+        theta = math.pi / 3
+        n = 300
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec.from_area(0.6 * csa_sufficient(n, theta), math.pi)
+        )
+        probes = np.random.default_rng(3).uniform(size=(60, 2))
+        lattice_fracs = []
+        random_fracs = []
+        for seed in range(10):
+            rng_a = np.random.default_rng(seed)
+            rng_b = np.random.default_rng(seed)
+            lattice = TriangularLatticeDeployment().deploy(profile, n, rng_a)
+            lattice.build_index()
+            random_fleet = UniformDeployment().deploy(profile, n, rng_b)
+            random_fleet.build_index()
+            lattice_fracs.append(
+                full_view_coverage_fraction(lattice, probes, theta)
+            )
+            random_fracs.append(
+                full_view_coverage_fraction(random_fleet, probes, theta)
+            )
+        assert np.mean(lattice_fracs) >= np.mean(random_fracs)
+
+
+class TestProbabilisticExtension:
+    def test_decay_model_reduces_coverage(self):
+        theta = math.pi / 3
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.25, angle_of_view=math.pi / 2)
+        )
+        fleet = UniformDeployment().deploy(profile, 300, np.random.default_rng(4))
+        fleet.build_index()
+        model = ExponentialDecayModel(beta=4.0)
+        binary_hits = prob_hits = 0
+        for seed in range(100):
+            rng = np.random.default_rng(seed)
+            dirs_binary = fleet.covering_directions((0.5, 0.5))
+            dirs_prob = probabilistic_covering_directions(fleet, (0.5, 0.5), model, rng)
+            from repro.core.full_view import is_full_view_covered
+
+            binary_hits += is_full_view_covered(dirs_binary, theta)
+            prob_hits += is_full_view_covered(dirs_prob, theta)
+        assert prob_hits <= binary_hits
+
+
+class TestBoundaryEffectAblation:
+    def test_square_covers_less_than_torus_at_edges(self):
+        """Disabling wrap-around hurts edge coverage — the reason the
+        paper assumes a torus."""
+        theta = math.pi / 2
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=0.2, angle_of_view=math.pi)
+        )
+        edge_probes = np.array([[0.02, y] for y in np.linspace(0.05, 0.95, 10)])
+        torus_frac = []
+        square_frac = []
+        for seed in range(15):
+            torus_fleet = UniformDeployment(Region(torus=True)).deploy(
+                profile, 200, np.random.default_rng(seed)
+            )
+            square_fleet = UniformDeployment(Region(torus=False)).deploy(
+                profile, 200, np.random.default_rng(seed)
+            )
+            torus_fleet.build_index()
+            square_fleet.build_index()
+            torus_frac.append(
+                full_view_coverage_fraction(torus_fleet, edge_probes, theta)
+            )
+            square_frac.append(
+                full_view_coverage_fraction(square_fleet, edge_probes, theta)
+            )
+        assert np.mean(torus_frac) > np.mean(square_frac)

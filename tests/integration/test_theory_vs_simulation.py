@@ -1,0 +1,115 @@
+"""Integration: every analytic formula agrees with simulation.
+
+These tests deploy real fleets and compare measured frequencies against
+the paper's formulas — the heart of the reproduction.  Budgets are kept
+small enough for CI; the benchmarks run the same comparisons at
+publication quality.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.poisson_theory import (
+    poisson_necessary_probability,
+    poisson_sufficient_probability,
+)
+from repro.core.uniform_theory import (
+    coverage_probability_single_point,
+    expected_covering_sensors,
+    necessary_failure_probability,
+    sufficient_failure_probability,
+)
+from repro.deployment.poisson import PoissonDeployment
+from repro.deployment.uniform import UniformDeployment
+from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
+from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
+
+THETA = math.pi / 3
+N = 300
+TRIALS = 500
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return HeterogeneousProfile(
+        [
+            GroupSpec(CameraSpec(radius=0.2, angle_of_view=math.pi / 2), 0.5, "a"),
+            GroupSpec(CameraSpec(radius=0.12, angle_of_view=2.2), 0.5, "b"),
+        ]
+    )
+
+
+class TestUniformTheory:
+    def test_necessary_condition_probability(self, profile):
+        cfg = MonteCarloConfig(trials=TRIALS, seed=21)
+        est = estimate_point_probability(profile, N, THETA, "necessary", cfg)
+        theory = 1.0 - necessary_failure_probability(profile, N, THETA)
+        assert est.contains(theory, slack=0.03), f"{est} vs {theory}"
+
+    def test_sufficient_condition_probability(self, profile):
+        cfg = MonteCarloConfig(trials=TRIALS, seed=22)
+        est = estimate_point_probability(profile, N, THETA, "sufficient", cfg)
+        theory = 1.0 - sufficient_failure_probability(profile, N, THETA)
+        assert est.contains(theory, slack=0.03), f"{est} vs {theory}"
+
+    def test_one_coverage_probability(self, profile):
+        cfg = MonteCarloConfig(trials=TRIALS, seed=23)
+        est = estimate_point_probability(profile, N, math.pi, "k_coverage", cfg, k=1)
+        theory = coverage_probability_single_point(profile, N)
+        assert est.contains(theory, slack=0.02), f"{est} vs {theory}"
+
+    def test_expected_covering_sensor_count(self, profile):
+        """Mean size of the covering set matches sum(n_y * s_y)."""
+        scheme = UniformDeployment()
+        counts = []
+        for seed in range(200):
+            fleet = scheme.deploy(profile, N, np.random.default_rng(seed))
+            fleet.build_index()
+            counts.append(fleet.coverage_count((0.5, 0.5)))
+        expected = expected_covering_sensors(profile, N)
+        sem = np.std(counts, ddof=1) / math.sqrt(len(counts))
+        assert np.mean(counts) == pytest.approx(expected, abs=4 * sem + 0.05)
+
+
+class TestPoissonTheory:
+    def test_theorem3(self, profile):
+        cfg = MonteCarloConfig(trials=TRIALS, seed=31)
+        est = estimate_point_probability(
+            profile, N, THETA, "necessary", cfg, scheme=PoissonDeployment()
+        )
+        theory = poisson_necessary_probability(profile, N, THETA)
+        assert est.contains(theory, slack=0.03), f"{est} vs {theory}"
+
+    def test_theorem4(self, profile):
+        cfg = MonteCarloConfig(trials=TRIALS, seed=32)
+        est = estimate_point_probability(
+            profile, N, THETA, "sufficient", cfg, scheme=PoissonDeployment()
+        )
+        theory = poisson_sufficient_probability(profile, N, THETA)
+        assert est.contains(theory, slack=0.03), f"{est} vs {theory}"
+
+
+class TestExactCoverageBracketing:
+    def test_exact_probability_between_conditions(self, profile):
+        """P(sufficient) <= P(exact full view) <= P(necessary) in simulation."""
+        cfg = MonteCarloConfig(trials=TRIALS, seed=41)
+        nec = estimate_point_probability(profile, N, THETA, "necessary", cfg)
+        exact = estimate_point_probability(profile, N, THETA, "exact", cfg)
+        suf = estimate_point_probability(profile, N, THETA, "sufficient", cfg)
+        # Same seeds => same deployments => pointwise sandwich => counts ordered.
+        assert suf.successes <= exact.successes <= nec.successes
+
+    def test_analytic_bracketing_of_exact(self, profile):
+        """The exact coverage probability lies between the two analytic
+        condition probabilities."""
+        cfg = MonteCarloConfig(trials=TRIALS, seed=42)
+        exact = estimate_point_probability(profile, N, THETA, "exact", cfg)
+        p_nec = 1.0 - necessary_failure_probability(profile, N, THETA)
+        p_suf = 1.0 - sufficient_failure_probability(profile, N, THETA)
+        lo, hi = exact.wilson()
+        assert lo <= p_nec + 0.03
+        assert hi >= p_suf - 0.03

@@ -1,0 +1,89 @@
+"""Tests for minimum-ring constructions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.full_view import (
+    minimum_sensors_for_full_view,
+    point_is_full_view_covered,
+)
+from repro.errors import InvalidParameterError
+from repro.planning.ring import full_view_ring, ring_radius_bounds
+
+thetas = st.floats(min_value=0.15, max_value=math.pi, allow_nan=False)
+
+
+class TestRingRadiusBounds:
+    def test_bounds(self):
+        lo, hi = ring_radius_bounds(0.3)
+        assert lo == 0.0 and hi == 0.3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ring_radius_bounds(0.0)
+
+
+class TestFullViewRing:
+    def test_minimum_count(self):
+        theta = math.pi / 3
+        ring = full_view_ring((0.5, 0.5), theta, standoff=0.2, reach=0.3)
+        assert len(ring) == minimum_sensors_for_full_view(theta)
+
+    def test_covers_target(self):
+        theta = math.pi / 3
+        ring = full_view_ring((0.5, 0.5), theta, standoff=0.2, reach=0.3)
+        assert point_is_full_view_covered(ring, (0.5, 0.5), theta)
+
+    def test_achieves_lower_bound_exactly(self):
+        """Removing any sensor from the minimum ring breaks coverage
+        (for theta with pi/theta not integer-degenerate)."""
+        theta = 0.9  # pi/0.9 ~ 3.49 -> k = 4 with slack... use strict check
+        ring = full_view_ring((0.5, 0.5), theta, standoff=0.2, reach=0.3)
+        k = len(ring)
+        if 2 * math.pi / (k - 1) > 2 * theta + 1e-9:
+            for drop in range(k):
+                keep = [i for i in range(k) if i != drop]
+                assert not point_is_full_view_covered(
+                    ring.subset(keep), (0.5, 0.5), theta
+                )
+
+    def test_explicit_count(self):
+        ring = full_view_ring((0.5, 0.5), math.pi / 2, 0.2, 0.3, count=8)
+        assert len(ring) == 8
+
+    def test_count_below_minimum_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            full_view_ring((0.5, 0.5), math.pi / 3, 0.2, 0.3, count=2)
+
+    def test_standoff_validation(self):
+        with pytest.raises(InvalidParameterError):
+            full_view_ring((0.5, 0.5), math.pi / 3, standoff=0.4, reach=0.3)
+        with pytest.raises(InvalidParameterError):
+            full_view_ring((0.5, 0.5), math.pi / 3, standoff=0.0, reach=0.3)
+        with pytest.raises(InvalidParameterError):
+            full_view_ring((0.5, 0.5), math.pi / 3, standoff=0.6, reach=0.7)
+
+    def test_phase_rotates_positions(self):
+        a = full_view_ring((0.5, 0.5), math.pi / 2, 0.2, 0.3, phase=0.0)
+        b = full_view_ring((0.5, 0.5), math.pi / 2, 0.2, 0.3, phase=0.5)
+        assert not np.allclose(a.positions, b.positions)
+        assert point_is_full_view_covered(b, (0.5, 0.5), math.pi / 2)
+
+    def test_near_seam_target(self):
+        """Rings wrap correctly around the torus seam."""
+        theta = math.pi / 2
+        ring = full_view_ring((0.02, 0.98), theta, standoff=0.2, reach=0.3)
+        assert point_is_full_view_covered(ring, (0.02, 0.98), theta)
+
+    @given(thetas, st.floats(min_value=0.05, max_value=0.45))
+    @settings(max_examples=150, deadline=None)
+    def test_always_covers(self, theta, standoff):
+        ring = full_view_ring(
+            (0.5, 0.5), theta, standoff=standoff, reach=standoff + 0.01
+        )
+        assert point_is_full_view_covered(ring, (0.5, 0.5), theta)

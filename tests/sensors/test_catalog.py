@@ -1,0 +1,90 @@
+"""Tests for the camera catalog."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sensors.catalog import (
+    CAMERA_PRESETS,
+    aging_fleet,
+    budget_mix,
+    camera,
+    equal_area_pair,
+    mixed_profile,
+)
+
+
+class TestCamera:
+    def test_all_presets_valid(self):
+        for name in CAMERA_PRESETS:
+            spec = camera(name)
+            assert spec.radius > 0
+            assert 0 < spec.angle_of_view <= 2 * math.pi + 1e-12
+
+    def test_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            camera("nonexistent")
+
+    def test_omnidirectional_preset(self):
+        assert camera("omnidirectional").is_omnidirectional
+
+    def test_telephoto_is_narrow_and_long(self):
+        tele = camera("telephoto")
+        wide = camera("wide_angle")
+        assert tele.radius > wide.radius
+        assert tele.angle_of_view < wide.angle_of_view
+
+
+class TestMixedProfile:
+    def test_builds(self):
+        p = mixed_profile([("standard", 0.7), ("telephoto", 0.3)])
+        assert p.num_groups == 2
+        assert [g.name for g in p] == ["standard", "telephoto"]
+
+    def test_fraction_validation_via_profile(self):
+        with pytest.raises(Exception):
+            mixed_profile([("standard", 0.7), ("telephoto", 0.7)])
+
+
+class TestEqualAreaPair:
+    def test_equal_areas(self):
+        a, b = equal_area_pair(0.01, math.pi / 6, math.pi)
+        assert a.sensing_area == pytest.approx(b.sensing_area)
+        assert a.angle_of_view != b.angle_of_view
+
+    def test_same_angle_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            equal_area_pair(0.01, 1.0, 1.0)
+
+
+class TestBudgetMix:
+    def test_fractions(self):
+        p = budget_mix(0.25)
+        fractions = {g.name: g.fraction for g in p}
+        assert fractions["telephoto"] == pytest.approx(0.25)
+        assert fractions["wide_angle"] == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            budget_mix(0.0)
+        with pytest.raises(InvalidParameterError):
+            budget_mix(1.0)
+
+
+class TestAgingFleet:
+    def test_degraded_group_present(self):
+        p = aging_fleet(0.6)
+        names = [g.name for g in p]
+        assert "degraded" in names
+
+    def test_degraded_is_worse(self):
+        p = aging_fleet(0.5)
+        by_name = {g.name: g for g in p}
+        assert by_name["degraded"].sensing_area < by_name["standard"].sensing_area
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            aging_fleet(1.0)

@@ -1,0 +1,199 @@
+"""Tests for camera specs and heterogeneous profiles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError, InvalidProfileError
+from repro.geometry.angles import TWO_PI
+from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
+
+radii = st.floats(min_value=0.01, max_value=0.5, allow_nan=False)
+view_angles = st.floats(min_value=0.05, max_value=TWO_PI, allow_nan=False)
+areas = st.floats(min_value=1e-5, max_value=0.5, allow_nan=False)
+
+
+class TestCameraSpec:
+    def test_sensing_area(self):
+        spec = CameraSpec(radius=0.2, angle_of_view=math.pi / 2)
+        assert spec.sensing_area == pytest.approx(0.5 * (math.pi / 2) * 0.04)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CameraSpec(radius=0.0, angle_of_view=1.0)
+        with pytest.raises(InvalidParameterError):
+            CameraSpec(radius=0.1, angle_of_view=0.0)
+        with pytest.raises(InvalidParameterError):
+            CameraSpec(radius=0.1, angle_of_view=TWO_PI + 1)
+
+    def test_disk(self):
+        spec = CameraSpec.disk(0.1)
+        assert spec.is_omnidirectional
+        assert spec.sensing_area == pytest.approx(math.pi * 0.01)
+
+    def test_from_area_roundtrip(self):
+        spec = CameraSpec.from_area(0.01, math.pi / 3)
+        assert spec.sensing_area == pytest.approx(0.01)
+        assert spec.angle_of_view == pytest.approx(math.pi / 3)
+
+    def test_from_area_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CameraSpec.from_area(0.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            CameraSpec.from_area(0.1, 0.0)
+
+    def test_scaled_to_area(self):
+        spec = CameraSpec(radius=0.2, angle_of_view=1.0).scaled_to_area(0.005)
+        assert spec.sensing_area == pytest.approx(0.005)
+        assert spec.angle_of_view == pytest.approx(1.0)
+
+    @given(areas, view_angles)
+    def test_from_area_property(self, s, phi):
+        spec = CameraSpec.from_area(s, phi)
+        assert spec.sensing_area == pytest.approx(s, rel=1e-9)
+
+    def test_frozen(self):
+        spec = CameraSpec(radius=0.2, angle_of_view=1.0)
+        with pytest.raises(AttributeError):
+            spec.radius = 0.5  # type: ignore[misc]
+
+
+class TestGroupSpec:
+    def test_weighted_area(self):
+        g = GroupSpec(CameraSpec(radius=0.2, angle_of_view=1.0), fraction=0.25)
+        assert g.weighted_sensing_area == pytest.approx(0.25 * g.sensing_area)
+
+    def test_fraction_validation(self):
+        spec = CameraSpec(radius=0.2, angle_of_view=1.0)
+        with pytest.raises(InvalidProfileError):
+            GroupSpec(spec, fraction=0.0)
+        with pytest.raises(InvalidProfileError):
+            GroupSpec(spec, fraction=1.5)
+
+    def test_accessors(self):
+        g = GroupSpec(CameraSpec(radius=0.2, angle_of_view=1.0), fraction=0.5, name="x")
+        assert g.radius == 0.2
+        assert g.angle_of_view == 1.0
+        assert g.name == "x"
+
+
+class TestHeterogeneousProfile:
+    def test_homogeneous(self):
+        p = HeterogeneousProfile.homogeneous(CameraSpec(radius=0.2, angle_of_view=1.0))
+        assert p.is_homogeneous
+        assert p.num_groups == 1
+        assert p.weighted_sensing_area == pytest.approx(0.02)
+
+    def test_fractions_must_sum_to_one(self):
+        spec1 = CameraSpec(radius=0.2, angle_of_view=1.0)
+        spec2 = CameraSpec(radius=0.1, angle_of_view=1.0)
+        with pytest.raises(InvalidProfileError):
+            HeterogeneousProfile(
+                [GroupSpec(spec1, 0.5), GroupSpec(spec2, 0.4)]
+            )
+
+    def test_no_duplicate_specs(self):
+        spec = CameraSpec(radius=0.2, angle_of_view=1.0)
+        with pytest.raises(InvalidProfileError):
+            HeterogeneousProfile([GroupSpec(spec, 0.5), GroupSpec(spec, 0.5)])
+
+    def test_needs_a_group(self):
+        with pytest.raises(InvalidProfileError):
+            HeterogeneousProfile([])
+
+    def test_from_pairs(self):
+        p = HeterogeneousProfile.from_pairs(
+            [
+                (CameraSpec(radius=0.2, angle_of_view=1.0), 0.6),
+                (CameraSpec(radius=0.1, angle_of_view=2.0), 0.4),
+            ]
+        )
+        assert p.num_groups == 2
+        assert [g.name for g in p] == ["G1", "G2"]
+
+    def test_weighted_sensing_area(self, two_group_profile):
+        expected = sum(g.fraction * g.sensing_area for g in two_group_profile)
+        assert two_group_profile.weighted_sensing_area == pytest.approx(expected)
+
+    def test_max_radius(self, two_group_profile):
+        assert two_group_profile.max_radius == 0.22
+
+    def test_group_counts_sum_exactly(self, two_group_profile):
+        for n in (1, 7, 10, 99, 100, 1001):
+            counts = two_group_profile.group_counts(n)
+            assert sum(counts) == n
+            assert all(c >= 0 for c in counts)
+
+    def test_group_counts_proportions(self, two_group_profile):
+        counts = two_group_profile.group_counts(1000)
+        assert counts == [600, 400]
+
+    def test_group_counts_largest_remainder(self):
+        p = HeterogeneousProfile.from_pairs(
+            [
+                (CameraSpec(radius=0.2, angle_of_view=1.0), 1 / 3),
+                (CameraSpec(radius=0.1, angle_of_view=1.0), 1 / 3),
+                (CameraSpec(radius=0.15, angle_of_view=1.0), 1 / 3),
+            ]
+        )
+        assert sorted(p.group_counts(10)) == [3, 3, 4]
+
+    def test_group_counts_validation(self, two_group_profile):
+        with pytest.raises(InvalidParameterError):
+            two_group_profile.group_counts(0)
+
+    def test_scaled_to_weighted_area(self, two_group_profile):
+        scaled = two_group_profile.scaled_to_weighted_area(0.05)
+        assert scaled.weighted_sensing_area == pytest.approx(0.05)
+        # Angles and fractions preserved.
+        for before, after in zip(two_group_profile, scaled):
+            assert after.angle_of_view == pytest.approx(before.angle_of_view)
+            assert after.fraction == pytest.approx(before.fraction)
+        # Areas scale proportionally: ratios between groups unchanged.
+        r_before = two_group_profile.sensing_areas()
+        r_after = scaled.sensing_areas()
+        assert r_after[0] / r_after[1] == pytest.approx(r_before[0] / r_before[1])
+
+    def test_scaled_validation(self, two_group_profile):
+        with pytest.raises(InvalidParameterError):
+            two_group_profile.scaled_to_weighted_area(0.0)
+
+    def test_equality_and_hash(self, two_group_profile):
+        clone = HeterogeneousProfile(list(two_group_profile.groups))
+        assert clone == two_group_profile
+        assert hash(clone) == hash(two_group_profile)
+
+    def test_describe(self, two_group_profile):
+        info = two_group_profile.describe()
+        assert info["num_groups"] == 2
+        assert len(info["groups"]) == 2
+
+    def test_repr_contains_parameters(self, two_group_profile):
+        text = repr(two_group_profile)
+        assert "0.22" in text and "0.14" in text
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_group_counts_always_sum(self, n):
+        p = HeterogeneousProfile.from_pairs(
+            [
+                (CameraSpec(radius=0.2, angle_of_view=1.0), 0.17),
+                (CameraSpec(radius=0.1, angle_of_view=2.0), 0.33),
+                (CameraSpec(radius=0.15, angle_of_view=1.5), 0.5),
+            ]
+        )
+        assert sum(p.group_counts(n)) == n
+
+    @given(areas)
+    def test_scaling_hits_target(self, target):
+        p = HeterogeneousProfile.from_pairs(
+            [
+                (CameraSpec(radius=0.2, angle_of_view=1.0), 0.5),
+                (CameraSpec(radius=0.1, angle_of_view=2.0), 0.5),
+            ]
+        )
+        assert p.scaled_to_weighted_area(target).weighted_sensing_area == pytest.approx(
+            target, rel=1e-9
+        )

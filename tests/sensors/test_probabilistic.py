@@ -1,0 +1,121 @@
+"""Tests for probabilistic sensing models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sensors.probabilistic import (
+    BinaryModel,
+    ExponentialDecayModel,
+    StaircaseModel,
+    probabilistic_covering,
+    probabilistic_covering_directions,
+)
+
+
+class TestBinaryModel:
+    def test_always_one(self):
+        model = BinaryModel()
+        d = np.linspace(0, 1, 5)
+        assert (model.detection_probability(d, np.ones(5)) == 1.0).all()
+
+    def test_expected_ratio_is_one(self):
+        assert BinaryModel().expected_coverage_ratio() == pytest.approx(1.0)
+
+
+class TestExponentialDecayModel:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialDecayModel(beta=-1.0)
+        with pytest.raises(InvalidParameterError):
+            ExponentialDecayModel(gamma=0.0)
+
+    def test_at_apex(self):
+        model = ExponentialDecayModel(beta=2.0, gamma=2.0)
+        assert model.detection_probability(np.array([0.0]), np.array([1.0]))[0] == 1.0
+
+    def test_at_rim(self):
+        model = ExponentialDecayModel(beta=2.0, gamma=2.0)
+        p = model.detection_probability(np.array([1.0]), np.array([1.0]))[0]
+        assert p == pytest.approx(math.exp(-2.0))
+
+    def test_monotone_decreasing(self):
+        model = ExponentialDecayModel(beta=1.0, gamma=2.0)
+        d = np.linspace(0, 1, 20)
+        p = model.detection_probability(d, np.ones(20))
+        assert (np.diff(p) <= 0).all()
+
+    def test_scales_with_radius(self):
+        model = ExponentialDecayModel(beta=1.0, gamma=2.0)
+        # Same normalised distance -> same probability.
+        p1 = model.detection_probability(np.array([0.5]), np.array([1.0]))[0]
+        p2 = model.detection_probability(np.array([0.1]), np.array([0.2]))[0]
+        assert p1 == pytest.approx(p2)
+
+    def test_expected_ratio_below_one(self):
+        model = ExponentialDecayModel(beta=1.0, gamma=2.0)
+        ratio = model.expected_coverage_ratio()
+        assert 0.0 < ratio < 1.0
+
+    def test_expected_ratio_analytic(self):
+        """For gamma=2: E = int_0^1 e^{-b t^2} 2t dt = (1 - e^{-b}) / b."""
+        beta = 1.7
+        model = ExponentialDecayModel(beta=beta, gamma=2.0)
+        expected = (1.0 - math.exp(-beta)) / beta
+        assert model.expected_coverage_ratio() == pytest.approx(expected, rel=1e-3)
+
+
+class TestStaircaseModel:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StaircaseModel(reliable_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            StaircaseModel(far_probability=-0.1)
+
+    def test_levels(self):
+        model = StaircaseModel(reliable_fraction=0.5, far_probability=0.25)
+        p = model.detection_probability(np.array([0.2, 0.8]), np.array([1.0, 1.0]))
+        assert p.tolist() == [1.0, 0.25]
+
+
+class TestProbabilisticCovering:
+    def test_binary_matches_covering(self, small_fleet, rng):
+        point = (0.5, 0.5)
+        binary = probabilistic_covering(small_fleet, point, BinaryModel(), rng)
+        assert set(binary.tolist()) == set(small_fleet.covering(point).tolist())
+
+    def test_thinning_is_subset(self, small_fleet, rng):
+        point = (0.5, 0.5)
+        model = ExponentialDecayModel(beta=3.0)
+        thinned = probabilistic_covering(small_fleet, point, model, rng)
+        assert set(thinned.tolist()) <= set(small_fleet.covering(point).tolist())
+
+    def test_zero_probability_drops_all(self, small_fleet, rng):
+        model = StaircaseModel(reliable_fraction=0.0, far_probability=0.0)
+        thinned = probabilistic_covering(small_fleet, (0.5, 0.5), model, rng)
+        assert thinned.size == 0
+
+    def test_thinning_rate_statistical(self, small_fleet):
+        """Empirical keep rate across seeds approximates the model mean."""
+        point = (0.5, 0.5)
+        base = small_fleet.covering(point)
+        if base.size == 0:
+            pytest.skip("probe point not covered in this fixture")
+        model = StaircaseModel(reliable_fraction=0.0, far_probability=0.5)
+        total = kept = 0
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            kept += probabilistic_covering(small_fleet, point, model, rng).size
+            total += base.size
+        assert kept / total == pytest.approx(0.5, abs=0.08)
+
+    def test_directions_subset(self, small_fleet, rng):
+        point = (0.5, 0.5)
+        model = ExponentialDecayModel(beta=1.0)
+        dirs = probabilistic_covering_directions(small_fleet, point, model, rng)
+        all_dirs = set(np.round(small_fleet.covering_directions(point), 9).tolist())
+        assert set(np.round(dirs, 9).tolist()) <= all_dirs

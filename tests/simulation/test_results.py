@@ -1,0 +1,103 @@
+"""Tests for result tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation.results import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable(title="demo", columns=["n", "value", "ok"])
+    t.add_row(100, 0.5, True)
+    t.add_row(200, 0.25, False)
+    return t
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(InvalidParameterError):
+            ResultTable(title="x", columns=[])
+
+    def test_len(self, table):
+        assert len(table) == 2
+
+
+class TestAddRow:
+    def test_positional_arity(self, table):
+        with pytest.raises(InvalidParameterError):
+            table.add_row(1, 2)
+
+    def test_named(self):
+        t = ResultTable(title="x", columns=["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows[0] == [1, 2]
+
+    def test_named_unknown_column(self):
+        t = ResultTable(title="x", columns=["a"])
+        with pytest.raises(InvalidParameterError):
+            t.add_row(zz=1)
+
+    def test_mixed_rejected(self):
+        t = ResultTable(title="x", columns=["a"])
+        with pytest.raises(InvalidParameterError):
+            t.add_row(1, a=1)
+
+    def test_named_missing_defaults_none(self):
+        t = ResultTable(title="x", columns=["a", "b"])
+        t.add_row(a=1)
+        assert t.rows[0] == [1, None]
+
+    def test_add_rows(self):
+        t = ResultTable(title="x", columns=["a"])
+        t.add_rows([[1], [2]])
+        assert len(t) == 2
+
+
+class TestColumn:
+    def test_values(self, table):
+        assert table.column("n") == [100, 200]
+
+    def test_unknown(self, table):
+        with pytest.raises(InvalidParameterError):
+            table.column("zz")
+
+
+class TestRendering:
+    def test_markdown(self, table):
+        md = table.to_markdown()
+        assert "### demo" in md
+        assert "| n | value | ok |" in md
+        assert "| 100 | 0.5 | yes |" in md
+
+    def test_csv(self, table):
+        csv_text = table.to_csv()
+        lines = csv_text.strip().split("\n")
+        assert lines[0] == "n,value,ok"
+        assert lines[1] == "100,0.5,True"
+
+    def test_records(self, table):
+        recs = table.to_records()
+        assert recs[0] == {"n": 100, "value": 0.5, "ok": True}
+
+    def test_pretty(self, table):
+        text = table.pretty()
+        assert "demo" in text
+        assert "100" in text
+
+    def test_float_format(self):
+        t = ResultTable(title="x", columns=["v"], float_format=".2f")
+        t.add_row(0.123456)
+        assert "0.12" in t.to_markdown()
+
+    def test_none_renders_empty(self):
+        t = ResultTable(title="x", columns=["v"])
+        t.add_row(None)
+        assert t.to_markdown().endswith("|  |")
+
+    def test_save_csv(self, table, tmp_path):
+        path = table.save_csv(tmp_path / "sub" / "out.csv")
+        assert path.exists()
+        assert path.read_text().startswith("n,value,ok")

@@ -1,0 +1,141 @@
+"""Tests for Bernoulli estimates and confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.simulation.statistics import (
+    BernoulliEstimate,
+    clopper_pearson_interval,
+    mean_and_half_width,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and hi < 0.2
+        lo, hi = wilson_interval(50, 50)
+        assert lo > 0.8 and hi == 1.0
+
+    def test_narrows_with_trials(self):
+        w1 = np.diff(wilson_interval(10, 20))[0]
+        w2 = np.diff(wilson_interval(100, 200))[0]
+        assert w2 < w1
+
+    def test_confidence_widens(self):
+        w95 = np.diff(wilson_interval(30, 100, 0.95))[0]
+        w99 = np.diff(wilson_interval(30, 100, 0.99))[0]
+        assert w99 > w95
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(1, 0)
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(5, 3)
+        with pytest.raises(InvalidParameterError):
+            wilson_interval(1, 10, confidence=1.5)
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=200)
+    def test_properties(self, successes, trials):
+        if successes > trials:
+            successes = trials
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+        assert lo <= successes / trials <= hi
+
+
+class TestClopperPearson:
+    def test_wider_than_wilson_typically(self):
+        w = np.diff(wilson_interval(5, 20))[0]
+        c = np.diff(clopper_pearson_interval(5, 20))[0]
+        assert c >= w * 0.9  # CP is conservative
+
+    def test_boundaries(self):
+        lo, hi = clopper_pearson_interval(0, 10)
+        assert lo == 0.0
+        lo, hi = clopper_pearson_interval(10, 10)
+        assert hi == 1.0
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=200))
+    @settings(max_examples=150)
+    def test_contains_mle(self, successes, trials):
+        if successes > trials:
+            successes = trials
+        lo, hi = clopper_pearson_interval(successes, trials)
+        assert lo - 1e-9 <= successes / trials <= hi + 1e-9
+
+
+class TestBernoulliEstimate:
+    def test_proportion(self):
+        est = BernoulliEstimate(successes=30, trials=100)
+        assert est.proportion == 0.3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BernoulliEstimate(successes=5, trials=0)
+        with pytest.raises(InvalidParameterError):
+            BernoulliEstimate(successes=5, trials=3)
+
+    def test_std_error(self):
+        est = BernoulliEstimate(successes=50, trials=100)
+        assert est.std_error() == pytest.approx(0.05)
+
+    def test_contains_theory(self):
+        est = BernoulliEstimate(successes=50, trials=100)
+        assert est.contains(0.5)
+        assert not est.contains(0.9)
+        assert est.contains(0.62, slack=0.05)
+
+    def test_merged(self):
+        a = BernoulliEstimate(successes=10, trials=50)
+        b = BernoulliEstimate(successes=20, trials=50)
+        merged = a.merged(b)
+        assert merged.successes == 30 and merged.trials == 100
+
+    def test_str(self):
+        text = str(BernoulliEstimate(successes=3, trials=10))
+        assert "3/10" in text
+
+    def test_coverage_calibration(self):
+        """Wilson 95% intervals cover the true p about 95% of the time."""
+        rng = np.random.default_rng(0)
+        p_true = 0.3
+        covered = 0
+        runs = 400
+        for _ in range(runs):
+            successes = int(rng.binomial(100, p_true))
+            est = BernoulliEstimate(successes=successes, trials=100)
+            covered += est.contains(p_true)
+        assert covered / runs > 0.9
+
+
+class TestMeanAndHalfWidth:
+    def test_mean(self):
+        mean, half = mean_and_half_width([0.1, 0.2, 0.3])
+        assert mean == pytest.approx(0.2)
+        assert half > 0
+
+    def test_single_value(self):
+        mean, half = mean_and_half_width([0.5])
+        assert mean == 0.5
+        assert half == float("inf")
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            mean_and_half_width([])
+
+    def test_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(size=20)
+        large = rng.normal(size=2000)
+        assert mean_and_half_width(large)[1] < mean_and_half_width(small)[1]

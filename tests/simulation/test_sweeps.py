@@ -1,0 +1,80 @@
+"""Tests for parameter sweep helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation.sweeps import n_axis_log, q_axis, sweep, theta_axis
+
+
+class TestSweep:
+    def test_collects_rows(self):
+        table = sweep(
+            "squares",
+            "x",
+            [1.0, 2.0, 3.0],
+            lambda x: {"square": x * x},
+        )
+        assert table.columns == ["x", "square"]
+        assert table.column("square") == [1.0, 4.0, 9.0]
+
+    def test_explicit_columns(self):
+        table = sweep(
+            "demo",
+            "x",
+            [1.0],
+            lambda x: {"a": 1, "b": 2},
+            columns=["b"],
+        )
+        assert table.columns == ["x", "b"]
+        assert table.rows[0] == [1.0, 2]
+
+    def test_empty_axis(self):
+        with pytest.raises(InvalidParameterError):
+            sweep("x", "x", [], lambda x: {})
+
+
+class TestAxes:
+    def test_theta_axis_range(self):
+        axis = theta_axis(0.1, 0.5, 9)
+        assert axis[0] == pytest.approx(0.1 * math.pi)
+        assert axis[-1] == pytest.approx(0.5 * math.pi)
+        assert len(axis) == 9
+
+    def test_theta_axis_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theta_axis(0.5, 0.1)
+        with pytest.raises(InvalidParameterError):
+            theta_axis(0.1, 0.5, 0)
+
+    def test_n_axis_log_spacing(self):
+        axis = n_axis_log(100, 10_000, 13)
+        assert axis[0] == 100
+        assert axis[-1] == 10_000
+        assert all(a < b for a, b in zip(axis, axis[1:]))
+        # Log spacing: consecutive ratios roughly constant.
+        ratios = [b / a for a, b in zip(axis, axis[1:])]
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_n_axis_validation(self):
+        with pytest.raises(InvalidParameterError):
+            n_axis_log(1, 100)
+        with pytest.raises(InvalidParameterError):
+            n_axis_log(100, 50)
+
+    def test_q_axis(self):
+        axis = q_axis()
+        assert 1.0 in axis
+        assert axis == sorted(axis)
+        assert all(q > 0 for q in axis)
+
+    def test_q_axis_no_unit(self):
+        assert 1.0 not in q_axis(include_unit=False)
+
+    def test_q_axis_validation(self):
+        with pytest.raises(InvalidParameterError):
+            q_axis(below=(-0.5,))

@@ -1,0 +1,115 @@
+"""Tests for the built-in workload scenarios."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.deployment.poisson import PoissonDeployment
+from repro.errors import InvalidParameterError
+from repro.simulation.workloads import (
+    Workload,
+    border_barrier,
+    estate_surveillance,
+    registry,
+    traffic_monitoring,
+    wildlife_protection,
+)
+
+
+class TestRegistry:
+    def test_contains_all(self):
+        names = set(registry())
+        assert names == {
+            "traffic_monitoring",
+            "estate_surveillance",
+            "wildlife_protection",
+            "border_barrier",
+        }
+
+    def test_all_deployable(self, rng):
+        for workload in registry().values():
+            fleet = workload.scheme.deploy(workload.profile, 50, rng)
+            assert len(fleet) >= 0
+
+
+class TestScenarioShapes:
+    def test_traffic_is_strict(self):
+        w = traffic_monitoring()
+        assert w.theta <= math.pi / 4
+
+    def test_wildlife_uses_poisson(self):
+        assert isinstance(wildlife_protection().scheme, PoissonDeployment)
+
+    def test_border_is_dense(self):
+        assert border_barrier().n > estate_surveillance().n
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(
+                name="x",
+                description="",
+                profile=estate_surveillance().profile,
+                n=0,
+                theta=1.0,
+            )
+        with pytest.raises(InvalidParameterError):
+            Workload(
+                name="x",
+                description="",
+                profile=estate_surveillance().profile,
+                n=10,
+                theta=4.0,
+            )
+
+
+class TestProvisioning:
+    def test_margin_below_one_for_realistic_cameras(self):
+        """The catalog cameras are far below the CSA — the paper's point
+        that full-view coverage is a high-expense service."""
+        for workload in registry().values():
+            assert workload.csa_margin() < 1.0
+
+    def test_provisioned_hits_target(self):
+        w = estate_surveillance().provisioned(q=1.5)
+        assert w.csa_margin() == pytest.approx(1.5, rel=1e-9)
+
+    def test_provisioned_preserves_structure(self):
+        base = estate_surveillance()
+        scaled = base.provisioned(q=2.0)
+        assert scaled.n == base.n
+        assert scaled.theta == base.theta
+        assert scaled.profile.num_groups == base.profile.num_groups
+        for g_before, g_after in zip(base.profile, scaled.profile):
+            assert g_after.angle_of_view == pytest.approx(g_before.angle_of_view)
+            assert g_after.fraction == pytest.approx(g_before.fraction)
+
+    def test_provisioned_necessary_condition_variant(self):
+        w = estate_surveillance().provisioned(q=1.0, condition="necessary")
+        from repro.core.csa import csa_necessary
+
+        assert w.profile.weighted_sensing_area == pytest.approx(
+            csa_necessary(w.n, w.theta)
+        )
+
+    def test_provisioned_validation(self):
+        with pytest.raises(InvalidParameterError):
+            estate_surveillance().provisioned(q=0.0)
+        with pytest.raises(InvalidParameterError):
+            estate_surveillance().provisioned(condition="bogus")
+
+    def test_provisioned_fleet_actually_covers(self, rng):
+        """End-to-end: a fleet provisioned above the sufficient CSA
+        full-view covers a probe point with high simulated probability."""
+        from repro.core.full_view import point_is_full_view_covered
+
+        w = estate_surveillance().provisioned(q=1.5)
+        hits = 0
+        trials = 40
+        for seed in range(trials):
+            fleet = w.scheme.deploy(w.profile, w.n, np.random.default_rng(seed))
+            fleet.build_index()
+            hits += point_is_full_view_covered(fleet, (0.5, 0.5), w.theta)
+        assert hits / trials > 0.9

@@ -1,0 +1,129 @@
+"""Tests for the fullview CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "fullview" in capsys.readouterr().out
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("FIG7", "FIG8", "EQ19", "PHASE", "GAP"):
+            assert eid in out
+
+
+class TestRun:
+    def test_run_single(self, capsys):
+        assert main(["run", "FIG7"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG7" in out
+        assert "overall: PASS" in out
+
+    def test_run_exports_csv(self, tmp_path, capsys):
+        assert main(["run", "FIG8", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig8.csv").exists()
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "BOGUS"])
+
+    def test_run_seed_flag(self, capsys):
+        assert main(["run", "EQ19", "--seed", "3"]) == 0
+
+
+class TestFigures:
+    def test_prints_plots(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Figure 8" in out
+        assert "necessary" in out and "sufficient" in out
+
+    def test_exports(self, tmp_path, capsys):
+        assert main(["figures", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "figure7.csv").exists()
+        assert (tmp_path / "figure8.csv").exists()
+
+
+class TestDiagnose:
+    def test_renders_maps(self, capsys):
+        assert main(["diagnose", "estate_surveillance", "--resolution", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "sensor positions" in out
+        assert "full-view covered cells" in out
+        assert "barrier" in out
+        assert "centre point" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["diagnose", "nope"]) == 1
+        assert "unknown workload" in capsys.readouterr().out
+
+    def test_provision_flag(self, capsys):
+        assert main(
+            ["diagnose", "estate_surveillance", "--provision", "1.2",
+             "--resolution", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "provisioned" in out
+
+    def test_save_fleet(self, tmp_path, capsys):
+        target = tmp_path / "fleet.npz"
+        assert main(
+            ["diagnose", "estate_surveillance", "--resolution", "8",
+             "--save-fleet", str(target)]
+        ) == 0
+        assert target.exists()
+        from repro.sensors.io import load_fleet
+
+        fleet = load_fleet(target)
+        assert len(fleet) == 500
+
+
+class TestDesign:
+    def test_report(self, capsys):
+        assert main(["design", "estate_surveillance", "--target", "0.95"]) == 0
+        out = capsys.readouterr().out
+        assert "design report" in out
+        assert "required weighted area" in out
+        assert "scale every radius" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["design", "nope"]) == 1
+
+
+class TestDiagnoseNoBarrier:
+    def test_breach_branch(self, capsys):
+        """The stock (under-provisioned) workload has no barrier; the
+        breach branch must render."""
+        assert main(["diagnose", "traffic_monitoring", "--resolution", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "barrier: NO" in out
+
+
+class TestWorkloads:
+    def test_assessment(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic_monitoring" in out
+        assert "verdict" in out
+
+    def test_simulated(self, capsys):
+        assert main(["workloads", "--simulate", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated full-view area fraction" in out

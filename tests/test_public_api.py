@@ -1,0 +1,64 @@
+"""The public API surface: everything in __all__ imports and works."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} missing from package"
+
+    def test_no_private_exports(self):
+        assert all(not n.startswith("_") or n == "__version__" for n in repro.__all__)
+
+
+class TestQuickstartFlow:
+    """The README quickstart, as a test."""
+
+    def test_end_to_end(self):
+        profile = repro.HeterogeneousProfile.homogeneous(
+            repro.CameraSpec(radius=0.2, angle_of_view=math.pi / 3)
+        )
+        fleet = repro.UniformDeployment().deploy(
+            profile, n=500, rng=np.random.default_rng(7)
+        )
+        assert len(fleet) == 500
+        covered = repro.point_is_full_view_covered(fleet, (0.5, 0.5), theta=math.pi / 3)
+        assert isinstance(covered, bool)
+        diag = repro.diagnose_point(fleet, (0.5, 0.5), theta=math.pi / 3)
+        assert diag.num_covering_sensors >= 0
+        csa = repro.csa_sufficient(n=500, theta=math.pi / 4)
+        assert 0 < csa < 1
+
+    def test_theory_functions_exposed(self):
+        profile = repro.HeterogeneousProfile.homogeneous(
+            repro.CameraSpec(radius=0.2, angle_of_view=math.pi / 3)
+        )
+        p = repro.necessary_failure_probability(profile, 300, math.pi / 4)
+        q = repro.sufficient_failure_probability(profile, 300, math.pi / 4)
+        assert 0 <= p <= q <= 1
+        pn = repro.poisson_necessary_probability(profile, 300, math.pi / 4)
+        ps = repro.poisson_sufficient_probability(profile, 300, math.pi / 4)
+        assert 0 <= ps <= pn <= 1
+
+    def test_monte_carlo_exposed(self):
+        profile = repro.HeterogeneousProfile.homogeneous(
+            repro.CameraSpec(radius=0.25, angle_of_view=math.pi / 2)
+        )
+        cfg = repro.MonteCarloConfig(trials=20, seed=0)
+        est = repro.estimate_point_probability(profile, 100, math.pi / 2, "exact", cfg)
+        assert isinstance(est, repro.BernoulliEstimate)
+
+    def test_errors_catchable_by_base(self):
+        with pytest.raises(repro.FullViewError):
+            repro.CameraSpec(radius=-1.0, angle_of_view=1.0)

@@ -1,0 +1,103 @@
+"""Tests for ASCII rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.viz.ascii_plot import (
+    ascii_coverage_map,
+    ascii_line_plot,
+    ascii_scatter_map,
+)
+
+
+class TestLinePlot:
+    def test_renders_all_series(self):
+        text = ascii_line_plot(
+            {
+                "alpha": ([0, 1, 2], [0, 1, 4]),
+                "beta": ([0, 1, 2], [4, 1, 0]),
+            },
+            title="demo",
+        )
+        assert "demo" in text
+        assert "* alpha" in text
+        assert "o beta" in text
+        assert "*" in text and "o" in text
+
+    def test_dimension_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_line_plot({"a": ([0], [0])}, width=4)
+        with pytest.raises(InvalidParameterError):
+            ascii_line_plot({})
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_line_plot({"flat": ([0, 1], [1.0, 1.0])})
+        assert "flat" in text
+
+    def test_ranges_in_labels(self):
+        text = ascii_line_plot(
+            {"s": ([0, 10], [0, 5])}, x_label="xx", y_label="yy"
+        )
+        assert "xx" in text and "yy" in text
+        assert "10" in text
+
+    def test_line_count(self):
+        text = ascii_line_plot({"s": ([0, 1], [0, 1])}, height=10, title="t")
+        # title + y label + 10 rows + axis + x label + legend
+        assert len(text.split("\n")) == 15
+
+
+class TestCoverageMap:
+    def test_glyph_counts(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[1, 1] = True
+        text = ascii_coverage_map(mask)
+        assert text.count("#") == 1
+        assert text.count(".") == 8
+
+    def test_row_zero_at_bottom(self):
+        mask = np.zeros((2, 2), dtype=bool)
+        mask[0, 0] = True  # column 0, bottom row
+        lines = ascii_coverage_map(mask).split("\n")
+        # lines: border, top row, bottom row, border
+        assert lines[2] == "|#.|"
+        assert lines[1] == "|..|"
+
+    def test_title(self):
+        text = ascii_coverage_map(np.ones((2, 2), dtype=bool), title="cov")
+        assert text.startswith("cov")
+
+    def test_dimension_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_coverage_map(np.ones(4, dtype=bool))
+
+
+class TestScatterMap:
+    def test_renders_points(self):
+        pts = np.array([[0.5, 0.5], [0.1, 0.9]])
+        text = ascii_scatter_map(pts, title="map")
+        assert "map" in text
+        assert text.count(".") == 2
+
+    def test_marks_highlighted(self):
+        pts = np.array([[0.5, 0.5], [0.1, 0.9]])
+        text = ascii_scatter_map(pts, marks=np.array([True, False]))
+        assert text.count("#") == 1
+        assert text.count(".") == 1
+
+    def test_marks_length_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_scatter_map(np.zeros((2, 2)), marks=np.array([True]))
+
+    def test_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_scatter_map(np.zeros((1, 2)), width=2)
+        with pytest.raises(InvalidParameterError):
+            ascii_scatter_map(np.zeros((1, 2)), side=0.0)
+
+    def test_empty_is_fine(self):
+        text = ascii_scatter_map(np.empty((0, 2)))
+        assert "+" in text

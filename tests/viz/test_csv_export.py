@@ -1,0 +1,39 @@
+"""Tests for CSV export helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation.results import ResultTable
+from repro.viz.csv_export import export_series, export_table
+
+
+class TestExportSeries:
+    def test_writes_columns(self, tmp_path):
+        path = export_series(
+            tmp_path / "out.csv",
+            "x",
+            [1.0, 2.0],
+            {"a": [10.0, 20.0], "b": [0.1, 0.2]},
+        )
+        lines = path.read_text().strip().split("\n")
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1.0,10.0,0.1"
+        assert lines[2] == "2.0,20.0,0.2"
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            export_series(tmp_path / "out.csv", "x", [1.0], {"a": [1.0, 2.0]})
+
+    def test_creates_directories(self, tmp_path):
+        path = export_series(tmp_path / "a" / "b" / "out.csv", "x", [1.0], {"y": [2.0]})
+        assert path.exists()
+
+
+class TestExportTable:
+    def test_round_trip(self, tmp_path):
+        table = ResultTable(title="t", columns=["a"])
+        table.add_row(1)
+        path = export_table(tmp_path / "t.csv", table)
+        assert path.read_text() == "a\n1\n"
