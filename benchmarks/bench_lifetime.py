@@ -1,0 +1,19 @@
+"""LIFETIME — extension: network lifetime under progressive failures.
+
+Provisioning (deploying q times the sufficient CSA) buys epochs of
+guaranteed full-view operation; under-provisioned fleets die early and
+the mean coverage curve degrades monotonically.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_export
+
+
+def test_lifetime(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_and_export, args=("LIFETIME", results_dir), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,63 @@
+"""Resilient-runner overhead versus the plain estimator loop.
+
+The runner wraps every trial in fault isolation and (optionally) writes
+periodic JSON checkpoints.  This bench times a sweep of cheap trials
+through three paths — plain ``for rng in config.rngs()`` loop, bare
+runner, runner with per-trial checkpointing — and asserts all three
+tally identical successes, so the resilience layer is known not to
+perturb results while its cost stays visible in the timing report.
+No ratio is asserted: wall-clock ratios of microsecond loops are too
+noisy for CI, the numbers are for humans reading the benchmark table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.runner import run_resilient_trials
+
+TRIALS = 2000
+CONFIG = MonteCarloConfig(trials=TRIALS, seed=17)
+
+
+def cheap_trial(trial: int, rng: np.random.Generator) -> bool:
+    return bool(rng.random() < 0.5)
+
+
+def plain_loop() -> int:
+    successes = 0
+    for trial, rng in enumerate(CONFIG.rngs()):
+        if cheap_trial(trial, rng):
+            successes += 1
+    return successes
+
+
+@pytest.fixture(scope="module")
+def expected_successes() -> int:
+    return plain_loop()
+
+
+def test_plain_loop(benchmark, expected_successes):
+    successes = benchmark.pedantic(plain_loop, rounds=3, iterations=1)
+    assert successes == expected_successes
+
+
+def test_runner_no_checkpoint(benchmark, expected_successes):
+    result = benchmark.pedantic(
+        run_resilient_trials, args=(cheap_trial, CONFIG), rounds=3, iterations=1
+    )
+    assert result.completed == TRIALS
+    assert result.successes == expected_successes
+
+
+def test_runner_with_checkpoints(benchmark, expected_successes, tmp_path):
+    def checkpointed():
+        return run_resilient_trials(
+            cheap_trial, CONFIG, checkpoint_dir=tmp_path, checkpoint_every=100
+        )
+
+    result = benchmark.pedantic(checkpointed, rounds=3, iterations=1)
+    assert result.completed == TRIALS
+    assert result.successes == expected_successes

@@ -63,36 +63,61 @@ from repro.deployment import (
 from repro.deployment.cluster import MaternClusterDeployment
 from repro.sensors.io import load_fleet, save_fleet
 from repro.errors import (
+    CheckpointError,
     DeploymentError,
     FullViewError,
     InvalidParameterError,
     InvalidProfileError,
 )
 from repro.geometry import DenseGrid, Region
+from repro.resilience import (
+    BernoulliFailure,
+    DiskBlackout,
+    FailureModel,
+    FailureSchedule,
+    LifetimeDistribution,
+    LifetimeTrace,
+    OrientationDrift,
+    RadiusDegradation,
+    lifetime_distribution,
+    simulate_lifetime,
+)
 from repro.sensors import CameraSpec, GroupSpec, HeterogeneousProfile, SensorFleet
 from repro.simulation import (
     BernoulliEstimate,
     MonteCarloConfig,
+    ResilientResult,
     ResultTable,
     estimate_area_fraction,
     estimate_grid_failure_probability,
     estimate_point_probability,
+    run_resilient_trials,
 )
 
 __all__ = [
     "BernoulliEstimate",
+    "BernoulliFailure",
     "CameraSpec",
+    "CheckpointError",
     "DenseGrid",
     "DeploymentError",
+    "DiskBlackout",
+    "FailureModel",
+    "FailureSchedule",
     "FullViewError",
     "GroupSpec",
     "HeterogeneousProfile",
     "InvalidParameterError",
     "InvalidProfileError",
+    "LifetimeDistribution",
+    "LifetimeTrace",
     "MaternClusterDeployment",
     "MonteCarloConfig",
+    "OrientationDrift",
     "PoissonDeployment",
+    "RadiusDegradation",
     "Region",
+    "ResilientResult",
     "ResultTable",
     "SensorFleet",
     "SquareLatticeDeployment",
@@ -113,6 +138,7 @@ __all__ = [
     "full_view_coverage_fraction",
     "full_view_mask",
     "is_full_view_covered",
+    "lifetime_distribution",
     "load_fleet",
     "minimum_guard_set",
     "necessary_failure_probability",
@@ -122,7 +148,9 @@ __all__ = [
     "poisson_necessary_probability",
     "poisson_sufficient_probability",
     "redundant_sensors",
+    "run_resilient_trials",
     "save_fleet",
+    "simulate_lifetime",
     "solve_area_for_point_probability",
     "solve_n_for_point_probability",
     "sufficient_failure_probability",

@@ -5,7 +5,12 @@ Subcommands
 - ``fullview list`` — registered experiments and their paper artifacts.
 - ``fullview run FIG7 FIG8 ...`` — run experiments (``--full`` for
   publication-quality budgets), print reports, optionally ``--out DIR``
-  to export every table as CSV.
+  to export every table as CSV.  ``--checkpoint DIR`` records completed
+  experiments so an interrupted sweep can continue with ``--resume``;
+  ``--time-budget SECONDS`` stops gracefully between experiments.
+- ``fullview lifetime`` — simulate network lifetime under a per-epoch
+  failure schedule via the checkpointed resilient runner (supports
+  ``--checkpoint/--resume/--time-budget`` at trial granularity).
 - ``fullview figures`` — render Figures 7 and 8 as ASCII charts and
   CSV series.
 - ``fullview workloads`` — assess the built-in scenarios against CSA
@@ -34,14 +39,75 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Schema tag for the experiment-level run checkpoint.
+_RUN_CHECKPOINT_FORMAT = "fullview-run-checkpoint-v1"
+
+
+def _load_run_checkpoint(path: Path, seed: int, full: bool) -> dict:
+    import json
+
+    from repro.errors import CheckpointError
+
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read run checkpoint {path}: {exc}") from exc
+    if payload.get("format") != _RUN_CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path} is not a {_RUN_CHECKPOINT_FORMAT} checkpoint")
+    if payload.get("seed") != seed or payload.get("full") != full:
+        raise CheckpointError(
+            f"run checkpoint {path} was written for seed={payload.get('seed')}, "
+            f"full={payload.get('full')}; rerun with matching flags or start fresh"
+        )
+    return payload.get("completed", {})
+
+
+def _save_run_checkpoint(path: Path, seed: int, full: bool, completed: dict) -> None:
+    import json
+    import os
+
+    payload = {
+        "format": _RUN_CHECKPOINT_FORMAT,
+        "seed": seed,
+        "full": full,
+        "completed": completed,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
     from repro.experiments import all_experiments, get_experiment
 
     ids: List[str] = args.ids or sorted(all_experiments())
     out_dir: Optional[Path] = Path(args.out) if args.out else None
+    checkpoint_path: Optional[Path] = (
+        Path(args.checkpoint) / "run_checkpoint.json" if args.checkpoint else None
+    )
+    completed: dict = {}
+    if args.resume and checkpoint_path is not None and checkpoint_path.exists():
+        completed = _load_run_checkpoint(checkpoint_path, args.seed, args.full)
     any_failed = False
+    truncated = False
+    started_at = time.monotonic()
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
+        key = experiment.experiment_id
+        if key in completed:
+            print(f"{key}: already completed (checkpoint) — "
+                  f"{'PASS' if completed[key]['passed'] else 'FAIL'}")
+            any_failed |= not completed[key]["passed"]
+            continue
+        if (
+            args.time_budget is not None
+            and time.monotonic() - started_at >= args.time_budget
+        ):
+            truncated = True
+            break
         result = experiment.run(fast=not args.full, seed=args.seed)
         print(result.render())
         print()
@@ -52,7 +118,114 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 table.save_csv(path)
                 print(f"wrote {path}")
         any_failed |= not result.passed
+        completed[key] = {"passed": result.passed}
+        if checkpoint_path is not None:
+            _save_run_checkpoint(checkpoint_path, args.seed, args.full, completed)
+    if truncated:
+        remaining = [i for i in ids if i.upper() not in completed]
+        print(f"time budget exhausted; {len(remaining)} experiment(s) not run: "
+              f"{', '.join(remaining)}")
+        if checkpoint_path is not None:
+            print(f"resume with: fullview run --checkpoint {args.checkpoint} --resume")
     return 1 if any_failed else 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.core.csa import csa_necessary, csa_sufficient
+    from repro.resilience.failures import (
+        BernoulliFailure,
+        DiskBlackout,
+        FailureSchedule,
+        OrientationDrift,
+        RadiusDegradation,
+    )
+    from repro.resilience.lifetime import LifetimeDistribution, make_lifetime_trial
+    from repro.sensors.model import CameraSpec, HeterogeneousProfile
+    from repro.simulation.montecarlo import MonteCarloConfig
+    from repro.simulation.results import ResultTable
+    from repro.simulation.runner import run_resilient_trials
+
+    theta = args.theta_over_pi * math.pi
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=args.radius, angle_of_view=args.phi_over_pi * math.pi)
+    )
+    if args.provision is not None and args.provision > 0:
+        profile = profile.scaled_to_weighted_area(
+            args.provision * csa_sufficient(args.n, theta)
+        )
+    models = []
+    if args.failure_rate > 0:
+        models.append(BernoulliFailure(args.failure_rate))
+    if args.blackout_radius is not None:
+        models.append(DiskBlackout(args.blackout_radius))
+    if args.drift > 0:
+        models.append(OrientationDrift(args.drift))
+    if args.decay < 1.0:
+        models.append(RadiusDegradation(args.decay))
+    schedule = FailureSchedule(models)
+    print(
+        f"lifetime simulation: n={args.n}, theta={args.theta_over_pi:.3f}*pi, "
+        f"s_c={profile.weighted_sensing_area:.4f} "
+        f"(CSA_N={csa_necessary(args.n, theta):.4f}, "
+        f"CSA_S={csa_sufficient(args.n, theta):.4f})"
+    )
+    print(
+        f"schedule per epoch: {len(schedule)} failure model(s); horizon "
+        f"{args.epochs} epochs, condition '{args.condition}', "
+        f"{args.trials} trials"
+    )
+    trial_fn = make_lifetime_trial(
+        profile,
+        args.n,
+        theta,
+        schedule,
+        epochs=args.epochs,
+        condition=args.condition,
+        max_grid_points=args.max_grid_points,
+    )
+    result = run_resilient_trials(
+        trial_fn,
+        MonteCarloConfig(trials=args.trials, seed=args.seed),
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        time_budget=args.time_budget,
+    )
+    if result.completed == 0:
+        print("no trials completed (time budget too small?); nothing to report")
+        return 1
+    lifetimes = tuple(int(v) for v in result.values)
+    dist = LifetimeDistribution(
+        lifetimes=lifetimes,
+        censored=tuple(v >= args.epochs for v in lifetimes),
+        epochs=args.epochs,
+    )
+    table = ResultTable(
+        title=f"survival curve over {args.epochs} epochs",
+        columns=["epoch", "survival"],
+    )
+    for epoch, alive in enumerate(dist.survival_curve()):
+        table.add_row(epoch, alive)
+    print()
+    print(table.pretty())
+    print(
+        f"\nmean lifetime: {dist.mean_lifetime:.2f} epochs | median: "
+        f"{dist.median_lifetime:.1f} | censored at horizon: "
+        f"{dist.censored_fraction:.1%}"
+    )
+    print(
+        f"trials: {result.completed}/{result.requested} completed, "
+        f"{len(result.failures)} failed"
+        + (", TRUNCATED by time budget" if result.truncated else "")
+    )
+    for failure in result.failures:
+        print(f"  trial {failure.trial} failed: {failure.error}")
+    if args.out:
+        path = table.save_csv(Path(args.out) / "lifetime_survival.csv")
+        print(f"wrote {path}")
+    if result.truncated and args.checkpoint:
+        print(f"resume with: fullview lifetime --checkpoint {args.checkpoint} --resume")
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -239,7 +412,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--full", action="store_true", help="publication-quality budgets")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--out", help="directory for CSV exports")
+    p_run.add_argument(
+        "--checkpoint", help="directory for the run checkpoint (records "
+        "completed experiments so an interrupted sweep can continue)",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="skip experiments already completed in the checkpoint",
+    )
+    p_run.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop gracefully between experiments once exceeded",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_life = sub.add_parser(
+        "lifetime",
+        help="simulate network lifetime under a per-epoch failure schedule",
+    )
+    p_life.add_argument("--n", type=int, default=240, help="sensors to deploy")
+    p_life.add_argument(
+        "--theta-over-pi", type=float, default=1.0 / 3.0,
+        help="effective angle theta as a multiple of pi",
+    )
+    p_life.add_argument(
+        "--radius", type=float, default=0.25, help="camera sensing radius"
+    )
+    p_life.add_argument(
+        "--phi-over-pi", type=float, default=0.5,
+        help="camera angle of view as a multiple of pi",
+    )
+    p_life.add_argument(
+        "--provision", type=float, default=2.0,
+        help="rescale cameras to this multiple of the sufficient CSA "
+        "(pass 0 or a negative value to keep --radius as given)",
+    )
+    p_life.add_argument("--epochs", type=int, default=18, help="failure epochs")
+    p_life.add_argument(
+        "--failure-rate", type=float, default=0.08,
+        help="per-epoch independent death probability (0 disables)",
+    )
+    p_life.add_argument(
+        "--blackout-radius", type=float, default=None,
+        help="per-epoch correlated blackout disk radius (omit to disable)",
+    )
+    p_life.add_argument(
+        "--drift", type=float, default=0.0,
+        help="per-epoch orientation drift sigma (0 disables)",
+    )
+    p_life.add_argument(
+        "--decay", type=float, default=1.0,
+        help="per-epoch radius degradation factor (1 disables)",
+    )
+    p_life.add_argument(
+        "--condition", choices=["necessary", "exact", "sufficient"],
+        default="necessary", help="full-view condition the lifetime clock uses",
+    )
+    p_life.add_argument("--trials", type=int, default=50)
+    p_life.add_argument("--seed", type=int, default=0)
+    p_life.add_argument(
+        "--max-grid-points", type=int, default=128,
+        help="subsample the dense grid to this many points per trial",
+    )
+    p_life.add_argument(
+        "--checkpoint", help="directory for trial-level JSON checkpoints"
+    )
+    p_life.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="trials between checkpoint writes",
+    )
+    p_life.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint in --checkpoint",
+    )
+    p_life.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop gracefully between trials once exceeded",
+    )
+    p_life.add_argument("--out", help="directory for CSV exports")
+    p_life.set_defaults(func=_cmd_lifetime)
 
     p_fig = sub.add_parser("figures", help="render Figures 7 and 8")
     p_fig.add_argument("--out", help="directory for CSV exports")

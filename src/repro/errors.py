@@ -39,3 +39,12 @@ class ConvergenceError(FullViewError, RuntimeError):
 
 class ExperimentError(FullViewError, RuntimeError):
     """An experiment driver was misconfigured or failed to run."""
+
+
+class CheckpointError(FullViewError, RuntimeError):
+    """A Monte-Carlo checkpoint is missing, corrupt or incompatible.
+
+    Raised when resuming a sweep whose checkpoint does not match the
+    requested configuration (different seed or trial count), or whose
+    JSON payload cannot be parsed.
+    """

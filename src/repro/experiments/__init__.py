@@ -22,6 +22,7 @@ CRIT      extension — empirical transition inside the CSA band
 ORIENT    extension — orientation-bias ablation of the model
 PROB      extension — probabilistic sensing via rho-scaled areas
 ROBUST    extension — random/adversarial sensor failures
+LIFETIME  extension — network lifetime under progressive failures
 CLUSTER   extension — Matern-clustered drops vs the uniform assumption
 OCCL      extension — terrain occlusion vs a stadium-model prediction
 PLAN      extension — optimised aiming vs random orientations
@@ -59,6 +60,7 @@ from repro.experiments import (  # noqa: F401  (import for side effect)
     gap_conjecture,
     heterogeneity,
     kcoverage_comparison,
+    lifetime,
     occlusion,
     orientation_bias,
     phase_transition,

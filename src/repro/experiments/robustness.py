@@ -1,16 +1,27 @@
 """ROBUST — sensor failures: graceful degradation and breach costs.
 
-Two robustness questions a deployed network faces, answered with the
-reproduction's machinery:
+Robustness questions a deployed network faces, answered with the
+resilience subsystem's failure models (:mod:`repro.resilience.failures`)
+plus the reproduction's theory:
 
-1. *Random failures.*  If each sensor independently dies with
-   probability ``p``, the survivors of a uniform deployment are again a
-   uniform deployment of ``~n(1-p)`` sensors, so eq. (2) evaluated at
-   the survivor count should predict the per-point necessary-condition
-   probability of the thinned fleet.  (The paper's motivation for
-   k-coverage — fault tolerance — made quantitative for full view.)
+1. *Random failures* (:class:`BernoulliFailure`).  If each sensor
+   independently dies with probability ``p``, the survivors of a
+   uniform deployment are again a uniform deployment of ``~n(1-p)``
+   sensors, so eq. (2) evaluated at the survivor count predicts the
+   per-point necessary-condition probability of the thinned fleet.
+   (The paper's motivation for k-coverage — fault tolerance — made
+   quantitative for full view.)
 
-2. *Adversarial failures.*  The breach cost (minimum sensors an
+2. *Orientation drift* (:class:`OrientationDrift`).  Uniform headings
+   plus independent noise are still uniform on the circle, so coverage
+   statistics are invariant under arbitrary drift — the model's uniform
+   orientation assumption is a fixed point of this failure mode.
+
+3. *Radius degradation* (:class:`RadiusDegradation`).  Shrinking every
+   radius by ``f`` scales the weighted sensing area by ``f**2``, so
+   eq. (2) at the scaled profile predicts the aged fleet's coverage.
+
+4. *Adversarial failures.*  The breach cost (minimum sensors an
    adversary must disable to break full-view coverage of a point,
    :mod:`repro.core.redundancy`) should grow with provisioning: fleets
    above the sufficient CSA are not just covered but *robustly*
@@ -29,12 +40,37 @@ from repro.core.uniform_theory import necessary_failure_probability
 from repro.core.conditions import necessary_condition_holds
 from repro.deployment.uniform import UniformDeployment
 from repro.experiments.registry import ExperimentResult, register
+from repro.resilience.failures import (
+    BernoulliFailure,
+    OrientationDrift,
+    RadiusDegradation,
+)
+from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
 from repro.simulation.statistics import BernoulliEstimate
 
 _PHI = math.pi / 2.0
+
+_POINT = (0.5, 0.5)
+
+
+def _necessary_rate(profile, n, theta, cfg, model=None):
+    """P(point meets necessary condition) after an optional failure model."""
+    scheme = UniformDeployment()
+    successes = 0
+    for rng in cfg.rngs():
+        fleet = scheme.deploy(profile, n, rng)
+        if model is not None:
+            fleet = model.apply(fleet, rng)
+        if len(fleet):
+            fleet.build_index()
+            dirs = fleet.covering_directions(_POINT)
+        else:
+            dirs = SensorFleet.no_directions()
+        successes += necessary_condition_holds(dirs, theta)
+    return BernoulliEstimate(successes=successes, trials=cfg.trials)
 
 
 @register(
@@ -50,7 +86,6 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         CameraSpec(radius=0.28, angle_of_view=_PHI)
     )
     scheme = UniformDeployment()
-    point = (0.5, 0.5)
     checks = {}
 
     # 1. Random failures vs survivor-count theory.
@@ -61,26 +96,47 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     )
     for i, p in enumerate([0.0, 0.2, 0.4, 0.6]):
         cfg = MonteCarloConfig(trials=trials, seed=seed + 21000 * i)
-        successes = 0
-        for rng in cfg.rngs():
-            fleet = scheme.deploy(profile, n, rng)
-            if p > 0.0:
-                alive = np.flatnonzero(rng.random(len(fleet)) >= p)
-                fleet = fleet.subset(alive)
-            if len(fleet):
-                fleet.build_index()
-                dirs = fleet.covering_directions(point)
-            else:
-                dirs = np.empty(0)
-            successes += necessary_condition_holds(dirs, theta)
-        estimate = BernoulliEstimate(successes=successes, trials=trials)
+        estimate = _necessary_rate(profile, n, theta, cfg, BernoulliFailure(p))
         survivors = max(1, round(n * (1.0 - p)))
         theory = 1.0 - necessary_failure_probability(profile, survivors, theta)
         agrees = estimate.contains(theory, slack=0.04)
         failure_table.add_row(p, estimate.proportion, theory, agrees)
         checks[f"survivor_theory_p{p}"] = agrees
 
-    # 2. Breach cost vs provisioning.
+    # 2. Orientation drift invariance: uniform headings stay uniform.
+    drift_table = ResultTable(
+        title="ROBUST: orientation drift sigma vs undrifted baseline",
+        columns=["sigma", "simulated_p_necessary", "baseline", "agrees"],
+    )
+    base_cfg = MonteCarloConfig(trials=trials, seed=seed + 41000)
+    baseline = _necessary_rate(profile, n, theta, base_cfg)
+    for i, sigma in enumerate([0.3, 1.5]):
+        cfg = MonteCarloConfig(trials=trials, seed=seed + 42000 * (i + 1))
+        estimate = _necessary_rate(
+            profile, n, theta, cfg, OrientationDrift(sigma)
+        )
+        agrees = estimate.contains(baseline.proportion, slack=0.04)
+        drift_table.add_row(sigma, estimate.proportion, baseline.proportion, agrees)
+        checks[f"drift_invariance_sigma{sigma}"] = agrees
+
+    # 3. Radius degradation vs area-scaled theory.
+    decay_table = ResultTable(
+        title="ROBUST: radius degradation factor f vs f^2-scaled-area theory",
+        columns=["factor", "simulated_p_necessary", "scaled_theory", "agrees"],
+    )
+    s_c = profile.weighted_sensing_area
+    for i, factor in enumerate([1.0, 0.8, 0.6]):
+        cfg = MonteCarloConfig(trials=trials, seed=seed + 43000 * (i + 1))
+        estimate = _necessary_rate(
+            profile, n, theta, cfg, RadiusDegradation(factor)
+        )
+        aged = profile.scaled_to_weighted_area(factor**2 * s_c)
+        theory = 1.0 - necessary_failure_probability(aged, n, theta)
+        agrees = estimate.contains(theory, slack=0.04)
+        decay_table.add_row(factor, estimate.proportion, theory, agrees)
+        checks[f"degradation_theory_f{factor}"] = agrees
+
+    # 4. Breach cost vs provisioning.
     breach_table = ResultTable(
         title="ROBUST: mean adversarial breach cost vs provisioning q",
         columns=["q_of_sufficient_csa", "mean_breach_cost", "p_full_view"],
@@ -96,7 +152,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         for rng in cfg.rngs():
             fleet = scheme.deploy(scaled, n, rng)
             fleet.build_index()
-            dirs = fleet.covering_directions(point)
+            dirs = fleet.covering_directions(_POINT)
             cost = breach_cost(dirs, theta)
             costs.append(cost)
             covered += cost > 0
@@ -114,6 +170,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         "Random thinning of a uniform fleet is a uniform fleet of the "
         "survivor count; eq. (2) at n(1-p) predicts the degraded "
         "coverage within Monte-Carlo noise at every failure rate.",
+        "Orientation drift leaves uniform headings uniform, so coverage "
+        "statistics are drift-invariant; radius aging by f matches the "
+        "theory of a fresh fleet with f^2-scaled sensing areas.",
         "Breach cost = minimum sensors an adversary must disable to open "
         "an unsafe facing direction at the probe point; provisioning at "
         f"4x the sufficient CSA buys a mean breach cost of "
@@ -122,7 +181,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="ROBUST",
         title="Random and adversarial sensor failures",
-        tables=[failure_table, breach_table],
+        tables=[failure_table, drift_table, decay_table, breach_table],
         checks=checks,
         notes=notes,
     )

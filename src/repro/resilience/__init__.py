@@ -1,0 +1,47 @@
+"""Resilience: failure models and network-lifetime simulation.
+
+The paper motivates full-view k-coverage as fault tolerance (Section
+VII-B); this package supplies the machinery that argument needs:
+
+- :mod:`repro.resilience.failures` — seeded, deterministic fleet
+  degradations (independent deaths, correlated disk blackouts,
+  orientation drift, radius degradation), composable into per-epoch
+  :class:`FailureSchedule` transforms.
+- :mod:`repro.resilience.lifetime` — step deployments through failure
+  epochs and record when the full-view condition first breaks on the
+  dense grid, yielding lifetime distributions, survival curves and
+  coverage-vs-time curves.
+
+The checkpointed, fault-isolated sweep executor these feed lives in
+:mod:`repro.simulation.runner`.
+"""
+
+from repro.resilience.failures import (
+    BernoulliFailure,
+    DiskBlackout,
+    FailureModel,
+    FailureSchedule,
+    OrientationDrift,
+    RadiusDegradation,
+)
+from repro.resilience.lifetime import (
+    LifetimeDistribution,
+    LifetimeTrace,
+    lifetime_distribution,
+    make_lifetime_trial,
+    simulate_lifetime,
+)
+
+__all__ = [
+    "BernoulliFailure",
+    "DiskBlackout",
+    "FailureModel",
+    "FailureSchedule",
+    "LifetimeDistribution",
+    "LifetimeTrace",
+    "OrientationDrift",
+    "RadiusDegradation",
+    "lifetime_distribution",
+    "make_lifetime_trial",
+    "simulate_lifetime",
+]

@@ -1,0 +1,215 @@
+"""Seeded failure models: deterministic ``SensorFleet -> SensorFleet`` maps.
+
+The paper motivates full-view k-coverage as *fault tolerance* (Section
+VII-B) but never models the faults.  This module supplies the missing
+layer: each :class:`FailureModel` is a pure transform of a deployed
+fleet driven by an explicit :class:`numpy.random.Generator`, so a
+degraded fleet is exactly reproducible from (fleet, seed) — the same
+contract deployment schemes obey.
+
+Four canonical models cover the failure literature's axes:
+
+- :class:`BernoulliFailure` — independent random deaths (battery loss,
+  lightning strikes of individual nodes);
+- :class:`DiskBlackout` — spatially-correlated loss: every sensor
+  inside a random disk dies at once (localized EMP, flood, landslide);
+- :class:`OrientationDrift` — sensors survive but their headings pick
+  up wrapped-normal noise (wind, mounting creep);
+- :class:`RadiusDegradation` — sensing radii shrink multiplicatively
+  (lens fouling, battery-driven power reduction), with an optional
+  death floor below which a sensor is removed.
+
+Models compose into a :class:`FailureSchedule`, the per-epoch transform
+the lifetime simulation (:mod:`repro.resilience.lifetime`) steps.
+Every parameter is validated with :class:`InvalidParameterError` at
+construction time, never at apply time.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sensors.fleet import SensorFleet
+
+
+def _is_finite_number(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+class FailureModel(ABC):
+    """A deterministic, seeded degradation of a deployed fleet.
+
+    Implementations must consume randomness only from the passed
+    generator and must consume the *same number of draws regardless of
+    the verdicts*, so composed schedules stay reproducible when applied
+    to fleets of equal size.
+    """
+
+    @abstractmethod
+    def apply(self, fleet: SensorFleet, rng: np.random.Generator) -> SensorFleet:
+        """The degraded fleet (a new object; the input is untouched)."""
+
+    def __call__(self, fleet: SensorFleet, rng: np.random.Generator) -> SensorFleet:
+        return self.apply(fleet, rng)
+
+    def then(self, other: "FailureModel") -> "FailureSchedule":
+        """This model followed by ``other`` (schedule composition)."""
+        return FailureSchedule((self, other))
+
+
+@dataclass(frozen=True)
+class BernoulliFailure(FailureModel):
+    """Each sensor independently dies with probability ``p``.
+
+    Thinning a uniform deployment is again a uniform deployment of the
+    survivor count, so eq. (2) evaluated at ``n * (1 - p)`` predicts the
+    degraded coverage — the quantitative check the ROBUST experiment
+    runs.
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not _is_finite_number(self.p) or not (0.0 <= self.p <= 1.0):
+            raise InvalidParameterError(
+                f"failure probability must be in [0, 1], got {self.p!r}"
+            )
+
+    def apply(self, fleet: SensorFleet, rng: np.random.Generator) -> SensorFleet:
+        survivors = np.flatnonzero(rng.random(len(fleet)) >= self.p)
+        return fleet.subset(survivors)
+
+
+@dataclass(frozen=True)
+class DiskBlackout(FailureModel):
+    """Every sensor within ``radius`` of a random center dies.
+
+    ``count`` independent blackout centers are drawn uniformly over the
+    region per application.  Distances use the fleet region's metric,
+    so blackouts wrap on the torus like sensing does.
+    """
+
+    radius: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_finite_number(self.radius) or self.radius <= 0.0:
+            raise InvalidParameterError(
+                f"blackout radius must be positive and finite, got {self.radius!r}"
+            )
+        if not isinstance(self.count, int) or self.count < 1:
+            raise InvalidParameterError(
+                f"blackout count must be an integer >= 1, got {self.count!r}"
+            )
+
+    def apply(self, fleet: SensorFleet, rng: np.random.Generator) -> SensorFleet:
+        side = fleet.region.side
+        centers = rng.uniform(0.0, side, size=(self.count, 2))
+        if len(fleet) == 0:
+            return fleet.subset(np.empty(0, dtype=np.intp))
+        alive = np.ones(len(fleet), dtype=bool)
+        for cx, cy in centers:
+            delta = fleet.region.displacements((float(cx), float(cy)), fleet.positions)
+            dist_sq = delta[:, 0] ** 2 + delta[:, 1] ** 2
+            alive &= dist_sq > self.radius**2
+        return fleet.subset(np.flatnonzero(alive))
+
+
+@dataclass(frozen=True)
+class OrientationDrift(FailureModel):
+    """Headings pick up wrapped-normal noise of scale ``sigma``.
+
+    For fleets with i.i.d. uniform orientations this is
+    distribution-invariant (uniform plus independent noise is uniform
+    on the circle), so coverage *statistics* survive arbitrary drift —
+    a property the ROBUST experiment verifies.  For planned/aimed
+    fleets drift is destructive.
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not _is_finite_number(self.sigma) or self.sigma < 0.0:
+            raise InvalidParameterError(
+                f"drift sigma must be >= 0 and finite, got {self.sigma!r}"
+            )
+
+    def apply(self, fleet: SensorFleet, rng: np.random.Generator) -> SensorFleet:
+        noise = rng.normal(0.0, self.sigma, size=len(fleet))
+        if len(fleet) == 0:
+            return fleet.subset(np.empty(0, dtype=np.intp))
+        # SensorFleet normalizes headings, wrapping the normal noise.
+        return fleet.replace(orientations=fleet.orientations + noise)
+
+
+@dataclass(frozen=True)
+class RadiusDegradation(FailureModel):
+    """Sensing radii shrink by ``factor``; sensors below ``floor`` die.
+
+    A fleet degraded by factor ``f`` is statistically a fresh fleet
+    whose weighted sensing area scaled by ``f**2`` — the survivor-theory
+    check the ROBUST experiment runs.  With ``floor > 0`` the model
+    also kills exhausted sensors outright.
+    """
+
+    factor: float
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not _is_finite_number(self.factor) or not (0.0 < self.factor <= 1.0):
+            raise InvalidParameterError(
+                f"degradation factor must be in (0, 1], got {self.factor!r}"
+            )
+        if not _is_finite_number(self.floor) or self.floor < 0.0:
+            raise InvalidParameterError(
+                f"radius floor must be >= 0 and finite, got {self.floor!r}"
+            )
+
+    def apply(self, fleet: SensorFleet, rng: np.random.Generator) -> SensorFleet:
+        if len(fleet) == 0:
+            return fleet.subset(np.empty(0, dtype=np.intp))
+        shrunk = fleet.radii * self.factor
+        if self.floor > 0.0:
+            alive = np.flatnonzero(shrunk > self.floor)
+            return fleet.subset(alive).replace(radii=shrunk[alive])
+        return fleet.replace(radii=shrunk)
+
+
+@dataclass(frozen=True)
+class FailureSchedule(FailureModel):
+    """An ordered composition of failure models, itself a model.
+
+    Applying a schedule applies each member in order on the running
+    fleet; an empty schedule is the identity.  Schedules are what the
+    lifetime simulation applies once per epoch.
+    """
+
+    models: Tuple[FailureModel, ...] = ()
+
+    def __init__(self, models: Iterable[FailureModel] = ()) -> None:
+        models = tuple(models)
+        for model in models:
+            if not isinstance(model, FailureModel):
+                raise InvalidParameterError(
+                    f"schedule members must be FailureModel instances, got {model!r}"
+                )
+        object.__setattr__(self, "models", models)
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def apply(self, fleet: SensorFleet, rng: np.random.Generator) -> SensorFleet:
+        for model in self.models:
+            fleet = model.apply(fleet, rng)
+        return fleet
+
+    def then(self, other: FailureModel) -> "FailureSchedule":
+        """A new schedule with ``other`` appended (flattened)."""
+        extra = other.models if isinstance(other, FailureSchedule) else (other,)
+        return FailureSchedule(self.models + extra)

@@ -151,6 +151,17 @@ class SensorFleet:
         view.flags.writeable = False
         return view
 
+    @staticmethod
+    def no_directions() -> np.ndarray:
+        """The canonical empty viewed-direction array.
+
+        :meth:`covering_directions` returns float angle arrays, so every
+        empty-fleet fallback must be float too — ``np.empty(0)`` happens
+        to default to ``float64`` today, but this helper makes the dtype
+        contract explicit and keeps all call sites identical.
+        """
+        return np.empty(0, dtype=float)
+
     def sensing_areas(self) -> np.ndarray:
         """Per-sensor sensing areas ``phi * r**2 / 2``."""
         return 0.5 * self._angles * self._radii**2
@@ -186,6 +197,32 @@ class SensorFleet:
             radii=self._radii[idx],
             angles=self._angles[idx],
             group_ids=self._group_ids[idx],
+            region=self.region,
+        )
+
+    def replace(
+        self,
+        *,
+        positions: Optional[np.ndarray] = None,
+        orientations: Optional[np.ndarray] = None,
+        radii: Optional[np.ndarray] = None,
+        angles: Optional[np.ndarray] = None,
+        group_ids: Optional[np.ndarray] = None,
+    ) -> "SensorFleet":
+        """A new fleet with some per-sensor arrays swapped out.
+
+        The hook the failure models in :mod:`repro.resilience` build on:
+        orientation drift swaps headings, radius degradation swaps
+        radii, and the constructor re-validates every invariant.  The
+        spatial index is not carried over (positions or radii may have
+        changed); rebuild it if needed.
+        """
+        return SensorFleet(
+            positions=self._positions if positions is None else positions,
+            orientations=self._orientations if orientations is None else orientations,
+            radii=self._radii if radii is None else radii,
+            angles=self._angles if angles is None else angles,
+            group_ids=self._group_ids if group_ids is None else group_ids,
             region=self.region,
         )
 

@@ -8,6 +8,8 @@ the paper can be validated by simulation:
   and Clopper-Pearson intervals, and agreement tests against theory.
 - :mod:`repro.simulation.montecarlo` — seeded trial runners for
   per-point condition probabilities, grid events and area fractions.
+- :mod:`repro.simulation.runner` — a resilient sweep executor with
+  per-trial fault isolation, checkpoint/resume and wall-clock budgets.
 - :mod:`repro.simulation.sweeps` — parameter sweeps over ``n``,
   ``theta`` and the CSA multiple ``q``.
 - :mod:`repro.simulation.results` — result tables with CSV/markdown
@@ -23,12 +25,22 @@ from repro.simulation.montecarlo import (
     estimate_point_probability,
 )
 from repro.simulation.results import ResultTable
+from repro.simulation.runner import (
+    ResilientResult,
+    TrialFailure,
+    make_point_probability_trial,
+    run_resilient_trials,
+)
 from repro.simulation.statistics import BernoulliEstimate, wilson_interval
 
 __all__ = [
     "BernoulliEstimate",
     "MonteCarloConfig",
+    "ResilientResult",
     "ResultTable",
+    "TrialFailure",
+    "make_point_probability_trial",
+    "run_resilient_trials",
     "estimate_area_fraction",
     "estimate_grid_failure_probability",
     "estimate_point_probability",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -94,10 +94,35 @@ class MonteCarloConfig:
         if self.trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {self.trials!r}")
 
-    def rngs(self) -> Sequence[np.random.Generator]:
-        """One independent generator per trial."""
-        seq = np.random.SeedSequence(self.seed)
-        return [np.random.Generator(np.random.PCG64(s)) for s in seq.spawn(self.trials)]
+    def rng_for_trial(self, trial: int) -> np.random.Generator:
+        """The generator for one trial, addressable in O(1).
+
+        Child ``i`` of ``SeedSequence(seed).spawn(trials)`` is exactly
+        ``SeedSequence(seed, spawn_key=(i,))``, so trials can be
+        (re)played individually — the checkpointed runner resumes a
+        sweep at any index with bit-identical streams.
+        """
+        if not (0 <= trial < self.trials):
+            raise InvalidParameterError(
+                f"trial must be in [0, {self.trials}), got {trial!r}"
+            )
+        seq = np.random.SeedSequence(self.seed, spawn_key=(trial,))
+        return np.random.Generator(np.random.PCG64(seq))
+
+    def rngs(self) -> Iterator[np.random.Generator]:
+        """One independent generator per trial, yielded lazily.
+
+        Streams are identical to the historical eager
+        ``SeedSequence(seed).spawn(trials)`` list, but generators are
+        created on demand, so large ``--full`` trial counts do not
+        materialize thousands of generators up front.
+        """
+        for trial in range(self.trials):
+            yield self.rng_for_trial(trial)
+
+    def rngs_list(self) -> List[np.random.Generator]:
+        """Eager shim for callers that need ``len()`` or indexing."""
+        return list(self.rngs())
 
 
 def _deploy(
@@ -138,7 +163,7 @@ def estimate_point_probability(
         directions = (
             fleet.covering_directions(target, use_index=config.use_index)
             if len(fleet)
-            else np.empty(0)
+            else SensorFleet.no_directions()
         )
         if predicate(directions):
             successes += 1
@@ -235,7 +260,7 @@ def estimate_area_fraction(
             directions = (
                 fleet.covering_directions((float(x), float(y)), use_index=config.use_index)
                 if len(fleet)
-                else np.empty(0)
+                else SensorFleet.no_directions()
             )
             if predicate(directions):
                 hits += 1
@@ -269,7 +294,7 @@ def estimate_condition_chain(
         directions = (
             fleet.covering_directions(target, use_index=config.use_index)
             if len(fleet)
-            else np.empty(0)
+            else SensorFleet.no_directions()
         )
         nec = necessary_condition_holds(directions, theta)
         exact = is_full_view_covered(directions, theta)

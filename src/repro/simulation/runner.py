@@ -1,0 +1,317 @@
+"""A resilient Monte-Carlo executor: fault isolation, checkpoints, budgets.
+
+The plain estimators in :mod:`repro.simulation.montecarlo` run a tight
+``for rng in config.rngs()`` loop: one crashing trial kills the sweep,
+an interrupted sweep restarts from zero, and a sweep never stops early.
+Production-scale trial counts need the opposite properties, and this
+module provides them around *any* per-trial function:
+
+- **Fault isolation** — a trial that raises records a
+  :class:`TrialFailure` (index + error) and the sweep continues; the
+  final estimate can be widened to bound the effect of the lost trials
+  (:meth:`ResilientResult.widened_interval`).
+- **Checkpointing** — periodic atomic JSON checkpoints carry the seed,
+  the next trial index and the partial tallies.  Because every trial's
+  generator is addressable (:meth:`MonteCarloConfig.rng_for_trial`), a
+  resumed sweep replays the remaining trials with bit-identical
+  streams, so interrupt-at-any-index + resume equals one uninterrupted
+  run, exactly.
+- **Time budgets** — an optional wall-clock budget stops the sweep
+  between trials, returning a partial result flagged ``truncated`` (and
+  a checkpoint to resume from).
+
+The trial function receives ``(trial_index, rng)`` and returns a number
+(booleans for Bernoulli sweeps, e.g. lifetimes for resilience sweeps).
+It must derive all randomness from ``rng`` for determinism to hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError, InvalidParameterError
+from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.statistics import BernoulliEstimate, wilson_interval
+
+#: Schema tag written into every checkpoint file.
+CHECKPOINT_FORMAT = "fullview-mc-checkpoint-v1"
+
+#: File name used inside a checkpoint directory.
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+TrialFn = Callable[[int, np.random.Generator], Union[bool, int, float]]
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One isolated per-trial exception."""
+
+    trial: int
+    error: str
+
+
+@dataclass(frozen=True)
+class ResilientResult:
+    """Outcome of a resilient sweep (possibly partial).
+
+    Attributes
+    ----------
+    requested:
+        Trials the configuration asked for.
+    outcomes:
+        ``(trial, value)`` pairs for every trial that completed, in
+        trial order.  Values are floats (booleans record as 0.0/1.0).
+    failures:
+        Isolated per-trial exceptions, in trial order.
+    truncated:
+        Whether the wall-clock budget stopped the sweep early.
+    resumed_trials:
+        How many of the outcomes/failures were restored from a
+        checkpoint rather than executed in this call.
+    """
+
+    requested: int
+    outcomes: Tuple[Tuple[int, float], ...]
+    failures: Tuple[TrialFailure, ...]
+    truncated: bool
+    resumed_trials: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Trials that ran to completion."""
+        return len(self.outcomes)
+
+    @property
+    def attempted(self) -> int:
+        """Trials that ran at all (completed + failed)."""
+        return len(self.outcomes) + len(self.failures)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """Completed trial values, in trial order."""
+        return tuple(value for _, value in self.outcomes)
+
+    @property
+    def successes(self) -> int:
+        """Count of truthy outcomes (Bernoulli sweeps)."""
+        return sum(1 for _, value in self.outcomes if value)
+
+    @property
+    def estimate(self) -> Optional[BernoulliEstimate]:
+        """Bernoulli estimate over the completed trials, if any ran."""
+        if not self.outcomes:
+            return None
+        return BernoulliEstimate(successes=self.successes, trials=self.completed)
+
+    def widened_interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """A Wilson interval widened to bound the lost trials.
+
+        Failed trials could have gone either way, so the lower bound
+        counts them all as failures and the upper bound counts them all
+        as successes.  With no failures this is the plain Wilson
+        interval over the completed trials.
+        """
+        if self.attempted == 0:
+            raise InvalidParameterError("no trials attempted; nothing to estimate")
+        lower = wilson_interval(self.successes, self.attempted, confidence)[0]
+        upper = wilson_interval(
+            self.successes + len(self.failures), self.attempted, confidence
+        )[1]
+        return (lower, upper)
+
+
+def _checkpoint_path(checkpoint_dir: Union[str, Path]) -> Path:
+    return Path(checkpoint_dir) / CHECKPOINT_FILENAME
+
+
+def _write_checkpoint(
+    path: Path,
+    config: MonteCarloConfig,
+    next_trial: int,
+    outcomes: List[Tuple[int, float]],
+    failures: List[TrialFailure],
+) -> None:
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "seed": config.seed,
+        "trials": config.trials,
+        "next_trial": next_trial,
+        "outcomes": [[trial, value] for trial, value in outcomes],
+        "failures": [{"trial": f.trial, "error": f.error} for f in failures],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(path: Path, config: MonteCarloConfig):
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path} is not a {CHECKPOINT_FORMAT} checkpoint"
+        )
+    if payload.get("seed") != config.seed or payload.get("trials") != config.trials:
+        raise CheckpointError(
+            f"checkpoint {path} was written for seed={payload.get('seed')}, "
+            f"trials={payload.get('trials')}; the current config has "
+            f"seed={config.seed}, trials={config.trials}"
+        )
+    try:
+        next_trial = int(payload["next_trial"])
+        outcomes = [(int(t), float(v)) for t, v in payload["outcomes"]]
+        failures = [
+            TrialFailure(trial=int(f["trial"]), error=str(f["error"]))
+            for f in payload["failures"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint {path} is malformed: {exc}") from exc
+    if not (0 <= next_trial <= config.trials):
+        raise CheckpointError(
+            f"checkpoint {path} has next_trial={next_trial} outside "
+            f"[0, {config.trials}]"
+        )
+    return next_trial, outcomes, failures
+
+
+def run_resilient_trials(
+    trial_fn: TrialFn,
+    config: MonteCarloConfig,
+    *,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 64,
+    resume: bool = False,
+    time_budget: Optional[float] = None,
+) -> ResilientResult:
+    """Run a seeded sweep with fault isolation, checkpoints and budgets.
+
+    Parameters
+    ----------
+    trial_fn:
+        ``(trial_index, rng) -> value``; exceptions it raises are
+        recorded per trial, not propagated (``KeyboardInterrupt`` and
+        other ``BaseException`` still propagate — after a final
+        checkpoint is written, so no completed work is lost).
+    config:
+        The usual trial budget + master seed.
+    checkpoint_dir:
+        Directory for the JSON checkpoint (created if missing).  ``None``
+        disables checkpointing.
+    checkpoint_every:
+        Trials between periodic checkpoint writes.
+    resume:
+        Load ``checkpoint_dir``'s checkpoint and continue from its next
+        trial index.  A missing file starts a fresh sweep; an
+        incompatible or corrupt file raises :class:`CheckpointError`.
+    time_budget:
+        Wall-clock seconds; checked before each trial, so the sweep
+        stops gracefully between trials and the result is flagged
+        ``truncated``.
+    """
+    if checkpoint_every < 1:
+        raise InvalidParameterError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
+        )
+    if time_budget is not None and not time_budget > 0.0:
+        raise InvalidParameterError(
+            f"time_budget must be positive seconds, got {time_budget!r}"
+        )
+    if resume and checkpoint_dir is None:
+        raise InvalidParameterError("resume=True requires a checkpoint_dir")
+
+    path = _checkpoint_path(checkpoint_dir) if checkpoint_dir is not None else None
+    outcomes: List[Tuple[int, float]] = []
+    failures: List[TrialFailure] = []
+    start = 0
+    if resume and path is not None and path.exists():
+        start, outcomes, failures = _load_checkpoint(path, config)
+    resumed = len(outcomes) + len(failures)
+
+    truncated = False
+    started_at = time.monotonic()
+    next_trial = start
+    try:
+        for trial in range(start, config.trials):
+            if (
+                time_budget is not None
+                and time.monotonic() - started_at >= time_budget
+            ):
+                truncated = True
+                break
+            rng = config.rng_for_trial(trial)
+            try:
+                value = trial_fn(trial, rng)
+            except Exception as exc:  # fault isolation: record, continue
+                failures.append(
+                    TrialFailure(trial=trial, error=f"{type(exc).__name__}: {exc}")
+                )
+            else:
+                outcomes.append((trial, float(value)))
+            next_trial = trial + 1
+            if path is not None and (next_trial - start) % checkpoint_every == 0:
+                _write_checkpoint(path, config, next_trial, outcomes, failures)
+        else:
+            next_trial = config.trials
+    except BaseException:
+        # Interrupts and crashes must not lose completed work.
+        if path is not None:
+            _write_checkpoint(path, config, next_trial, outcomes, failures)
+        raise
+    if path is not None:
+        _write_checkpoint(path, config, next_trial, outcomes, failures)
+    return ResilientResult(
+        requested=config.trials,
+        outcomes=tuple(outcomes),
+        failures=tuple(failures),
+        truncated=truncated,
+        resumed_trials=resumed,
+    )
+
+
+def make_point_probability_trial(
+    profile,
+    n: int,
+    theta: float,
+    condition: str,
+    scheme=None,
+    point=None,
+    k: int = 1,
+    use_index: bool = True,
+) -> TrialFn:
+    """The per-trial body of :func:`estimate_point_probability`.
+
+    Exposes the standard estimator through the resilient runner:
+    ``run_resilient_trials(make_point_probability_trial(...), config)``
+    tallies the same successes as the plain estimator, trial for trial.
+    """
+    from repro.deployment.uniform import UniformDeployment
+    from repro.sensors.fleet import SensorFleet
+    from repro.simulation.montecarlo import condition_predicate
+
+    scheme = scheme or UniformDeployment()
+    region = scheme.region
+    target = point if point is not None else (0.5 * region.side, 0.5 * region.side)
+    predicate = condition_predicate(condition, theta, k)
+
+    def trial(trial_index: int, rng: np.random.Generator) -> bool:
+        fleet = scheme.deploy(profile, n, rng)
+        if use_index and len(fleet) > 0:
+            fleet.build_index()
+        directions = (
+            fleet.covering_directions(target, use_index=use_index)
+            if len(fleet)
+            else SensorFleet.no_directions()
+        )
+        return bool(predicate(directions))
+
+    return trial

@@ -21,6 +21,7 @@ EXTENSIONS = [
     "CLUSTER",
     "CONN",
     "CRIT",
+    "LIFETIME",
     "OCCL",
     "ORIENT",
     "PLAN",

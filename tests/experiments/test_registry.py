@@ -28,6 +28,7 @@ EXPECTED_IDS = {
     "CLUSTER",
     "CONN",
     "CRIT",
+    "LIFETIME",
     "OCCL",
     "ORIENT",
     "PLAN",

@@ -1,0 +1,203 @@
+"""Failure models: determinism, statistics, validation, composition."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.resilience.failures import (
+    BernoulliFailure,
+    DiskBlackout,
+    FailureModel,
+    FailureSchedule,
+    OrientationDrift,
+    RadiusDegradation,
+)
+
+
+def _fleets_equal(a, b) -> bool:
+    return (
+        len(a) == len(b)
+        and np.array_equal(a.positions, b.positions)
+        and np.array_equal(a.orientations, b.orientations)
+        and np.array_equal(a.radii, b.radii)
+        and np.array_equal(a.angles, b.angles)
+        and np.array_equal(a.group_ids, b.group_ids)
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_bernoulli_rejects_bad_p(self, p):
+        with pytest.raises(InvalidParameterError):
+            BernoulliFailure(p)
+
+    @pytest.mark.parametrize("radius", [0.0, -1.0, float("nan"), float("inf")])
+    def test_blackout_rejects_bad_radius(self, radius):
+        with pytest.raises(InvalidParameterError):
+            DiskBlackout(radius)
+
+    @pytest.mark.parametrize("count", [0, -1, 1.5])
+    def test_blackout_rejects_bad_count(self, count):
+        with pytest.raises(InvalidParameterError):
+            DiskBlackout(0.1, count=count)
+
+    @pytest.mark.parametrize("sigma", [-0.1, float("nan"), float("inf")])
+    def test_drift_rejects_bad_sigma(self, sigma):
+        with pytest.raises(InvalidParameterError):
+            OrientationDrift(sigma)
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5, float("nan")])
+    def test_degradation_rejects_bad_factor(self, factor):
+        with pytest.raises(InvalidParameterError):
+            RadiusDegradation(factor)
+
+    def test_degradation_rejects_bad_floor(self):
+        with pytest.raises(InvalidParameterError):
+            RadiusDegradation(0.9, floor=-0.1)
+
+    def test_schedule_rejects_non_models(self):
+        with pytest.raises(InvalidParameterError):
+            FailureSchedule([BernoulliFailure(0.1), "not a model"])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            BernoulliFailure(0.3),
+            DiskBlackout(0.2, count=2),
+            OrientationDrift(0.5),
+            RadiusDegradation(0.8, floor=0.1),
+            FailureSchedule(
+                [BernoulliFailure(0.2), DiskBlackout(0.15), OrientationDrift(0.1)]
+            ),
+        ],
+    )
+    def test_same_seed_same_fleet(self, model, small_fleet):
+        a = model.apply(small_fleet, np.random.default_rng(7))
+        b = model.apply(small_fleet, np.random.default_rng(7))
+        assert _fleets_equal(a, b)
+
+    def test_input_fleet_untouched(self, small_fleet):
+        before = small_fleet.radii.copy()
+        RadiusDegradation(0.5).apply(small_fleet, np.random.default_rng(0))
+        assert np.array_equal(small_fleet.radii, before)
+
+
+class TestBernoulliFailure:
+    def test_p_zero_keeps_everyone(self, small_fleet):
+        out = BernoulliFailure(0.0).apply(small_fleet, np.random.default_rng(0))
+        assert len(out) == len(small_fleet)
+
+    def test_p_one_kills_everyone(self, small_fleet):
+        out = BernoulliFailure(1.0).apply(small_fleet, np.random.default_rng(0))
+        assert len(out) == 0
+
+    def test_thinning_rate_statistical(self, small_fleet):
+        survivors = [
+            len(BernoulliFailure(0.4).apply(small_fleet, np.random.default_rng(s)))
+            for s in range(30)
+        ]
+        mean = np.mean(survivors) / len(small_fleet)
+        assert 0.5 < mean < 0.7  # ~0.6 expected
+
+
+class TestDiskBlackout:
+    def test_whole_region_blackout_kills_everyone(self, small_fleet):
+        # On the unit torus no point is farther than sqrt(2)/2 from any
+        # center, so radius 0.75 wipes the fleet wherever the disk lands.
+        out = DiskBlackout(0.75).apply(small_fleet, np.random.default_rng(3))
+        assert len(out) == 0
+
+    def test_survivors_outside_disk(self, small_fleet):
+        rng = np.random.default_rng(5)
+        blackout = DiskBlackout(0.2)
+        out = blackout.apply(small_fleet, rng)
+        assert 0 < len(out) < len(small_fleet)
+        # No survivor may sit inside any possible blackout disk of the
+        # draw; reproduce the center with the same stream.
+        center = np.random.default_rng(5).uniform(0.0, 1.0, size=(1, 2))[0]
+        delta = small_fleet.region.displacements(
+            (float(center[0]), float(center[1])), out.positions
+        )
+        assert (delta[:, 0] ** 2 + delta[:, 1] ** 2 > 0.2**2).all()
+
+    def test_empty_fleet_passthrough(self, small_fleet):
+        empty = small_fleet.subset([])
+        out = DiskBlackout(0.2).apply(empty, np.random.default_rng(0))
+        assert len(out) == 0
+
+
+class TestOrientationDrift:
+    def test_zero_sigma_is_identity_on_headings(self, small_fleet):
+        out = OrientationDrift(0.0).apply(small_fleet, np.random.default_rng(0))
+        assert np.allclose(out.orientations, small_fleet.orientations)
+        assert np.array_equal(out.positions, small_fleet.positions)
+
+    def test_drift_preserves_everything_but_headings(self, small_fleet):
+        out = OrientationDrift(0.4).apply(small_fleet, np.random.default_rng(1))
+        assert len(out) == len(small_fleet)
+        assert np.array_equal(out.positions, small_fleet.positions)
+        assert np.array_equal(out.radii, small_fleet.radii)
+        assert not np.allclose(out.orientations, small_fleet.orientations)
+        assert (out.orientations >= 0).all() and (
+            out.orientations < 2 * math.pi
+        ).all()
+
+
+class TestRadiusDegradation:
+    def test_radii_shrink_by_factor(self, small_fleet):
+        out = RadiusDegradation(0.5).apply(small_fleet, np.random.default_rng(0))
+        assert np.allclose(out.radii, 0.5 * small_fleet.radii)
+
+    def test_floor_kills_exhausted_sensors(self, small_fleet):
+        # All radii are 0.25; one degradation to 0.125 under a 0.2 floor
+        # kills the whole fleet.
+        out = RadiusDegradation(0.5, floor=0.2).apply(
+            small_fleet, np.random.default_rng(0)
+        )
+        assert len(out) == 0
+
+    def test_repeated_application_compounds(self, small_fleet):
+        rng = np.random.default_rng(0)
+        fleet = small_fleet
+        for _ in range(3):
+            fleet = RadiusDegradation(0.9).apply(fleet, rng)
+        assert np.allclose(fleet.radii, 0.9**3 * small_fleet.radii)
+
+
+class TestFailureSchedule:
+    def test_empty_schedule_is_identity(self, small_fleet):
+        out = FailureSchedule().apply(small_fleet, np.random.default_rng(0))
+        assert _fleets_equal(out, small_fleet)
+
+    def test_applies_in_order(self, small_fleet):
+        # Degradation then floor-kill differs from floor-kill then
+        # degradation; order must be respected.
+        sched = FailureSchedule(
+            [RadiusDegradation(0.5), RadiusDegradation(1.0, floor=0.2)]
+        )
+        out = sched.apply(small_fleet, np.random.default_rng(0))
+        assert len(out) == 0  # 0.25 -> 0.125, below the 0.2 floor
+
+    def test_then_composes_and_flattens(self, small_fleet):
+        a = BernoulliFailure(0.1)
+        b = OrientationDrift(0.1)
+        c = RadiusDegradation(0.9)
+        sched = a.then(b).then(c)
+        assert isinstance(sched, FailureSchedule)
+        assert len(sched) == 3
+        assert isinstance(sched, FailureModel)
+
+    def test_matches_manual_composition(self, small_fleet):
+        sched = FailureSchedule([BernoulliFailure(0.2), RadiusDegradation(0.8)])
+        via_schedule = sched.apply(small_fleet, np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        manual = RadiusDegradation(0.8).apply(
+            BernoulliFailure(0.2).apply(small_fleet, rng), rng
+        )
+        assert _fleets_equal(via_schedule, manual)

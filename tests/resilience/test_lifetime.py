@@ -1,0 +1,222 @@
+"""Lifetime simulation: trace semantics, distributions, determinism."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.resilience.failures import (
+    BernoulliFailure,
+    FailureSchedule,
+    RadiusDegradation,
+)
+from repro.resilience.lifetime import (
+    LifetimeDistribution,
+    LifetimeTrace,
+    lifetime_distribution,
+    make_lifetime_trial,
+    simulate_lifetime,
+)
+from repro.simulation.montecarlo import MonteCarloConfig
+
+THETA = math.pi / 3.0
+
+
+class TestLifetimeTrace:
+    def test_survived_trace_lifetime_is_horizon(self):
+        trace = LifetimeTrace(
+            break_epoch=None, epochs=5, coverage_fractions=(1.0,) * 6, alive_counts=(9,) * 6
+        )
+        assert trace.survived
+        assert trace.lifetime == 5
+
+    def test_break_at_deployment_is_lifetime_zero(self):
+        trace = LifetimeTrace(
+            break_epoch=0, epochs=5, coverage_fractions=(0.8,), alive_counts=(9,)
+        )
+        assert not trace.survived
+        assert trace.lifetime == 0
+
+    def test_break_mid_horizon(self):
+        trace = LifetimeTrace(
+            break_epoch=3,
+            epochs=5,
+            coverage_fractions=(1.0, 1.0, 1.0, 0.9),
+            alive_counts=(9, 8, 7, 5),
+        )
+        assert trace.lifetime == 3
+
+
+class TestSimulateLifetime:
+    def test_rejects_bad_epochs(self, small_fleet, rng):
+        with pytest.raises(InvalidParameterError):
+            simulate_lifetime(
+                small_fleet, FailureSchedule(), THETA, epochs=0, rng=rng
+            )
+
+    def test_rejects_bad_condition(self, small_fleet, rng):
+        with pytest.raises(InvalidParameterError):
+            simulate_lifetime(
+                small_fleet,
+                FailureSchedule(),
+                THETA,
+                epochs=2,
+                rng=rng,
+                condition="bogus",
+            )
+
+    def test_rejects_non_model_schedule(self, small_fleet, rng):
+        with pytest.raises(InvalidParameterError):
+            simulate_lifetime(
+                small_fleet, lambda f, r: f, THETA, epochs=2, rng=rng
+            )
+
+    def test_rejects_empty_points(self, small_fleet, rng):
+        with pytest.raises(InvalidParameterError):
+            simulate_lifetime(
+                small_fleet,
+                FailureSchedule(),
+                THETA,
+                epochs=2,
+                rng=rng,
+                points=np.empty((0, 2)),
+            )
+
+    def test_identity_schedule_never_degrades(self, small_fleet, rng):
+        points = np.array([[0.5, 0.5], [0.25, 0.75]])
+        trace = simulate_lifetime(
+            small_fleet, FailureSchedule(), THETA, epochs=3, rng=rng, points=points
+        )
+        assert len(trace.coverage_fractions) == 4
+        assert len(set(trace.coverage_fractions)) == 1
+        assert trace.alive_counts == (200,) * 4
+
+    def test_total_kill_breaks_at_epoch_one(self, small_fleet, rng):
+        points = np.array([[0.5, 0.5]])
+        # Guarantee the point is covered as deployed by checking first.
+        base = simulate_lifetime(
+            small_fleet, FailureSchedule(), THETA, epochs=1, rng=rng, points=points
+        )
+        trace = simulate_lifetime(
+            small_fleet,
+            BernoulliFailure(1.0),
+            THETA,
+            epochs=4,
+            rng=np.random.default_rng(0),
+            points=points,
+        )
+        if base.coverage_fractions[0] >= 1.0:
+            assert trace.break_epoch == 1
+            assert trace.lifetime == 1
+        else:
+            assert trace.break_epoch == 0
+        assert trace.alive_counts[-1] == 0
+        assert trace.coverage_fractions[-1] == 0.0
+
+    def test_stop_at_break_truncates_trace(self, small_fleet):
+        points = np.array([[0.5, 0.5]])
+        trace = simulate_lifetime(
+            small_fleet,
+            BernoulliFailure(1.0),
+            THETA,
+            epochs=6,
+            rng=np.random.default_rng(0),
+            points=points,
+            stop_at_break=True,
+        )
+        assert len(trace.coverage_fractions) <= 2
+        assert trace.epochs == 6
+
+    def test_input_fleet_not_mutated(self, small_fleet):
+        before = len(small_fleet)
+        simulate_lifetime(
+            small_fleet,
+            BernoulliFailure(0.5),
+            THETA,
+            epochs=2,
+            rng=np.random.default_rng(0),
+            points=np.array([[0.5, 0.5]]),
+        )
+        assert len(small_fleet) == before
+
+
+class TestLifetimeDistribution:
+    def test_summary_statistics(self):
+        dist = LifetimeDistribution(
+            lifetimes=(0, 2, 4, 4), censored=(False, False, True, True), epochs=4
+        )
+        assert dist.trials == 4
+        assert dist.mean_lifetime == pytest.approx(2.5)
+        assert dist.median_lifetime == pytest.approx(3.0)
+        assert dist.censored_fraction == pytest.approx(0.5)
+
+    def test_survival_curve_monotone_and_anchored(self):
+        dist = LifetimeDistribution(
+            lifetimes=(0, 2, 4, 4), censored=(False, False, True, True), epochs=4
+        )
+        curve = dist.survival_curve()
+        assert len(curve) == 5
+        # Trial broken at deployment is dead from t=0.
+        assert curve[0] == pytest.approx(0.75)
+        # Censored trials count as intact through the horizon.
+        assert curve[4] == pytest.approx(0.5)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+
+class TestLifetimeDistributionSweep:
+    def test_deterministic_given_seed(self, homogeneous_profile):
+        schedule = FailureSchedule(
+            [BernoulliFailure(0.15), RadiusDegradation(0.95)]
+        )
+        kwargs = dict(epochs=4, condition="necessary", max_grid_points=16)
+        cfg = MonteCarloConfig(trials=5, seed=42)
+        a = lifetime_distribution(
+            homogeneous_profile, 60, THETA, schedule, cfg, **kwargs
+        )
+        b = lifetime_distribution(
+            homogeneous_profile, 60, THETA, schedule, cfg, **kwargs
+        )
+        assert a.lifetimes == b.lifetimes
+        assert a.censored == b.censored
+
+    def test_track_curves_covers_horizon(self, homogeneous_profile):
+        dist = lifetime_distribution(
+            homogeneous_profile,
+            60,
+            THETA,
+            BernoulliFailure(0.3),
+            MonteCarloConfig(trials=3, seed=1),
+            epochs=3,
+            max_grid_points=16,
+            track_curves=True,
+        )
+        assert len(dist.mean_coverage_by_epoch) == 4
+        assert all(isinstance(x, float) for x in dist.mean_coverage_by_epoch)
+
+    def test_trial_fn_matches_distribution(self, homogeneous_profile):
+        schedule = BernoulliFailure(0.2)
+        cfg = MonteCarloConfig(trials=4, seed=7)
+        dist = lifetime_distribution(
+            homogeneous_profile,
+            60,
+            THETA,
+            schedule,
+            cfg,
+            epochs=3,
+            max_grid_points=16,
+        )
+        trial_fn = make_lifetime_trial(
+            homogeneous_profile,
+            60,
+            THETA,
+            schedule,
+            epochs=3,
+            max_grid_points=16,
+        )
+        via_trials = [
+            trial_fn(i, cfg.rng_for_trial(i)) for i in range(cfg.trials)
+        ]
+        assert tuple(int(v) for v in via_trials) == dist.lifetimes

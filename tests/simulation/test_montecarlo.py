@@ -43,6 +43,38 @@ class TestConfig:
         assert first == second
         assert len(set(first)) == 5  # distinct streams
 
+    def test_rngs_is_lazy(self):
+        import types
+
+        gen = MonteCarloConfig(trials=10**9, seed=0).rngs()
+        assert isinstance(gen, types.GeneratorType)
+        # A billion-trial config must yield its first stream instantly.
+        assert next(gen).random() == MonteCarloConfig(
+            trials=10**9, seed=0
+        ).rng_for_trial(0).random()
+
+    def test_rngs_list_shim_matches_generator(self):
+        cfg = MonteCarloConfig(trials=4, seed=7)
+        eager = [g.random() for g in cfg.rngs_list()]
+        lazy = [g.random() for g in cfg.rngs()]
+        assert eager == lazy
+
+    def test_rngs_match_spawned_seed_sequences(self):
+        # rng_for_trial uses explicit spawn keys; they must equal the
+        # historical SeedSequence.spawn streams bit for bit.
+        cfg = MonteCarloConfig(trials=3, seed=123)
+        spawned = np.random.SeedSequence(123).spawn(3)
+        for trial, seq in enumerate(spawned):
+            expected = np.random.Generator(np.random.PCG64(seq)).random()
+            assert cfg.rng_for_trial(trial).random() == expected
+
+    def test_rng_for_trial_bounds(self):
+        cfg = MonteCarloConfig(trials=3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            cfg.rng_for_trial(-1)
+        with pytest.raises(InvalidParameterError):
+            cfg.rng_for_trial(3)
+
 
 class TestConditionPredicate:
     def test_dispatch(self):

@@ -1,0 +1,252 @@
+"""Resilient runner: fault isolation, checkpoint/resume determinism, budgets.
+
+These tests implement the issue's acceptance criterion with a cheap
+trial function, so the whole module runs in well under a second: a
+sweep interrupted at *any* trial index and resumed from its checkpoint
+must produce bit-identical outcomes to an uninterrupted run, and an
+injected per-trial exception must be recorded rather than propagated.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, InvalidParameterError
+from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.runner import (
+    CHECKPOINT_FILENAME,
+    ResilientResult,
+    TrialFailure,
+    run_resilient_trials,
+)
+
+
+def coin_trial(trial: int, rng: np.random.Generator) -> bool:
+    """A cheap seeded Bernoulli trial."""
+    return bool(rng.random() < 0.5)
+
+
+def crash_at(bad_trial: int, exc: BaseException):
+    """A coin trial that raises ``exc`` when it reaches ``bad_trial``."""
+
+    def trial(index: int, rng: np.random.Generator) -> bool:
+        if index == bad_trial:
+            raise exc
+        return coin_trial(index, rng)
+
+    return trial
+
+
+CONFIG = MonteCarloConfig(trials=20, seed=99)
+
+
+@pytest.fixture
+def baseline():
+    """The uninterrupted reference sweep every variant must reproduce."""
+    return run_resilient_trials(coin_trial, CONFIG)
+
+
+class TestPlainSweep:
+    def test_runs_every_trial(self, baseline):
+        assert baseline.requested == 20
+        assert baseline.completed == 20
+        assert baseline.attempted == 20
+        assert not baseline.truncated
+        assert baseline.failures == ()
+        assert [t for t, _ in baseline.outcomes] == list(range(20))
+
+    def test_deterministic(self, baseline):
+        again = run_resilient_trials(coin_trial, CONFIG)
+        assert again.outcomes == baseline.outcomes
+
+    def test_estimate_over_completed_trials(self, baseline):
+        est = baseline.estimate
+        assert est is not None
+        assert est.trials == 20
+        assert est.successes == baseline.successes
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_resilient_trials(coin_trial, CONFIG, checkpoint_every=0)
+        with pytest.raises(InvalidParameterError):
+            run_resilient_trials(coin_trial, CONFIG, time_budget=0.0)
+        with pytest.raises(InvalidParameterError):
+            run_resilient_trials(coin_trial, CONFIG, resume=True)
+
+
+class TestFaultIsolation:
+    def test_exception_recorded_not_propagated(self, baseline):
+        result = run_resilient_trials(crash_at(3, ValueError("boom")), CONFIG)
+        assert result.attempted == 20
+        assert result.completed == 19
+        assert result.failures == (
+            TrialFailure(trial=3, error="ValueError: boom"),
+        )
+        # Every other trial's value is bit-identical to the clean sweep.
+        expected = [(t, v) for t, v in baseline.outcomes if t != 3]
+        assert list(result.outcomes) == expected
+
+    def test_widened_interval_bounds_lost_trials(self, baseline):
+        result = run_resilient_trials(crash_at(3, ValueError("boom")), CONFIG)
+        lo, hi = result.widened_interval()
+        clean_lo, clean_hi = baseline.estimate.wilson()
+        assert lo <= clean_lo or lo == pytest.approx(clean_lo, abs=0.05)
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_widened_interval_without_failures_is_wilson(self, baseline):
+        assert baseline.widened_interval() == pytest.approx(
+            baseline.estimate.wilson()
+        )
+
+    def test_widened_interval_needs_attempts(self):
+        empty = ResilientResult(
+            requested=5, outcomes=(), failures=(), truncated=True
+        )
+        with pytest.raises(InvalidParameterError):
+            empty.widened_interval()
+
+    def test_keyboard_interrupt_propagates(self, tmp_path):
+        with pytest.raises(KeyboardInterrupt):
+            run_resilient_trials(
+                crash_at(5, KeyboardInterrupt()), CONFIG, checkpoint_dir=tmp_path
+            )
+        # ... but not before writing a checkpoint with the completed work.
+        payload = json.loads((tmp_path / CHECKPOINT_FILENAME).read_text())
+        assert payload["next_trial"] == 5
+        assert len(payload["outcomes"]) == 5
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("interrupt_at", [0, 1, 7, 19])
+    def test_interrupt_anywhere_resume_bit_identical(
+        self, tmp_path, baseline, interrupt_at
+    ):
+        """The acceptance criterion: crash at any index, resume, equal result."""
+        with pytest.raises(KeyboardInterrupt):
+            run_resilient_trials(
+                crash_at(interrupt_at, KeyboardInterrupt()),
+                CONFIG,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=4,
+            )
+        resumed = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.outcomes == baseline.outcomes
+        assert resumed.successes == baseline.successes
+        assert resumed.resumed_trials == interrupt_at
+        assert resumed.estimate.wilson() == baseline.estimate.wilson()
+
+    def test_resume_after_completion_is_noop(self, tmp_path, baseline):
+        run_resilient_trials(coin_trial, CONFIG, checkpoint_dir=tmp_path)
+        calls = []
+
+        def counting(trial, rng):
+            calls.append(trial)
+            return coin_trial(trial, rng)
+
+        resumed = run_resilient_trials(
+            counting, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert calls == []
+        assert resumed.outcomes == baseline.outcomes
+        assert resumed.resumed_trials == 20
+
+    def test_resume_missing_checkpoint_starts_fresh(self, tmp_path, baseline):
+        result = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert result.outcomes == baseline.outcomes
+        assert result.resumed_trials == 0
+
+    def test_resume_preserves_recorded_failures(self, tmp_path):
+        def flaky_then_crashing(t, rng):
+            if t == 2:
+                raise ValueError("x")
+            if t == 6:
+                raise KeyboardInterrupt()
+            return coin_trial(t, rng)
+
+        with pytest.raises(KeyboardInterrupt):
+            run_resilient_trials(
+                flaky_then_crashing, CONFIG, checkpoint_dir=tmp_path
+            )
+        resumed = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.failures == (
+            TrialFailure(trial=2, error="ValueError: x"),
+        )
+        assert resumed.attempted == 20
+
+    def test_mismatched_seed_raises(self, tmp_path):
+        run_resilient_trials(coin_trial, CONFIG, checkpoint_dir=tmp_path)
+        other = MonteCarloConfig(trials=20, seed=100)
+        with pytest.raises(CheckpointError):
+            run_resilient_trials(
+                coin_trial, other, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_mismatched_trials_raises(self, tmp_path):
+        run_resilient_trials(coin_trial, CONFIG, checkpoint_dir=tmp_path)
+        other = MonteCarloConfig(trials=21, seed=99)
+        with pytest.raises(CheckpointError):
+            run_resilient_trials(
+                coin_trial, other, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        (tmp_path / CHECKPOINT_FILENAME).write_text("{not json")
+        with pytest.raises(CheckpointError):
+            run_resilient_trials(
+                coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_wrong_format_tag_raises(self, tmp_path):
+        (tmp_path / CHECKPOINT_FILENAME).write_text(
+            json.dumps({"format": "something-else"})
+        )
+        with pytest.raises(CheckpointError):
+            run_resilient_trials(
+                coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, checkpoint_every=1
+        )
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == [CHECKPOINT_FILENAME]
+
+
+class TestTimeBudget:
+    def test_tiny_budget_truncates_gracefully(self, tmp_path, baseline):
+        result = run_resilient_trials(
+            coin_trial,
+            CONFIG,
+            checkpoint_dir=tmp_path,
+            time_budget=1e-9,
+        )
+        assert result.truncated
+        assert result.attempted < 20
+        # The checkpoint left behind lets a resume finish the sweep.
+        resumed = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert not resumed.truncated
+        assert resumed.outcomes == baseline.outcomes
+
+    def test_generous_budget_completes(self):
+        result = run_resilient_trials(coin_trial, CONFIG, time_budget=60.0)
+        assert not result.truncated
+        assert result.completed == 20
+
+    def test_no_outcomes_estimate_is_none(self):
+        result = run_resilient_trials(
+            coin_trial, CONFIG, time_budget=1e-9
+        )
+        if result.completed == 0:
+            assert result.estimate is None

@@ -127,3 +127,80 @@ class TestWorkloads:
         assert main(["workloads", "--simulate", "--trials", "5"]) == 0
         out = capsys.readouterr().out
         assert "simulated full-view area fraction" in out
+
+
+_FAST_LIFETIME = [
+    "lifetime", "--n", "40", "--trials", "3", "--epochs", "2",
+    "--max-grid-points", "9", "--seed", "5",
+]
+
+
+class TestLifetime:
+    def test_prints_survival_curve(self, capsys):
+        assert main(list(_FAST_LIFETIME)) == 0
+        out = capsys.readouterr().out
+        assert "survival curve" in out
+        assert "mean lifetime" in out
+        assert "trials: 3/3 completed" in out
+
+    def test_exports_csv(self, tmp_path, capsys):
+        assert main(_FAST_LIFETIME + ["--out", str(tmp_path)]) == 0
+        assert (tmp_path / "lifetime_survival.csv").exists()
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(_FAST_LIFETIME + ["--checkpoint", str(ckpt)]) == 0
+        assert (ckpt / "checkpoint.json").exists()
+        first = capsys.readouterr().out
+        assert main(
+            _FAST_LIFETIME + ["--checkpoint", str(ckpt), "--resume"]
+        ) == 0
+        resumed = capsys.readouterr().out
+        assert "trials: 3/3 completed" in first
+        assert "trials: 3/3 completed" in resumed
+
+    def test_tiny_time_budget_reports_truncation(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            _FAST_LIFETIME
+            + ["--checkpoint", str(ckpt), "--time-budget", "1e-9"]
+        )
+        out = capsys.readouterr().out
+        # Nothing completed: exit 1 with a hint, checkpoint written.
+        assert code == 1
+        assert "no trials completed" in out
+        assert (ckpt / "checkpoint.json").exists()
+        # A resume without the budget finishes the sweep.
+        assert main(
+            _FAST_LIFETIME + ["--checkpoint", str(ckpt), "--resume"]
+        ) == 0
+        assert "trials: 3/3 completed" in capsys.readouterr().out
+
+    def test_schedule_flags(self, capsys):
+        assert main(
+            _FAST_LIFETIME
+            + ["--blackout-radius", "0.1", "--drift", "0.2", "--decay", "0.9"]
+        ) == 0
+        assert "4 failure model(s)" in capsys.readouterr().out
+
+
+class TestRunCheckpoint:
+    def test_run_resume_skips_completed(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["run", "EQ19", "--checkpoint", str(ckpt)]) == 0
+        assert (ckpt / "run_checkpoint.json").exists()
+        capsys.readouterr()
+        assert main(
+            ["run", "EQ19", "--checkpoint", str(ckpt), "--resume"]
+        ) == 0
+        assert "already completed (checkpoint)" in capsys.readouterr().out
+
+    def test_run_time_budget_truncates(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            ["run", "EQ19", "FIG7", "--checkpoint", str(ckpt),
+             "--time-budget", "1e-9"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resume with" in out
