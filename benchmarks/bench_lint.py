@@ -1,0 +1,52 @@
+"""fvlint wall-time over the full source tree.
+
+The linter runs in CI on every push and is meant to be cheap enough to
+run locally before each commit, so its full-tree wall time is part of
+the developer contract: parse each file once, share the AST across all
+five rules.  This bench times ``lint_paths`` over ``src/`` and asserts
+the whole pass stays under two seconds — generous on CI hardware, tight
+enough to catch an accidentally quadratic rule.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Full-tree lint must stay under this many seconds.
+BUDGET_SECONDS = 2.0
+
+
+@pytest.fixture(scope="module")
+def lint_result():
+    from repro.lint import lint_paths
+
+    return lint_paths([SRC])
+
+
+def test_source_tree_is_clean(lint_result):
+    assert lint_result.ok, "\n".join(f.render() for f in lint_result.findings)
+    assert lint_result.files_checked > 60
+
+
+def test_full_tree_lint_under_budget(benchmark):
+    from repro.lint import lint_paths
+
+    result = benchmark(lint_paths, [SRC])
+    assert result.ok
+    assert benchmark.stats["mean"] < BUDGET_SECONDS
+
+
+def test_single_pass_wall_clock():
+    """A plain (non-pytest-benchmark) timing, for environments without it."""
+    from repro.lint import lint_paths
+
+    start = time.perf_counter()
+    result = lint_paths([SRC])
+    elapsed = time.perf_counter() - start
+    assert result.ok
+    assert elapsed < BUDGET_SECONDS, f"full-tree lint took {elapsed:.2f}s"

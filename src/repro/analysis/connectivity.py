@@ -19,13 +19,20 @@ coverage-grade fleets connected.
 from __future__ import annotations
 
 import math
-from typing import List
 
 import networkx as nx
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.sensors.fleet import SensorFleet
+
+__all__ = [
+    "communication_graph",
+    "connectivity_scaling_constant",
+    "critical_communication_radius",
+    "is_connected",
+    "largest_component_fraction",
+]
 
 
 def _pairwise_distances(fleet: SensorFleet) -> np.ndarray:

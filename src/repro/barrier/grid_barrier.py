@@ -31,6 +31,16 @@ from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
 from repro.sensors.fleet import SensorFleet
 
+__all__ = [
+    "BarrierAnalysis",
+    "Cell",
+    "CoverageGrid",
+    "barrier_exists",
+    "compute_coverage_grid",
+    "find_breach_path",
+    "find_covered_band",
+]
+
 Cell = Tuple[int, int]  # (column index, row index); row 0 is the bottom
 
 #: 8-neighbourhood offsets for the intruder graph.

@@ -23,6 +23,8 @@ from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
 from repro.sensors.fleet import SensorFleet
 
+__all__ = ["find_widest_covered_strip", "strip_fully_covered"]
+
 
 def strip_fully_covered(
     fleet: SensorFleet,

@@ -15,6 +15,9 @@ Subcommands
   CSV series.
 - ``fullview workloads`` — assess the built-in scenarios against CSA
   theory and simulation.
+- ``fullview lint`` — run the ``fvlint`` domain-invariant static
+  analysis (RNG discipline, error contract, angle hygiene, ...) over
+  source trees, with text/JSON reports and a baseline workflow.
 """
 
 from __future__ import annotations
@@ -26,6 +29,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro._version import __version__
+
+__all__ = ["build_parser", "main"]
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -304,11 +309,10 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.barrier.grid_barrier import barrier_exists, compute_coverage_grid
     from repro.core.csa import csa_necessary, csa_sufficient
     from repro.core.full_view import diagnose_point
+    from repro.seeding import root_rng
     from repro.sensors.io import save_fleet
     from repro.simulation.workloads import registry
     from repro.viz.ascii_plot import ascii_coverage_map, ascii_scatter_map
@@ -320,9 +324,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     workload = workloads[args.workload]
     if args.provision is not None:
         workload = workload.provisioned(q=args.provision)
-    fleet = workload.scheme.deploy(
-        workload.profile, workload.n, np.random.default_rng(args.seed)
-    )
+    fleet = workload.scheme.deploy(workload.profile, workload.n, root_rng(args.seed))
     fleet.build_index()
     theta = workload.theta
 
@@ -395,7 +397,39 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.errors import LintError
+    from repro.lint import lint_paths, render_json, render_text, write_baseline
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    select = args.select.split(",") if args.select else None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    try:
+        if args.write_baseline:
+            result = lint_paths(paths, select=select)
+            target = baseline_path or Path("fvlint-baseline.json")
+            entries = write_baseline(target, result.findings)
+            print(
+                f"wrote {target}: {entries} fingerprint(s) covering "
+                f"{len(result.findings)} finding(s)"
+            )
+            return 0
+        if baseline_path is not None and not baseline_path.exists():
+            print(f"baseline {baseline_path} does not exist", file=sys.stderr)
+            return 2
+        result = lint_paths(paths, select=select, baseline_path=baseline_path)
+    except LintError as exc:
+        print(f"fvlint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``fullview`` argument parser with every subcommand wired."""
     parser = argparse.ArgumentParser(
         prog="fullview",
         description="Full-view coverage of heterogeneous camera sensor networks "
@@ -525,10 +559,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_design.set_defaults(func=_cmd_design)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the fvlint domain-invariant static analysis",
+        description="AST-based lint pass enforcing the repo's RNG, "
+        "error-contract, angle-hygiene, float-equality and API-surface "
+        "conventions (rules FV001-FV005). Exits 1 when findings remain "
+        "after pragmas and the baseline.",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src)"
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_lint.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file of grandfathered findings to subtract",
+    )
+    p_lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into --baseline "
+        "(default fvlint-baseline.json) and exit 0",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

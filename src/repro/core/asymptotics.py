@@ -21,6 +21,16 @@ from typing import Tuple
 
 from repro.errors import InvalidParameterError
 
+__all__ = [
+    "Lemma3Orders",
+    "exp_approximation_error",
+    "lemma3_orders",
+    "log1m_bounds",
+    "optimal_xi",
+    "pow_one_minus_bounds",
+    "proposition1_floor",
+]
+
 
 def log1m_bounds(x: float) -> Tuple[float, float]:
     """Lemma 1's sandwich on ``log(1 - x)`` for ``0 < x < 1/2``.

@@ -16,7 +16,7 @@ occupancy, k-coverage) is evaluated without further geometry.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -25,6 +25,15 @@ from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
 from repro.geometry.angles import TWO_PI
 from repro.sensors.fleet import SensorFleet
+
+__all__ = [
+    "condition_mask",
+    "coverage_counts",
+    "coverage_fraction_fast",
+    "covering_and_directions",
+    "full_view_mask",
+    "max_gaps",
+]
 
 #: Cap on the pairwise block size (points x sensors) per chunk.
 _MAX_PAIRS_PER_CHUNK = 4_000_000

@@ -36,6 +36,20 @@ from repro.geometry.angles import TWO_PI, normalize_angle
 from repro.geometry.intervals import AngularInterval
 from repro.sensors.fleet import SensorFleet
 
+__all__ = [
+    "Point",
+    "SectorPartition",
+    "condition_fraction",
+    "necessary_condition_holds",
+    "necessary_partition",
+    "point_meets_necessary_condition",
+    "point_meets_sufficient_condition",
+    "sector_count_necessary",
+    "sector_count_sufficient",
+    "sufficient_condition_holds",
+    "sufficient_partition",
+]
+
 Point = Tuple[float, float]
 
 #: Remainder angles below this are treated as zero (no patch sector).

@@ -31,13 +31,26 @@ The ``*_xi`` variants expose the paper's sharper parametrised form with
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import Iterable
 
 import numpy as np
 
 from repro.core.conditions import sector_count_necessary, sector_count_sufficient
 from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
+
+__all__ = [
+    "csa_curve_over_n",
+    "csa_curve_over_theta",
+    "csa_leading_order",
+    "csa_necessary",
+    "csa_necessary_xi",
+    "csa_ratio",
+    "csa_sufficient",
+    "csa_sufficient_xi",
+    "required_radius_homogeneous",
+]
 
 
 def _validate_n(n: int) -> int:
@@ -159,7 +172,7 @@ def required_radius_homogeneous(n: int, theta: float, phi: float, q: float = 1.0
     Solves ``phi * r**2 / 2 = q * s_c(n)`` — the design question a
     network engineer actually asks ("how good must my cameras be?").
     """
-    if phi <= 0 or phi > 2.0 * math.pi + 1e-12:
+    if phi <= 0 or phi > TWO_PI + 1e-12:
         raise InvalidParameterError(f"angle of view must be in (0, 2*pi], got {phi!r}")
     if q <= 0:
         raise InvalidParameterError(f"q must be positive, got {q!r}")
@@ -168,4 +181,4 @@ def required_radius_homogeneous(n: int, theta: float, phi: float, q: float = 1.0
         raise InvalidParameterError(
             f"condition must be 'necessary' or 'sufficient', got {condition!r}"
         )
-    return math.sqrt(2.0 * q * base / min(phi, 2.0 * math.pi))
+    return math.sqrt(2.0 * q * base / min(phi, TWO_PI))

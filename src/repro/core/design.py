@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Literal
+from typing import Literal
 
 from repro.core.csa import csa_necessary, csa_sufficient
 from repro.core.poisson_theory import (
@@ -31,6 +31,16 @@ from repro.core.poisson_theory import (
 from repro.core.uniform_theory import point_failure_probability
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.sensors.model import HeterogeneousProfile
+
+__all__ = [
+    "Condition",
+    "DesignReport",
+    "Scheme",
+    "design_report",
+    "point_success_probability",
+    "solve_area_for_point_probability",
+    "solve_n_for_point_probability",
+]
 
 Condition = Literal["necessary", "sufficient"]
 Scheme = Literal["uniform", "poisson"]

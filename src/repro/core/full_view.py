@@ -29,6 +29,18 @@ from repro.geometry.angles import TWO_PI, normalize_angle
 from repro.geometry.intervals import AngularIntervalSet, max_circular_gap
 from repro.sensors.fleet import SensorFleet
 
+__all__ = [
+    "FullViewDiagnostics",
+    "Point",
+    "diagnose_point",
+    "full_view_coverage_fraction",
+    "is_full_view_covered",
+    "minimum_sensors_for_full_view",
+    "point_is_full_view_covered",
+    "safe_direction_set",
+    "validate_effective_angle",
+]
+
 Point = Tuple[float, float]
 
 

@@ -25,6 +25,18 @@ from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
 from repro.sensors.fleet import SensorFleet
 
+__all__ = [
+    "Point",
+    "critical_esr",
+    "full_view_vs_k_coverage_margin",
+    "implied_k",
+    "is_k_covered",
+    "k_coverage_fraction",
+    "kumar_sufficient_area",
+    "one_coverage_csa",
+    "wang_cao_lattice_edge",
+]
+
 Point = tuple
 
 

@@ -36,7 +36,16 @@ from scipy import stats
 from repro.core.conditions import sector_count_necessary, sector_count_sufficient
 from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
 from repro.sensors.model import HeterogeneousProfile
+
+__all__ = [
+    "Method",
+    "group_sector_success",
+    "poisson_necessary_probability",
+    "poisson_sufficient_probability",
+    "uniform_poisson_gap",
+]
 
 Method = Literal["closed_form", "series"]
 
@@ -80,7 +89,7 @@ def group_sector_success(
     if n_y == 0:
         return 0.0
     mean = _sector_mean(n_y, radius, theta, condition)
-    orient_p = angle_of_view / (2.0 * math.pi)
+    orient_p = angle_of_view / TWO_PI
     if method == "closed_form":
         return -math.expm1(-mean * orient_p)
     if method != "series":

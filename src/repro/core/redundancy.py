@@ -33,6 +33,14 @@ from repro.core.full_view import validate_effective_angle
 from repro.geometry.angles import TWO_PI, normalize_angle
 from repro.geometry.intervals import max_circular_gap
 
+__all__ = [
+    "breach_cost",
+    "is_covered",
+    "minimum_guard_set",
+    "redundant_sensors",
+    "robustness_margin",
+]
+
 
 def _sorted_directions(directions: Sequence[float]) -> np.ndarray:
     return np.sort(normalize_angle(np.asarray(directions, dtype=float).ravel()))

@@ -28,16 +28,27 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
 
-import numpy as np
 from scipy.special import comb
 
 from repro.core.conditions import sector_count_necessary, sector_count_sufficient
 from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
 from repro.geometry.grid import grid_points_required
 from repro.sensors.model import HeterogeneousProfile
+
+__all__ = [
+    "GridFailureBounds",
+    "coverage_probability_single_point",
+    "expected_covering_sensors",
+    "grid_failure_bounds",
+    "necessary_failure_probability",
+    "necessary_failure_probability_exact",
+    "per_sensor_sector_probability",
+    "point_failure_probability",
+    "sufficient_failure_probability",
+]
 
 
 def per_sensor_sector_probability(
@@ -55,7 +66,7 @@ def per_sensor_sector_probability(
     if condition == "necessary":
         p = theta * sensing_area / math.pi
     elif condition == "sufficient":
-        p = theta * sensing_area / (2.0 * math.pi)
+        p = theta * sensing_area / TWO_PI
     else:
         raise InvalidParameterError(
             f"condition must be 'necessary' or 'sufficient', got {condition!r}"

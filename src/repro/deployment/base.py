@@ -13,9 +13,12 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
 from repro.geometry.torus import Region, UNIT_TORUS
 from repro.sensors.fleet import SensorFleet, fleet_from_profile_arrays
 from repro.sensors.model import HeterogeneousProfile
+
+__all__ = ["DeploymentScheme"]
 
 
 class DeploymentScheme(ABC):
@@ -67,5 +70,5 @@ class DeploymentScheme(ABC):
                 region=self.region,
             )
         positions = positions[rng.permutation(realised)]
-        orientations = rng.uniform(0.0, 2.0 * np.pi, size=realised)
+        orientations = rng.uniform(0.0, TWO_PI, size=realised)
         return fleet_from_profile_arrays(profile, positions, orientations, self.region)

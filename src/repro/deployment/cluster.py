@@ -14,13 +14,15 @@ uniform/Poisson assumption flatters real deployments.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
 from repro.deployment.base import DeploymentScheme
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
 from repro.geometry.torus import Region, UNIT_TORUS
+
+__all__ = ["MaternClusterDeployment"]
 
 
 class MaternClusterDeployment(DeploymentScheme):
@@ -70,6 +72,6 @@ class MaternClusterDeployment(DeploymentScheme):
         centers = np.repeat(parents, counts, axis=0)
         # Uniform in the disk: sqrt-radius times random angle.
         radii = self.cluster_radius * np.sqrt(rng.uniform(size=total))
-        angles = rng.uniform(0.0, 2.0 * math.pi, size=total)
+        angles = rng.uniform(0.0, TWO_PI, size=total)
         offsets = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=1)
         return self.region.wrap_points(centers + offsets)

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.deployment.base import DeploymentScheme
 
+__all__ = ["SquareLatticeDeployment", "TriangularLatticeDeployment"]
+
 
 class SquareLatticeDeployment(DeploymentScheme):
     """Points of a ``k x k`` square lattice, ``k = round(sqrt(n))``.

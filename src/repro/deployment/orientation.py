@@ -18,6 +18,13 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.geometry.angles import TWO_PI, normalize_angle
 
+__all__ = [
+    "InwardOrientation",
+    "OrientationSampler",
+    "UniformOrientation",
+    "VonMisesOrientation",
+]
+
 
 class OrientationSampler(ABC):
     """Draws one orientation per sensor position."""

@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.deployment.base import DeploymentScheme
 
+__all__ = ["PoissonDeployment"]
+
 
 class PoissonDeployment(DeploymentScheme):
     """Homogeneous Poisson point process of intensity ``n / area``.

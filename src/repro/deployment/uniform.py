@@ -10,6 +10,8 @@ import numpy as np
 
 from repro.deployment.base import DeploymentScheme
 
+__all__ = ["UniformDeployment"]
+
 
 class UniformDeployment(DeploymentScheme):
     """``n`` i.i.d. uniform positions in the region."""

@@ -7,6 +7,18 @@ also swallowing programming errors such as :class:`TypeError`.
 
 from __future__ import annotations
 
+__all__ = [
+    "CheckpointError",
+    "ConvergenceError",
+    "DeploymentError",
+    "ExperimentError",
+    "FullViewError",
+    "GridIndexError",
+    "InvalidParameterError",
+    "InvalidProfileError",
+    "LintError",
+]
+
 
 class FullViewError(Exception):
     """Base class for every error raised by this library."""
@@ -47,4 +59,20 @@ class CheckpointError(FullViewError, RuntimeError):
     Raised when resuming a sweep whose checkpoint does not match the
     requested configuration (different seed or trial count), or whose
     JSON payload cannot be parsed.
+    """
+
+
+class GridIndexError(FullViewError, IndexError):
+    """A dense-grid cell index is outside the grid.
+
+    Keeps :class:`IndexError` lineage so sequence-protocol callers that
+    catch ``IndexError`` keep working.
+    """
+
+
+class LintError(FullViewError, RuntimeError):
+    """The ``fvlint`` static-analysis pass was misconfigured.
+
+    Raised for unknown rule codes, unreadable lint targets, and corrupt
+    baseline files.
     """

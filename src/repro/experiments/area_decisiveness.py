@@ -18,9 +18,12 @@ import math
 from typing import List, Tuple
 
 from repro.experiments.registry import ExperimentResult, register
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
 from repro.simulation.results import ResultTable
+
+__all__ = ["run"]
 
 
 def _z_statistic(p1: float, n1: int, p2: float, n2: int) -> float:
@@ -38,6 +41,7 @@ def _z_statistic(p1: float, n1: int, p2: float, n2: int) -> float:
     "Section VI-A discussion",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Verify sensing area is decisive while sector shape is irrelevant."""
     sensing_area = 0.012
     n = 400
     theta = math.pi / 3.0
@@ -64,7 +68,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     for i, (label, phi) in enumerate(shapes):
         spec = CameraSpec.from_area(sensing_area, phi)
         profile = HeterogeneousProfile.homogeneous(spec)
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 5000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 5000, i))
         estimate = estimate_point_probability(profile, n, theta, "exact", cfg)
         low, high = estimate.wilson()
         table.add_row(

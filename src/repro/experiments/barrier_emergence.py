@@ -21,14 +21,17 @@ from __future__ import annotations
 
 import math
 
-from repro.barrier.grid_barrier import barrier_exists, compute_coverage_grid
+from repro.barrier.grid_barrier import barrier_exists
 from repro.barrier.strip import find_widest_covered_strip
 from repro.core.csa import csa_sufficient
 from repro.deployment.uniform import UniformDeployment
 from repro.experiments.registry import ExperimentResult, register
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
+
+__all__ = ["run"]
 
 _PHI = math.pi / 2.0
 
@@ -39,6 +42,7 @@ _PHI = math.pi / 2.0
     "Section VIII future work",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Measure full-view barrier emergence below full area coverage."""
     n = 250 if fast else 800
     theta = math.pi / 2.0
     trials = 40 if fast else 200
@@ -62,14 +66,14 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     checks = {}
     for i, q in enumerate(q_values):
         profile = HeterogeneousProfile.homogeneous(CameraSpec.from_area(q * base, _PHI))
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 11000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, i))
         weak = strong = area = 0
         fraction_sum = 0.0
         ordering_ok = True
         for rng in cfg.rngs():
             fleet = scheme.deploy(profile, n, rng)
             analysis = barrier_exists(fleet, theta, resolution)
-            grid_covered = analysis.covered_fraction == 1.0
+            grid_covered = analysis.covered_fraction == 1.0  # fvlint: disable=FV004 (integer cell ratio is exact at 1)
             strip = find_widest_covered_strip(fleet, theta, resolution)
             weak += analysis.has_barrier
             strong += strip is not None

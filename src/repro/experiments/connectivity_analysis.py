@@ -28,9 +28,12 @@ from repro.analysis.connectivity import (
 from repro.core.csa import csa_sufficient
 from repro.deployment.uniform import UniformDeployment
 from repro.experiments.registry import ExperimentResult, register
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
+
+__all__ = ["run"]
 
 
 @register(
@@ -39,6 +42,7 @@ from repro.simulation.results import ResultTable
     "Section I coverage-and-connectivity pairing",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Assess connectivity of coverage-grade fleets."""
     theta = math.pi / 3.0
     ns = [100, 200, 400] if fast else [100, 200, 400, 800, 1600]
     trials = 25 if fast else 120
@@ -58,7 +62,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         profile = HeterogeneousProfile.homogeneous(
             CameraSpec(radius=0.1, angle_of_view=1.0)
         )
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 33000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 33000, i))
         radii = []
         consts = []
         for rng in cfg.rngs():
@@ -85,7 +89,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
             CameraSpec.from_area(csa_sufficient(n, theta), math.pi / 2)
         )
         r = profile.groups[0].radius
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 44000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 44000, i))
         connected = 0
         for rng in cfg.rngs():
             fleet = scheme.deploy(profile, n, rng)

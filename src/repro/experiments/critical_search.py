@@ -27,6 +27,8 @@ from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
 
+__all__ = ["bisect_transition", "grid_coverage_probability", "run"]
+
 _PHI = math.pi / 2.0
 
 
@@ -79,6 +81,7 @@ def bisect_transition(
     "Section VI-C open problem",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Locate the empirical 50% coverage transition inside the CSA band."""
     theta = math.pi / 2.0
     ns = [150, 300] if fast else [300, 600, 1200]
     trials = 30 if fast else 120

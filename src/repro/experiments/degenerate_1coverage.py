@@ -26,6 +26,8 @@ from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
 from repro.simulation.results import ResultTable
 
+__all__ = ["run"]
+
 
 @register(
     "EQ19",
@@ -33,6 +35,7 @@ from repro.simulation.results import ResultTable
     "Section VII-A, eq. (19)",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Check the theta = pi degeneration to the 1-coverage CSA (eq. 19)."""
     ns = [100, 300, 1000, 3000, 10_000] if fast else [
         100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000
     ]

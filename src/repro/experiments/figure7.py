@@ -24,6 +24,8 @@ from repro.experiments.registry import ExperimentResult, register
 from repro.simulation.results import ResultTable
 from repro.simulation.sweeps import theta_axis
 
+__all__ = ["N_SENSORS", "build_table", "run"]
+
 #: The sensor count Figure 7 fixes.
 N_SENSORS = 1000
 
@@ -58,6 +60,7 @@ def build_table(n: int = N_SENSORS, points: int = 9) -> ResultTable:
 
 @register("FIG7", "CSA vs effective angle theta (Figure 7)", "Figure 7")
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 7: CSA versus the effective angle theta."""
     table = build_table(points=9 if fast else 41)
     nec = np.array([row for row in table.column("csa_necessary")], dtype=float)
     suf = np.array([row for row in table.column("csa_sufficient")], dtype=float)

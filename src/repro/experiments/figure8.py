@@ -26,6 +26,8 @@ from repro.experiments.registry import ExperimentResult, register
 from repro.simulation.results import ResultTable
 from repro.simulation.sweeps import n_axis_log
 
+__all__ = ["THETA", "build_table", "run"]
+
 #: The effective angle Figure 8 fixes.
 THETA = math.pi / 4.0
 
@@ -45,6 +47,7 @@ def build_table(theta: float = THETA, count: int = 13) -> ResultTable:
 
 @register("FIG8", "CSA vs sensor count n (Figure 8)", "Figure 8")
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 8: CSA versus the sensor count n."""
     table = build_table(count=13 if fast else 41)
     ns = np.array(table.column("n"), dtype=float)
     nec = np.array(table.column("csa_necessary"), dtype=float)

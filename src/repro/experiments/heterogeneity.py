@@ -20,9 +20,12 @@ from typing import List, Tuple
 
 from repro.core.uniform_theory import necessary_failure_probability
 from repro.experiments.registry import ExperimentResult, register
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
 from repro.simulation.results import ResultTable
+
+__all__ = ["profiles_with_equal_weighted_area", "run"]
 
 
 def profiles_with_equal_weighted_area(s_c: float) -> List[Tuple[str, HeterogeneousProfile]]:
@@ -54,6 +57,7 @@ def profiles_with_equal_weighted_area(s_c: float) -> List[Tuple[str, Heterogeneo
     "Section II-C / Definition 2 centralisation",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Verify heterogeneity enters only through the weighted area s_c."""
     s_c = 0.015
     n = 400
     theta = math.pi / 3.0
@@ -77,7 +81,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
             abs(profile.weighted_sensing_area - s_c) < 1e-12
         )
         theory = 1.0 - necessary_failure_probability(profile, n, theta)
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 9000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 9000, i))
         estimate = estimate_point_probability(profile, n, theta, "necessary", cfg)
         table.add_row(
             label,

@@ -27,6 +27,8 @@ from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
 
+__all__ = ["run"]
+
 
 @register(
     "KCOV",
@@ -34,6 +36,7 @@ from repro.simulation.results import ResultTable
     "Section VII-B inequality",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Compare the full-view CSA against the k-coverage threshold."""
     ns = [100, 1000, 10_000] if fast else [100, 300, 1000, 3000, 10_000, 100_000]
     thetas = [math.pi / 6, math.pi / 4, math.pi / 3, math.pi / 2, math.pi]
     table = ResultTable(

@@ -32,8 +32,11 @@ from repro.resilience.failures import (
     RadiusDegradation,
 )
 from repro.resilience.lifetime import lifetime_distribution
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
+
+__all__ = ["run"]
 
 _PHI = math.pi / 2.0
 
@@ -57,6 +60,7 @@ def _profile_at(q: float, base_area: float) -> HeterogeneousProfile:
     "Section VII-B fault-tolerance motivation, dynamic form",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Simulate network lifetime under progressive sensor failures."""
     from repro.simulation.results import ResultTable
 
     n = 240
@@ -81,7 +85,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     )
     means = []
     for i, q in enumerate(q_values):
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 51000 * (i + 1))
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 51000, i))
         dist = lifetime_distribution(
             _profile_at(q, base),
             n,
@@ -103,7 +107,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     checks["underprovisioned_dies_early"] = means[0] < 0.5 * epochs
 
     # 2. Coverage-vs-time and survival curves at q = 2.
-    cfg = MonteCarloConfig(trials=trials, seed=seed + 52000)
+    cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 52000))
     curve_dist = lifetime_distribution(
         _profile_at(2.0, base),
         n,

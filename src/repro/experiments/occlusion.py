@@ -31,9 +31,12 @@ from repro.core.uniform_theory import necessary_failure_probability
 from repro.deployment.uniform import UniformDeployment
 from repro.experiments.registry import ExperimentResult, register
 from repro.geometry.obstacles import ObstacleField, occluded_covering_directions
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
+
+__all__ = ["run", "visibility_ratio"]
 
 _OBSTACLE_RADIUS = 0.02
 
@@ -57,6 +60,7 @@ def visibility_ratio(intensity: float, obstacle_radius: float, reach: float) -> 
     "Section I terrain-obstruction motivation",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Measure coverage degradation under terrain occlusion."""
     n = 350
     theta = math.pi / 3.0
     trials = 250 if fast else 1500
@@ -81,7 +85,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     simulated_series = []
     checks = {}
     for i, count in enumerate(counts):
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 23000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 23000, i))
         successes = 0
         for rng in cfg.rngs():
             fleet = scheme.deploy(base, n, rng)

@@ -20,12 +20,15 @@ import math
 from repro.core.csa import csa_necessary
 from repro.core.uniform_theory import grid_failure_bounds
 from repro.experiments.registry import ExperimentResult, register
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import (
     MonteCarloConfig,
     estimate_grid_failure_probability,
 )
 from repro.simulation.results import ResultTable
+
+__all__ = ["run"]
 
 #: Angle of view used for the homogeneous probe fleet.
 _PHI = math.pi / 2.0
@@ -37,6 +40,7 @@ _PHI = math.pi / 2.0
     "Definition 2, Propositions 1-4",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Trace the grid-failure phase transition at s_c = q * CSA."""
     n = 300 if fast else 1000
     theta = math.pi / 2.0
     trials = 60 if fast else 400
@@ -58,7 +62,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         profile = HeterogeneousProfile.homogeneous(
             CameraSpec.from_area(q * base_csa, _PHI)
         )
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 7000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 7000, i))
         estimate = estimate_grid_failure_probability(
             profile,
             n,

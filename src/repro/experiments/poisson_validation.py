@@ -21,13 +21,17 @@ from repro.core.poisson_theory import (
 from repro.deployment.poisson import PoissonDeployment
 from repro.experiments.registry import ExperimentResult, register
 from repro.experiments.uniform_validation import validation_profile
+from repro.seeding import derive_seed
 from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
 from repro.simulation.results import ResultTable
+
+__all__ = ["run_necessary", "run_sufficient", "scenarios"]
 
 _SLACK = 0.03
 
 
 def scenarios(fast: bool) -> List[Tuple[int, float]]:
+    """Shared Poisson validation scenarios (profile, intensity, theta)."""
     if fast:
         return [(200, math.pi / 3.0), (400, math.pi / 4.0)]
     return [
@@ -61,7 +65,7 @@ def _run(condition: str, experiment_id: str, fast: bool, seed: int) -> Experimen
     )
     checks = {}
     for i, (n, theta) in enumerate(scenarios(fast)):
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 1000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 1000, i))
         estimate = estimate_point_probability(
             profile, n, theta, condition, cfg, scheme=PoissonDeployment()
         )
@@ -97,6 +101,7 @@ def _run(condition: str, experiment_id: str, fast: bool, seed: int) -> Experimen
     "Theorem 3",
 )
 def run_necessary(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Validate Theorem 3 (Poisson necessary) against simulation."""
     return _run("necessary", "THM3-MC", fast, seed)
 
 
@@ -106,4 +111,5 @@ def run_necessary(fast: bool = True, seed: int = 0) -> ExperimentResult:
     "Theorem 4",
 )
 def run_sufficient(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Validate Theorem 4 (Poisson sufficient) against simulation."""
     return _run("sufficient", "THM4-MC", fast, seed)

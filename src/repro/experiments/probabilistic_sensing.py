@@ -22,6 +22,7 @@ from repro.core.conditions import necessary_condition_holds
 from repro.core.uniform_theory import necessary_failure_probability
 from repro.deployment.uniform import UniformDeployment
 from repro.experiments.registry import ExperimentResult, register
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.sensors.probabilistic import (
     ExponentialDecayModel,
@@ -31,6 +32,8 @@ from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
 from repro.simulation.statistics import BernoulliEstimate
 
+__all__ = ["run"]
+
 
 @register(
     "PROB",
@@ -38,6 +41,7 @@ from repro.simulation.statistics import BernoulliEstimate
     "Section VIII future work",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Match probabilistic sensing to binary sensing at rho-scaled area."""
     n = 350
     theta = math.pi / 3.0
     trials = 300 if fast else 2000
@@ -62,7 +66,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     for i, beta in enumerate(betas):
         model = ExponentialDecayModel(beta=beta, gamma=2.0)
         rho = model.expected_coverage_ratio()
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 17000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 17000, i))
         successes = 0
         for rng in cfg.rngs():
             fleet = scheme.deploy(base, n, rng)

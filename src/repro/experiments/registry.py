@@ -14,10 +14,20 @@ agreement).  ``result.passed`` is the conjunction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping
 
 from repro.errors import ExperimentError
 from repro.simulation.results import ResultTable
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "Runner",
+    "all_experiments",
+    "get_experiment",
+    "register",
+    "run_all",
+]
 
 Runner = Callable[[bool, int], "ExperimentResult"]
 

@@ -45,11 +45,14 @@ from repro.resilience.failures import (
     OrientationDrift,
     RadiusDegradation,
 )
+from repro.seeding import derive_seed
 from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
 from repro.simulation.statistics import BernoulliEstimate
+
+__all__ = ["run"]
 
 _PHI = math.pi / 2.0
 
@@ -79,6 +82,7 @@ def _necessary_rate(profile, n, theta, cfg, model=None):
     "Section VII-B fault-tolerance motivation",
 )
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Stress coverage under random and adversarial sensor failures."""
     n = 400
     theta = math.pi / 3.0
     trials = 250 if fast else 1500
@@ -95,7 +99,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         columns=["p_failure", "simulated_p_necessary", "survivor_theory", "agrees"],
     )
     for i, p in enumerate([0.0, 0.2, 0.4, 0.6]):
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 21000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 21000, i))
         estimate = _necessary_rate(profile, n, theta, cfg, BernoulliFailure(p))
         survivors = max(1, round(n * (1.0 - p)))
         theory = 1.0 - necessary_failure_probability(profile, survivors, theta)
@@ -108,10 +112,10 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         title="ROBUST: orientation drift sigma vs undrifted baseline",
         columns=["sigma", "simulated_p_necessary", "baseline", "agrees"],
     )
-    base_cfg = MonteCarloConfig(trials=trials, seed=seed + 41000)
+    base_cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 41000))
     baseline = _necessary_rate(profile, n, theta, base_cfg)
     for i, sigma in enumerate([0.3, 1.5]):
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 42000 * (i + 1))
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 42000, i))
         estimate = _necessary_rate(
             profile, n, theta, cfg, OrientationDrift(sigma)
         )
@@ -126,7 +130,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     )
     s_c = profile.weighted_sensing_area
     for i, factor in enumerate([1.0, 0.8, 0.6]):
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 43000 * (i + 1))
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 43000, i))
         estimate = _necessary_rate(
             profile, n, theta, cfg, RadiusDegradation(factor)
         )
@@ -146,7 +150,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     mean_costs = []
     for i, q in enumerate([0.5, 1.0, 2.0, 4.0]):
         scaled = profile.scaled_to_weighted_area(q * base)
-        cfg = MonteCarloConfig(trials=breach_trials, seed=seed + 31000 * i)
+        cfg = MonteCarloConfig(trials=breach_trials, seed=derive_seed(seed, 31000, i))
         costs = []
         covered = 0
         for rng in cfg.rngs():

@@ -23,9 +23,17 @@ from repro.core.uniform_theory import (
     sufficient_failure_probability,
 )
 from repro.experiments.registry import ExperimentResult, register
+from repro.seeding import derive_seed
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig, estimate_point_probability
 from repro.simulation.results import ResultTable
+
+__all__ = [
+    "run_necessary",
+    "run_sufficient",
+    "scenarios",
+    "validation_profile",
+]
 
 #: Finite-n model slack added around the Wilson interval.
 _SLACK = 0.03
@@ -79,7 +87,7 @@ def _run(condition: str, experiment_id: str, fast: bool, seed: int) -> Experimen
     notes = []
     cfg_base = MonteCarloConfig(trials=trials, seed=seed)
     for i, (n, theta) in enumerate(scenarios(fast)):
-        cfg = MonteCarloConfig(trials=trials, seed=seed + 1000 * i)
+        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 1000, i))
         estimate = estimate_point_probability(profile, n, theta, condition, cfg)
         theory = 1.0 - theory_fn(profile, n, theta)
         low, high = estimate.wilson()
@@ -113,6 +121,7 @@ def _run(condition: str, experiment_id: str, fast: bool, seed: int) -> Experimen
     "eq. (2)",
 )
 def run_necessary(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Validate eq. (2) (uniform necessary) against simulation."""
     return _run("necessary", "EQ2-MC", fast, seed)
 
 
@@ -122,4 +131,5 @@ def run_necessary(fast: bool = True, seed: int = 0) -> ExperimentResult:
     "eq. (13)",
 )
 def run_sufficient(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Validate eq. (13) (uniform sufficient) against simulation."""
     return _run("sufficient", "EQ13-MC", fast, seed)

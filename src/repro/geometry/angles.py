@@ -22,6 +22,20 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "ArrayLike",
+    "TWO_PI",
+    "angle_linspace",
+    "angular_distance",
+    "circular_mean",
+    "is_angle_between",
+    "normalize_angle",
+    "normalize_angle_signed",
+    "signed_angular_difference",
+]
+
 TWO_PI: float = 2.0 * math.pi
 
 ArrayLike = Union[float, int, np.ndarray]
@@ -87,7 +101,7 @@ def is_angle_between(angle: ArrayLike, start: float, extent: float) -> ArrayLike
     scalars or arrays of ``angle``.
     """
     if extent < 0.0 or extent > TWO_PI + 1e-12:
-        raise ValueError(f"arc extent must be in [0, 2*pi], got {extent!r}")
+        raise InvalidParameterError(f"arc extent must be in [0, 2*pi], got {extent!r}")
     if extent >= TWO_PI:
         if isinstance(angle, np.ndarray):
             return np.ones_like(angle, dtype=bool)
@@ -102,16 +116,16 @@ def is_angle_between(angle: ArrayLike, start: float, extent: float) -> ArrayLike
 def circular_mean(angles: np.ndarray) -> float:
     """Circular mean direction of a non-empty array of angles.
 
-    Raises :class:`ValueError` when the resultant vector is (numerically)
-    zero, because the mean direction is then undefined.
+    Raises :class:`~repro.errors.InvalidParameterError` when the
+    resultant vector is (numerically) zero, because the mean direction is then undefined.
     """
     angles = np.asarray(angles, dtype=float)
     if angles.size == 0:
-        raise ValueError("circular_mean of an empty set is undefined")
+        raise InvalidParameterError("circular_mean of an empty set is undefined")
     s = float(np.sin(angles).sum())
     c = float(np.cos(angles).sum())
     if math.hypot(s, c) < 1e-12:
-        raise ValueError("circular mean undefined: resultant vector is zero")
+        raise InvalidParameterError("circular mean undefined: resultant vector is zero")
     return normalize_angle(math.atan2(s, c))
 
 
@@ -123,6 +137,6 @@ def angle_linspace(start: float, extent: float, count: int) -> np.ndarray:
     ``endpoint=False``), which makes full-circle sampling uniform.
     """
     if count <= 0:
-        raise ValueError(f"count must be positive, got {count!r}")
+        raise InvalidParameterError(f"count must be positive, got {count!r}")
     steps = np.arange(count, dtype=float) * (extent / count)
     return normalize_angle(start + steps)

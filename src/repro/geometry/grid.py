@@ -18,8 +18,10 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import GridIndexError, InvalidParameterError
 from repro.geometry.torus import Region, UNIT_TORUS
+
+__all__ = ["DenseGrid", "Point", "grid_points_required", "grid_side_for"]
 
 Point = Tuple[float, float]
 
@@ -87,7 +89,7 @@ class DenseGrid:
     def point(self, i: int, j: int) -> Point:
         """The grid point at row ``i``, column ``j``."""
         if not (0 <= i < self.side and 0 <= j < self.side):
-            raise IndexError(f"grid index ({i}, {j}) out of range for side {self.side}")
+            raise GridIndexError(f"grid index ({i}, {j}) out of range for side {self.side}")
         idx = i * self.side + j
         x, y = self._points[idx]
         return (float(x), float(y))

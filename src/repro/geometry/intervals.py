@@ -25,7 +25,10 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import InvalidParameterError
 from repro.geometry.angles import TWO_PI, normalize_angle
+
+__all__ = ["AngularInterval", "AngularIntervalSet", "EPS", "max_circular_gap"]
 
 #: Merge tolerance for abutting arcs, in radians.
 EPS: float = 1e-12
@@ -46,9 +49,9 @@ class AngularInterval:
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.start) or not math.isfinite(self.extent):
-            raise ValueError("interval endpoints must be finite")
+            raise InvalidParameterError("interval endpoints must be finite")
         if self.extent < 0.0 or self.extent > TWO_PI + EPS:
-            raise ValueError(f"extent must be in [0, 2*pi], got {self.extent!r}")
+            raise InvalidParameterError(f"extent must be in [0, 2*pi], got {self.extent!r}")
         object.__setattr__(self, "start", normalize_angle(self.start))
         object.__setattr__(self, "extent", min(self.extent, TWO_PI))
 
@@ -65,7 +68,7 @@ class AngularInterval:
     def centered(cls, center: float, halfwidth: float) -> "AngularInterval":
         """Arc of total width ``2*halfwidth`` centred on ``center``."""
         if halfwidth < 0:
-            raise ValueError(f"halfwidth must be non-negative, got {halfwidth!r}")
+            raise InvalidParameterError(f"halfwidth must be non-negative, got {halfwidth!r}")
         if 2.0 * halfwidth >= TWO_PI:
             return cls.full_circle()
         return cls(center - halfwidth, 2.0 * halfwidth)
@@ -129,7 +132,7 @@ class AngularInterval:
         dropped.
         """
         if count <= 0:
-            raise ValueError(f"count must be positive, got {count!r}")
+            raise InvalidParameterError(f"count must be positive, got {count!r}")
         if count == 1:
             return np.array([self.midpoint])
         if self.is_full_circle:

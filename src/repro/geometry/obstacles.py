@@ -15,12 +15,15 @@ within reach.  Points inside an obstacle are never visible.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import normalize_angle
 from repro.geometry.torus import Region, UNIT_TORUS
+
+__all__ = ["ObstacleField", "Point", "occluded_covering_directions"]
 
 Point = Tuple[float, float]
 
@@ -146,7 +149,7 @@ class ObstacleField:
         centers = self._center_images(source)
         radii = self._image_radii()
         seg_len_sq = dx * dx + dy * dy
-        if seg_len_sq == 0.0:
+        if seg_len_sq == 0.0:  # fvlint: disable=FV004 (exact degenerate-segment sentinel)
             dists = np.hypot(centers[:, 0], centers[:, 1])
         else:
             t = np.clip((centers[:, 0] * dx + centers[:, 1] * dy) / seg_len_sq, 0.0, 1.0)
@@ -203,4 +206,4 @@ def occluded_covering_directions(
     delta = delta[apart]
     if delta.shape[0] == 0:
         return np.empty(0, dtype=float)
-    return np.mod(np.arctan2(delta[:, 1], delta[:, 0]), 2.0 * math.pi)
+    return normalize_angle(np.arctan2(delta[:, 1], delta[:, 0]))

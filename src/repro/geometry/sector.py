@@ -23,6 +23,8 @@ from repro.errors import InvalidParameterError
 from repro.geometry.angles import TWO_PI, angular_distance, normalize_angle
 from repro.geometry.torus import Region, UNIT_TORUS
 
+__all__ = ["Point", "Sector", "sector_area"]
+
 Point = Tuple[float, float]
 
 #: Squared distance below which a point counts as being at the apex

@@ -22,6 +22,8 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.geometry.torus import Region, UNIT_TORUS
 
+__all__ = ["Point", "ToroidalCellIndex"]
+
 Point = Tuple[float, float]
 
 
@@ -120,11 +122,11 @@ class ToroidalCellIndex:
         """Index and distance of the nearest indexed point.
 
         Falls back to a full scan when local cells are empty (correct on
-        both torus and bounded square).  Raises :class:`ValueError` on
-        an empty index.
+        both torus and bounded square).  Raises
+        :class:`~repro.errors.InvalidParameterError` on an empty index.
         """
         if len(self) == 0:
-            raise ValueError("nearest() on an empty index")
+            raise InvalidParameterError("nearest() on an empty index")
         # Expanding ring search, falling back to exhaustive scan.
         radius = self._cell_size
         while radius < self.region.max_distance():

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import normalize_angle
+
+__all__ = ["Point", "Region", "UNIT_SQUARE", "UNIT_TORUS"]
 
 Point = Tuple[float, float]
 
@@ -85,12 +88,15 @@ class Region:
     def direction(self, source: Point, target: Point) -> float:
         """Heading of the shortest path from ``source`` to ``target``.
 
-        Raises :class:`ValueError` for coincident points.
+        Raises :class:`~repro.errors.InvalidParameterError` for
+        coincident points.
         """
         dx, dy = self.displacement(source, target)
-        if dx == 0.0 and dy == 0.0:
-            raise ValueError("direction between coincident points is undefined")
-        return math.atan2(dy, dx) % (2.0 * math.pi)
+        if dx == 0.0 and dy == 0.0:  # fvlint: disable=FV004 (exact zero-displacement sentinel)
+            raise InvalidParameterError(
+                "direction between coincident points is undefined"
+            )
+        return normalize_angle(math.atan2(dy, dx))
 
     # -- vectorised operations ----------------------------------------------
 

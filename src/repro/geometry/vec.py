@@ -13,7 +13,20 @@ from typing import Tuple, Union
 
 import numpy as np
 
+from repro.errors import InvalidParameterError
 from repro.geometry.angles import normalize_angle
+
+__all__ = [
+    "ArrayOrPoint",
+    "Point",
+    "angle_of",
+    "as_points_array",
+    "from_polar",
+    "norm",
+    "rotate",
+    "translate",
+    "unit_vector",
+]
 
 Point = Tuple[float, float]
 ArrayOrPoint = Union[Point, np.ndarray]
@@ -39,8 +52,8 @@ def angle_of(vector: ArrayOrPoint) -> Union[float, np.ndarray]:
     if isinstance(vector, np.ndarray) and vector.ndim >= 2:
         return normalize_angle(np.arctan2(vector[..., 1], vector[..., 0]))
     x, y = float(vector[0]), float(vector[1])
-    if x == 0.0 and y == 0.0:
-        raise ValueError("the zero vector has no heading")
+    if x == 0.0 and y == 0.0:  # fvlint: disable=FV004 (exact zero-vector sentinel)
+        raise InvalidParameterError("the zero vector has no heading")
     return normalize_angle(math.atan2(y, x))
 
 
@@ -68,8 +81,8 @@ def as_points_array(points) -> np.ndarray:
     array = np.asarray(points, dtype=float)
     if array.ndim == 1:
         if array.shape[0] != 2:
-            raise ValueError(f"expected a 2-D point, got shape {array.shape}")
+            raise InvalidParameterError(f"expected a 2-D point, got shape {array.shape}")
         array = array.reshape(1, 2)
     if array.ndim != 2 or array.shape[1] != 2:
-        raise ValueError(f"expected an (n, 2) array of points, got shape {array.shape}")
+        raise InvalidParameterError(f"expected an (n, 2) array of points, got shape {array.shape}")
     return array

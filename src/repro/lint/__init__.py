@@ -1,0 +1,53 @@
+"""``fvlint`` — the repo's domain-invariant static-analysis pass.
+
+An AST-based linter enforcing conventions the interpreter never checks
+but the reproduction's correctness rests on:
+
+- **FV001 rng-discipline** — stochastic code draws from seeded,
+  ``SeedSequence``-spawned numpy Generators; no stdlib ``random``, no
+  unseeded ``default_rng()``, no arithmetic-derived seeds.
+- **FV002 error-contract** — every deliberate ``raise`` constructs a
+  :class:`repro.errors.FullViewError` subclass.
+- **FV003 angle-hygiene** — full-circle constants and angle wrapping go
+  through :mod:`repro.geometry.angles` (``TWO_PI``,
+  ``normalize_angle``), never raw ``2 * math.pi`` arithmetic.
+- **FV004 float-equality** — no exact ``==`` against float literals in
+  computed-quantity code.
+- **FV005 api-surface** — public modules declare an honest ``__all__``
+  and document their public surface.
+
+Run it as ``fullview lint src/`` (text or ``--format json``), suppress
+single findings with ``# fvlint: disable=FV00x (why)`` pragmas, and
+grandfather legacy findings with a committed baseline
+(``--write-baseline``).
+"""
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
+from repro.lint.model import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    all_rules,
+    resolve_rules,
+)
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "apply_baseline",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "write_baseline",
+]

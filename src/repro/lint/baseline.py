@@ -1,0 +1,80 @@
+"""Baseline files: grandfathering existing findings.
+
+A baseline is a committed JSON file mapping finding fingerprints (see
+:attr:`repro.lint.model.Finding.fingerprint`) to occurrence counts.
+``fullview lint --write-baseline`` records the current findings; later
+runs subtract baselined occurrences and fail only on *new* findings, so
+the linter can land with strict rules before every legacy violation is
+fixed.  Fingerprints key on source-line text, not line numbers, so
+unrelated edits do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.model import Finding
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Schema tag for the baseline file.
+BASELINE_FORMAT = "fvlint-baseline-v1"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint → grandfathered occurrence count from ``path``."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != BASELINE_FORMAT:
+        raise LintError(f"{path} is not a {BASELINE_FORMAT} file")
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0 for k, v in entries.items()
+    ):
+        raise LintError(f"baseline {path} entries must map fingerprints to counts")
+    return dict(entries)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write a baseline grandfathering ``findings``; returns the entry count."""
+    counts = Counter(f.fingerprint for f in findings)
+    payload = {
+        "format": BASELINE_FORMAT,
+        "entries": dict(sorted(counts.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(counts)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Drop baselined findings; returns ``(new_findings, matched_count)``.
+
+    Each fingerprint suppresses at most its grandfathered count, so a
+    violation *copied* to a new site still fails the run.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched

@@ -1,0 +1,177 @@
+"""The ``fvlint`` engine: file discovery, parsing, pragmas, baselines.
+
+Each file is read and parsed exactly once; every selected rule then
+walks the shared AST.  Findings can be suppressed two ways:
+
+- an inline pragma ``# fvlint: disable=FV001,FV004 (why)`` on the
+  flagged line (``disable=all`` silences every rule there), or
+- a committed baseline file (:mod:`repro.lint.baseline`) grandfathering
+  existing findings by fingerprint.
+
+Both paths are deliberate and visible in review — there is no silent
+way to turn a rule off.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import LintError
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.model import Finding, ModuleContext, Rule, Severity, resolve_rules
+
+__all__ = [
+    "LintResult",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]
+
+#: ``# fvlint: disable=FV001,FV002 (optional justification)``
+_PRAGMA = re.compile(r"#\s*fvlint:\s*disable=([A-Za-z0-9,\s]+?)(?:\s*[(\-].*)?$")
+
+#: ``# fvlint: skip-file (optional justification)`` in the first lines.
+_SKIP_FILE = re.compile(r"#\s*fvlint:\s*skip-file")
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_failures: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no (non-suppressed, non-baselined) finding remains."""
+        return not self.findings
+
+    def counts_by_code(self) -> Dict[str, int]:
+        """Finding counts keyed by rule code, sorted by code."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths`` (files given directly are kept as-is)."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not (_SKIP_DIRS & set(part for part in p.parts))
+            )
+        else:
+            raise LintError(f"lint target {path} does not exist")
+    return files
+
+
+def _pragma_map(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """1-indexed line → set of rule codes (or ``{"ALL"}``) disabled there."""
+    pragmas: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if match:
+            codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+            pragmas[i] = codes
+    return pragmas
+
+
+def _run_rules(
+    module: ModuleContext, rules: Sequence[Rule]
+) -> tuple[List[Finding], int]:
+    """All findings for one parsed module, minus pragma suppressions."""
+    pragmas = _pragma_map(module.lines)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(module):
+            disabled = pragmas.get(finding.line, set())
+            if "ALL" in disabled or finding.code in disabled:
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint a source string — the unit-test entry point.
+
+    Returns pragma-filtered findings sorted by location; raises
+    :class:`repro.errors.LintError` when the source does not parse.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise LintError(f"{path} does not parse: {exc}") from exc
+    module = ModuleContext(path=path, source=source, tree=tree)
+    findings, _ = _run_rules(module, resolve_rules(select))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Iterable[str]] = None,
+    baseline_path: Optional[Path] = None,
+) -> LintResult:
+    """Lint files and directories, applying pragmas and the baseline.
+
+    Unparseable files yield an ``FV000`` finding rather than aborting
+    the run, so one bad file cannot hide findings in the rest.
+    """
+    rules = resolve_rules(select)
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    result = LintResult()
+    all_findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        head = "\n".join(source.splitlines()[:5])
+        if _SKIP_FILE.search(head):
+            continue
+        result.files_checked += 1
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            result.parse_failures += 1
+            all_findings.append(
+                Finding(
+                    code="FV000",
+                    message=f"file does not parse: {exc.msg}",
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 0) + 1,
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        module = ModuleContext(path=str(file_path), source=source, tree=tree)
+        findings, suppressed = _run_rules(module, rules)
+        result.suppressed += suppressed
+        all_findings.extend(findings)
+    all_findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    fresh, matched = apply_baseline(all_findings, baseline)
+    result.findings = fresh
+    result.baselined = matched
+    return result

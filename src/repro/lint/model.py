@@ -1,0 +1,155 @@
+"""Data model for the ``fvlint`` static-analysis pass.
+
+A lint run turns python modules into :class:`Finding` records.  Rules
+are small classes registered by code (``FV001`` ...); the engine in
+:mod:`repro.lint.engine` parses each file once and hands the shared
+:class:`ModuleContext` to every selected rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.errors import LintError
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "register_rule",
+    "resolve_rules",
+]
+
+
+class Severity(enum.Enum):
+    """How strongly a finding should be read.
+
+    Both severities fail a lint run; the distinction is advisory, for
+    reporters and for humans triaging a long report.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int
+    severity: Severity
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-independent identity used by the baseline file.
+
+        Deliberately excludes the line number so that unrelated edits
+        above a grandfathered finding do not invalidate the baseline;
+        identical findings on the same source line text share one
+        fingerprint and are counted.
+        """
+        return f"{self.code}::{self.path}::{' '.join(self.snippet.split())}"
+
+    def render(self) -> str:
+        """The canonical one-line text form of the finding."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need about one parsed module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-indexed source line, or ``""`` when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one module.  :meth:`finding` builds a
+    correctly-attributed :class:`Finding` from an AST node.
+    """
+
+    code: str = "FV000"
+    name: str = "abstract-rule"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError  # fvlint: disable=FV002 (abstract method)
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            code=self.code,
+            message=message,
+            path=module.path,
+            line=line,
+            column=column,
+            severity=self.severity,
+            snippet=module.line_text(line).strip(),
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry by code."""
+    if cls.code in _REGISTRY:
+        raise LintError(f"duplicate lint rule code {cls.code!r}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Registered rules, keyed by code, in code order."""
+    # Importing the rule modules populates the registry on first use.
+    from repro.lint import rules  # noqa: F401  (import for side effect)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def resolve_rules(select: Iterable[str] | None = None) -> List[Rule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    registry = all_rules()
+    if select is None:
+        return [cls() for cls in registry.values()]
+    chosen: List[Rule] = []
+    for code in select:
+        normalized = code.strip().upper()
+        if normalized not in registry:
+            raise LintError(
+                f"unknown lint rule {code!r}; known: {', '.join(registry)}"
+            )
+        chosen.append(registry[normalized]())
+    return chosen

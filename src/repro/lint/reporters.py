@@ -1,0 +1,76 @@
+"""Render :class:`~repro.lint.engine.LintResult` as text or JSON.
+
+Text output mirrors the conventional ``path:line:col: CODE message``
+shape editors and CI annotators already parse; JSON output is a stable
+machine-readable document for tooling (one object per finding plus a
+summary block).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+#: Schema tag for the JSON report.
+JSON_FORMAT = "fvlint-report-v1"
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: findings, then a one-line summary."""
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts_by_code()
+    breakdown = (
+        " (" + ", ".join(f"{code}: {n}" for code, n in counts.items()) + ")"
+        if counts
+        else ""
+    )
+    summary = (
+        f"{len(result.findings)} finding(s){breakdown} in "
+        f"{result.files_checked} file(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} pragma-suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if result.parse_failures:
+        extras.append(f"{result.parse_failures} parse failure(s)")
+    if extras:
+        summary += " [" + "; ".join(extras) + "]"
+    if verbose or not result.findings:
+        lines.append(summary)
+    else:
+        lines.extend(["", summary])
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report with a stable schema."""
+    payload = {
+        "format": JSON_FORMAT,
+        "summary": {
+            "findings": len(result.findings),
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "parse_failures": result.parse_failures,
+            "by_code": result.counts_by_code(),
+            "ok": result.ok,
+        },
+        "findings": [
+            {
+                "code": f.code,
+                "severity": f.severity.value,
+                "path": f.path,
+                "line": f.line,
+                "column": f.column,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,20 @@
+"""Built-in ``fvlint`` rules.
+
+Importing this package registers every rule with the registry in
+:mod:`repro.lint.model`.  Rules live one-per-module so each invariant's
+rationale stays next to its implementation.
+"""
+
+from repro.lint.rules.angles import AngleHygieneRule
+from repro.lint.rules.api import ApiSurfaceRule
+from repro.lint.rules.errors_contract import ErrorContractRule
+from repro.lint.rules.floats import FloatEqualityRule
+from repro.lint.rules.rng import RngDisciplineRule
+
+__all__ = [
+    "AngleHygieneRule",
+    "ApiSurfaceRule",
+    "ErrorContractRule",
+    "FloatEqualityRule",
+    "RngDisciplineRule",
+]

@@ -1,0 +1,114 @@
+"""FV003 — angle hygiene.
+
+All angular arithmetic goes through :mod:`repro.geometry.angles`:
+``TWO_PI`` for the full-circle constant and ``normalize_angle`` /
+``normalize_angle_signed`` for wrapping.  Raw ``2 * math.pi`` literals
+and ad-hoc ``% (2 * pi)`` modular arithmetic scattered across modules
+drift apart numerically (the wrap helpers handle the ``fmod`` edge
+cases that naive modulo does not).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.model import Finding, ModuleContext, Rule, Severity, register_rule
+
+__all__ = ["AngleHygieneRule"]
+
+#: The one module allowed to spell the constant out: it defines TWO_PI.
+_HOME_MODULE = "geometry/angles.py"
+
+
+def _is_pi(node: ast.AST) -> bool:
+    """True for ``math.pi`` / ``np.pi`` / ``numpy.pi`` or a bare ``pi`` name."""
+    if isinstance(node, ast.Attribute) and node.attr == "pi":
+        return isinstance(node.value, ast.Name) and node.value.id in (
+            "math",
+            "np",
+            "numpy",
+        )
+    return isinstance(node, ast.Name) and node.id == "pi"
+
+
+def _is_two(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (2, 2.0)
+
+
+def _is_two_pi_literal(node: ast.AST) -> bool:
+    """True for ``2 * pi`` / ``pi * 2`` in any of the spellings above."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return (_is_two(node.left) and _is_pi(node.right)) or (
+            _is_pi(node.left) and _is_two(node.right)
+        )
+    return False
+
+
+def _is_tau(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "tau"
+
+
+@register_rule
+class AngleHygieneRule(Rule):
+    """Flag raw full-circle constants and ad-hoc angle wrapping."""
+
+    code = "FV003"
+    name = "angle-hygiene"
+    severity = Severity.ERROR
+    description = (
+        "use geometry.angles.TWO_PI instead of raw 2*math.pi/math.tau, and "
+        "normalize_angle()/normalize_angle_signed() instead of % (2*pi)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.path.replace("\\", "/").endswith(_HOME_MODULE):
+            return
+        reported: set = set()
+
+        def report(node: ast.AST, message: str) -> Iterator[Finding]:
+            key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if key not in reported:
+                reported.add(key)
+                yield self.finding(module, node, message)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+                if _is_two_pi_literal(node.right) or _is_tau(node.right):
+                    yield from report(
+                        node,
+                        "ad-hoc `% (2*pi)` wrap: use normalize_angle() / "
+                        "normalize_angle_signed() from repro.geometry.angles",
+                    )
+                    # The operand is part of the reported wrap; do not
+                    # also flag the 2*pi literal inside it.
+                    reported.add(
+                        (node.right.lineno, node.right.col_offset)
+                    )
+            elif isinstance(node, ast.Call):
+                chain_ok = isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "mod",
+                    "fmod",
+                    "remainder",
+                )
+                if chain_ok and len(node.args) == 2 and (
+                    _is_two_pi_literal(node.args[1]) or _is_tau(node.args[1])
+                ):
+                    yield from report(
+                        node,
+                        "ad-hoc mod-2*pi wrap: use normalize_angle() / "
+                        "normalize_angle_signed() from repro.geometry.angles",
+                    )
+                    reported.add(
+                        (node.args[1].lineno, node.args[1].col_offset)
+                    )
+            if _is_two_pi_literal(node):
+                yield from report(
+                    node,
+                    "raw 2*pi literal: import TWO_PI from repro.geometry.angles",
+                )
+            elif _is_tau(node):
+                yield from report(
+                    node,
+                    "math.tau literal: import TWO_PI from repro.geometry.angles",
+                )

@@ -1,0 +1,150 @@
+"""FV005 — API surface.
+
+Public modules declare ``__all__`` and it must match reality: every
+listed name is bound at module top level, every public function or
+class defined in the module is listed, and every public top-level
+function or class carries a docstring.  This keeps ``from m import *``,
+the docs and the package re-exports honest as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.model import Finding, ModuleContext, Rule, Severity, register_rule
+
+__all__ = ["ApiSurfaceRule"]
+
+#: Module stems exempt from the ``__all__`` requirement.
+_EXEMPT_STEMS = {"__main__", "conftest", "setup"}
+
+
+def _module_stem(path: str) -> str:
+    name = path.replace("\\", "/").rsplit("/", 1)[-1]
+    return name[:-3] if name.endswith(".py") else name
+
+
+def _top_level_bound_names(tree: ast.Module) -> Set[str]:
+    """Every name bound by a top-level statement (defs, imports, assigns)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, (ast.If, ast.Try, ast.For, ast.While, ast.With)):
+            # One conditional level deep is enough in practice
+            # (TYPE_CHECKING blocks, guarded imports).
+            for child in ast.walk(node):
+                if isinstance(child, (ast.FunctionDef, ast.ClassDef)):
+                    names.add(child.name)
+                elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                    for alias in child.names:
+                        names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def _find_dunder_all(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return node
+    return None
+
+
+def _literal_names(node: ast.expr) -> Optional[List[str]]:
+    """``__all__`` entries when the value is a literal list/tuple of strings."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names: List[str] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        names.append(element.value)
+    return names
+
+
+def _has_docstring(node: ast.AST) -> bool:
+    body = getattr(node, "body", [])
+    return bool(
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    )
+
+
+@register_rule
+class ApiSurfaceRule(Rule):
+    """Require an honest ``__all__`` and docstrings on the public surface."""
+
+    code = "FV005"
+    name = "api-surface"
+    severity = Severity.WARNING
+    description = (
+        "public modules need __all__ matching their top-level definitions, "
+        "and public top-level functions/classes need docstrings"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        stem = _module_stem(module.path)
+        if stem.startswith("_") and stem != "__init__":
+            return
+        if stem in _EXEMPT_STEMS:
+            return
+        public_defs = [
+            node
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        ]
+        assign = _find_dunder_all(module.tree)
+        if assign is None:
+            yield self.finding(
+                module,
+                module.tree.body[0] if module.tree.body else module.tree,
+                "public module has no __all__: declare its export surface",
+            )
+        else:
+            listed = _literal_names(assign.value)
+            if listed is None:
+                yield self.finding(
+                    module,
+                    assign,
+                    "__all__ must be a literal list/tuple of strings",
+                )
+            else:
+                bound = _top_level_bound_names(module.tree)
+                for name in listed:
+                    if name not in bound:
+                        yield self.finding(
+                            module,
+                            assign,
+                            f"__all__ lists {name!r} which is not bound at "
+                            "module top level",
+                        )
+                for node in public_defs:
+                    if node.name not in listed:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"public {type(node).__name__.replace('Def', '').lower()} "
+                            f"{node.name!r} is missing from __all__ "
+                            "(export it or rename with a leading underscore)",
+                        )
+        for node in public_defs:
+            if not _has_docstring(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"public {node.name!r} needs a docstring",
+                )

@@ -1,0 +1,103 @@
+"""FV002 — error contract.
+
+Every deliberate ``raise`` under ``src/repro/`` must construct a
+:class:`repro.errors.FullViewError` subclass, so ``except FullViewError``
+catches every rejection the library makes (the contract pinned by
+``tests/test_errors_contract.py``).  Re-raises (bare ``raise`` and
+``raise exc`` of a bound name) and internal assertions are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import FrozenSet, Iterator
+
+from repro.lint.model import Finding, ModuleContext, Rule, Severity, register_rule
+
+__all__ = ["ErrorContractRule", "error_family_names"]
+
+#: Raises that are not part of the library's error contract: internal
+#: assertions about invariants the caller cannot violate.
+_ALLOWLIST = frozenset({"AssertionError"})
+
+#: Builtin exception class names: `raise ValueError` (no call) still
+#: instantiates, so a bare Name raise of one of these is a construction.
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+)
+
+
+def error_family_names() -> FrozenSet[str]:
+    """Names of ``FullViewError`` and every (transitive) subclass.
+
+    Resolved dynamically so rules stay in sync with ``repro.errors``
+    automatically — including subclasses other packages add later.
+    """
+    from repro.errors import FullViewError
+
+    names = {FullViewError.__name__}
+    stack = [FullViewError]
+    while stack:
+        for sub in stack.pop().__subclasses__():
+            if sub.__name__ not in names:
+                names.add(sub.__name__)
+                stack.append(sub)
+    return frozenset(names)
+
+
+@register_rule
+class ErrorContractRule(Rule):
+    """Require every constructed raise to be a ``FullViewError`` subclass."""
+
+    code = "FV002"
+    name = "error-contract"
+    severity = Severity.ERROR
+    description = (
+        "every `raise` must construct a FullViewError subclass (re-raises and "
+        "AssertionError are allowed) so `except FullViewError` stays complete"
+    )
+
+    def __init__(self) -> None:
+        self._family = error_family_names() | _ALLOWLIST
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            exc = node.exc
+            if exc is None:
+                continue  # bare `raise`: re-raising the active exception
+            if isinstance(exc, ast.Name) and exc.id not in _BUILTIN_EXCEPTIONS:
+                # `raise err` of a bound name: re-raising a caught or
+                # pre-built exception object, not minting a new one.
+                # (`raise ValueError` without parens still instantiates,
+                # so builtin exception names fall through to the check.)
+                continue
+            name = self._constructed_name(exc)
+            if name is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "raise of a dynamic expression: construct a FullViewError "
+                    "subclass explicitly (or bind it to a name first)",
+                )
+            elif name not in self._family:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raise {name}(...) breaks the error contract: use a "
+                    "FullViewError subclass from repro.errors (or add one)",
+                )
+
+    @staticmethod
+    def _constructed_name(exc: ast.expr) -> str | None:
+        """The class name being raised, if statically determinable."""
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        if isinstance(target, ast.Name):
+            return target.id
+        return None

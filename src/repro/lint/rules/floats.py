@@ -1,0 +1,57 @@
+"""FV004 — float equality.
+
+``==`` / ``!=`` against float literals in geometry and simulation code
+is almost always a latent tolerance bug: coverage predicates, interval
+endpoints and probability estimates are all computed quantities.  Use
+``math.isclose`` (or an explicit tolerance) — or, for the rare
+deliberate exact comparison (sentinel zeros, cache keys), suppress the
+finding with a justified ``# fvlint: disable=FV004 (...)`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.model import Finding, ModuleContext, Rule, Severity, register_rule
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # Negative literals parse as UnaryOp(USub, Constant).
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """Flag ``==`` / ``!=`` where one side is a float literal."""
+
+    code = "FV004"
+    name = "float-equality"
+    severity = Severity.WARNING
+    description = (
+        "exact ==/!= against a float literal: prefer math.isclose or an "
+        "explicit tolerance; pragma-suppress deliberate sentinel comparisons"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact float comparison: use math.isclose / a tolerance "
+                        "(or pragma-suppress with justification if deliberate)",
+                    )
+                    break

@@ -1,0 +1,132 @@
+"""FV001 — RNG discipline.
+
+Every stochastic path must draw from a seeded, spawn-derived
+:class:`numpy.random.Generator`.  The reproduction's bit-identical
+checkpoint resume (``MonteCarloConfig.rng_for_trial``) only holds when
+streams come from ``SeedSequence`` spawning, never from arithmetic on a
+master seed: ``default_rng(seed + k)`` streams are statistically
+correlated across ``k`` and silently corrupt Monte-Carlo conclusions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.model import Finding, ModuleContext, Rule, Severity, register_rule
+
+__all__ = ["RngDisciplineRule"]
+
+#: Call names whose first positional (or ``seed=``) argument is a seed.
+_SEEDED_CONSTRUCTORS = {"default_rng", "SeedSequence", "PCG64", "Philox", "MT19937"}
+
+#: Project constructors whose ``seed=`` keyword (or second positional
+#: argument) feeds SeedSequence spawning downstream.
+_PROJECT_SEED_TAKERS = {"MonteCarloConfig"}
+
+#: Legacy numpy global-state entry points, banned outright.
+_LEGACY_NUMPY = {"RandomState", "seed", "rand", "randn", "randint", "random_sample"}
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Dotted name for ``Name``/``Attribute`` chains (``np.random.seed``)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_arithmetic(node: ast.AST) -> bool:
+    """True for seed expressions derived by arithmetic (``seed + 1000 + i``)."""
+    if isinstance(node, ast.BinOp):
+        return isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod))
+    return False
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    """Ban unseeded generators, stdlib ``random`` and arithmetic-derived seeds."""
+
+    code = "FV001"
+    name = "rng-discipline"
+    severity = Severity.ERROR
+    description = (
+        "stochastic code must use seeded SeedSequence-spawned numpy Generators "
+        "(MonteCarloConfig.rng_for_trial / repro.seeding) — no stdlib random, "
+        "no unseeded default_rng(), no seed arithmetic like seed + k"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "stdlib `random` is banned: draw from a seeded "
+                            "numpy Generator (see repro.seeding)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        module,
+                        node,
+                        "stdlib `random` is banned: draw from a seeded "
+                        "numpy Generator (see repro.seeding)",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_call(self, module: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        chain = _attr_chain(node.func)
+        tail = chain.rsplit(".", 1)[-1]
+        if chain in {"np.random." + n for n in _LEGACY_NUMPY} or chain in {
+            "numpy.random." + n for n in _LEGACY_NUMPY
+        }:
+            yield self.finding(
+                module,
+                node,
+                f"legacy global-state `{chain}` is banned: construct a seeded "
+                "Generator instead",
+            )
+            return
+        if tail in _PROJECT_SEED_TAKERS:
+            seed_args = list(node.args[1:2]) + [
+                kw.value for kw in node.keywords if kw.arg == "seed"
+            ]
+            for arg in seed_args:
+                if _is_arithmetic(arg):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"arithmetic-derived seed in {tail}(): use "
+                        "repro.seeding.derive_seed(seed, *key) so sub-sweeps "
+                        "get independent SeedSequence-spawned streams",
+                    )
+            return
+        if tail not in _SEEDED_CONSTRUCTORS:
+            return
+        if tail == "default_rng" and not node.args and not node.keywords:
+            yield self.finding(
+                module,
+                node,
+                "unseeded default_rng(): every stream must derive from an "
+                "explicit seed or a spawned SeedSequence",
+            )
+            return
+        seed_args = list(node.args[:1]) + [
+            kw.value for kw in node.keywords if kw.arg in ("seed", "entropy")
+        ]
+        for arg in seed_args:
+            if _is_arithmetic(arg):
+                yield self.finding(
+                    module,
+                    node,
+                    f"arithmetic-derived seed in {tail}(): use "
+                    "SeedSequence(seed).spawn(...) or spawn_key= addressing "
+                    "(correlated streams corrupt Monte-Carlo results)",
+                )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -37,6 +37,13 @@ from repro.geometry.angles import TWO_PI
 from repro.geometry.intervals import max_circular_gap
 from repro.geometry.torus import Region, UNIT_TORUS
 from repro.sensors.fleet import SensorFleet
+
+__all__ = [
+    "OptimizationResult",
+    "Point",
+    "covered_target_count",
+    "optimize_orientations",
+]
 
 Point = Tuple[float, float]
 

@@ -16,8 +16,11 @@ import numpy as np
 
 from repro.core.full_view import minimum_sensors_for_full_view, validate_effective_angle
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI, normalize_angle
 from repro.geometry.torus import Region, UNIT_TORUS
 from repro.sensors.fleet import SensorFleet
+
+__all__ = ["Point", "full_view_ring", "ring_radius_bounds"]
 
 Point = Tuple[float, float]
 
@@ -77,7 +80,7 @@ def full_view_ring(
             "standoff exceeds half the region side; the ring would self-intersect "
             "on the torus"
         )
-    bearings = phase + np.arange(k) * (2.0 * math.pi / k)
+    bearings = phase + np.arange(k) * (TWO_PI / k)
     positions = np.stack(
         [
             target[0] + standoff * np.cos(bearings),
@@ -86,7 +89,7 @@ def full_view_ring(
         axis=1,
     )
     # Aim each camera back at the target.
-    orientations = np.mod(bearings + math.pi, 2.0 * math.pi)
+    orientations = normalize_angle(bearings + math.pi)
     return SensorFleet(
         positions=positions,
         orientations=orientations,

@@ -37,6 +37,15 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.sensors.fleet import SensorFleet
 
+__all__ = [
+    "BernoulliFailure",
+    "DiskBlackout",
+    "FailureModel",
+    "FailureSchedule",
+    "OrientationDrift",
+    "RadiusDegradation",
+]
+
 
 def _is_finite_number(value) -> bool:
     return isinstance(value, (int, float)) and math.isfinite(value)

@@ -35,6 +35,14 @@ from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import HeterogeneousProfile
 from repro.simulation.montecarlo import MonteCarloConfig
 
+__all__ = [
+    "LifetimeDistribution",
+    "LifetimeTrace",
+    "lifetime_distribution",
+    "make_lifetime_trial",
+    "simulate_lifetime",
+]
+
 #: Conditions the lifetime clock can be tied to.
 _CONDITIONS = ("necessary", "exact", "sufficient")
 

@@ -18,7 +18,17 @@ import math
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import TWO_PI
 from repro.sensors.model import CameraSpec, GroupSpec, HeterogeneousProfile
+
+__all__ = [
+    "CAMERA_PRESETS",
+    "aging_fleet",
+    "budget_mix",
+    "camera",
+    "equal_area_pair",
+    "mixed_profile",
+]
 
 #: Named presets: name -> (radius, angle_of_view).
 CAMERA_PRESETS: Dict[str, Tuple[float, float]] = {
@@ -35,7 +45,7 @@ CAMERA_PRESETS: Dict[str, Tuple[float, float]] = {
     "degraded": (0.07, math.radians(50.0)),
     # Omnidirectional assembly ("several cameras bundled together",
     # Section VII-A).
-    "omnidirectional": (0.05, 2.0 * math.pi),
+    "omnidirectional": (0.05, TWO_PI),
 }
 
 

@@ -30,6 +30,8 @@ from repro.geometry.spatial import ToroidalCellIndex
 from repro.geometry.torus import Region, UNIT_TORUS
 from repro.sensors.model import HeterogeneousProfile
 
+__all__ = ["Point", "SensorFleet", "fleet_from_profile_arrays"]
+
 Point = Tuple[float, float]
 
 #: Angular slack used in wedge tests, mirroring :class:`Sector`.

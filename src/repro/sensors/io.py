@@ -18,6 +18,8 @@ from repro.errors import InvalidParameterError
 from repro.geometry.torus import Region
 from repro.sensors.fleet import SensorFleet
 
+__all__ = ["load_fleet", "save_fleet"]
+
 #: Format tag stored in every file; bumped on incompatible changes.
 _FORMAT_VERSION = 1
 

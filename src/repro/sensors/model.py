@@ -23,6 +23,8 @@ from repro.errors import InvalidParameterError, InvalidProfileError
 from repro.geometry.angles import TWO_PI
 from repro.geometry.sector import sector_area
 
+__all__ = ["CameraSpec", "GroupSpec", "HeterogeneousProfile"]
+
 #: Tolerance for the "fractions sum to one" profile invariant.
 _FRACTION_TOL = 1e-9
 

@@ -14,7 +14,6 @@ unchanged.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Tuple
@@ -22,7 +21,18 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import normalize_angle
 from repro.sensors.fleet import SensorFleet
+
+__all__ = [
+    "BinaryModel",
+    "ExponentialDecayModel",
+    "Point",
+    "ProbabilisticSensingModel",
+    "StaircaseModel",
+    "probabilistic_covering",
+    "probabilistic_covering_directions",
+]
 
 Point = Tuple[float, float]
 
@@ -155,4 +165,4 @@ def probabilistic_covering_directions(
     delta = delta[apart]
     if delta.shape[0] == 0:
         return np.empty(0, dtype=float)
-    return np.mod(np.arctan2(delta[:, 1], delta[:, 0]), 2.0 * math.pi)
+    return normalize_angle(np.arctan2(delta[:, 1], delta[:, 0]))

@@ -21,8 +21,7 @@ and trials are independent.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -36,10 +35,20 @@ from repro.deployment.base import DeploymentScheme
 from repro.deployment.uniform import UniformDeployment
 from repro.errors import InvalidParameterError
 from repro.geometry.grid import DenseGrid
-from repro.geometry.torus import Region, UNIT_TORUS
 from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import HeterogeneousProfile
 from repro.simulation.statistics import BernoulliEstimate
+
+__all__ = [
+    "DirectionPredicate",
+    "MonteCarloConfig",
+    "Point",
+    "condition_predicate",
+    "estimate_area_fraction",
+    "estimate_condition_chain",
+    "estimate_grid_failure_probability",
+    "estimate_point_probability",
+]
 
 Point = Tuple[float, float]
 

@@ -13,9 +13,11 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Sequence, Union
 
 from repro.errors import InvalidParameterError
+
+__all__ = ["Cell", "ResultTable"]
 
 Cell = Union[str, int, float, bool, None]
 

@@ -40,6 +40,16 @@ from repro.errors import CheckpointError, InvalidParameterError
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.statistics import BernoulliEstimate, wilson_interval
 
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "CHECKPOINT_FORMAT",
+    "ResilientResult",
+    "TrialFailure",
+    "TrialFn",
+    "make_point_probability_trial",
+    "run_resilient_trials",
+]
+
 #: Schema tag written into every checkpoint file.
 CHECKPOINT_FORMAT = "fullview-mc-checkpoint-v1"
 

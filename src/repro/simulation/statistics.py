@@ -17,6 +17,13 @@ from scipy import stats
 
 from repro.errors import InvalidParameterError
 
+__all__ = [
+    "BernoulliEstimate",
+    "clopper_pearson_interval",
+    "mean_and_half_width",
+    "wilson_interval",
+]
+
 #: Standard-normal quantile for the default 95% confidence level.
 _Z_95 = 1.959963984540054
 
@@ -33,7 +40,10 @@ def wilson_interval(
         )
     if not (0.0 < confidence < 1.0):
         raise InvalidParameterError(f"confidence must be in (0, 1), got {confidence!r}")
-    z = _Z_95 if confidence == 0.95 else float(stats.norm.ppf(0.5 + confidence / 2.0))
+    if confidence == 0.95:  # fvlint: disable=FV004 (fast path keyed on the literal default)
+        z = _Z_95
+    else:
+        z = float(stats.norm.ppf(0.5 + confidence / 2.0))
     p = successes / trials
     denom = 1.0 + z * z / trials
     centre = (p + z * z / (2.0 * trials)) / denom
@@ -140,7 +150,10 @@ def mean_and_half_width(values, confidence: float = 0.95) -> Tuple[float, float]
         raise InvalidParameterError("need at least one value")
     if array.size == 1:
         return float(array[0]), float("inf")
-    z = _Z_95 if confidence == 0.95 else float(stats.norm.ppf(0.5 + confidence / 2.0))
+    if confidence == 0.95:  # fvlint: disable=FV004 (fast path keyed on the literal default)
+        z = _Z_95
+    else:
+        z = float(stats.norm.ppf(0.5 + confidence / 2.0))
     mean = float(array.mean())
     sem = float(array.std(ddof=1) / math.sqrt(array.size))
     return mean, z * sem

@@ -11,13 +11,14 @@ conventions, so the experiment modules stay declarative.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.simulation.results import ResultTable
+
+__all__ = ["Evaluator", "n_axis_log", "q_axis", "sweep", "theta_axis"]
 
 Evaluator = Callable[[float], Mapping[str, object]]
 

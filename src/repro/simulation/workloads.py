@@ -21,6 +21,15 @@ from repro.errors import InvalidParameterError
 from repro.sensors.catalog import aging_fleet, budget_mix, mixed_profile
 from repro.sensors.model import HeterogeneousProfile
 
+__all__ = [
+    "Workload",
+    "border_barrier",
+    "estate_surveillance",
+    "registry",
+    "traffic_monitoring",
+    "wildlife_protection",
+]
+
 
 @dataclass(frozen=True)
 class Workload:

@@ -9,12 +9,13 @@ the unit square.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+
+__all__ = ["ascii_coverage_map", "ascii_line_plot", "ascii_scatter_map"]
 
 #: Glyphs assigned to successive series.
 _SERIES_GLYPHS = "*o+x#@%&"

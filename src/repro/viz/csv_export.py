@@ -14,6 +14,8 @@ from typing import Mapping, Sequence, Union
 from repro.errors import InvalidParameterError
 from repro.simulation.results import ResultTable
 
+__all__ = ["export_series", "export_table"]
+
 
 def export_series(
     path: Union[str, Path],

@@ -1,0 +1,16 @@
+"""Corpus: FV001 true positives — undisciplined randomness."""
+
+import random
+
+import numpy as np
+
+__all__ = ["correlated_streams"]
+
+
+def correlated_streams(seed: int, i: int):
+    """Every statement below is a separate FV001 violation."""
+    unseeded = np.random.default_rng()
+    shifted = np.random.default_rng(seed + 1000 * i)
+    sequence = np.random.SeedSequence(seed * 2)
+    legacy = np.random.RandomState(seed)
+    return random.random(), unseeded, shifted, sequence, legacy

@@ -1,0 +1,12 @@
+"""Corpus: FV002 true positives — raises outside the error family."""
+
+__all__ = ["reject"]
+
+
+def reject(value: float) -> float:
+    """Raises stdlib exceptions directly — each one a violation."""
+    if value < 0:
+        raise ValueError(f"negative: {value}")
+    if value > 1:
+        raise RuntimeError("out of range")
+    raise KeyError

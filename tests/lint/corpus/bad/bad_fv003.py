@@ -1,0 +1,16 @@
+"""Corpus: FV003 true positives — raw full-circle arithmetic."""
+
+import math
+
+import numpy as np
+
+__all__ = ["wrap"]
+
+
+def wrap(angle: float, bearings: np.ndarray):
+    """Each statement reimplements geometry/angles.py by hand."""
+    circle = 2 * math.pi
+    wrapped = angle % (2.0 * math.pi)
+    array_wrapped = np.mod(bearings, 2 * np.pi)
+    tau_circle = math.tau
+    return circle, wrapped, array_wrapped, tau_circle

@@ -1,0 +1,12 @@
+"""Corpus: FV004 true positives — exact float comparisons."""
+
+__all__ = ["classify"]
+
+
+def classify(x: float) -> str:
+    """Both comparisons bit-compare a computed float against a literal."""
+    if x == 0.5:
+        return "half"
+    if x != 1e-3:
+        return "other"
+    return "millith"

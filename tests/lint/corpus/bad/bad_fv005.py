@@ -1,0 +1,7 @@
+"""Corpus: FV005 true positives — dishonest API surface."""
+
+__all__ = ["missing_name"]
+
+
+def undocumented():
+    return 1

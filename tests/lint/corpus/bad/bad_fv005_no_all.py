@@ -1,0 +1,6 @@
+"""Corpus: FV005 — public module missing __all__ entirely."""
+
+
+def helper():
+    """Documented but unexported."""
+    return 2

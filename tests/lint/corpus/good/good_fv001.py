@@ -1,0 +1,13 @@
+"""Corpus: FV001 negatives — disciplined randomness."""
+
+import numpy as np
+
+__all__ = ["independent_streams"]
+
+
+def independent_streams(seed: int, i: int):
+    """Seeded construction and spawn-key addressing never flag."""
+    root = np.random.default_rng(seed)
+    sequence = np.random.SeedSequence(seed, spawn_key=(i,))
+    child = np.random.Generator(np.random.PCG64(sequence))
+    return root, child

@@ -1,0 +1,20 @@
+"""Corpus: FV002 negatives — contract-abiding raises."""
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["reject"]
+
+
+def reject(value) -> float:
+    """Family raises, assertions, re-raises and bound names never flag."""
+    if value is None:
+        err = InvalidParameterError("value is required")
+        raise err
+    if value < 0:
+        raise InvalidParameterError(f"negative: {value}")
+    if value != value:
+        raise AssertionError("NaN should have been rejected upstream")
+    try:
+        return float(value)
+    except TypeError:
+        raise

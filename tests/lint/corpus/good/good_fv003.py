@@ -1,0 +1,13 @@
+"""Corpus: FV003 negatives — canonical angle helpers."""
+
+import math
+
+from repro.geometry.angles import TWO_PI, normalize_angle
+
+__all__ = ["wrap"]
+
+
+def wrap(angle: float) -> float:
+    """The canonical constant and wrapper; half-circle math is fine."""
+    half = math.pi / 2.0
+    return normalize_angle(angle + half) + TWO_PI

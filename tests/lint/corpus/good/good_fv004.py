@@ -1,0 +1,16 @@
+"""Corpus: FV004 negatives — tolerant and integer comparisons."""
+
+import math
+
+__all__ = ["classify"]
+
+
+def classify(x: float, k: int) -> str:
+    """isclose, integer equality, and a justified pragma never flag."""
+    if math.isclose(x, 0.5):
+        return "half"
+    if k == 3:
+        return "three"
+    if x == 0.0:  # fvlint: disable=FV004 (exact sentinel pinned by caller)
+        return "sentinel"
+    return "other"

@@ -1,0 +1,14 @@
+"""Corpus: FV005 negatives — honest surface."""
+
+__all__ = ["documented"]
+
+_CACHE: dict = {}
+
+
+def documented() -> int:
+    """A documented, exported public function."""
+    return len(_CACHE)
+
+
+def _private_helper() -> int:
+    return 0

@@ -1,0 +1,97 @@
+"""The ``fullview lint`` subcommand: exit codes, formats, baseline flow.
+
+Exit-code contract: 0 = clean, 1 = findings remain, 2 = usage error
+(bad target, bad rule code, missing baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+BAD = CORPUS / "bad"
+GOOD = CORPUS / "good"
+
+BAD_MODULE = '"""Doc."""\n\n__all__ = []\n\nok = x == 0.5\n'
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(GOOD)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_bad_corpus_exits_one(self, capsys):
+        assert main(["lint", str(BAD)]) == 1
+        out = capsys.readouterr().out
+        for code in ("FV001", "FV002", "FV003", "FV004", "FV005"):
+            assert code in out
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["lint", str(CORPUS / "absent")]) == 2
+        assert "fvlint:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--select", "FV999", str(GOOD)]) == 2
+        assert "FV999" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, capsys):
+        code = main(["lint", "--baseline", str(CORPUS / "absent.json"), str(GOOD)])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestSelect:
+    def test_select_narrows_run(self, capsys):
+        assert main(["lint", "--select", "FV003", str(BAD / "bad_fv004.py")]) == 0
+        assert main(["lint", "--select", "FV004", str(BAD / "bad_fv004.py")]) == 1
+        capsys.readouterr()
+
+
+class TestJsonFormat:
+    def test_json_document(self, capsys):
+        assert main(["lint", "--format", "json", str(BAD / "bad_fv002.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "fvlint-report-v1"
+        assert payload["summary"]["by_code"] == {"FV002": 3}
+
+    def test_json_clean(self, capsys):
+        assert main(["lint", "--format", "json", str(GOOD)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["ok"] is True
+        assert payload["findings"] == []
+
+
+class TestBaselineFlow:
+    def test_write_then_pass_then_regress(self, tmp_path, capsys):
+        target = tmp_path / "legacy.py"
+        target.write_text(BAD_MODULE)
+        baseline = tmp_path / "baseline.json"
+        # Without a baseline the legacy file fails.
+        assert main(["lint", str(target)]) == 1
+        # Recording the baseline grandfathers it...
+        code = main(["lint", "--baseline", str(baseline), "--write-baseline", str(target)])
+        assert code == 0
+        assert baseline.exists()
+        assert main(["lint", "--baseline", str(baseline), str(target)]) == 0
+        # ...but a new violation still fails the run.
+        target.write_text(BAD_MODULE + "ok2 = y == 0.25\n")
+        assert main(["lint", "--baseline", str(baseline), str(target)]) == 1
+        capsys.readouterr()
+
+    def test_write_baseline_default_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "legacy.py"
+        target.write_text(BAD_MODULE)
+        assert main(["lint", "--write-baseline", str(target)]) == 0
+        assert (tmp_path / "fvlint-baseline.json").exists()
+        capsys.readouterr()
+
+
+class TestSourceTree:
+    def test_repo_src_lints_clean(self, capsys):
+        src = Path(__file__).resolve().parents[2] / "src"
+        assert main(["lint", str(src)]) == 0
+        capsys.readouterr()

@@ -1,0 +1,191 @@
+"""Engine mechanics: pragmas, skip-file, baselines, parse failures, reporters."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FullViewError, LintError
+from repro.lint import (
+    all_rules,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    resolve_rules,
+    write_baseline,
+)
+
+CORPUS_BAD = Path(__file__).resolve().parent / "corpus" / "bad"
+
+BAD_COMPARISON = "ok = x == 0.5\n"
+
+
+class TestRuleRegistry:
+    def test_all_five_rules_registered(self):
+        registry = all_rules()
+        assert list(registry) == ["FV001", "FV002", "FV003", "FV004", "FV005"]
+        assert all(cls.code == code for code, cls in registry.items())
+
+    def test_select_narrows(self):
+        rules = resolve_rules(["FV004"])
+        assert [rule.code for rule in rules] == ["FV004"]
+
+    def test_unknown_code_is_lint_error(self):
+        with pytest.raises(LintError):
+            resolve_rules(["FV999"])
+
+    def test_lint_error_is_family_member(self):
+        assert issubclass(LintError, FullViewError)
+
+
+class TestPragmas:
+    def test_specific_code_suppresses(self):
+        src = "ok = x == 0.5  # fvlint: disable=FV004 (sentinel)\n"
+        assert lint_source(src, select=["FV004"]) == []
+
+    def test_disable_all_suppresses(self):
+        src = "ok = x == 0.5  # fvlint: disable=all\n"
+        assert lint_source(src, select=["FV004"]) == []
+
+    def test_other_code_does_not_suppress(self):
+        src = "ok = x == 0.5  # fvlint: disable=FV001\n"
+        assert len(lint_source(src, select=["FV004"])) == 1
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        src = "# fvlint: disable=FV004\nok = x == 0.5\n"
+        assert len(lint_source(src, select=["FV004"])) == 1
+
+    def test_suppressions_are_counted(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            '"""Doc."""\n\n__all__ = []\n\n'
+            "ok = x == 0.5  # fvlint: disable=FV004 (sentinel)\n"
+        )
+        result = lint_paths([target])
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestSkipFile:
+    def test_skip_file_pragma_skips(self, tmp_path):
+        target = tmp_path / "generated.py"
+        target.write_text("# fvlint: skip-file (generated)\n" + BAD_COMPARISON)
+        result = lint_paths([target])
+        assert result.ok
+        assert result.files_checked == 0
+
+    def test_skip_file_only_in_head(self, tmp_path):
+        target = tmp_path / "late.py"
+        lines = ['"""Doc."""\n', "\n", "__all__ = []\n"] + ["\n"] * 5
+        lines += ["# fvlint: skip-file\n", BAD_COMPARISON]
+        target.write_text("".join(lines))
+        result = lint_paths([target])
+        assert not result.ok
+
+
+class TestParseFailures:
+    def test_lint_source_raises(self):
+        with pytest.raises(LintError):
+            lint_source("def broken(:\n")
+
+    def test_lint_paths_reports_fv000(self, tmp_path):
+        good = tmp_path / "a_good.py"
+        good.write_text('"""Doc."""\n\n__all__ = []\n')
+        broken = tmp_path / "b_broken.py"
+        broken.write_text("def broken(:\n")
+        result = lint_paths([tmp_path])
+        assert result.parse_failures == 1
+        assert [f.code for f in result.findings] == ["FV000"]
+        # The good file was still checked despite the broken sibling.
+        assert result.files_checked == 2
+
+    def test_missing_target_is_lint_error(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_paths([tmp_path / "nope"])
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_recorded_findings(self, tmp_path):
+        result = lint_paths([CORPUS_BAD])
+        assert not result.ok
+        baseline_path = tmp_path / "baseline.json"
+        entries = write_baseline(baseline_path, result.findings)
+        assert entries > 0
+        rerun = lint_paths([CORPUS_BAD], baseline_path=baseline_path)
+        assert rerun.ok
+        assert rerun.baselined == len(result.findings)
+
+    def test_new_finding_still_fails(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text('"""Doc."""\n\n__all__ = []\n\n' + BAD_COMPARISON)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([target]).findings)
+        # A *copy* of the baselined violation is a new finding.
+        target.write_text(
+            '"""Doc."""\n\n__all__ = []\n\n' + BAD_COMPARISON + BAD_COMPARISON
+        )
+        rerun = lint_paths([target], baseline_path=baseline_path)
+        assert len(rerun.findings) == 1
+        assert rerun.baselined == 1
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        prefix = '"""Doc."""\n\n__all__ = []\n\n'
+        target = tmp_path / "mod.py"
+        target.write_text(prefix + BAD_COMPARISON)
+        before = lint_paths([target]).findings
+        target.write_text(prefix + "\n\n\n" + BAD_COMPARISON)
+        after = lint_paths([target]).findings
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+
+    def test_apply_baseline_caps_at_count(self):
+        result = lint_paths([CORPUS_BAD / "bad_fv004.py"], select=["FV004"])
+        findings = result.findings
+        baseline = {findings[0].fingerprint: 1}
+        fresh, matched = apply_baseline(findings, baseline)
+        assert matched == 1
+        assert len(fresh) == len(findings) - 1
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": "something-else", "entries": {}}))
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(LintError):
+            load_baseline(tmp_path / "absent.json")
+
+
+class TestReporters:
+    def test_text_report_shape(self):
+        result = lint_paths([CORPUS_BAD / "bad_fv004.py"], select=["FV004"])
+        text = render_text(result)
+        assert "bad_fv004.py:8:8: FV004 [warning]" in text
+        assert "2 finding(s) (FV004: 2) in 1 file(s)" in text
+
+    def test_text_report_clean(self):
+        result = lint_paths([CORPUS_BAD / "bad_fv004.py"], select=["FV001"])
+        assert render_text(result).startswith("0 finding(s)")
+
+    def test_json_report_schema(self):
+        result = lint_paths([CORPUS_BAD / "bad_fv004.py"], select=["FV004"])
+        payload = json.loads(render_json(result))
+        assert payload["format"] == "fvlint-report-v1"
+        assert payload["summary"]["findings"] == 2
+        assert payload["summary"]["ok"] is False
+        assert payload["summary"]["by_code"] == {"FV004": 2}
+        first = payload["findings"][0]
+        assert first["code"] == "FV004"
+        assert first["fingerprint"].startswith("FV004::")

@@ -1,0 +1,171 @@
+"""Per-rule behaviour of fvlint, pinned against the snippet corpus.
+
+Every rule FV001–FV005 gets at least one true-positive corpus test (the
+``bad/`` file flags) and one negative corpus test (the ``good/`` file is
+clean), plus inline ``lint_source`` cases for the edge behaviour the
+corpus files cannot express naturally.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+BAD = CORPUS / "bad"
+GOOD = CORPUS / "good"
+
+#: (rule code, bad corpus file, expected bad findings, good corpus file)
+RULE_CASES = [
+    ("FV001", "bad_fv001.py", 5, "good_fv001.py"),
+    ("FV002", "bad_fv002.py", 3, "good_fv002.py"),
+    ("FV003", "bad_fv003.py", 4, "good_fv003.py"),
+    ("FV004", "bad_fv004.py", 2, "good_fv004.py"),
+    ("FV005", "bad_fv005.py", 3, "good_fv005.py"),
+]
+
+
+@pytest.mark.parametrize("code,bad_file,expected,good_file", RULE_CASES)
+class TestCorpusPerRule:
+    def test_bad_snippet_flags(self, code, bad_file, expected, good_file):
+        result = lint_paths([BAD / bad_file], select=[code])
+        assert len(result.findings) == expected
+        assert all(f.code == code for f in result.findings)
+
+    def test_good_snippet_clean(self, code, bad_file, expected, good_file):
+        result = lint_paths([GOOD / good_file], select=[code])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+
+class TestCorpusWhole:
+    def test_good_directory_clean_under_all_rules(self):
+        result = lint_paths([GOOD])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        assert result.files_checked == len(list(GOOD.glob("*.py")))
+
+    def test_bad_directory_flags_every_rule(self):
+        result = lint_paths([BAD])
+        assert not result.ok
+        codes = set(result.counts_by_code())
+        assert {"FV001", "FV002", "FV003", "FV004", "FV005"} <= codes
+
+    def test_missing_dunder_all_variant(self):
+        result = lint_paths([BAD / "bad_fv005_no_all.py"], select=["FV005"])
+        assert len(result.findings) == 1
+        assert "no __all__" in result.findings[0].message
+
+
+class TestRngEdges:
+    def test_monte_carlo_config_seed_arithmetic_flags(self):
+        findings = lint_source(
+            "config = MonteCarloConfig(trials=10, seed=seed + 7)\n",
+            select=["FV001"],
+        )
+        assert len(findings) == 1
+        assert "derive_seed" in findings[0].message
+
+    def test_monte_carlo_config_derived_seed_clean(self):
+        findings = lint_source(
+            "config = MonteCarloConfig(trials=10, seed=derive_seed(seed, 7))\n",
+            select=["FV001"],
+        )
+        assert findings == []
+
+    def test_from_random_import_flags(self):
+        findings = lint_source("from random import choice\n", select=["FV001"])
+        assert len(findings) == 1
+
+    def test_seeded_default_rng_clean(self):
+        findings = lint_source(
+            "rng = np.random.default_rng(seed)\n", select=["FV001"]
+        )
+        assert findings == []
+
+
+class TestErrorContractEdges:
+    def test_dynamic_constructor_name_flags(self):
+        findings = lint_source("raise make_error()\n", select=["FV002"])
+        assert len(findings) == 1
+
+    def test_bare_name_builtin_still_flags(self):
+        # `raise ValueError` without parens still instantiates.
+        findings = lint_source("raise ValueError\n", select=["FV002"])
+        assert len(findings) == 1
+
+    def test_attribute_family_raise_clean(self):
+        findings = lint_source(
+            "raise errors.InvalidParameterError('bad')\n", select=["FV002"]
+        )
+        assert findings == []
+
+    def test_raise_from_preserves_verdict(self):
+        src = (
+            "try:\n"
+            "    pass\n"
+            "except ValueError as exc:\n"
+            "    raise InvalidParameterError('bad') from exc\n"
+        )
+        assert lint_source(src, select=["FV002"]) == []
+
+
+class TestAngleEdges:
+    def test_angles_module_itself_exempt(self):
+        findings = lint_source(
+            "TWO_PI = 2.0 * math.pi\n",
+            path="src/repro/geometry/angles.py",
+            select=["FV003"],
+        )
+        assert findings == []
+
+    def test_reversed_product_flags(self):
+        findings = lint_source("circle = math.pi * 2\n", select=["FV003"])
+        assert len(findings) == 1
+
+    def test_half_circle_clean(self):
+        assert lint_source("half = math.pi / 2\n", select=["FV003"]) == []
+
+
+class TestFloatEqualityEdges:
+    def test_literal_on_left_flags(self):
+        findings = lint_source("ok = 0.5 == x\n", select=["FV004"])
+        assert len(findings) == 1
+
+    def test_negative_literal_flags(self):
+        findings = lint_source("ok = x == -1.5\n", select=["FV004"])
+        assert len(findings) == 1
+
+    def test_integer_literal_clean(self):
+        assert lint_source("ok = x == 3\n", select=["FV004"]) == []
+
+    def test_ordering_comparison_clean(self):
+        assert lint_source("ok = x < 0.5\n", select=["FV004"]) == []
+
+
+class TestApiSurfaceEdges:
+    def test_private_module_exempt(self):
+        findings = lint_source(
+            "def undocumented():\n    return 1\n",
+            path="src/repro/_internal.py",
+            select=["FV005"],
+        )
+        assert findings == []
+
+    def test_non_literal_dunder_all_flags(self):
+        src = '"""Doc."""\n\n__all__ = sorted(["a"])\n'
+        findings = lint_source(src, path="mod.py", select=["FV005"])
+        assert len(findings) == 1
+        assert "literal" in findings[0].message
+
+    def test_conditional_import_counts_as_bound(self):
+        src = (
+            '"""Doc."""\n\n'
+            "__all__ = ['helper']\n\n"
+            "try:\n"
+            "    from other import helper\n"
+            "except ImportError:\n"
+            "    helper = None\n"
+        )
+        assert lint_source(src, path="mod.py", select=["FV005"]) == []

@@ -180,3 +180,59 @@ class TestRegistryRejections:
     def test_unknown_experiment(self):
         with pytest.raises(FullViewError):
             get_experiment("NO_SUCH_EXPERIMENT")
+
+
+class TestStaticContractSweep:
+    """The fvlint FV002 pass proves the contract holds at every raise site.
+
+    The tests above spot-check the contract at runtime; this sweep closes
+    the gap statically: after importing every module under ``repro`` (so
+    the rule's dynamically-resolved error family is complete), the linter
+    must report zero non-baselined raise-site violations across the tree.
+    """
+
+    @staticmethod
+    def _import_all_modules():
+        import importlib
+        import pkgutil
+
+        import repro
+
+        names = [
+            info.name
+            for info in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+            if not info.name.rsplit(".", 1)[-1].startswith("__")
+        ]
+        for name in names:
+            importlib.import_module(name)
+        return names
+
+    def test_every_module_imports(self):
+        names = self._import_all_modules()
+        assert len(names) > 60, "package walk looks truncated"
+
+    def test_fv002_sweep_is_clean(self):
+        from pathlib import Path
+
+        import repro
+        from repro.lint import lint_paths
+
+        src_root = Path(repro.__file__).resolve().parent
+        result = lint_paths([src_root], select=["FV002"])
+        assert result.ok, "error-contract violations:\n" + "\n".join(
+            f.render() for f in result.findings
+        )
+        assert result.files_checked > 60
+
+    def test_rule_family_matches_runtime_hierarchy(self):
+        from repro.lint.rules.errors_contract import error_family_names
+
+        self._import_all_modules()
+        runtime = {FullViewError.__name__}
+        stack = [FullViewError]
+        while stack:
+            for sub in stack.pop().__subclasses__():
+                if sub.__name__ not in runtime:
+                    runtime.add(sub.__name__)
+                    stack.append(sub)
+        assert runtime <= error_family_names()
