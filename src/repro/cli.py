@@ -7,7 +7,9 @@ Subcommands
   publication-quality budgets), print reports, optionally ``--out DIR``
   to export every table as CSV.  ``--checkpoint DIR`` records completed
   experiments so an interrupted sweep can continue with ``--resume``;
-  ``--time-budget SECONDS`` stops gracefully between experiments.
+  ``--time-budget SECONDS`` stops gracefully between experiments;
+  ``--workers N`` runs the Monte-Carlo trials on a process pool
+  (bit-identical to serial execution).
 - ``fullview lifetime`` — simulate network lifetime under a per-epoch
   failure schedule via the checkpointed resilient runner (supports
   ``--checkpoint/--resume/--time-budget`` at trial granularity).
@@ -113,7 +115,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ):
             truncated = True
             break
-        result = experiment.run(fast=not args.full, seed=args.seed)
+        result = experiment.run(
+            fast=not args.full, seed=args.seed, workers=args.workers
+        )
         print(result.render())
         print()
         if out_dir is not None:
@@ -190,7 +194,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
     )
     result = run_resilient_trials(
         trial_fn,
-        MonteCarloConfig(trials=args.trials, seed=args.seed),
+        MonteCarloConfig(trials=args.trials, seed=args.seed, workers=args.workers),
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
@@ -293,7 +297,9 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
         )
         print(f"  verdict: {verdict}")
         if args.simulate:
-            cfg = MonteCarloConfig(trials=args.trials, seed=args.seed)
+            cfg = MonteCarloConfig(
+                trials=args.trials, seed=args.seed, workers=args.workers
+            )
             mean, half = estimate_area_fraction(
                 workload.profile,
                 workload.n,
@@ -458,6 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="stop gracefully between experiments once exceeded",
     )
+    p_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run Monte-Carlo trials on a process pool of N workers "
+        "(results are bit-identical to serial; default: serial, or the "
+        "FULLVIEW_WORKERS environment variable)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_life = sub.add_parser(
@@ -523,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="stop gracefully between trials once exceeded",
     )
+    p_life.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run lifetime trials on a process pool of N workers "
+        "(bit-identical to serial; checkpoints stay contiguous)",
+    )
     p_life.add_argument("--out", help="directory for CSV exports")
     p_life.set_defaults(func=_cmd_lifetime)
 
@@ -534,6 +551,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--simulate", action="store_true", help="also run Monte Carlo")
     p_work.add_argument("--trials", type=int, default=50)
     p_work.add_argument("--seed", type=int, default=0)
+    p_work.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run Monte-Carlo trials on a process pool of N workers",
+    )
     p_work.set_defaults(func=_cmd_workloads)
 
     p_diag = sub.add_parser(

@@ -21,9 +21,8 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.conditions import necessary_partition, sufficient_partition
-from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
-from repro.geometry.angles import TWO_PI
+from repro.geometry.angles import TWO_PI, validate_effective_angle
 from repro.sensors.fleet import SensorFleet
 
 __all__ = [
@@ -115,13 +114,18 @@ def _max_gap_rows(directions_sorted: np.ndarray, counts: np.ndarray) -> np.ndarr
     multi = counts >= 2
     if not multi.any():
         return gaps
-    rows = np.flatnonzero(multi)
-    for i in rows:
-        k = counts[i]
-        vals = directions_sorted[i, :k]
-        diffs = np.diff(vals)
-        wrap = TWO_PI - (vals[-1] - vals[0])
-        gaps[i] = max(diffs.max(initial=0.0), wrap)
+    rows = directions_sorted[multi]
+    k = counts[multi]
+    # Zero the inf padding so np.diff never produces inf - inf, then
+    # mask the invalid diff columns (j >= k - 1) out of the row max.
+    vals = np.where(np.isfinite(rows), rows, 0.0)
+    diffs = np.diff(vals, axis=1)
+    valid = np.arange(n - 1)[None, :] < (k - 1)[:, None]
+    inner = np.where(valid, diffs, -np.inf).max(axis=1)
+    first = vals[:, 0]
+    last = vals[np.arange(rows.shape[0]), k - 1]
+    wrap = TWO_PI - (last - first)
+    gaps[multi] = np.maximum(inner, wrap)
     return gaps
 
 
@@ -158,24 +162,35 @@ def full_view_mask(
 
 
 def condition_mask(
-    fleet: SensorFleet, points: np.ndarray, theta: float, condition: str
+    fleet: SensorFleet,
+    points: np.ndarray,
+    theta: float,
+    condition: str,
+    k: int = 1,
 ) -> np.ndarray:
     """Vectorised verdicts for any named condition.
 
-    ``condition`` is ``"exact"``, ``"necessary"`` or ``"sufficient"``
+    ``condition`` is ``"exact"``, ``"necessary"``, ``"sufficient"``
     (the sector conditions use the default start line, like the scalar
-    path).
+    path) or ``"k_coverage"`` — at least ``k`` covering sensors,
+    equivalent to ``coverage_counts(fleet, points) >= k``
+    (property-tested); ``k`` is ignored by the other conditions.
     """
     theta = validate_effective_angle(theta)
     if condition == "exact":
         return full_view_mask(fleet, points, theta)
+    if condition == "k_coverage":
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k!r}")
+        return coverage_counts(fleet, points) >= k
     if condition == "necessary":
         partition = necessary_partition(theta)
     elif condition == "sufficient":
         partition = sufficient_partition(theta)
     else:
         raise InvalidParameterError(
-            f"condition must be 'exact', 'necessary' or 'sufficient', got {condition!r}"
+            "condition must be 'exact', 'necessary', 'sufficient' or "
+            f"'k_coverage', got {condition!r}"
         )
     covers, directions = covering_and_directions(fleet, points)
     valid = covers & ~np.isnan(directions)
@@ -189,11 +204,15 @@ def condition_mask(
 
 
 def coverage_fraction_fast(
-    fleet: SensorFleet, points: np.ndarray, theta: float, condition: str = "exact"
+    fleet: SensorFleet,
+    points: np.ndarray,
+    theta: float,
+    condition: str = "exact",
+    k: int = 1,
 ) -> float:
     """Vectorised counterpart of the scalar coverage-fraction helpers."""
     points = np.asarray(points, dtype=float).reshape(-1, 2)
     if points.shape[0] == 0:
         raise InvalidParameterError("need at least one evaluation point")
-    mask = condition_mask(fleet, points, theta, condition)
+    mask = condition_mask(fleet, points, theta, condition, k=k)
     return float(mask.mean())

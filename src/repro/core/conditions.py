@@ -30,9 +30,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.core.full_view import validate_effective_angle
 from repro.errors import InvalidParameterError
-from repro.geometry.angles import TWO_PI, normalize_angle
+from repro.geometry.angles import TWO_PI, normalize_angle, validate_effective_angle
 from repro.geometry.intervals import AngularInterval
 from repro.sensors.fleet import SensorFleet
 

@@ -24,8 +24,9 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import full_view_mask
 from repro.errors import InvalidParameterError
-from repro.geometry.angles import TWO_PI, normalize_angle
+from repro.geometry.angles import TWO_PI, normalize_angle, validate_effective_angle
 from repro.geometry.intervals import AngularIntervalSet, max_circular_gap
 from repro.sensors.fleet import SensorFleet
 
@@ -42,15 +43,6 @@ __all__ = [
 ]
 
 Point = Tuple[float, float]
-
-
-def validate_effective_angle(theta: float) -> float:
-    """Validate the effective angle ``theta in (0, pi]`` and return it."""
-    if not (0.0 < theta <= math.pi + 1e-12):
-        raise InvalidParameterError(
-            f"effective angle theta must be in (0, pi], got {theta!r}"
-        )
-    return min(float(theta), math.pi)
 
 
 def is_full_view_covered(viewed_directions: Sequence[float], theta: float) -> bool:
@@ -182,19 +174,19 @@ def full_view_coverage_fraction(
     When edge effects are neglected this estimates the expected covered
     *area* fraction, the interpretation Section V gives to the per-point
     probabilities.
+
+    Evaluation is vectorised through
+    :func:`repro.core.batch.full_view_mask` (bit-identical to the
+    scalar gap test, property-tested) and never mutates ``fleet``; the
+    ``use_index`` flag is accepted for API compatibility but unused, as
+    the batch kernel does not consult the spatial index.
     """
+    del use_index  # accepted for compatibility; batch path needs no index
     theta = validate_effective_angle(theta)
     pts = np.asarray(points, dtype=float).reshape(-1, 2)
     if pts.shape[0] == 0:
         raise InvalidParameterError("need at least one evaluation point")
-    if use_index and fleet.index is None and len(fleet) > 0:
-        fleet.build_index()
-    covered = 0
-    for x, y in pts:
-        directions = fleet.covering_directions((float(x), float(y)), use_index=use_index)
-        if directions.size and max_circular_gap(directions) <= 2.0 * theta + 1e-12:
-            covered += 1
-    return covered / pts.shape[0]
+    return float(full_view_mask(fleet, pts, theta).mean())
 
 
 def minimum_sensors_for_full_view(theta: float) -> int:

@@ -22,6 +22,7 @@ tabulated and must satisfy the sandwich ordering.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.core.csa import csa_necessary, csa_sufficient
 from repro.experiments.registry import ExperimentResult, register
@@ -44,7 +45,9 @@ _PHI = math.pi / 2.0
     "Coverage is a random event between the CSAs (Section VI-C, Fig. 9)",
     "Section VI-C discussion / Figure 9",
 )
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    fast: bool = True, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Show coverage is a random event between the two CSAs (Fig. 9)."""
     n = 300 if fast else 1000
     theta = math.pi / 3.0
@@ -67,7 +70,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     covered_probs = []
     for i, (label, target) in enumerate(targets):
         profile = HeterogeneousProfile.homogeneous(CameraSpec.from_area(target, _PHI))
-        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 3000, i))
+        cfg = MonteCarloConfig(
+            trials=trials, seed=derive_seed(seed, 3000, i), workers=workers
+        )
         failure = estimate_grid_failure_probability(
             profile, n, theta, "exact", cfg, max_grid_points=max_points
         )
@@ -101,7 +106,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     mid_profile = HeterogeneousProfile.homogeneous(
         CameraSpec.from_area(targets[1][1], _PHI)
     )
-    chain_cfg = MonteCarloConfig(trials=max(trials, 200), seed=derive_seed(seed, 99))
+    chain_cfg = MonteCarloConfig(
+        trials=max(trials, 200), seed=derive_seed(seed, 99), workers=workers
+    )
     chain = estimate_condition_chain(mid_profile, n, theta, chain_cfg)
     chain_table.add_row(
         "band_midpoint",

@@ -22,6 +22,7 @@ Expected shapes:
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.core.csa import csa_sufficient
 from repro.experiments.registry import ExperimentResult, register
@@ -59,7 +60,9 @@ def _profile_at(q: float, base_area: float) -> HeterogeneousProfile:
     "Network lifetime under progressive sensor failures (extension)",
     "Section VII-B fault-tolerance motivation, dynamic form",
 )
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    fast: bool = True, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Simulate network lifetime under progressive sensor failures."""
     from repro.simulation.results import ResultTable
 
@@ -85,7 +88,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     )
     means = []
     for i, q in enumerate(q_values):
-        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 51000, i))
+        cfg = MonteCarloConfig(
+            trials=trials, seed=derive_seed(seed, 51000, i), workers=workers
+        )
         dist = lifetime_distribution(
             _profile_at(q, base),
             n,
@@ -107,7 +112,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     checks["underprovisioned_dies_early"] = means[0] < 0.5 * epochs
 
     # 2. Coverage-vs-time and survival curves at q = 2.
-    cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 52000))
+    cfg = MonteCarloConfig(
+        trials=trials, seed=derive_seed(seed, 52000), workers=workers
+    )
     curve_dist = lifetime_distribution(
         _profile_at(2.0, base),
         n,

@@ -16,6 +16,7 @@ the extremes, the shape Definition 2 predicts.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.core.csa import csa_necessary
 from repro.core.uniform_theory import grid_failure_bounds
@@ -39,7 +40,9 @@ _PHI = math.pi / 2.0
     "Grid-failure phase transition at s_c = q * CSA (Definition 2)",
     "Definition 2, Propositions 1-4",
 )
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    fast: bool = True, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Trace the grid-failure phase transition at s_c = q * CSA."""
     n = 300 if fast else 1000
     theta = math.pi / 2.0
@@ -62,7 +65,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         profile = HeterogeneousProfile.homogeneous(
             CameraSpec.from_area(q * base_csa, _PHI)
         )
-        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 7000, i))
+        cfg = MonteCarloConfig(
+            trials=trials, seed=derive_seed(seed, 7000, i), workers=workers
+        )
         estimate = estimate_grid_failure_probability(
             profile,
             n,

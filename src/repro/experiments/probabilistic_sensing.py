@@ -17,6 +17,10 @@ probabilistic fleet within Monte-Carlo noise, across decay strengths.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.core.conditions import necessary_condition_holds
 from repro.core.uniform_theory import necessary_failure_probability
@@ -28,6 +32,7 @@ from repro.sensors.probabilistic import (
     ExponentialDecayModel,
     probabilistic_covering_directions,
 )
+from repro.simulation.engine import execute_trials
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
 from repro.simulation.statistics import BernoulliEstimate
@@ -35,12 +40,32 @@ from repro.simulation.statistics import BernoulliEstimate
 __all__ = ["run"]
 
 
+@dataclass(frozen=True)
+class _ProbabilisticNecessaryTrial:
+    """Deploy, draw probabilistic detections, test the probe point."""
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+    model: ExponentialDecayModel
+    point: Tuple[float, float]
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> bool:
+        del trial
+        fleet = UniformDeployment().deploy(self.profile, self.n, rng)
+        fleet.build_index()
+        dirs = probabilistic_covering_directions(fleet, self.point, self.model, rng)
+        return bool(necessary_condition_holds(dirs, self.theta))
+
+
 @register(
     "PROB",
     "Probabilistic sensing == binary sensing at rho-scaled area (extension)",
     "Section VIII future work",
 )
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    fast: bool = True, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Match probabilistic sensing to binary sensing at rho-scaled area."""
     n = 350
     theta = math.pi / 3.0
@@ -48,7 +73,6 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     base = HeterogeneousProfile.homogeneous(
         CameraSpec(radius=0.28, angle_of_view=math.pi / 2)
     )
-    scheme = UniformDeployment()
     point = (0.5, 0.5)
     betas = [0.5, 1.0, 2.0, 4.0]
     table = ResultTable(
@@ -66,13 +90,16 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     for i, beta in enumerate(betas):
         model = ExponentialDecayModel(beta=beta, gamma=2.0)
         rho = model.expected_coverage_ratio()
-        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 17000, i))
-        successes = 0
-        for rng in cfg.rngs():
-            fleet = scheme.deploy(base, n, rng)
-            fleet.build_index()
-            dirs = probabilistic_covering_directions(fleet, point, model, rng)
-            successes += necessary_condition_holds(dirs, theta)
+        cfg = MonteCarloConfig(
+            trials=trials, seed=derive_seed(seed, 17000, i), workers=workers
+        )
+        outcomes = execute_trials(
+            _ProbabilisticNecessaryTrial(
+                profile=base, n=n, theta=theta, model=model, point=point
+            ),
+            cfg,
+        )
+        successes = sum(1 for outcome in outcomes if outcome.value)
         estimate = BernoulliEstimate(successes=successes, trials=trials)
         scaled = base.scaled_to_weighted_area(rho * base.weighted_sensing_area)
         theory = 1.0 - necessary_failure_probability(scaled, n, theta)

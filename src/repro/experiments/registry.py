@@ -13,8 +13,9 @@ agreement).  ``result.passed`` is the conjunction.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.errors import ExperimentError
 from repro.simulation.results import ResultTable
@@ -29,7 +30,9 @@ __all__ = [
     "run_all",
 ]
 
-Runner = Callable[[bool, int], "ExperimentResult"]
+#: Runner signature: ``(fast, seed) -> ExperimentResult``, optionally
+#: accepting a ``workers`` keyword to parallelise its Monte-Carlo sweeps.
+Runner = Callable[..., "ExperimentResult"]
 
 _REGISTRY: Dict[str, "Experiment"] = {}
 
@@ -87,8 +90,26 @@ class Experiment:
     paper_artifact: str
     runner: Runner
 
-    def run(self, fast: bool = True, seed: int = 0) -> ExperimentResult:
-        result = self.runner(fast, seed)
+    def run(
+        self,
+        fast: bool = True,
+        seed: int = 0,
+        workers: Optional[int] = None,
+    ) -> ExperimentResult:
+        """Execute the runner; ``workers`` is forwarded when supported.
+
+        Runners opt into parallel execution by accepting a ``workers``
+        keyword (threaded into their Monte-Carlo configs); results are
+        bit-identical across worker counts, so the knob is purely a
+        wall-clock choice.
+        """
+        kwargs = {}
+        if (
+            workers is not None
+            and "workers" in inspect.signature(self.runner).parameters
+        ):
+            kwargs["workers"] = workers
+        result = self.runner(fast, seed, **kwargs)
         if result.experiment_id != self.experiment_id:
             raise ExperimentError(
                 f"runner for {self.experiment_id} returned result labelled "
@@ -128,6 +149,11 @@ def all_experiments() -> Mapping[str, Experiment]:
     return dict(_REGISTRY)
 
 
-def run_all(fast: bool = True, seed: int = 0) -> List[ExperimentResult]:
+def run_all(
+    fast: bool = True, seed: int = 0, workers: Optional[int] = None
+) -> List[ExperimentResult]:
     """Run every registered experiment and return the results."""
-    return [exp.run(fast=fast, seed=seed) for _, exp in sorted(_REGISTRY.items())]
+    return [
+        exp.run(fast=fast, seed=seed, workers=workers)
+        for _, exp in sorted(_REGISTRY.items())
+    ]

@@ -31,6 +31,8 @@ plus the reproduction's theory:
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -42,12 +44,14 @@ from repro.deployment.uniform import UniformDeployment
 from repro.experiments.registry import ExperimentResult, register
 from repro.resilience.failures import (
     BernoulliFailure,
+    FailureModel,
     OrientationDrift,
     RadiusDegradation,
 )
 from repro.seeding import derive_seed
 from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.engine import execute_trials
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.results import ResultTable
 from repro.simulation.statistics import BernoulliEstimate
@@ -59,20 +63,49 @@ _PHI = math.pi / 2.0
 _POINT = (0.5, 0.5)
 
 
-def _necessary_rate(profile, n, theta, cfg, model=None):
-    """P(point meets necessary condition) after an optional failure model."""
-    scheme = UniformDeployment()
-    successes = 0
-    for rng in cfg.rngs():
-        fleet = scheme.deploy(profile, n, rng)
-        if model is not None:
-            fleet = model.apply(fleet, rng)
+@dataclass(frozen=True)
+class _NecessaryRateTrial:
+    """Deploy, apply an optional failure model, test the probe point."""
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+    model: Optional[FailureModel] = None
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> bool:
+        del trial
+        fleet = UniformDeployment().deploy(self.profile, self.n, rng)
+        if self.model is not None:
+            fleet = self.model.apply(fleet, rng)
         if len(fleet):
             fleet.build_index()
             dirs = fleet.covering_directions(_POINT)
         else:
             dirs = SensorFleet.no_directions()
-        successes += necessary_condition_holds(dirs, theta)
+        return bool(necessary_condition_holds(dirs, self.theta))
+
+
+@dataclass(frozen=True)
+class _BreachCostTrial:
+    """Deploy and compute the adversarial breach cost at the probe point."""
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> int:
+        del trial
+        fleet = UniformDeployment().deploy(self.profile, self.n, rng)
+        fleet.build_index()
+        dirs = fleet.covering_directions(_POINT)
+        return int(breach_cost(dirs, self.theta))
+
+
+def _necessary_rate(profile, n, theta, cfg, model=None):
+    """P(point meets necessary condition) after an optional failure model."""
+    task = _NecessaryRateTrial(profile=profile, n=n, theta=theta, model=model)
+    outcomes = execute_trials(task, cfg)
+    successes = sum(1 for outcome in outcomes if outcome.value)
     return BernoulliEstimate(successes=successes, trials=cfg.trials)
 
 
@@ -81,7 +114,9 @@ def _necessary_rate(profile, n, theta, cfg, model=None):
     "Random and adversarial sensor failures (extension)",
     "Section VII-B fault-tolerance motivation",
 )
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(
+    fast: bool = True, seed: int = 0, workers: Optional[int] = None
+) -> ExperimentResult:
     """Stress coverage under random and adversarial sensor failures."""
     n = 400
     theta = math.pi / 3.0
@@ -89,7 +124,6 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     profile = HeterogeneousProfile.homogeneous(
         CameraSpec(radius=0.28, angle_of_view=_PHI)
     )
-    scheme = UniformDeployment()
     checks = {}
 
     # 1. Random failures vs survivor-count theory.
@@ -99,7 +133,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         columns=["p_failure", "simulated_p_necessary", "survivor_theory", "agrees"],
     )
     for i, p in enumerate([0.0, 0.2, 0.4, 0.6]):
-        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 21000, i))
+        cfg = MonteCarloConfig(
+            trials=trials, seed=derive_seed(seed, 21000, i), workers=workers
+        )
         estimate = _necessary_rate(profile, n, theta, cfg, BernoulliFailure(p))
         survivors = max(1, round(n * (1.0 - p)))
         theory = 1.0 - necessary_failure_probability(profile, survivors, theta)
@@ -112,10 +148,14 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         title="ROBUST: orientation drift sigma vs undrifted baseline",
         columns=["sigma", "simulated_p_necessary", "baseline", "agrees"],
     )
-    base_cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 41000))
+    base_cfg = MonteCarloConfig(
+        trials=trials, seed=derive_seed(seed, 41000), workers=workers
+    )
     baseline = _necessary_rate(profile, n, theta, base_cfg)
     for i, sigma in enumerate([0.3, 1.5]):
-        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 42000, i))
+        cfg = MonteCarloConfig(
+            trials=trials, seed=derive_seed(seed, 42000, i), workers=workers
+        )
         estimate = _necessary_rate(
             profile, n, theta, cfg, OrientationDrift(sigma)
         )
@@ -130,7 +170,9 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     )
     s_c = profile.weighted_sensing_area
     for i, factor in enumerate([1.0, 0.8, 0.6]):
-        cfg = MonteCarloConfig(trials=trials, seed=derive_seed(seed, 43000, i))
+        cfg = MonteCarloConfig(
+            trials=trials, seed=derive_seed(seed, 43000, i), workers=workers
+        )
         estimate = _necessary_rate(
             profile, n, theta, cfg, RadiusDegradation(factor)
         )
@@ -150,16 +192,14 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     mean_costs = []
     for i, q in enumerate([0.5, 1.0, 2.0, 4.0]):
         scaled = profile.scaled_to_weighted_area(q * base)
-        cfg = MonteCarloConfig(trials=breach_trials, seed=derive_seed(seed, 31000, i))
-        costs = []
-        covered = 0
-        for rng in cfg.rngs():
-            fleet = scheme.deploy(scaled, n, rng)
-            fleet.build_index()
-            dirs = fleet.covering_directions(_POINT)
-            cost = breach_cost(dirs, theta)
-            costs.append(cost)
-            covered += cost > 0
+        cfg = MonteCarloConfig(
+            trials=breach_trials, seed=derive_seed(seed, 31000, i), workers=workers
+        )
+        outcomes = execute_trials(
+            _BreachCostTrial(profile=scaled, n=n, theta=theta), cfg
+        )
+        costs = [outcome.value for outcome in outcomes]
+        covered = sum(1 for cost in costs if cost > 0)
         mean_cost = float(np.mean(costs))
         mean_costs.append(mean_cost)
         breach_table.add_row(q, mean_cost, covered / breach_trials)

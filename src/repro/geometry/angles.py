@@ -34,11 +34,27 @@ __all__ = [
     "normalize_angle",
     "normalize_angle_signed",
     "signed_angular_difference",
+    "validate_effective_angle",
 ]
 
 TWO_PI: float = 2.0 * math.pi
 
 ArrayLike = Union[float, int, np.ndarray]
+
+
+def validate_effective_angle(theta: float) -> float:
+    """Validate the effective angle ``theta in (0, pi]`` and return it.
+
+    This is the canonical home of the check (every layer from the exact
+    gap test to the batch kernels validates ``theta`` through it); it
+    lives with the angle arithmetic so that core modules can share it
+    without importing each other.
+    """
+    if not (0.0 < theta <= math.pi + 1e-12):
+        raise InvalidParameterError(
+            f"effective angle theta must be in (0, pi], got {theta!r}"
+        )
+    return min(float(theta), math.pi)
 
 
 def normalize_angle(angle: ArrayLike) -> ArrayLike:

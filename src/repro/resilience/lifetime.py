@@ -25,19 +25,21 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.core.batch import condition_mask
-from repro.core.full_view import validate_effective_angle
 from repro.deployment.base import DeploymentScheme
 from repro.deployment.uniform import UniformDeployment
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import validate_effective_angle
 from repro.geometry.grid import DenseGrid
 from repro.resilience.failures import FailureModel
 from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import HeterogeneousProfile
-from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.engine import MonteCarloConfig, execute_trials
 
 __all__ = [
     "LifetimeDistribution",
+    "LifetimeTask",
     "LifetimeTrace",
+    "LifetimeValueTask",
     "lifetime_distribution",
     "make_lifetime_trial",
     "simulate_lifetime",
@@ -206,6 +208,78 @@ class LifetimeDistribution:
         )
 
 
+@dataclass(frozen=True)
+class LifetimeTask:
+    """One lifetime trial: deploy, step the failure epochs, emit a trace.
+
+    A frozen, picklable trial task for the shared engine
+    (:mod:`repro.simulation.engine`): the per-trial generator drives the
+    deployment, the optional grid subsample and the failure schedule —
+    in that order, matching the historical serial loop, so lifetime
+    sweeps are bit-identical across executors.  ``grid`` defaults to
+    the paper's dense grid for ``n`` sensors (precompute it once via
+    :func:`lifetime_distribution` / :func:`make_lifetime_trial` to
+    avoid rebuilding per trial).
+    """
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+    schedule: FailureModel
+    epochs: int
+    scheme: DeploymentScheme
+    condition: str = "necessary"
+    grid: Optional[DenseGrid] = None
+    max_grid_points: Optional[int] = None
+    track_curves: bool = False
+
+    def __post_init__(self) -> None:
+        validate_effective_angle(self.theta)
+        _validate_condition(self.condition)
+        if self.epochs < 1:
+            raise InvalidParameterError(f"epochs must be >= 1, got {self.epochs!r}")
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> LifetimeTrace:
+        """Run one deployment through the epochs (trial index unused)."""
+        del trial
+        fleet = self.scheme.deploy(self.profile, self.n, rng)
+        grid = (
+            self.grid
+            if self.grid is not None
+            else DenseGrid.for_sensor_count(self.n, self.scheme.region)
+        )
+        if self.max_grid_points is not None and self.max_grid_points < len(grid):
+            points = grid.sample(self.max_grid_points, rng)
+        else:
+            points = grid.points
+        return simulate_lifetime(
+            fleet,
+            self.schedule,
+            self.theta,
+            epochs=self.epochs,
+            rng=rng,
+            condition=self.condition,
+            points=points,
+            stop_at_break=not self.track_curves,
+        )
+
+
+@dataclass(frozen=True)
+class LifetimeValueTask:
+    """Scalar wrapper around :class:`LifetimeTask` for the runner.
+
+    :func:`repro.simulation.runner.run_resilient_trials` records
+    numeric outcomes, so this wrapper reduces each trace to its
+    lifetime.  Frozen and picklable like the task it wraps.
+    """
+
+    task: LifetimeTask
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> float:
+        """The trial's lifetime in epochs (censored at the horizon)."""
+        return float(self.task(trial, rng).lifetime)
+
+
 def lifetime_distribution(
     profile: HeterogeneousProfile,
     n: int,
@@ -224,43 +298,32 @@ def lifetime_distribution(
     Each trial deploys ``n`` sensors from ``profile``, then steps the
     failure schedule with the *same* trial generator, so the whole
     trajectory is reproducible from the config seed.  The dense grid is
-    subsampled per trial to ``max_grid_points`` when set.
+    subsampled per trial to ``max_grid_points`` when set.  Trials run
+    on the shared engine, so ``config.workers`` parallelises the sweep
+    with bit-identical results.
     """
-    theta = validate_effective_angle(theta)
-    condition = _validate_condition(condition)
     scheme = scheme or UniformDeployment()
-    grid = DenseGrid.for_sensor_count(n, scheme.region)
-    lifetimes = []
-    censored = []
-    curves = []
-    for rng in config.rngs():
-        fleet = scheme.deploy(profile, n, rng)
-        if config.use_index and len(fleet) > 0:
-            fleet.build_index()
-        if max_grid_points is not None and max_grid_points < len(grid):
-            points = grid.sample(max_grid_points, rng)
-        else:
-            points = grid.points
-        trace = simulate_lifetime(
-            fleet,
-            schedule,
-            theta,
-            epochs=epochs,
-            rng=rng,
-            condition=condition,
-            points=points,
-            stop_at_break=not track_curves,
-        )
-        lifetimes.append(trace.lifetime)
-        censored.append(trace.survived)
-        if track_curves:
-            curves.append(trace.coverage_fractions)
+    task = LifetimeTask(
+        profile=profile,
+        n=n,
+        theta=validate_effective_angle(theta),
+        schedule=schedule,
+        epochs=epochs,
+        scheme=scheme,
+        condition=_validate_condition(condition),
+        grid=DenseGrid.for_sensor_count(n, scheme.region),
+        max_grid_points=max_grid_points,
+        track_curves=track_curves,
+    )
+    outcomes = execute_trials(task, config)
+    traces = [outcome.value for outcome in outcomes]
+    curves = [t.coverage_fractions for t in traces] if track_curves else []
     mean_curve: Tuple[float, ...] = ()
     if track_curves and curves:
         mean_curve = tuple(float(x) for x in np.mean(np.asarray(curves), axis=0))
     return LifetimeDistribution(
-        lifetimes=tuple(lifetimes),
-        censored=tuple(censored),
+        lifetimes=tuple(t.lifetime for t in traces),
+        censored=tuple(t.survived for t in traces),
         epochs=epochs,
         mean_coverage_by_epoch=mean_curve,
     )
@@ -279,33 +342,22 @@ def make_lifetime_trial(
 ) -> Callable[[int, np.random.Generator], float]:
     """A per-trial lifetime function for the resilient runner.
 
-    Returns ``trial_fn(trial, rng) -> lifetime`` suitable for
-    :func:`repro.simulation.runner.run_resilient_trials`, so long
-    lifetime sweeps inherit checkpoint/resume and fault isolation.
+    Returns a picklable ``trial_fn(trial, rng) -> lifetime`` suitable
+    for :func:`repro.simulation.runner.run_resilient_trials`, so long
+    lifetime sweeps inherit checkpoint/resume, fault isolation *and*
+    process-parallel execution.
     """
-    theta = validate_effective_angle(theta)
-    condition = _validate_condition(condition)
     scheme = scheme or UniformDeployment()
-    grid = DenseGrid.for_sensor_count(n, scheme.region)
-
-    def trial(trial_index: int, rng: np.random.Generator) -> float:
-        fleet = scheme.deploy(profile, n, rng)
-        if len(fleet) > 0:
-            fleet.build_index()
-        if max_grid_points is not None and max_grid_points < len(grid):
-            points = grid.sample(max_grid_points, rng)
-        else:
-            points = grid.points
-        trace = simulate_lifetime(
-            fleet,
-            schedule,
-            theta,
+    return LifetimeValueTask(
+        task=LifetimeTask(
+            profile=profile,
+            n=n,
+            theta=validate_effective_angle(theta),
+            schedule=schedule,
             epochs=epochs,
-            rng=rng,
-            condition=condition,
-            points=points,
-            stop_at_break=True,
+            scheme=scheme,
+            condition=_validate_condition(condition),
+            grid=DenseGrid.for_sensor_count(n, scheme.region),
+            max_grid_points=max_grid_points,
         )
-        return float(trace.lifetime)
-
-    return trial
+    )

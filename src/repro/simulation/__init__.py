@@ -4,10 +4,14 @@ The analytical layer (:mod:`repro.core`) predicts probabilities; this
 package measures them on actual random deployments so every theorem in
 the paper can be validated by simulation:
 
+- :mod:`repro.simulation.engine` — the trial-execution engine: seeded
+  per-trial RNG streams, ``TrialOutcome`` records, and serial /
+  process-parallel executors that produce bit-identical results.
 - :mod:`repro.simulation.statistics` — Bernoulli estimates with Wilson
   and Clopper-Pearson intervals, and agreement tests against theory.
-- :mod:`repro.simulation.montecarlo` — seeded trial runners for
-  per-point condition probabilities, grid events and area fractions.
+- :mod:`repro.simulation.montecarlo` — seeded trial tasks and runners
+  for per-point condition probabilities, grid events and area
+  fractions.
 - :mod:`repro.simulation.runner` — a resilient sweep executor with
   per-trial fault isolation, checkpoint/resume and wall-clock budgets.
 - :mod:`repro.simulation.sweeps` — parameter sweeps over ``n``,
@@ -18,8 +22,17 @@ the paper can be validated by simulation:
   as ready-made heterogeneous profiles.
 """
 
-from repro.simulation.montecarlo import (
+from repro.simulation.engine import (
     MonteCarloConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    TrialOutcome,
+    execute_trials,
+    executor_for,
+    run_trial,
+)
+from repro.simulation.montecarlo import (
     estimate_area_fraction,
     estimate_grid_failure_probability,
     estimate_point_probability,
@@ -36,11 +49,18 @@ from repro.simulation.statistics import BernoulliEstimate, wilson_interval
 __all__ = [
     "BernoulliEstimate",
     "MonteCarloConfig",
+    "ParallelExecutor",
     "ResilientResult",
     "ResultTable",
+    "SerialExecutor",
+    "TrialExecutor",
     "TrialFailure",
+    "TrialOutcome",
+    "execute_trials",
+    "executor_for",
     "make_point_probability_trial",
     "run_resilient_trials",
+    "run_trial",
     "estimate_area_fraction",
     "estimate_grid_failure_probability",
     "estimate_point_probability",

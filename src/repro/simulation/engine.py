@@ -1,0 +1,431 @@
+"""The trial-execution engine: one seeded core behind every Monte-Carlo loop.
+
+Every quantitative claim in the paper is validated by the same loop:
+derive the generator for trial ``i``, deploy a random fleet, evaluate a
+condition, emit a small result record.  This module owns that loop once,
+as three separable pieces:
+
+- :class:`MonteCarloConfig` — the trial budget and master seed.  Trial
+  ``i``'s generator is ``SeedSequence(seed, spawn_key=(i,))``, which is
+  O(1)-addressable and order-independent, so **any execution order of
+  the trials produces bit-identical streams**.  That single property is
+  what makes everything downstream compose: parallel execution,
+  checkpoint/resume and plain serial loops all tally the same numbers.
+- A *trial task* — any callable ``(trial_index, rng) -> value`` whose
+  randomness comes only from ``rng``.  The estimator tasks in
+  :mod:`repro.simulation.montecarlo` and the lifetime task in
+  :mod:`repro.resilience.lifetime` are frozen dataclasses, so they
+  pickle cleanly into worker processes.
+- A pluggable *executor*.  :class:`SerialExecutor` runs trials inline,
+  one per batch (preserving per-trial budget checks and checkpoint
+  cadence exactly).  :class:`ParallelExecutor` dispatches contiguous
+  chunks of trials to a warm, process-lifetime ``ProcessPoolExecutor``
+  (one per worker count, started via a fork-safe method) and yields
+  each chunk's outcomes in trial order; a chunk whose worker dies is
+  transparently re-executed in-process (fault isolation per chunk), so
+  a broken pool degrades to the serial path instead of losing the
+  sweep.
+
+Executors yield batches *in trial order* even though parallel chunks
+complete out of order; consumers therefore always observe a contiguous
+prefix of the sweep, which is exactly the invariant the checkpointed
+runner (:mod:`repro.simulation.runner`) needs to resume at any index.
+
+Errors inside a trial follow two regimes.  With ``isolate=False`` (the
+estimators' regime) the first exception propagates unchanged, like a
+plain loop.  With ``isolate=True`` (the resilient runner's regime) each
+failing trial is recorded as a :class:`TrialOutcome` with ``error`` set
+and the sweep continues; ``KeyboardInterrupt`` and other
+``BaseException`` still propagate in both regimes.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "MonteCarloConfig",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "TrialExecutor",
+    "TrialOutcome",
+    "TrialTask",
+    "WORKERS_ENV_VAR",
+    "execute_trials",
+    "executor_for",
+    "run_trial",
+    "shutdown_worker_pools",
+]
+
+#: Environment variable consulted when ``MonteCarloConfig.workers`` is
+#: left unset; lets a CI job force the parallel executor on for an
+#: entire test suite without touching call sites.
+WORKERS_ENV_VAR = "FULLVIEW_WORKERS"
+
+#: A trial task: derive everything from ``rng``, return a small record.
+TrialTask = Callable[[int, np.random.Generator], Any]
+
+#: Upper bound on the automatic chunk size; keeps partial results
+#: flowing back to the consumer (checkpoints, budgets) on huge sweeps.
+_MAX_AUTO_CHUNK = 256
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Trial budget, reproducibility and execution settings.
+
+    Attributes
+    ----------
+    trials:
+        Number of independent deployments.
+    seed:
+        Master seed; each trial gets a spawned child generator.
+    use_index:
+        Whether fleets build a spatial index before scalar queries
+        (identical results either way; the vectorised batch kernels do
+        not consult it).
+    workers:
+        Worker processes for trial execution.  ``1`` runs serially,
+        ``> 1`` dispatches chunks to a process pool (bit-identical
+        results by construction).  ``None`` — the default — falls back
+        to the :data:`WORKERS_ENV_VAR` environment variable, else 1.
+    """
+
+    trials: int = 200
+    seed: int = 0
+    use_index: bool = True
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {self.trials!r}")
+        if self.workers is not None and self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1 (or None for the environment default), "
+                f"got {self.workers!r}"
+            )
+
+    def rng_for_trial(self, trial: int) -> np.random.Generator:
+        """The generator for one trial, addressable in O(1).
+
+        Child ``i`` of ``SeedSequence(seed).spawn(trials)`` is exactly
+        ``SeedSequence(seed, spawn_key=(i,))``, so trials can be
+        (re)played individually and in any order — the parallel
+        executor and the checkpointed runner both rely on this for
+        bit-identical streams.
+        """
+        if not (0 <= trial < self.trials):
+            raise InvalidParameterError(
+                f"trial must be in [0, {self.trials}), got {trial!r}"
+            )
+        seq = np.random.SeedSequence(self.seed, spawn_key=(trial,))
+        return np.random.Generator(np.random.PCG64(seq))
+
+    def rngs(self) -> Iterator[np.random.Generator]:
+        """One independent generator per trial, yielded lazily.
+
+        Streams are identical to the historical eager
+        ``SeedSequence(seed).spawn(trials)`` list, but generators are
+        created on demand, so large ``--full`` trial counts do not
+        materialize thousands of generators up front.
+        """
+        for trial in range(self.trials):
+            yield self.rng_for_trial(trial)
+
+    def rngs_list(self) -> List[np.random.Generator]:
+        """Eager shim for callers that need ``len()`` or indexing."""
+        return list(self.rngs())
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (explicit field, else environment).
+
+        An unset ``workers`` consults :data:`WORKERS_ENV_VAR`, so a CI
+        job can force ``workers=2`` across an entire run; a missing or
+        empty variable means serial execution.
+        """
+        if self.workers is not None:
+            return self.workers
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"{WORKERS_ENV_VAR} must be an integer >= 1, got {raw!r}"
+            ) from exc
+        if value < 1:
+            raise InvalidParameterError(
+                f"{WORKERS_ENV_VAR} must be an integer >= 1, got {raw!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One trial's result record.
+
+    ``value`` is whatever the task returned (``None`` when the trial
+    failed under isolation); ``error`` is ``None`` on success, else the
+    ``"ExceptionType: message"`` string the resilient runner records.
+    """
+
+    trial: int
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial completed without an isolated error."""
+        return self.error is None
+
+
+def run_trial(
+    task: TrialTask, config: MonteCarloConfig, trial: int, isolate: bool = False
+) -> TrialOutcome:
+    """Execute one trial: derive its generator, run the task, record.
+
+    With ``isolate`` any :class:`Exception` is captured into the
+    outcome instead of propagating (``BaseException`` such as
+    ``KeyboardInterrupt`` always propagates).
+    """
+    rng = config.rng_for_trial(trial)
+    if not isolate:
+        return TrialOutcome(trial=trial, value=task(trial, rng))
+    try:
+        value = task(trial, rng)
+    except Exception as exc:  # fault isolation: record, continue
+        return TrialOutcome(trial=trial, error=f"{type(exc).__name__}: {exc}")
+    return TrialOutcome(trial=trial, value=value)
+
+
+def _run_chunk(
+    task: TrialTask,
+    config: MonteCarloConfig,
+    trials: Sequence[int],
+    isolate: bool,
+) -> List[TrialOutcome]:
+    """Run a contiguous chunk of trials (module-level, so it pickles)."""
+    return [run_trial(task, config, trial, isolate=isolate) for trial in trials]
+
+
+class TrialExecutor(ABC):
+    """Strategy for executing a sweep of independent seeded trials.
+
+    ``run`` yields lists of :class:`TrialOutcome` covering the requested
+    trial indices *in order*: concatenating the batches reproduces the
+    sweep exactly, whatever the execution strategy.
+    """
+
+    @abstractmethod
+    def run(
+        self,
+        task: TrialTask,
+        config: MonteCarloConfig,
+        trials: Sequence[int],
+        isolate: bool = False,
+    ) -> Iterator[List[TrialOutcome]]:
+        """Yield outcome batches for ``trials`` in trial order."""
+
+
+class SerialExecutor(TrialExecutor):
+    """Run trials inline, one batch per trial.
+
+    The single-trial batches keep consumers' per-trial semantics (time
+    budgets checked before each trial, checkpoints written at exact
+    trial counts) identical to a plain ``for`` loop.
+    """
+
+    def run(
+        self,
+        task: TrialTask,
+        config: MonteCarloConfig,
+        trials: Sequence[int],
+        isolate: bool = False,
+    ) -> Iterator[List[TrialOutcome]]:
+        for trial in trials:
+            yield [run_trial(task, config, trial, isolate=isolate)]
+
+
+#: Warm process pools, one per worker count, reused across sweeps.
+#: Worker startup under a fork-safe start method is expensive (a fresh
+#: interpreter importing numpy), so pools live for the process and are
+#: only discarded when broken.
+_POOL_CACHE: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _mp_context():
+    """A fork-safe multiprocessing context.
+
+    The platform-default ``fork`` start method deadlocks
+    probabilistically: workers fork while the pool's feeder thread may
+    hold a queue lock, and the child inherits the locked mutex with no
+    owner.  ``forkserver`` forks from a clean, single-threaded server
+    process (falling back to ``spawn`` where unavailable), which
+    removes the hazard entirely.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn"
+    )
+
+
+def _pool_for(workers: int) -> ProcessPoolExecutor:
+    pool = _POOL_CACHE.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+        _POOL_CACHE[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _POOL_CACHE.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every cached worker pool (new sweeps start fresh).
+
+    Rarely needed — pools are reclaimed at interpreter exit — but lets
+    long-lived hosts release idle workers deterministically.
+    """
+    for workers in list(_POOL_CACHE):
+        _discard_pool(workers)
+
+
+class ParallelExecutor(TrialExecutor):
+    """Chunked process-pool execution, bit-identical to serial.
+
+    Trials are split into contiguous chunks, dispatched to a process
+    pool up front, and yielded chunk by chunk in submission order —
+    because every trial's generator is addressable, execution order
+    cannot affect results, only wall-clock.  Tasks and configs must
+    pickle (the estimator tasks are frozen dataclasses for exactly this
+    reason).
+
+    Pools are warm and shared: one pool per worker count lives for the
+    process (started via a fork-safe method, see :func:`_mp_context`),
+    so only the first parallel sweep pays worker startup.
+
+    Fault isolation is per chunk: when a chunk's future fails for
+    infrastructure reasons (worker killed, unpicklable task, broken
+    pool) the chunk is re-executed in-process, so the sweep completes —
+    serially in the worst case — rather than dying; a broken pool is
+    discarded so the next sweep gets a fresh one.  Task-level
+    exceptions keep their usual regime: propagated when
+    ``isolate=False`` (re-raised by the in-process re-execution with
+    their original type), recorded per trial when ``isolate=True``.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (>= 1).
+    chunk_size:
+        Trials per dispatched chunk; default splits the sweep into
+        about four chunks per worker (capped so very long sweeps still
+        stream partial results back for checkpoints and budgets).
+    """
+
+    def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {chunk_size!r}"
+            )
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def _chunks(self, trials: Sequence[int]) -> List[Sequence[int]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(trials) / (self.workers * 4)))
+            size = min(size, _MAX_AUTO_CHUNK)
+        return [trials[i : i + size] for i in range(0, len(trials), size)]
+
+    def run(
+        self,
+        task: TrialTask,
+        config: MonteCarloConfig,
+        trials: Sequence[int],
+        isolate: bool = False,
+    ) -> Iterator[List[TrialOutcome]]:
+        trials = list(trials)
+        if not trials:
+            return
+        chunks = self._chunks(trials)
+        futures: List[Future] = []
+        try:
+            pool = _pool_for(self.workers)
+            futures = [
+                pool.submit(_run_chunk, task, config, tuple(chunk), isolate)
+                for chunk in chunks
+            ]
+        except Exception:
+            # Pool could not even accept work — run the whole sweep
+            # in-process.
+            _discard_pool(self.workers)
+            for chunk in chunks:
+                yield _run_chunk(task, config, tuple(chunk), isolate)
+            return
+        try:
+            for chunk, future in zip(chunks, futures):
+                try:
+                    batch = future.result()
+                except BrokenExecutor:
+                    # The pool itself died; replace it for future
+                    # sweeps and finish this one in-process.
+                    _discard_pool(self.workers)
+                    batch = _run_chunk(task, config, tuple(chunk), isolate)
+                except Exception:
+                    # Chunk-level fault isolation: the task cannot
+                    # cross the process boundary (closures), or the
+                    # worker raised.  Re-run in-process; genuine task
+                    # errors then resurface with their real type.
+                    batch = _run_chunk(task, config, tuple(chunk), isolate)
+                yield batch
+        finally:
+            # Abandoned generators (time budget, interrupt) must not
+            # leave queued chunks running; the shared pool itself
+            # stays warm for the next sweep.
+            for future in futures:
+                future.cancel()
+
+
+def executor_for(config: MonteCarloConfig) -> TrialExecutor:
+    """The executor a config asks for: serial at 1 worker, else a pool."""
+    workers = config.resolved_workers()
+    if workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)
+
+
+def execute_trials(
+    task: TrialTask,
+    config: MonteCarloConfig,
+    *,
+    executor: Optional[TrialExecutor] = None,
+    isolate: bool = False,
+) -> List[TrialOutcome]:
+    """Run every trial of ``config`` through an executor, in order.
+
+    The one-line entry point the estimators use: results are identical
+    for every executor, so callers choose purely on wall-clock grounds
+    (``executor=None`` respects ``config.workers``).
+    """
+    executor = executor if executor is not None else executor_for(config)
+    outcomes: List[TrialOutcome] = []
+    for batch in executor.run(task, config, range(config.trials), isolate=isolate):
+        outcomes.extend(batch)
+    return outcomes

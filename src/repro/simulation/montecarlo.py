@@ -13,36 +13,48 @@ Three estimators cover everything the paper's evaluation needs:
   meeting a condition, the quantity Section V identifies with the
   per-point probability.
 
-All estimators consume a :class:`MonteCarloConfig` carrying the trial
-count and master seed; every trial derives its own
-:class:`numpy.random.Generator` via ``spawn``, so runs are reproducible
-and trials are independent.
+Each estimator is a thin wrapper over a *trial task* — a frozen,
+picklable dataclass mapping ``(trial, rng)`` to a small record — run by
+the shared engine (:mod:`repro.simulation.engine`).  The engine derives
+each trial's generator from the :class:`MonteCarloConfig` master seed,
+so runs are reproducible, trials are independent, and serial and
+process-parallel execution tally bit-identical estimates.  Point
+evaluation inside the tasks goes through the vectorised batch kernels
+(:mod:`repro.core.batch`), which are property-tested bit-identical to
+the scalar reference path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch import condition_mask
 from repro.core.conditions import (
     necessary_condition_holds,
     sufficient_condition_holds,
 )
-from repro.core.full_view import is_full_view_covered, validate_effective_angle
+from repro.core.full_view import is_full_view_covered
 from repro.deployment.base import DeploymentScheme
 from repro.deployment.uniform import UniformDeployment
 from repro.errors import InvalidParameterError
+from repro.geometry.angles import validate_effective_angle
 from repro.geometry.grid import DenseGrid
 from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import HeterogeneousProfile
-from repro.simulation.statistics import BernoulliEstimate
+from repro.simulation.engine import MonteCarloConfig, execute_trials
+from repro.simulation.statistics import BernoulliEstimate, mean_and_half_width
 
 __all__ = [
+    "AreaFractionTask",
+    "ConditionChainTask",
     "DirectionPredicate",
+    "GridFailureTask",
     "MonteCarloConfig",
     "Point",
+    "PointProbabilityTask",
     "condition_predicate",
     "estimate_area_fraction",
     "estimate_condition_chain",
@@ -54,6 +66,13 @@ Point = Tuple[float, float]
 
 #: Predicate over the viewed directions of the covering sensors.
 DirectionPredicate = Callable[[np.ndarray], bool]
+
+#: Conditions the point-level tasks accept.
+_POINT_CONDITIONS = ("necessary", "sufficient", "exact", "k_coverage")
+
+#: Conditions the grid failure estimator accepts (k-coverage of a grid
+#: is a different quantity, served by :mod:`repro.core.kcoverage`).
+_GRID_CONDITIONS = ("necessary", "sufficient", "exact")
 
 
 def condition_predicate(condition: str, theta: float, k: int = 1) -> DirectionPredicate:
@@ -80,58 +99,16 @@ def condition_predicate(condition: str, theta: float, k: int = 1) -> DirectionPr
     )
 
 
-@dataclass(frozen=True)
-class MonteCarloConfig:
-    """Trial budget and reproducibility settings.
-
-    Attributes
-    ----------
-    trials:
-        Number of independent deployments.
-    seed:
-        Master seed; each trial gets a spawned child generator.
-    use_index:
-        Whether fleets build a spatial index before queries (identical
-        results either way; index pays off from a few hundred sensors).
-    """
-
-    trials: int = 200
-    seed: int = 0
-    use_index: bool = True
-
-    def __post_init__(self) -> None:
-        if self.trials < 1:
-            raise InvalidParameterError(f"trials must be >= 1, got {self.trials!r}")
-
-    def rng_for_trial(self, trial: int) -> np.random.Generator:
-        """The generator for one trial, addressable in O(1).
-
-        Child ``i`` of ``SeedSequence(seed).spawn(trials)`` is exactly
-        ``SeedSequence(seed, spawn_key=(i,))``, so trials can be
-        (re)played individually — the checkpointed runner resumes a
-        sweep at any index with bit-identical streams.
-        """
-        if not (0 <= trial < self.trials):
-            raise InvalidParameterError(
-                f"trial must be in [0, {self.trials}), got {trial!r}"
-            )
-        seq = np.random.SeedSequence(self.seed, spawn_key=(trial,))
-        return np.random.Generator(np.random.PCG64(seq))
-
-    def rngs(self) -> Iterator[np.random.Generator]:
-        """One independent generator per trial, yielded lazily.
-
-        Streams are identical to the historical eager
-        ``SeedSequence(seed).spawn(trials)`` list, but generators are
-        created on demand, so large ``--full`` trial counts do not
-        materialize thousands of generators up front.
-        """
-        for trial in range(self.trials):
-            yield self.rng_for_trial(trial)
-
-    def rngs_list(self) -> List[np.random.Generator]:
-        """Eager shim for callers that need ``len()`` or indexing."""
-        return list(self.rngs())
+def _validate_point_condition(condition: str, theta: float, k: int) -> None:
+    """Eagerly validate point-task parameters (same errors as the predicate)."""
+    validate_effective_angle(theta)
+    if condition not in _POINT_CONDITIONS:
+        raise InvalidParameterError(
+            "condition must be one of 'necessary', 'sufficient', 'exact', "
+            f"'k_coverage'; got {condition!r}"
+        )
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k!r}")
 
 
 def _deploy(
@@ -145,6 +122,173 @@ def _deploy(
     if use_index and len(fleet) > 0:
         fleet.build_index()
     return fleet
+
+
+@dataclass(frozen=True)
+class PointProbabilityTask:
+    """One trial of :func:`estimate_point_probability`.
+
+    Deploys a fresh fleet and reports whether the fixed ``point`` meets
+    ``condition``.  Evaluation goes through the batch kernel, which
+    never consults the spatial index, so no index is built; the verdict
+    is identical to the scalar predicate path.  Frozen and picklable,
+    so the parallel executor can ship it to worker processes.
+    """
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+    condition: str
+    scheme: DeploymentScheme
+    point: Point
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        _validate_point_condition(self.condition, self.theta, self.k)
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> bool:
+        """Deploy and test the fixed point (the trial index is unused)."""
+        del trial
+        fleet = self.scheme.deploy(self.profile, self.n, rng)
+        pts = np.array([self.point], dtype=float)
+        return bool(
+            condition_mask(fleet, pts, self.theta, self.condition, k=self.k)[0]
+        )
+
+
+@dataclass(frozen=True)
+class GridFailureTask:
+    """One trial of :func:`estimate_grid_failure_probability`.
+
+    Deploys a fresh fleet and reports whether *some* evaluation point
+    fails ``condition`` — the event ``not H``.  The grid is subsampled
+    per trial (consuming the trial generator after the deployment, in
+    that order, for stream stability) when ``max_grid_points`` caps it.
+    """
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+    condition: str
+    scheme: DeploymentScheme
+    grid: DenseGrid
+    max_grid_points: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        validate_effective_angle(self.theta)
+        if self.condition not in _GRID_CONDITIONS:
+            raise InvalidParameterError(
+                "grid conditions are 'necessary', 'sufficient' or 'exact', "
+                f"got {self.condition!r}"
+            )
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> bool:
+        """Deploy and scan the grid for a failing point."""
+        del trial
+        fleet = self.scheme.deploy(self.profile, self.n, rng)
+        if self.max_grid_points is not None and self.max_grid_points < len(self.grid):
+            points = self.grid.sample(self.max_grid_points, rng)
+        else:
+            points = self.grid.points
+        if len(fleet) == 0:
+            return True
+        # Vectorised evaluation with growing chunks: small first chunks
+        # keep the early exit cheap in failing regimes, large later
+        # chunks amortise vectorisation when the trial is (nearly)
+        # fully covered.  Verdict identical to a point-by-point scalar
+        # loop.
+        start = 0
+        chunk = 32
+        while start < points.shape[0]:
+            mask = condition_mask(
+                fleet, points[start : start + chunk], self.theta, self.condition
+            )
+            if not mask.all():
+                return True
+            start += chunk
+            chunk = min(4 * chunk, 2048)
+        return False
+
+
+@dataclass(frozen=True)
+class AreaFractionTask:
+    """One trial of :func:`estimate_area_fraction`.
+
+    Deploys a fresh fleet, draws ``sample_points`` uniform points with
+    the same trial generator (after the deployment, preserving the
+    historical draw order), and returns the fraction meeting
+    ``condition`` — evaluated in one vectorised batch instead of a
+    scalar per-point loop.
+    """
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+    condition: str
+    scheme: DeploymentScheme
+    sample_points: int = 256
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        _validate_point_condition(self.condition, self.theta, self.k)
+        if self.sample_points < 1:
+            raise InvalidParameterError(
+                f"sample_points must be >= 1, got {self.sample_points!r}"
+            )
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> float:
+        """Deploy and evaluate one batch of uniform sample points."""
+        del trial
+        fleet = self.scheme.deploy(self.profile, self.n, rng)
+        points = rng.uniform(0.0, self.scheme.region.side, size=(self.sample_points, 2))
+        mask = condition_mask(fleet, points, self.theta, self.condition, k=self.k)
+        return float(mask.mean())
+
+
+@dataclass(frozen=True)
+class ConditionChainTask:
+    """One trial of :func:`estimate_condition_chain`.
+
+    Evaluates necessary / exact / sufficient on the *same* deployment
+    and returns the three verdicts as a tuple.  Uses the scalar
+    covering-directions path (a single point, three predicates), where
+    the spatial index genuinely helps, hence the ``use_index`` knob.
+    """
+
+    profile: HeterogeneousProfile
+    n: int
+    theta: float
+    scheme: DeploymentScheme
+    point: Point
+    use_index: bool = True
+
+    def __post_init__(self) -> None:
+        validate_effective_angle(self.theta)
+
+    def __call__(
+        self, trial: int, rng: np.random.Generator
+    ) -> Tuple[bool, bool, bool]:
+        """Deploy once and evaluate all three conditions at the point."""
+        del trial
+        fleet = _deploy(self.scheme, self.profile, self.n, rng, self.use_index)
+        directions = (
+            fleet.covering_directions(self.point, use_index=self.use_index)
+            if len(fleet)
+            else SensorFleet.no_directions()
+        )
+        return (
+            bool(necessary_condition_holds(directions, self.theta)),
+            bool(is_full_view_covered(directions, self.theta)),
+            bool(sufficient_condition_holds(directions, self.theta)),
+        )
+
+
+def _default_point(scheme: DeploymentScheme, point: Optional[Point]) -> Point:
+    """The fixed evaluation point: caller's choice or the region centre."""
+    if point is not None:
+        return (float(point[0]), float(point[1]))
+    side = scheme.region.side
+    return (0.5 * side, 0.5 * side)
 
 
 def estimate_point_probability(
@@ -163,19 +307,17 @@ def estimate_point_probability(
     equivalent, so the choice is immaterial — property-tested).
     """
     scheme = scheme or UniformDeployment()
-    region = scheme.region
-    target: Point = point if point is not None else (0.5 * region.side, 0.5 * region.side)
-    predicate = condition_predicate(condition, theta, k)
-    successes = 0
-    for rng in config.rngs():
-        fleet = _deploy(scheme, profile, n, rng, config.use_index)
-        directions = (
-            fleet.covering_directions(target, use_index=config.use_index)
-            if len(fleet)
-            else SensorFleet.no_directions()
-        )
-        if predicate(directions):
-            successes += 1
+    task = PointProbabilityTask(
+        profile=profile,
+        n=n,
+        theta=validate_effective_angle(theta),
+        condition=condition,
+        scheme=scheme,
+        point=_default_point(scheme, point),
+        k=k,
+    )
+    outcomes = execute_trials(task, config)
+    successes = sum(1 for outcome in outcomes if outcome.value)
     return BernoulliEstimate(successes=successes, trials=config.trials)
 
 
@@ -196,43 +338,18 @@ def estimate_grid_failure_probability(
     bound work on large grids; the resulting estimate lower-bounds the
     full-grid failure probability and converges to it as the cap grows.
     """
-    from repro.core.batch import condition_mask  # local import avoids a cycle
-
     scheme = scheme or UniformDeployment()
-    grid = grid or DenseGrid.for_sensor_count(n, scheme.region)
-    if condition not in ("necessary", "sufficient", "exact"):
-        raise InvalidParameterError(
-            f"grid conditions are 'necessary', 'sufficient' or 'exact', got {condition!r}"
-        )
-    failures = 0
-    for rng in config.rngs():
-        fleet = _deploy(scheme, profile, n, rng, config.use_index)
-        if max_grid_points is not None and max_grid_points < len(grid):
-            points = grid.sample(max_grid_points, rng)
-        else:
-            points = grid.points
-        trial_failed = False
-        if len(fleet) == 0:
-            trial_failed = True
-        else:
-            # Vectorised evaluation with growing chunks: small first
-            # chunks keep the early exit cheap in failing regimes,
-            # large later chunks amortise vectorisation when the trial
-            # is (nearly) fully covered.  Verdict identical to a
-            # point-by-point scalar loop.
-            start = 0
-            chunk = 32
-            while start < points.shape[0]:
-                mask = condition_mask(
-                    fleet, points[start : start + chunk], theta, condition
-                )
-                if not mask.all():
-                    trial_failed = True
-                    break
-                start += chunk
-                chunk = min(4 * chunk, 2048)
-        if trial_failed:
-            failures += 1
+    task = GridFailureTask(
+        profile=profile,
+        n=n,
+        theta=validate_effective_angle(theta),
+        condition=condition,
+        scheme=scheme,
+        grid=grid or DenseGrid.for_sensor_count(n, scheme.region),
+        max_grid_points=max_grid_points,
+    )
+    outcomes = execute_trials(task, config)
+    failures = sum(1 for outcome in outcomes if outcome.value)
     return BernoulliEstimate(successes=failures, trials=config.trials)
 
 
@@ -252,29 +369,18 @@ def estimate_area_fraction(
     random points; fractions are averaged across trials.  Returns
     ``(mean, ci_half_width)`` at 95% confidence.
     """
-    from repro.simulation.statistics import mean_and_half_width
-
-    if sample_points < 1:
-        raise InvalidParameterError(
-            f"sample_points must be >= 1, got {sample_points!r}"
-        )
     scheme = scheme or UniformDeployment()
-    predicate = condition_predicate(condition, theta, k)
-    fractions = []
-    for rng in config.rngs():
-        fleet = _deploy(scheme, profile, n, rng, config.use_index)
-        points = rng.uniform(0.0, scheme.region.side, size=(sample_points, 2))
-        hits = 0
-        for x, y in points:
-            directions = (
-                fleet.covering_directions((float(x), float(y)), use_index=config.use_index)
-                if len(fleet)
-                else SensorFleet.no_directions()
-            )
-            if predicate(directions):
-                hits += 1
-        fractions.append(hits / sample_points)
-    return mean_and_half_width(fractions)
+    task = AreaFractionTask(
+        profile=profile,
+        n=n,
+        theta=validate_effective_angle(theta),
+        condition=condition,
+        scheme=scheme,
+        sample_points=sample_points,
+        k=k,
+    )
+    outcomes = execute_trials(task, config)
+    return mean_and_half_width([outcome.value for outcome in outcomes])
 
 
 def estimate_condition_chain(
@@ -293,21 +399,19 @@ def estimate_condition_chain(
     Used by the GAP experiment (Section VI-C).
     """
     scheme = scheme or UniformDeployment()
-    region = scheme.region
-    target: Point = point if point is not None else (0.5 * region.side, 0.5 * region.side)
-    theta = validate_effective_angle(theta)
+    task = ConditionChainTask(
+        profile=profile,
+        n=n,
+        theta=validate_effective_angle(theta),
+        scheme=scheme,
+        point=_default_point(scheme, point),
+        use_index=config.use_index,
+    )
+    outcomes = execute_trials(task, config)
     counts = {"necessary": 0, "exact": 0, "sufficient": 0}
     violations = 0
-    for rng in config.rngs():
-        fleet = _deploy(scheme, profile, n, rng, config.use_index)
-        directions = (
-            fleet.covering_directions(target, use_index=config.use_index)
-            if len(fleet)
-            else SensorFleet.no_directions()
-        )
-        nec = necessary_condition_holds(directions, theta)
-        exact = is_full_view_covered(directions, theta)
-        suf = sufficient_condition_holds(directions, theta)
+    for outcome in outcomes:
+        nec, exact, suf = outcome.value
         counts["necessary"] += nec
         counts["exact"] += exact
         counts["sufficient"] += suf

@@ -23,6 +23,17 @@ module provides them around *any* per-trial function:
 The trial function receives ``(trial_index, rng)`` and returns a number
 (booleans for Bernoulli sweeps, e.g. lifetimes for resilience sweeps).
 It must derive all randomness from ``rng`` for determinism to hold.
+
+Execution is delegated to the shared engine
+(:mod:`repro.simulation.engine`): the config's ``workers`` setting
+selects serial or process-parallel execution, and because executors
+yield outcomes in trial order the checkpoint always holds a contiguous
+prefix of the sweep — checkpoint/resume and parallelism compose, with
+bit-identical results either way.  Under the parallel executor the time
+budget and ``BaseException`` handling act at chunk granularity (the
+serial executor keeps the historical per-trial granularity), and a
+trial function that cannot cross the process boundary (e.g. a closure)
+transparently falls back to in-process execution.
 """
 
 from __future__ import annotations
@@ -36,8 +47,10 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.deployment.uniform import UniformDeployment
 from repro.errors import CheckpointError, InvalidParameterError
-from repro.simulation.montecarlo import MonteCarloConfig
+from repro.simulation.engine import MonteCarloConfig, executor_for
+from repro.simulation.montecarlo import PointProbabilityTask
 from repro.simulation.statistics import BernoulliEstimate, wilson_interval
 
 __all__ = [
@@ -250,33 +263,40 @@ def run_resilient_trials(
     truncated = False
     started_at = time.monotonic()
     next_trial = start
+    batches = executor_for(config).run(
+        trial_fn, config, range(start, config.trials), isolate=True
+    )
     try:
-        for trial in range(start, config.trials):
+        while next_trial < config.trials:
             if (
                 time_budget is not None
                 and time.monotonic() - started_at >= time_budget
             ):
                 truncated = True
                 break
-            rng = config.rng_for_trial(trial)
-            try:
-                value = trial_fn(trial, rng)
-            except Exception as exc:  # fault isolation: record, continue
-                failures.append(
-                    TrialFailure(trial=trial, error=f"{type(exc).__name__}: {exc}")
-                )
-            else:
-                outcomes.append((trial, float(value)))
-            next_trial = trial + 1
-            if path is not None and (next_trial - start) % checkpoint_every == 0:
-                _write_checkpoint(path, config, next_trial, outcomes, failures)
-        else:
-            next_trial = config.trials
+            batch = next(batches, None)
+            if batch is None:
+                break
+            for outcome in batch:
+                if outcome.ok:
+                    outcomes.append((outcome.trial, float(outcome.value)))
+                else:
+                    failures.append(
+                        TrialFailure(trial=outcome.trial, error=outcome.error)
+                    )
+                next_trial = outcome.trial + 1
+                if path is not None and (next_trial - start) % checkpoint_every == 0:
+                    _write_checkpoint(path, config, next_trial, outcomes, failures)
     except BaseException:
         # Interrupts and crashes must not lose completed work.
         if path is not None:
             _write_checkpoint(path, config, next_trial, outcomes, failures)
         raise
+    finally:
+        # Dropping the executor's generator cancels any queued chunks.
+        close = getattr(batches, "close", None)
+        if close is not None:
+            close()
     if path is not None:
         _write_checkpoint(path, config, next_trial, outcomes, failures)
     return ResilientResult(
@@ -303,25 +323,20 @@ def make_point_probability_trial(
     Exposes the standard estimator through the resilient runner:
     ``run_resilient_trials(make_point_probability_trial(...), config)``
     tallies the same successes as the plain estimator, trial for trial.
+    Returns the estimator's own picklable task, so the resilient sweep
+    also parallelises (``use_index`` is accepted for API compatibility;
+    the batch evaluation path has no use for the spatial index).
     """
-    from repro.deployment.uniform import UniformDeployment
-    from repro.sensors.fleet import SensorFleet
-    from repro.simulation.montecarlo import condition_predicate
-
+    del use_index  # batch evaluation never consults the spatial index
     scheme = scheme or UniformDeployment()
     region = scheme.region
     target = point if point is not None else (0.5 * region.side, 0.5 * region.side)
-    predicate = condition_predicate(condition, theta, k)
-
-    def trial(trial_index: int, rng: np.random.Generator) -> bool:
-        fleet = scheme.deploy(profile, n, rng)
-        if use_index and len(fleet) > 0:
-            fleet.build_index()
-        directions = (
-            fleet.covering_directions(target, use_index=use_index)
-            if len(fleet)
-            else SensorFleet.no_directions()
-        )
-        return bool(predicate(directions))
-
-    return trial
+    return PointProbabilityTask(
+        profile=profile,
+        n=n,
+        theta=theta,
+        condition=condition,
+        scheme=scheme,
+        point=(float(target[0]), float(target[1])),
+        k=k,
+    )

@@ -172,3 +172,49 @@ class TestChunking:
         monkeypatch.setattr(batch_module, "_MAX_PAIRS_PER_CHUNK", 500)
         chunked = full_view_mask(fleet, points, math.pi / 3)
         assert (full == chunked).all()
+
+
+class TestKCoverage:
+    """The issue's property: k_coverage mask == (coverage_counts >= k)."""
+
+    @given(k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=16, deadline=None)
+    def test_mask_equals_count_threshold(self, fleet, points, k):
+        mask = condition_mask(fleet, points, math.pi / 3, "k_coverage", k=k)
+        assert (mask == (coverage_counts(fleet, points) >= k)).all()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        k=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_on_random_points(self, fleet, seed, k):
+        pts = np.random.default_rng(seed).uniform(size=(25, 2))
+        mask = condition_mask(fleet, pts, 1.0, "k_coverage", k=k)
+        assert (mask == (coverage_counts(fleet, pts) >= k)).all()
+
+    def test_k1_is_plain_coverage(self, fleet, points):
+        mask = condition_mask(fleet, points, 1.0, "k_coverage")
+        assert (mask == (coverage_counts(fleet, points) >= 1)).all()
+
+    def test_invalid_k(self, fleet, points):
+        with pytest.raises(InvalidParameterError):
+            condition_mask(fleet, points, 1.0, "k_coverage", k=0)
+
+    def test_fraction_forwards_k(self, fleet, points):
+        fraction = coverage_fraction_fast(fleet, points, 1.0, "k_coverage", k=3)
+        expected = float((coverage_counts(fleet, points) >= 3).mean())
+        assert fraction == expected
+
+
+class TestMaxGapsVectorised:
+    """The vectorised gap rows agree with the scalar circular-gap helper."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_scalar_gap(self, fleet, seed):
+        pts = np.random.default_rng(seed).uniform(size=(20, 2))
+        gaps = max_gaps(fleet, pts)
+        for i, (x, y) in enumerate(pts):
+            dirs = fleet.covering_directions((float(x), float(y)), use_index=False)
+            assert gaps[i] == pytest.approx(max_circular_gap(dirs), abs=1e-12)

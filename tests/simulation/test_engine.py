@@ -1,0 +1,315 @@
+"""Trial-execution engine: executors are interchangeable, bit for bit.
+
+The engine's load-bearing guarantee is that the *executor is not part
+of the statistical model*: because trial ``i``'s generator is
+``SeedSequence(seed, spawn_key=(i,))``, any execution order — serial,
+chunked across processes, replayed after a checkpoint — produces the
+same outcomes.  These tests pin that guarantee for the raw executors,
+for every estimator, and for the checkpointed resilient runner.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deployment.uniform import UniformDeployment
+from repro.errors import InvalidParameterError
+from repro.sensors.model import CameraSpec, HeterogeneousProfile
+from repro.simulation.engine import (
+    WORKERS_ENV_VAR,
+    MonteCarloConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialOutcome,
+    execute_trials,
+    executor_for,
+    run_trial,
+)
+from repro.simulation.montecarlo import (
+    AreaFractionTask,
+    PointProbabilityTask,
+    estimate_area_fraction,
+    estimate_condition_chain,
+    estimate_grid_failure_probability,
+    estimate_point_probability,
+)
+from repro.simulation.runner import run_resilient_trials
+
+
+def draw_trial(trial: int, rng: np.random.Generator) -> float:
+    """A cheap picklable task whose value fingerprints the rng stream."""
+    return float(rng.random())
+
+
+def failing_trial(trial: int, rng: np.random.Generator) -> float:
+    """Fails on trial 3, succeeds elsewhere."""
+    if trial == 3:
+        raise ValueError("injected failure")
+    return draw_trial(trial, rng)
+
+
+PROFILE = HeterogeneousProfile.homogeneous(
+    CameraSpec(radius=0.3, angle_of_view=math.pi / 2)
+)
+THETA = math.pi / 3
+
+
+@pytest.fixture
+def profile():
+    return PROFILE
+
+
+class TestMonteCarloConfig:
+    def test_rejects_bad_trials(self):
+        with pytest.raises(InvalidParameterError):
+            MonteCarloConfig(trials=0)
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(InvalidParameterError):
+            MonteCarloConfig(trials=5, workers=0)
+
+    def test_rng_for_trial_bounds(self):
+        cfg = MonteCarloConfig(trials=5, seed=1)
+        with pytest.raises(InvalidParameterError):
+            cfg.rng_for_trial(5)
+        with pytest.raises(InvalidParameterError):
+            cfg.rng_for_trial(-1)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_streams_match_legacy_spawn(self, seed):
+        # The historical eager spawn and O(1) addressing are the same
+        # streams; this is the identity every executor leans on.
+        cfg = MonteCarloConfig(trials=8, seed=seed)
+        legacy = np.random.SeedSequence(seed).spawn(8)
+        for trial, seq in enumerate(legacy):
+            expected = np.random.Generator(np.random.PCG64(seq)).random(4)
+            actual = cfg.rng_for_trial(trial).random(4)
+            assert (expected == actual).all()
+
+    def test_resolved_workers_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert MonteCarloConfig(trials=1, workers=3).resolved_workers() == 3
+
+    def test_resolved_workers_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        assert MonteCarloConfig(trials=1).resolved_workers() == 4
+
+    def test_resolved_workers_default_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert MonteCarloConfig(trials=1).resolved_workers() == 1
+
+    @pytest.mark.parametrize("raw", ["zero", "-2", "0", "1.5"])
+    def test_resolved_workers_rejects_bad_env(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        with pytest.raises(InvalidParameterError):
+            MonteCarloConfig(trials=1).resolved_workers()
+
+    def test_executor_for_respects_workers(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert isinstance(executor_for(MonteCarloConfig(trials=1)), SerialExecutor)
+        assert isinstance(
+            executor_for(MonteCarloConfig(trials=1, workers=2)), ParallelExecutor
+        )
+
+
+class TestRunTrial:
+    def test_isolated_failure_is_recorded(self):
+        cfg = MonteCarloConfig(trials=5, seed=0)
+        outcome = run_trial(failing_trial, cfg, 3, isolate=True)
+        assert not outcome.ok
+        assert outcome.error == "ValueError: injected failure"
+        assert outcome.value is None
+
+    def test_unisolated_failure_propagates(self):
+        cfg = MonteCarloConfig(trials=5, seed=0)
+        with pytest.raises(ValueError):
+            run_trial(failing_trial, cfg, 3)
+
+    def test_outcome_is_picklable(self):
+        outcome = TrialOutcome(trial=2, value=0.5)
+        assert pickle.loads(pickle.dumps(outcome)) == outcome
+
+
+class TestExecutorEquivalence:
+    """Serial and parallel executors must agree bit for bit."""
+
+    CFG = MonteCarloConfig(trials=17, seed=42)
+
+    def _serial(self):
+        return execute_trials(draw_trial, self.CFG, executor=SerialExecutor())
+
+    def test_serial_covers_trials_in_order(self):
+        outcomes = self._serial()
+        assert [o.trial for o in outcomes] == list(range(17))
+
+    @pytest.mark.parametrize("chunk_size", [None, 1, 4, 17, 100])
+    def test_parallel_matches_serial(self, chunk_size):
+        parallel = execute_trials(
+            draw_trial,
+            self.CFG,
+            executor=ParallelExecutor(workers=2, chunk_size=chunk_size),
+        )
+        assert parallel == self._serial()
+
+    def test_closure_task_falls_back_in_process(self):
+        # Closures cannot pickle into workers; the per-chunk fallback
+        # must still complete the sweep with identical results.
+        offset = 0.0
+        parallel = execute_trials(
+            lambda trial, rng: float(rng.random()) + offset,
+            self.CFG,
+            executor=ParallelExecutor(workers=2),
+        )
+        assert parallel == self._serial()
+
+    def test_parallel_isolated_failures_recorded(self):
+        outcomes = execute_trials(
+            failing_trial,
+            self.CFG,
+            executor=ParallelExecutor(workers=2, chunk_size=5),
+            isolate=True,
+        )
+        assert len(outcomes) == 17
+        bad = [o for o in outcomes if not o.ok]
+        assert [o.trial for o in bad] == [3]
+        assert bad[0].error == "ValueError: injected failure"
+
+    def test_parallel_unisolated_failure_propagates(self):
+        with pytest.raises(ValueError):
+            execute_trials(
+                failing_trial, self.CFG, executor=ParallelExecutor(workers=2)
+            )
+
+    def test_invalid_executor_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelExecutor(workers=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelExecutor(workers=2, chunk_size=0)
+
+    def test_empty_trial_range_yields_nothing(self):
+        batches = list(ParallelExecutor(workers=2).run(draw_trial, self.CFG, []))
+        assert batches == []
+
+
+class TestEstimatorBitIdentity:
+    """The issue's acceptance criterion: every estimator, workers > 1
+    == serial, exactly."""
+
+    def _cfg(self, workers, seed=11, trials=10):
+        return MonteCarloConfig(trials=trials, seed=seed, workers=workers)
+
+    def test_point_probability(self, profile):
+        serial = estimate_point_probability(
+            profile, 60, THETA, "necessary", self._cfg(1)
+        )
+        parallel = estimate_point_probability(
+            profile, 60, THETA, "necessary", self._cfg(2)
+        )
+        assert serial == parallel
+
+    def test_grid_failure(self, profile):
+        serial = estimate_grid_failure_probability(
+            profile, 40, THETA, "exact", self._cfg(1), max_grid_points=25
+        )
+        parallel = estimate_grid_failure_probability(
+            profile, 40, THETA, "exact", self._cfg(2), max_grid_points=25
+        )
+        assert serial == parallel
+
+    def test_area_fraction(self, profile):
+        serial = estimate_area_fraction(
+            profile, 40, THETA, "k_coverage", self._cfg(1), sample_points=32, k=2
+        )
+        parallel = estimate_area_fraction(
+            profile, 40, THETA, "k_coverage", self._cfg(2), sample_points=32, k=2
+        )
+        assert serial == parallel
+
+    def test_condition_chain(self, profile):
+        serial = estimate_condition_chain(profile, 60, THETA, self._cfg(1))
+        parallel = estimate_condition_chain(profile, 60, THETA, self._cfg(2))
+        assert serial == parallel
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_point_probability_any_seed(self, seed):
+        serial = estimate_point_probability(
+            PROFILE, 50, THETA, "exact", self._cfg(1, seed=seed, trials=6)
+        )
+        parallel = estimate_point_probability(
+            PROFILE, 50, THETA, "exact", self._cfg(2, seed=seed, trials=6)
+        )
+        assert serial == parallel
+
+    def test_env_var_path_matches(self, profile, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        serial = estimate_point_probability(
+            profile, 60, THETA, "sufficient", self._cfg(None)
+        )
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        parallel = estimate_point_probability(
+            profile, 60, THETA, "sufficient", self._cfg(None)
+        )
+        assert serial == parallel
+
+
+class TestParallelCheckpointResume:
+    """Checkpoint/resume under the parallel executor == uninterrupted."""
+
+    TASK = PointProbabilityTask(
+        profile=PROFILE,
+        n=50,
+        theta=THETA,
+        condition="necessary",
+        scheme=UniformDeployment(),
+        point=(0.5, 0.5),
+    )
+
+    def test_interrupted_parallel_equals_uninterrupted_serial(self, tmp_path):
+        serial_cfg = MonteCarloConfig(trials=16, seed=7, workers=1)
+        parallel_cfg = MonteCarloConfig(trials=16, seed=7, workers=2)
+        baseline = run_resilient_trials(self.TASK, serial_cfg)
+        truncated = run_resilient_trials(
+            self.TASK,
+            parallel_cfg,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=1,
+            time_budget=1e-9,
+        )
+        assert truncated.truncated
+        resumed = run_resilient_trials(
+            self.TASK, parallel_cfg, checkpoint_dir=tmp_path, resume=True
+        )
+        assert not resumed.truncated
+        assert resumed.outcomes == baseline.outcomes
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = run_resilient_trials(
+            self.TASK, MonteCarloConfig(trials=12, seed=3, workers=1)
+        )
+        parallel = run_resilient_trials(
+            self.TASK, MonteCarloConfig(trials=12, seed=3, workers=2)
+        )
+        assert parallel.outcomes == serial.outcomes
+
+    def test_area_task_is_picklable(self):
+        # Every estimator task must cross the process boundary.
+        task = AreaFractionTask(
+            profile=PROFILE,
+            n=10,
+            theta=THETA,
+            condition="exact",
+            scheme=UniformDeployment(),
+            sample_points=8,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        rng = np.random.SeedSequence(5)
+        original = task(0, np.random.Generator(np.random.PCG64(rng)))
+        restored = clone(0, np.random.Generator(np.random.PCG64(rng)))
+        assert original == restored

@@ -114,9 +114,14 @@ class TestFaultIsolation:
                 crash_at(5, KeyboardInterrupt()), CONFIG, checkpoint_dir=tmp_path
             )
         # ... but not before writing a checkpoint with the completed work.
+        # Serial checkpoints record every finished trial; parallel ones
+        # stop at the last complete chunk boundary before the crash.
         payload = json.loads((tmp_path / CHECKPOINT_FILENAME).read_text())
-        assert payload["next_trial"] == 5
-        assert len(payload["outcomes"]) == 5
+        if CONFIG.resolved_workers() == 1:
+            assert payload["next_trial"] == 5
+        else:
+            assert payload["next_trial"] <= 5
+        assert len(payload["outcomes"]) == payload["next_trial"]
 
 
 class TestCheckpointResume:
@@ -137,7 +142,14 @@ class TestCheckpointResume:
         )
         assert resumed.outcomes == baseline.outcomes
         assert resumed.successes == baseline.successes
-        assert resumed.resumed_trials == interrupt_at
+        # Serial execution checkpoints every trial; a parallel executor
+        # checkpoints per chunk, so the resume point is the last complete
+        # chunk boundary at or before the crash.  Outcome equality above
+        # is the exact bit-identity criterion either way.
+        if CONFIG.resolved_workers() == 1:
+            assert resumed.resumed_trials == interrupt_at
+        else:
+            assert resumed.resumed_trials <= interrupt_at
         assert resumed.estimate.wilson() == baseline.estimate.wilson()
 
     def test_resume_after_completion_is_noop(self, tmp_path, baseline):
