@@ -1,0 +1,70 @@
+"""Append benchmark observations to the repo-root ``BENCH_*.json`` ledgers.
+
+Each ledger is a JSON list of rows ``{bench, value, unit, git_sha,
+timestamp}`` — one row per observation, appended across runs so the
+history of a benchmark on one machine is a single ``jq``-able file.
+Writes go through :func:`repro.ioutil.write_json_atomic`, so a crash
+mid-record can never corrupt the ledger (worst case: the newest row is
+lost).  A corrupt or non-list ledger is silently restarted rather than
+crashing the benchmark that tried to record into it.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.ioutil import write_json_atomic
+
+__all__ = ["BENCH_CORE", "BENCH_ENGINE", "record"]
+
+#: Repo root: ``benchmarks/`` lives directly under it.
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: Ledger for engine/runner dispatch and speedup numbers.
+BENCH_ENGINE = "BENCH_engine.json"
+
+#: Ledger for core-primitive throughput numbers.
+BENCH_CORE = "BENCH_core.json"
+
+
+def _git_sha() -> str:
+    """The current HEAD commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def record(bench: str, value: float, unit: str, file: str = BENCH_ENGINE) -> Path:
+    """Append one observation row to the ledger ``file`` at the repo root."""
+    path = _ROOT / file
+    rows = []
+    if path.exists():
+        try:
+            rows = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            rows = []
+        if not isinstance(rows, list):
+            rows = []
+    rows.append(
+        {
+            "bench": bench,
+            "value": float(value),
+            "unit": unit,
+            "git_sha": _git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+    )
+    write_json_atomic(path, rows)
+    return path

@@ -9,9 +9,11 @@ experiment benches.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 import pytest
+from _record import BENCH_CORE, record
 
 from repro.core.conditions import necessary_condition_holds, sufficient_condition_holds
 from repro.core.csa import csa_necessary, csa_sufficient
@@ -22,6 +24,19 @@ from repro.geometry.intervals import AngularIntervalSet, max_circular_gap
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 
 THETA = math.pi / 3
+
+
+def _record_mean(bench: str, fn, *args, reps: int = 50) -> None:
+    """Ledger a self-timed mean for ``fn`` into ``BENCH_core.json``.
+
+    ``benchmark.stats`` is unavailable under ``--benchmark-disable``,
+    so the recorded number comes from a short timed loop of its own.
+    """
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn(*args)
+    mean_us = (time.perf_counter() - start) / reps * 1e6
+    record(bench, mean_us, "us/call", BENCH_CORE)
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +58,7 @@ def test_perf_covering_query(benchmark, fleet):
     """Spatial-indexed covering query on a 2000-sensor fleet."""
     result = benchmark(fleet.covering, (0.5, 0.5))
     assert result is not None
+    _record_mean("core_covering_query_indexed", fleet.covering, (0.5, 0.5))
 
 
 def test_perf_covering_query_no_index(benchmark, fleet):
@@ -57,6 +73,7 @@ def test_perf_covering_directions(benchmark, fleet):
 
 def test_perf_exact_full_view(benchmark, directions):
     benchmark(is_full_view_covered, directions, THETA)
+    _record_mean("core_exact_full_view", is_full_view_covered, directions, THETA)
 
 
 def test_perf_max_circular_gap(benchmark, directions):
@@ -97,6 +114,7 @@ def test_perf_full_view_mask_batch(benchmark, fleet):
     points = np.random.default_rng(2).uniform(size=(256, 2))
     result = benchmark(full_view_mask, fleet, points, THETA)
     assert result.shape == (256,)
+    _record_mean("core_full_view_mask_256", full_view_mask, fleet, points, THETA, reps=10)
 
 
 def test_perf_breach_cost(benchmark, directions):

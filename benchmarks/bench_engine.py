@@ -24,6 +24,7 @@ import os
 import time
 
 import numpy as np
+from _record import record
 
 from repro.core.csa import csa_sufficient
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
@@ -103,9 +104,9 @@ def test_serial_dispatch_overhead(benchmark):
         _self_timing(through_engine, times), rounds=3, iterations=1
     )
     assert successes == expected
-    benchmark.extra_info["per_trial_overhead_us"] = (
-        (min(times) - loop_time) / CHEAP_TRIALS * 1e6
-    )
+    overhead_us = (min(times) - loop_time) / CHEAP_TRIALS * 1e6
+    benchmark.extra_info["per_trial_overhead_us"] = overhead_us
+    record("engine_serial_dispatch_overhead", overhead_us, "us/trial")
 
 
 def test_parallel_dispatch_overhead(benchmark):
@@ -123,9 +124,9 @@ def test_parallel_dispatch_overhead(benchmark):
         _self_timing(through_pool, times), rounds=3, iterations=1
     )
     assert successes == expected
-    benchmark.extra_info["per_trial_overhead_us"] = (
-        (min(times) - loop_time) / CHEAP_TRIALS * 1e6
-    )
+    overhead_us = (min(times) - loop_time) / CHEAP_TRIALS * 1e6
+    benchmark.extra_info["per_trial_overhead_us"] = overhead_us
+    record("engine_parallel_dispatch_overhead", overhead_us, "us/trial")
 
 
 def test_parallel_speedup_grid_failure(benchmark):
@@ -161,6 +162,7 @@ def test_parallel_speedup_grid_failure(benchmark):
     benchmark.extra_info["serial_seconds"] = serial_time
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["cores"] = os.cpu_count()
+    record("engine_parallel_speedup_4w", speedup, "x")
     if (os.cpu_count() or 1) >= SWEEP_WORKERS:
         assert speedup >= 2.0, (
             f"expected >= 2x speedup with {SWEEP_WORKERS} workers on "

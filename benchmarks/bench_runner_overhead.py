@@ -12,14 +12,34 @@ noisy for CI, the numbers are for humans reading the benchmark table.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
+from _record import record
 
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.runner import run_resilient_trials
 
 TRIALS = 2000
 CONFIG = MonteCarloConfig(trials=TRIALS, seed=17)
+
+
+def _self_timing(fn, times):
+    """Wrap ``fn`` so each call appends its own wall clock to ``times``.
+
+    ``benchmark.stats`` is unavailable under ``--benchmark-disable``,
+    so the per-trial numbers recorded into ``BENCH_engine.json`` come
+    from these self-measured durations instead.
+    """
+
+    def wrapped(*args):
+        start = time.perf_counter()
+        value = fn(*args)
+        times.append(time.perf_counter() - start)
+        return value
+
+    return wrapped
 
 
 def cheap_trial(trial: int, rng: np.random.Generator) -> bool:
@@ -40,16 +60,25 @@ def expected_successes() -> int:
 
 
 def test_plain_loop(benchmark, expected_successes):
-    successes = benchmark.pedantic(plain_loop, rounds=3, iterations=1)
+    times = []
+    successes = benchmark.pedantic(
+        _self_timing(plain_loop, times), rounds=3, iterations=1
+    )
     assert successes == expected_successes
+    record("runner_plain_loop", min(times) / TRIALS * 1e6, "us/trial")
 
 
 def test_runner_no_checkpoint(benchmark, expected_successes):
+    times = []
     result = benchmark.pedantic(
-        run_resilient_trials, args=(cheap_trial, CONFIG), rounds=3, iterations=1
+        _self_timing(run_resilient_trials, times),
+        args=(cheap_trial, CONFIG),
+        rounds=3,
+        iterations=1,
     )
     assert result.completed == TRIALS
     assert result.successes == expected_successes
+    record("runner_no_checkpoint", min(times) / TRIALS * 1e6, "us/trial")
 
 
 def test_runner_with_checkpoints(benchmark, expected_successes, tmp_path):
@@ -58,6 +87,8 @@ def test_runner_with_checkpoints(benchmark, expected_successes, tmp_path):
             cheap_trial, CONFIG, checkpoint_dir=tmp_path, checkpoint_every=100
         )
 
-    result = benchmark.pedantic(checkpointed, rounds=3, iterations=1)
+    times = []
+    result = benchmark.pedantic(_self_timing(checkpointed, times), rounds=3, iterations=1)
     assert result.completed == TRIALS
     assert result.successes == expected_successes
+    record("runner_with_checkpoints", min(times) / TRIALS * 1e6, "us/trial")

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts without importing the repo.
+
+Stdlib-only on purpose: CI runs this against the files a traced
+``fullview run`` just produced, so a packaging or import regression in
+``repro`` cannot mask a malformed artifact.  Checks:
+
+- ``--trace FILE``   — fullview-trace-v1 JSONL: first line is a manifest
+  with the right format tag, every line kind is known, event ``seq``
+  starts at 0 and increments by 1, event ``t_ns`` is non-decreasing,
+  trial/chunk/span_summary lines carry their required numeric fields.
+- ``--metrics FILE`` — fullview-metrics-v1 JSON: counters are
+  non-negative ints, histograms have ``len(bounds) + 1`` bucket counts
+  and consistent totals.
+- ``--bench FILE``   — a BENCH_*.json ledger: a list of rows each
+  holding bench/value/unit/git_sha/timestamp of the right types.
+
+Exits 0 when every named artifact validates, 1 otherwise (with one
+line per problem on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, List
+
+TRACE_FORMAT = "fullview-trace-v1"
+METRICS_FORMAT = "fullview-metrics-v1"
+TRACE_KINDS = {"manifest", "event", "span_summary", "trial", "chunk", "metrics"}
+
+
+def _fail(problems: List[str], message: str) -> None:
+    problems.append(message)
+
+
+def check_trace(path: Path, problems: List[str]) -> None:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        _fail(problems, f"{path}: unreadable: {exc}")
+        return
+    rows = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError as exc:
+            _fail(problems, f"{path}:{number}: invalid JSON: {exc}")
+            return
+        if not isinstance(row, dict) or row.get("kind") not in TRACE_KINDS:
+            _fail(problems, f"{path}:{number}: unknown line kind")
+            return
+        rows.append((number, row))
+    if not rows:
+        _fail(problems, f"{path}: empty trace")
+        return
+    first_number, first = rows[0]
+    if first.get("kind") != "manifest" or first.get("format") != TRACE_FORMAT:
+        _fail(
+            problems,
+            f"{path}:{first_number}: first line must be a {TRACE_FORMAT} manifest",
+        )
+    expected_seq = 0
+    last_t_ns = None
+    for number, row in rows:
+        kind = row["kind"]
+        if kind == "event":
+            if row.get("seq") != expected_seq:
+                _fail(
+                    problems,
+                    f"{path}:{number}: event seq {row.get('seq')} != {expected_seq}",
+                )
+            expected_seq = int(row.get("seq", expected_seq)) + 1
+            t_ns = row.get("t_ns")
+            if not isinstance(t_ns, int):
+                _fail(problems, f"{path}:{number}: event missing integer t_ns")
+            elif last_t_ns is not None and t_ns < last_t_ns:
+                _fail(problems, f"{path}:{number}: event t_ns went backwards")
+            else:
+                last_t_ns = t_ns
+            if not isinstance(row.get("event"), str):
+                _fail(problems, f"{path}:{number}: event missing type name")
+        elif kind == "trial":
+            if not isinstance(row.get("trial"), int) or not isinstance(
+                row.get("dur_ns"), int
+            ):
+                _fail(problems, f"{path}:{number}: trial line needs trial+dur_ns ints")
+        elif kind == "chunk":
+            for key in ("first_trial", "trials", "wall_ns"):
+                if not isinstance(row.get(key), int):
+                    _fail(problems, f"{path}:{number}: chunk line needs integer {key!r}")
+        elif kind == "span_summary":
+            for key in ("name", "count", "total_ns", "min_ns", "max_ns"):
+                if key not in row:
+                    _fail(problems, f"{path}:{number}: span_summary missing {key!r}")
+
+
+def check_metrics(path: Path, problems: List[str]) -> None:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        _fail(problems, f"{path}: unreadable or invalid JSON: {exc}")
+        return
+    if not isinstance(payload, dict) or payload.get("format") != METRICS_FORMAT:
+        _fail(problems, f"{path}: not a {METRICS_FORMAT} snapshot")
+        return
+    counters = payload.get("counters", {})
+    if not isinstance(counters, dict):
+        _fail(problems, f"{path}: counters must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                _fail(problems, f"{path}: counter {name!r} must be a non-negative int")
+    if not isinstance(payload.get("gauges", {}), dict):
+        _fail(problems, f"{path}: gauges must be an object")
+    histograms = payload.get("histograms", {})
+    if not isinstance(histograms, dict):
+        _fail(problems, f"{path}: histograms must be an object")
+        return
+    for name, hist in histograms.items():
+        bounds = hist.get("buckets", [])
+        counts = hist.get("counts", [])
+        if len(counts) != len(bounds) + 1:
+            _fail(
+                problems,
+                f"{path}: histogram {name!r} needs len(buckets)+1 counts "
+                f"(got {len(counts)} for {len(bounds)} bucket bounds)",
+            )
+        if sum(counts) != hist.get("count"):
+            _fail(problems, f"{path}: histogram {name!r} counts sum != count")
+
+
+def check_bench(path: Path, problems: List[str]) -> None:
+    try:
+        rows = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        _fail(problems, f"{path}: unreadable or invalid JSON: {exc}")
+        return
+    if not isinstance(rows, list) or not rows:
+        _fail(problems, f"{path}: must be a non-empty JSON list")
+        return
+    expected: dict[str, type[Any]] = {
+        "bench": str,
+        "value": (int, float),  # type: ignore[dict-item]
+        "unit": str,
+        "git_sha": str,
+        "timestamp": str,
+    }
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            _fail(problems, f"{path}[{i}]: row must be an object")
+            continue
+        for key, kind in expected.items():
+            if not isinstance(row.get(key), kind):
+                _fail(problems, f"{path}[{i}]: field {key!r} missing or wrong type")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", action="append", default=[], metavar="FILE")
+    parser.add_argument("--metrics", action="append", default=[], metavar="FILE")
+    parser.add_argument("--bench", action="append", default=[], metavar="FILE")
+    args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.bench):
+        parser.error("nothing to check: pass --trace/--metrics/--bench")
+    problems: List[str] = []
+    for name in args.trace:
+        check_trace(Path(name), problems)
+    for name in args.metrics:
+        check_metrics(Path(name), problems)
+    for name in args.bench:
+        check_bench(Path(name), problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(args.trace) + len(args.metrics) + len(args.bench)
+    if not problems:
+        print(f"ok: {checked} artifact(s) validated")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

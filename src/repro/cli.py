@@ -20,6 +20,12 @@ Subcommands
 - ``fullview lint`` — run the ``fvlint`` domain-invariant static
   analysis (RNG discipline, error contract, angle hygiene, ...) over
   source trees, with text/JSON reports and a baseline workflow.
+- ``fullview report`` — summarize a ``--trace`` JSONL file (throughput,
+  wall vs. CPU, worker utilization, span breakdown, slowest trials).
+
+``run``, ``lifetime`` and ``workloads`` accept ``--trace PATH`` and
+``--metrics PATH`` to record structured telemetry (see
+:mod:`repro.obs`); both are off by default and never perturb results.
 """
 
 from __future__ import annotations
@@ -70,22 +76,44 @@ def _load_run_checkpoint(path: Path, seed: int, full: bool) -> dict:
 
 
 def _save_run_checkpoint(path: Path, seed: int, full: bool, completed: dict) -> None:
-    import json
-    import os
+    from repro.ioutil import write_json_atomic
+    from repro.obs.events import CheckpointWritten, active_event_log
 
     payload = {
         "format": _RUN_CHECKPOINT_FORMAT,
+        "version": __version__,
         "seed": seed,
         "full": full,
         "completed": completed,
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload))
-    os.replace(tmp, path)
+    # Durable atomic write: fsynced before the rename so a crash can
+    # never publish a torn run checkpoint.
+    write_json_atomic(path, payload)
+    log = active_event_log()
+    if log is not None:
+        log.emit(
+            CheckpointWritten(path=str(path), checkpoint_kind="run", next_trial=len(completed))
+        )
+
+
+def _obs_context(args: argparse.Namespace, command: str):
+    """The ``--trace``/``--metrics`` obs context for a subcommand."""
+    from repro.obs import observe
+
+    meta = {"command": command, "seed": getattr(args, "seed", None)}
+    return observe(
+        trace=getattr(args, "trace", None),
+        metrics=getattr(args, "metrics", None),
+        meta={k: v for k, v in meta.items() if v is not None},
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    with _obs_context(args, "run"):
+        return _run_body(args)
+
+
+def _run_body(args: argparse.Namespace) -> int:
     import time
 
     from repro.experiments import all_experiments, get_experiment
@@ -140,6 +168,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
+    with _obs_context(args, "lifetime"):
+        return _lifetime_body(args)
+
+
+def _lifetime_body(args: argparse.Namespace) -> int:
     from repro.core.csa import csa_necessary, csa_sufficient
     from repro.resilience.failures import (
         BernoulliFailure,
@@ -276,6 +309,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
+    with _obs_context(args, "workloads"):
+        return _workloads_body(args)
+
+
+def _workloads_body(args: argparse.Namespace) -> int:
     from repro.core.csa import csa_necessary, csa_sufficient
     from repro.simulation.montecarlo import MonteCarloConfig, estimate_area_fraction
     from repro.simulation.workloads import registry
@@ -311,6 +349,23 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
             )
             print(f"  simulated full-view area fraction: {mean:.3f} +/- {half:.3f}")
         print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.report import build_report, load_trace
+
+    try:
+        data = load_trace(Path(args.path))
+    except ObservabilityError as exc:
+        print(f"fullview report: {exc}", file=sys.stderr)
+        return 2
+    report = build_report(data)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
     return 0
 
 
@@ -371,6 +426,15 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     if args.save_fleet:
         path = save_fleet(fleet, args.save_fleet)
         print(f"\nfleet saved to {path}")
+
+    from repro.obs import obs_self_check
+
+    check = obs_self_check(Path.cwd())
+    print("\nobservability self-check:")
+    print(f"  span overhead disabled: {check['disabled_ns_per_span']:.0f} ns/span")
+    print(f"  span overhead enabled:  {check['enabled_ns_per_span']:.0f} ns/span")
+    sink_state = "writable" if check["sink_writable"] else "NOT WRITABLE"
+    print(f"  JSONL sink dir {check['sink_dir']}: {sink_state}")
     return 0
 
 
@@ -434,6 +498,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured span/event trace (JSONL) to PATH; "
+        "off by default and never perturbs results",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write a counters/gauges/histograms snapshot (JSON) to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``fullview`` argument parser with every subcommand wired."""
     parser = argparse.ArgumentParser(
@@ -470,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are bit-identical to serial; default: serial, or the "
         "FULLVIEW_WORKERS environment variable)",
     )
+    _add_obs_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_life = sub.add_parser(
@@ -541,6 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to serial; checkpoints stay contiguous)",
     )
     p_life.add_argument("--out", help="directory for CSV exports")
+    _add_obs_arguments(p_life)
     p_life.set_defaults(func=_cmd_lifetime)
 
     p_fig = sub.add_parser("figures", help="render Figures 7 and 8")
@@ -555,7 +633,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="run Monte-Carlo trials on a process pool of N workers",
     )
+    _add_obs_arguments(p_work)
     p_work.set_defaults(func=_cmd_workloads)
+
+    p_report = sub.add_parser(
+        "report",
+        help="summarize a --trace JSONL file",
+        description="Build a run report from a fullview-trace-v1 JSONL "
+        "file: throughput, wall vs. CPU time, worker utilization, span "
+        "breakdown and the slowest trials.",
+    )
+    p_report.add_argument("path", help="trace file written via --trace")
+    p_report.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_diag = sub.add_parser(
         "diagnose", help="deploy a workload and render coverage/barrier maps"

@@ -17,6 +17,7 @@ __all__ = [
     "InvalidParameterError",
     "InvalidProfileError",
     "LintError",
+    "ObservabilityError",
 ]
 
 
@@ -75,4 +76,12 @@ class LintError(FullViewError, RuntimeError):
 
     Raised for unknown rule codes, unreadable lint targets, and corrupt
     baseline files.
+    """
+
+
+class ObservabilityError(FullViewError, RuntimeError):
+    """A telemetry artifact is missing, corrupt or unwritable.
+
+    Raised when a trace JSONL file cannot be parsed into a run report,
+    or when an obs sink cannot be opened for writing.
     """

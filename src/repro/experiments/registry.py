@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.errors import ExperimentError
+from repro.obs.metrics import active_metrics
+from repro.obs.trace import span
 from repro.simulation.results import ResultTable
 
 __all__ = [
@@ -109,12 +111,18 @@ class Experiment:
             and "workers" in inspect.signature(self.runner).parameters
         ):
             kwargs["workers"] = workers
-        result = self.runner(fast, seed, **kwargs)
+        with span("experiment", experiment=self.experiment_id):
+            result = self.runner(fast, seed, **kwargs)
         if result.experiment_id != self.experiment_id:
             raise ExperimentError(
                 f"runner for {self.experiment_id} returned result labelled "
                 f"{result.experiment_id}"
             )
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.inc("experiments_run")
+            if not result.passed:
+                metrics.inc("experiments_failed")
         return result
 
 

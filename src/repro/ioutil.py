@@ -1,0 +1,56 @@
+"""Durable atomic file writes shared by checkpoints and telemetry.
+
+A bare ``tmp.write_text(...); os.replace(tmp, path)`` is atomic with
+respect to *readers* but not with respect to *crashes*: until the
+filesystem flushes the temp file's data, a power loss after the rename
+can leave ``path`` pointing at an empty or torn file — a
+stale-but-valid-looking checkpoint.  :func:`write_json_atomic` closes
+that window by fsyncing the temp file before the rename (and the
+containing directory after it, where the platform allows), so the
+rename only ever publishes fully-persisted bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = ["write_json_atomic", "write_text_atomic"]
+
+
+def write_text_atomic(path: Union[str, Path], text: str) -> Path:
+    """Durably replace ``path`` with ``text`` (fsync before the rename).
+
+    The temp file lives next to the target (same filesystem, so the
+    rename is atomic), is flushed and fsynced before ``os.replace``,
+    and the parent directory is fsynced afterwards so the rename itself
+    survives a crash.  Directory fsync is best-effort: some platforms
+    and filesystems refuse it, and the file-level fsync already covers
+    the torn-write window.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
+    """Durably replace ``path`` with ``payload`` serialized as JSON."""
+    return write_text_atomic(path, json.dumps(payload))

@@ -1,0 +1,220 @@
+"""``repro.obs`` — structured run telemetry for the Monte-Carlo engine.
+
+Four zero-dependency pieces, all off by default and near-free when
+disabled:
+
+- :mod:`repro.obs.trace` — nested, thread-safe spans on
+  ``time.perf_counter_ns`` whose records survive the process-pool
+  boundary as per-chunk aggregates;
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with a durable atomic JSON snapshot exporter;
+- :mod:`repro.obs.events` — typed lifecycle events appended to a JSONL
+  sink with sequence numbers and monotonic timestamps;
+- :mod:`repro.obs.report` — a run-report builder (trials/sec, wall vs.
+  CPU, worker utilization, fallback counts, slowest trials) over the
+  trace file.
+
+:class:`ObsContext` (usually via :func:`observe`) bundles the three
+collectors, installs them as the process-wide actives, and on exit
+writes the trace JSONL (manifest first, then events as they happened,
+then span/trial/chunk summaries and a metrics snapshot) and the
+metrics JSON.  Instrumentation never touches random state: traced and
+untraced runs produce bit-identical trial outcomes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Any, Dict, Mapping, Optional, Union
+
+from repro._version import __version__
+from repro.errors import ObservabilityError
+from repro.obs.events import EventLog, set_event_log
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.report import TRACE_FORMAT
+from repro.obs.trace import TraceRecorder, recording, set_recorder, span
+
+__all__ = [
+    "ObsContext",
+    "obs_self_check",
+    "observe",
+]
+
+#: Span iterations used by the self-check's overhead estimate.
+_SELF_CHECK_SPANS = 20_000
+
+
+class ObsContext:
+    """One run's telemetry: recorder + metrics + event log + sinks.
+
+    Entering installs the collectors as the process-wide actives (the
+    previous actives are restored on exit, so contexts nest).  On exit
+    the trace JSONL gains the span summaries, per-trial wall times,
+    chunk traces and a metrics snapshot, and the metrics JSON is
+    exported durably.  A context created with neither sink is inert:
+    entering it changes nothing, so call sites need no conditionals.
+    """
+
+    def __init__(
+        self,
+        trace_path: Optional[Union[str, Path]] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.enabled = self.trace_path is not None or self.metrics_path is not None
+        self.recorder: Optional[TraceRecorder] = (
+            TraceRecorder() if self.enabled else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.enabled else None
+        )
+        self.event_log: Optional[EventLog] = None
+        self._trace_file: Optional[IO[str]] = None
+        self._previous: Optional[tuple] = None
+
+    def __enter__(self) -> "ObsContext":
+        if not self.enabled:
+            return self
+        if self.trace_path is not None:
+            self.trace_path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                self._trace_file = open(self.trace_path, "w", encoding="utf-8")
+            except OSError as exc:
+                raise ObservabilityError(
+                    f"cannot open trace sink {self.trace_path}: {exc}"
+                ) from exc
+            self._trace_file.write(_json_line(self._manifest()))
+            self._trace_file.flush()
+            self.event_log = EventLog(self._trace_file)
+        self._previous = (
+            set_recorder(self.recorder),
+            set_metrics(self.metrics),
+            set_event_log(self.event_log),
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.enabled:
+            return
+        if self._previous is not None:
+            prev_recorder, prev_metrics, prev_log = self._previous
+            set_recorder(prev_recorder)
+            set_metrics(prev_metrics)
+            set_event_log(prev_log)
+            self._previous = None
+        if self._trace_file is not None:
+            try:
+                self._write_trace_tail()
+            finally:
+                self._trace_file.close()
+                self._trace_file = None
+        if self.metrics_path is not None and self.metrics is not None:
+            self.metrics.export_json(self.metrics_path)
+
+    def _manifest(self) -> Dict[str, Any]:
+        return {
+            "kind": "manifest",
+            "format": TRACE_FORMAT,
+            "version": __version__,
+            "created_unix": time.time(),
+            "meta": self.meta,
+        }
+
+    def _write_trace_tail(self) -> None:
+        assert self.recorder is not None and self._trace_file is not None
+        write = self._trace_file.write
+        for summary in self.recorder.iter_summary_rows():
+            write(
+                _json_line(
+                    {
+                        "kind": "span_summary",
+                        "name": summary.name,
+                        "parent": summary.parent,
+                        "count": summary.count,
+                        "total_ns": summary.total_ns,
+                        "min_ns": summary.min_ns,
+                        "max_ns": summary.max_ns,
+                    }
+                )
+            )
+        for trial, dur_ns in self.recorder.trial_durations():
+            write(_json_line({"kind": "trial", "trial": trial, "dur_ns": dur_ns}))
+        for chunk in self.recorder.chunks:
+            write(
+                _json_line(
+                    {
+                        "kind": "chunk",
+                        "first_trial": chunk.trials[0] if chunk.trials else -1,
+                        "trials": len(chunk.trials),
+                        "wall_ns": chunk.wall_ns,
+                    }
+                )
+            )
+        if self.metrics is not None:
+            write(
+                _json_line({"kind": "metrics", "snapshot": self.metrics.snapshot()})
+            )
+        self._trace_file.flush()
+
+
+def _json_line(payload: Mapping[str, Any]) -> str:
+    return json.dumps(payload) + "\n"
+
+
+def observe(
+    trace: Optional[Union[str, Path]] = None,
+    metrics: Optional[Union[str, Path]] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> ObsContext:
+    """An :class:`ObsContext` for the given sinks (inert when both None).
+
+    The CLI's ``--trace``/``--metrics`` flags funnel straight here::
+
+        with observe(trace=args.trace, metrics=args.metrics,
+                     meta={"command": "run"}):
+            ...  # everything inside is instrumented
+    """
+    return ObsContext(trace_path=trace, metrics_path=metrics, meta=meta)
+
+
+def obs_self_check(directory: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
+    """Measure recorder overhead and probe the JSONL sink for writability.
+
+    Returns ``disabled_ns_per_span`` (cost of an instrumented call site
+    with tracing off), ``enabled_ns_per_span`` (with a live recorder),
+    and ``sink_writable`` / ``sink_dir`` for a probe file appended and
+    removed in ``directory`` (default: the working directory).  Used by
+    ``fullview diagnose``.
+    """
+    with recording(None):
+        start = time.perf_counter_ns()
+        for _ in range(_SELF_CHECK_SPANS):
+            with span("self_check"):
+                pass
+        disabled_ns = (time.perf_counter_ns() - start) / _SELF_CHECK_SPANS
+    with recording(TraceRecorder()):
+        start = time.perf_counter_ns()
+        for _ in range(_SELF_CHECK_SPANS):
+            with span("self_check"):
+                pass
+        enabled_ns = (time.perf_counter_ns() - start) / _SELF_CHECK_SPANS
+    sink_dir = Path(directory) if directory is not None else Path.cwd()
+    probe = sink_dir / ".fullview-obs-probe.jsonl"
+    try:
+        with open(probe, "a", encoding="utf-8") as handle:
+            handle.write(_json_line({"kind": "event", "event": "probe"}))
+        probe.unlink()
+        writable = True
+    except OSError:
+        writable = False
+    return {
+        "disabled_ns_per_span": disabled_ns,
+        "enabled_ns_per_span": enabled_ns,
+        "sink_dir": str(sink_dir),
+        "sink_writable": writable,
+    }

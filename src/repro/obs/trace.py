@@ -1,0 +1,357 @@
+"""Zero-dependency span tracing for the trial-execution engine.
+
+A *span* is a named, timed section of work (``with span("trial",
+trial=i): ...``) measured on :func:`time.perf_counter_ns`.  Spans nest
+(a ``deploy`` span opened inside a ``trial`` span records ``trial`` as
+its parent) and are thread-safe: each thread keeps its own span stack,
+and finished records append to the active :class:`TraceRecorder` under
+a lock.
+
+Tracing is **off by default and near-free when disabled**: with no
+active recorder, :func:`span` returns a shared no-op context manager
+and records nothing — instrumented call sites pay one global read.
+Nothing in this module touches random state, so traced and untraced
+runs are bit-identical by construction.
+
+Spans must also survive the process-pool boundary.  Worker processes
+cannot append to the parent's recorder, so the engine's chunk runner
+installs a fresh recorder per chunk, aggregates its records into a
+picklable :class:`ChunkTrace` (per-span-name summaries plus per-trial
+wall times), and ships that summary back with the chunk's outcomes;
+the parent merges chunk traces in trial order via
+:meth:`TraceRecorder.merge_chunk`.  Aggregating in the worker keeps
+the payload O(span names + trials), not O(spans), and avoids
+interleaving worker writes into the parent's JSONL sink.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "ChunkTrace",
+    "Span",
+    "SpanRecord",
+    "SpanSummary",
+    "TRIAL_SPAN",
+    "TraceRecorder",
+    "active_recorder",
+    "recording",
+    "set_recorder",
+    "span",
+]
+
+#: Name of the engine's per-trial span; one of these exists per executed
+#: trial whatever the executor, so ``recorder.span_count(TRIAL_SPAN)``
+#: always equals the number of trials traced.
+TRIAL_SPAN = "trial"
+
+#: The process-wide active recorder (``None`` — the default — disables
+#: tracing).  Worker processes start with no recorder; the chunk runner
+#: installs one explicitly when the parent requests tracing.
+_ACTIVE: Optional["TraceRecorder"] = None
+
+_STACK = threading.local()
+
+
+def _stack() -> List[str]:
+    stack = getattr(_STACK, "names", None)
+    if stack is None:
+        stack = []
+        _STACK.names = stack
+    return stack
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    ``start_ns``/``duration_ns`` are :func:`time.perf_counter_ns`
+    readings (monotonic, process-local — comparable within a run, not
+    across processes).  ``trial`` is set for spans attributed to a
+    specific trial index; ``attrs`` carries any further key/value
+    annotations passed to :func:`span`.
+    """
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    parent: Optional[str] = None
+    trial: Optional[int] = None
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Aggregate statistics for one ``(name, parent)`` span population."""
+
+    name: str
+    count: int
+    total_ns: int
+    min_ns: int
+    max_ns: int
+    parent: Optional[str] = None
+
+    def merged(self, other: "SpanSummary") -> "SpanSummary":
+        """Combine two summaries of the same span population."""
+        if (other.name, other.parent) != (self.name, self.parent):
+            raise InvalidParameterError(
+                f"cannot merge summary of {other.name!r}/{other.parent!r} "
+                f"into {self.name!r}/{self.parent!r}"
+            )
+        return SpanSummary(
+            name=self.name,
+            parent=self.parent,
+            count=self.count + other.count,
+            total_ns=self.total_ns + other.total_ns,
+            min_ns=min(self.min_ns, other.min_ns),
+            max_ns=max(self.max_ns, other.max_ns),
+        )
+
+
+@dataclass(frozen=True)
+class ChunkTrace:
+    """A worker chunk's aggregated spans, shipped across the pool boundary.
+
+    Attributes
+    ----------
+    trials:
+        The trial indices the chunk executed, in trial order.
+    wall_ns:
+        Wall-clock the chunk spent executing in its worker (used for
+        the report's worker-utilization estimate).
+    summaries:
+        Per ``(name, parent)`` aggregates of every span the chunk
+        recorded.
+    trial_ns:
+        ``(trial, duration_ns)`` for each per-trial span, in trial
+        order (feeds the slowest-trial table and the wall-time
+        histogram without shipping every span record).
+    """
+
+    trials: Tuple[int, ...]
+    wall_ns: int
+    summaries: Tuple[SpanSummary, ...]
+    trial_ns: Tuple[Tuple[int, int], ...]
+
+
+class Span:
+    """Context manager timing one section; records on exit.
+
+    Created via :func:`span`; the recorder is captured at creation so a
+    recorder swap mid-span cannot split the enter/exit bookkeeping.
+    ``duration_ns`` is available after exit (0 before).
+    """
+
+    __slots__ = ("_recorder", "name", "trial", "attrs", "_start", "duration_ns")
+
+    def __init__(
+        self,
+        recorder: "TraceRecorder",
+        name: str,
+        trial: Optional[int],
+        attrs: Mapping[str, Any],
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.trial = trial
+        self.attrs = attrs
+        self._start = 0
+        self.duration_ns = 0
+
+    def __enter__(self) -> "Span":
+        _stack().append(self.name)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter_ns()
+        stack = _stack()
+        stack.pop()
+        self.duration_ns = end - self._start
+        self._recorder.record(
+            SpanRecord(
+                name=self.name,
+                start_ns=self._start,
+                duration_ns=self.duration_ns,
+                parent=stack[-1] if stack else None,
+                trial=self.trial,
+                attrs=self.attrs,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span used whenever tracing is disabled."""
+
+    __slots__ = ()
+    duration_ns = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, *, trial: Optional[int] = None, **attrs: Any):
+    """Open a timed span (``with span("estimate", trial=i): ...``).
+
+    With no active recorder this returns a shared no-op context
+    manager — the disabled cost is one global read plus an allocation-
+    free ``with`` — so instrumentation can stay permanently in place.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        return _NULL_SPAN
+    return Span(recorder, name, trial, attrs)
+
+
+def active_recorder() -> Optional["TraceRecorder"]:
+    """The recorder spans currently append to (``None`` = disabled)."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Optional["TraceRecorder"]) -> Optional["TraceRecorder"]:
+    """Install ``recorder`` as the active recorder; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    return previous
+
+
+class recording:
+    """Context manager scoping an active recorder (restores on exit)."""
+
+    def __init__(self, recorder: Optional["TraceRecorder"]) -> None:
+        self._recorder = recorder
+        self._previous: Optional[TraceRecorder] = None
+
+    def __enter__(self) -> Optional["TraceRecorder"]:
+        self._previous = set_recorder(self._recorder)
+        return self._recorder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_recorder(self._previous)
+
+
+class TraceRecorder:
+    """Thread-safe accumulator of span records and merged chunk traces.
+
+    The parent process records spans directly (serial execution, and
+    any instrumentation outside the trial loop); parallel chunks arrive
+    pre-aggregated as :class:`ChunkTrace` and are merged in trial order.
+    All read accessors present the union of both sources.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._chunks: List[ChunkTrace] = []
+
+    def record(self, record: SpanRecord) -> None:
+        """Append one finished span record (thread-safe)."""
+        with self._lock:
+            self._records.append(record)
+
+    def merge_chunk(self, chunk: ChunkTrace) -> None:
+        """Merge one worker chunk's aggregated trace (thread-safe)."""
+        with self._lock:
+            self._chunks.append(chunk)
+
+    @property
+    def records(self) -> Tuple[SpanRecord, ...]:
+        """Spans recorded in this process, in completion order."""
+        with self._lock:
+            return tuple(self._records)
+
+    @property
+    def chunks(self) -> Tuple[ChunkTrace, ...]:
+        """Worker chunk traces, in merge (= trial) order."""
+        with self._lock:
+            return tuple(self._chunks)
+
+    def span_count(self, name: Optional[str] = None) -> int:
+        """Total spans observed (direct + chunk-aggregated), by name."""
+        with self._lock:
+            direct = sum(
+                1 for r in self._records if name is None or r.name == name
+            )
+            merged = sum(
+                s.count
+                for chunk in self._chunks
+                for s in chunk.summaries
+                if name is None or s.name == name
+            )
+        return direct + merged
+
+    def summaries(self) -> Dict[Tuple[str, Optional[str]], SpanSummary]:
+        """Merged per-``(name, parent)`` aggregates over both sources."""
+        merged: Dict[Tuple[str, Optional[str]], SpanSummary] = {}
+
+        def absorb(summary: SpanSummary) -> None:
+            key = (summary.name, summary.parent)
+            existing = merged.get(key)
+            merged[key] = summary if existing is None else existing.merged(summary)
+
+        with self._lock:
+            for r in self._records:
+                absorb(
+                    SpanSummary(
+                        name=r.name,
+                        parent=r.parent,
+                        count=1,
+                        total_ns=r.duration_ns,
+                        min_ns=r.duration_ns,
+                        max_ns=r.duration_ns,
+                    )
+                )
+            for chunk in self._chunks:
+                for summary in chunk.summaries:
+                    absorb(summary)
+        return merged
+
+    def trial_durations(self) -> List[Tuple[int, int]]:
+        """``(trial, duration_ns)`` for every per-trial span, trial order."""
+        durations: List[Tuple[int, int]] = []
+        with self._lock:
+            durations.extend(
+                (r.trial, r.duration_ns)
+                for r in self._records
+                if r.name == TRIAL_SPAN and r.trial is not None
+            )
+            for chunk in self._chunks:
+                durations.extend(chunk.trial_ns)
+        durations.sort(key=lambda pair: pair[0])
+        return durations
+
+    def to_chunk(self, trials: Tuple[int, ...], wall_ns: int) -> ChunkTrace:
+        """Aggregate this recorder's records into a picklable chunk trace."""
+        summaries = self.summaries()
+        with self._lock:
+            trial_ns = tuple(
+                (r.trial, r.duration_ns)
+                for r in self._records
+                if r.name == TRIAL_SPAN and r.trial is not None
+            )
+        return ChunkTrace(
+            trials=tuple(trials),
+            wall_ns=wall_ns,
+            summaries=tuple(summaries.values()),
+            trial_ns=trial_ns,
+        )
+
+    def iter_summary_rows(self) -> Iterator[SpanSummary]:
+        """Merged summaries ordered by total time, descending."""
+        for summary in sorted(
+            self.summaries().values(), key=lambda s: -s.total_ns
+        ):
+            yield summary

@@ -30,6 +30,8 @@ from repro.deployment.uniform import UniformDeployment
 from repro.errors import InvalidParameterError
 from repro.geometry.angles import validate_effective_angle
 from repro.geometry.grid import DenseGrid
+from repro.obs.events import EpochAdvanced, active_event_log
+from repro.obs.trace import span
 from repro.resilience.failures import FailureModel
 from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import HeterogeneousProfile
@@ -139,6 +141,7 @@ def simulate_lifetime(
     fractions = [evaluate(fleet)]
     alive = [len(fleet)]
     break_epoch: Optional[int] = None if fractions[0] >= 1.0 else 0
+    log = active_event_log()
     for epoch in range(1, epochs + 1):
         if stop_at_break and break_epoch is not None:
             break
@@ -148,6 +151,13 @@ def simulate_lifetime(
         alive.append(len(fleet))
         if break_epoch is None and fraction < 1.0:
             break_epoch = epoch
+        # Telemetry only (no-op without an obs context; worker
+        # processes never have one, so parallel sweeps stay silent
+        # here and report via chunk traces instead).
+        if log is not None:
+            log.emit(
+                EpochAdvanced(epoch=epoch, alive=len(fleet), coverage=fraction)
+            )
     return LifetimeTrace(
         break_epoch=break_epoch,
         epochs=epochs,
@@ -242,7 +252,8 @@ class LifetimeTask:
     def __call__(self, trial: int, rng: np.random.Generator) -> LifetimeTrace:
         """Run one deployment through the epochs (trial index unused)."""
         del trial
-        fleet = self.scheme.deploy(self.profile, self.n, rng)
+        with span("deploy"):
+            fleet = self.scheme.deploy(self.profile, self.n, rng)
         grid = (
             self.grid
             if self.grid is not None

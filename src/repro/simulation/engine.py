@@ -31,6 +31,15 @@ complete out of order; consumers therefore always observe a contiguous
 prefix of the sweep, which is exactly the invariant the checkpointed
 runner (:mod:`repro.simulation.runner`) needs to resume at any index.
 
+The engine is instrumented for :mod:`repro.obs`: with an active obs
+context every trial runs inside a ``"trial"`` span, parallel chunks
+ship their spans back as aggregated :class:`~repro.obs.trace.ChunkTrace`
+records merged in trial order, and sweeps emit
+``RunStarted``/``ChunkDispatched``/``ChunkFellBack``/``RunFinished``
+events plus counters.  All of it is off by default, guarded by single
+``None`` checks, and none of it touches the trial generators — traced
+and untraced runs are bit-identical.
+
 Errors inside a trial follow two regimes.  With ``isolate=False`` (the
 estimators' regime) the first exception propagates unchanged, like a
 plain loop.  With ``isolate=True`` (the resilient runner's regime) each
@@ -44,14 +53,31 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.obs.events import (
+    ChunkDispatched,
+    ChunkFellBack,
+    RunFinished,
+    RunStarted,
+    active_event_log,
+)
+from repro.obs.metrics import active_metrics
+from repro.obs.trace import (
+    TRIAL_SPAN,
+    ChunkTrace,
+    TraceRecorder,
+    active_recorder,
+    set_recorder,
+    span,
+)
 
 __all__ = [
     "MonteCarloConfig",
@@ -190,16 +216,10 @@ class TrialOutcome:
         return self.error is None
 
 
-def run_trial(
-    task: TrialTask, config: MonteCarloConfig, trial: int, isolate: bool = False
+def _execute_one(
+    task: TrialTask, trial: int, rng: np.random.Generator, isolate: bool
 ) -> TrialOutcome:
-    """Execute one trial: derive its generator, run the task, record.
-
-    With ``isolate`` any :class:`Exception` is captured into the
-    outcome instead of propagating (``BaseException`` such as
-    ``KeyboardInterrupt`` always propagates).
-    """
-    rng = config.rng_for_trial(trial)
+    """The untimed trial body shared by both tracing regimes."""
     if not isolate:
         return TrialOutcome(trial=trial, value=task(trial, rng))
     try:
@@ -209,14 +229,63 @@ def run_trial(
     return TrialOutcome(trial=trial, value=value)
 
 
+def run_trial(
+    task: TrialTask, config: MonteCarloConfig, trial: int, isolate: bool = False
+) -> TrialOutcome:
+    """Execute one trial: derive its generator, run the task, record.
+
+    With ``isolate`` any :class:`Exception` is captured into the
+    outcome instead of propagating (``BaseException`` such as
+    ``KeyboardInterrupt`` always propagates).  With an active trace
+    recorder the task runs inside a ``"trial"`` span and its wall time
+    feeds the ``trial_seconds`` histogram; with tracing off (the
+    default) the only added cost is this ``None`` check, and outcomes
+    are bit-identical either way — the instrumentation never touches
+    ``rng``.
+    """
+    rng = config.rng_for_trial(trial)
+    if active_recorder() is None:
+        return _execute_one(task, trial, rng, isolate)
+    timed = span(TRIAL_SPAN, trial=trial)
+    with timed:
+        outcome = _execute_one(task, trial, rng, isolate)
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.observe("trial_seconds", timed.duration_ns / 1e9)
+    return outcome
+
+
 def _run_chunk(
     task: TrialTask,
     config: MonteCarloConfig,
     trials: Sequence[int],
     isolate: bool,
-) -> List[TrialOutcome]:
-    """Run a contiguous chunk of trials (module-level, so it pickles)."""
-    return [run_trial(task, config, trial, isolate=isolate) for trial in trials]
+    trace: bool = False,
+) -> Tuple[List[TrialOutcome], Optional[ChunkTrace]]:
+    """Run a contiguous chunk of trials (module-level, so it pickles).
+
+    With ``trace`` a fresh recorder is installed for the chunk (the
+    previous recorder — ``None`` in worker processes, the run's own
+    recorder when falling back in-process — is restored afterwards)
+    and the chunk's spans come back aggregated as a picklable
+    :class:`ChunkTrace`, so traces survive the process-pool boundary.
+    """
+    if not trace:
+        return (
+            [run_trial(task, config, trial, isolate=isolate) for trial in trials],
+            None,
+        )
+    recorder = TraceRecorder()
+    previous = set_recorder(recorder)
+    start = time.perf_counter_ns()
+    try:
+        outcomes = [
+            run_trial(task, config, trial, isolate=isolate) for trial in trials
+        ]
+    finally:
+        set_recorder(previous)
+    wall_ns = time.perf_counter_ns() - start
+    return outcomes, recorder.to_chunk(tuple(trials), wall_ns)
 
 
 class TrialExecutor(ABC):
@@ -285,6 +354,9 @@ def _pool_for(workers: int) -> ProcessPoolExecutor:
     if pool is None:
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
         _POOL_CACHE[workers] = pool
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.inc("pool_warmups")
     return pool
 
 
@@ -365,36 +437,73 @@ class ParallelExecutor(TrialExecutor):
         if not trials:
             return
         chunks = self._chunks(trials)
+        recorder = active_recorder()
+        trace = recorder is not None
+        log = active_event_log()
+        metrics = active_metrics()
+
+        def fall_back(index: int, chunk: Sequence[int], reason: str):
+            if metrics is not None:
+                metrics.inc("chunk_fallbacks")
+            if log is not None:
+                log.emit(
+                    ChunkFellBack(
+                        chunk=index,
+                        first_trial=chunk[0],
+                        trials=len(chunk),
+                        reason=reason,
+                    )
+                )
+            return _run_chunk(task, config, tuple(chunk), isolate, trace)
+
+        def merge(pair) -> List[TrialOutcome]:
+            batch, chunk_trace = pair
+            if chunk_trace is not None and recorder is not None:
+                recorder.merge_chunk(chunk_trace)
+                if metrics is not None:
+                    for _trial, dur_ns in chunk_trace.trial_ns:
+                        metrics.observe("trial_seconds", dur_ns / 1e9)
+            return batch
+
         futures: List[Future] = []
         try:
             pool = _pool_for(self.workers)
             futures = [
-                pool.submit(_run_chunk, task, config, tuple(chunk), isolate)
+                pool.submit(_run_chunk, task, config, tuple(chunk), isolate, trace)
                 for chunk in chunks
             ]
         except Exception:
             # Pool could not even accept work — run the whole sweep
             # in-process.
             _discard_pool(self.workers)
-            for chunk in chunks:
-                yield _run_chunk(task, config, tuple(chunk), isolate)
+            for index, chunk in enumerate(chunks):
+                yield merge(fall_back(index, chunk, "submit-failed"))
             return
+        if log is not None:
+            for index, chunk in enumerate(chunks):
+                log.emit(
+                    ChunkDispatched(
+                        chunk=index, first_trial=chunk[0], trials=len(chunk)
+                    )
+                )
+        if metrics is not None:
+            metrics.inc("chunks_dispatched", len(chunks))
         try:
-            for chunk, future in zip(chunks, futures):
+            for index, (chunk, future) in enumerate(zip(chunks, futures)):
                 try:
-                    batch = future.result()
+                    pair = future.result()
                 except BrokenExecutor:
                     # The pool itself died; replace it for future
                     # sweeps and finish this one in-process.
                     _discard_pool(self.workers)
-                    batch = _run_chunk(task, config, tuple(chunk), isolate)
+                    pair = fall_back(index, chunk, "broken-pool")
                 except Exception:
                     # Chunk-level fault isolation: the task cannot
                     # cross the process boundary (closures), or the
                     # worker raised.  Re-run in-process; genuine task
                     # errors then resurface with their real type.
-                    batch = _run_chunk(task, config, tuple(chunk), isolate)
-                yield batch
+                    pair = fall_back(index, chunk, "worker-error")
+                yield merge(pair)
         finally:
             # Abandoned generators (time budget, interrupt) must not
             # leave queued chunks running; the shared pool itself
@@ -422,10 +531,39 @@ def execute_trials(
 
     The one-line entry point the estimators use: results are identical
     for every executor, so callers choose purely on wall-clock grounds
-    (``executor=None`` respects ``config.workers``).
+    (``executor=None`` respects ``config.workers``).  With an active
+    obs context the sweep is bracketed by ``RunStarted``/``RunFinished``
+    events and tallies the ``trials_completed``/``trials_failed``
+    counters; instrumentation is inert (two ``None`` checks) otherwise.
     """
     executor = executor if executor is not None else executor_for(config)
+    log = active_event_log()
+    metrics = active_metrics()
+    if log is not None:
+        log.emit(
+            RunStarted(
+                trials=config.trials,
+                seed=config.seed,
+                workers=getattr(executor, "workers", 1),
+            )
+        )
+    start_wall = time.perf_counter_ns()
+    start_cpu = time.process_time_ns()
     outcomes: List[TrialOutcome] = []
     for batch in executor.run(task, config, range(config.trials), isolate=isolate):
         outcomes.extend(batch)
+    completed = sum(1 for outcome in outcomes if outcome.ok)
+    failed = len(outcomes) - completed
+    if metrics is not None:
+        metrics.inc("trials_completed", completed)
+        metrics.inc("trials_failed", failed)
+    if log is not None:
+        log.emit(
+            RunFinished(
+                completed=completed,
+                failed=failed,
+                wall_ns=time.perf_counter_ns() - start_wall,
+                cpu_ns=time.process_time_ns() - start_cpu,
+            )
+        )
     return outcomes

@@ -42,6 +42,7 @@ from repro.deployment.uniform import UniformDeployment
 from repro.errors import InvalidParameterError
 from repro.geometry.angles import validate_effective_angle
 from repro.geometry.grid import DenseGrid
+from repro.obs.trace import span
 from repro.sensors.fleet import SensorFleet
 from repro.sensors.model import HeterogeneousProfile
 from repro.simulation.engine import MonteCarloConfig, execute_trials
@@ -118,9 +119,10 @@ def _deploy(
     rng: np.random.Generator,
     use_index: bool,
 ) -> SensorFleet:
-    fleet = scheme.deploy(profile, n, rng)
-    if use_index and len(fleet) > 0:
-        fleet.build_index()
+    with span("deploy"):
+        fleet = scheme.deploy(profile, n, rng)
+        if use_index and len(fleet) > 0:
+            fleet.build_index()
     return fleet
 
 

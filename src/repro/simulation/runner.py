@@ -34,12 +34,19 @@ budget and ``BaseException`` handling act at chunk granularity (the
 serial executor keeps the historical per-trial granularity), and a
 trial function that cannot cross the process boundary (e.g. a closure)
 transparently falls back to in-process execution.
+
+Checkpoints are written durably (fsynced before the atomic rename, so
+a crash can never leave a torn file behind the rename) and stamped
+with the package version and seed for provenance.  With an active
+:mod:`repro.obs` context the sweep emits ``RunStarted`` /
+``CheckpointWritten`` / ``RunFinished`` events and checkpoint/trial
+counters; as everywhere, telemetry is off by default and never touches
+the trial generators.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,8 +54,17 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro._version import __version__
 from repro.deployment.uniform import UniformDeployment
 from repro.errors import CheckpointError, InvalidParameterError
+from repro.ioutil import write_json_atomic
+from repro.obs.events import (
+    CheckpointWritten,
+    RunFinished,
+    RunStarted,
+    active_event_log,
+)
+from repro.obs.metrics import active_metrics
 from repro.simulation.engine import MonteCarloConfig, executor_for
 from repro.simulation.montecarlo import PointProbabilityTask
 from repro.simulation.statistics import BernoulliEstimate, wilson_interval
@@ -163,16 +179,24 @@ def _write_checkpoint(
 ) -> None:
     payload = {
         "format": CHECKPOINT_FORMAT,
+        "version": __version__,
         "seed": config.seed,
         "trials": config.trials,
         "next_trial": next_trial,
         "outcomes": [[trial, value] for trial, value in outcomes],
         "failures": [{"trial": f.trial, "error": f.error} for f in failures],
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload))
-    os.replace(tmp, path)
+    # Durable atomic write: fsync before the rename, so a crash can
+    # never publish a torn checkpoint over a good one.
+    write_json_atomic(path, payload)
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.inc("checkpoint_writes")
+    log = active_event_log()
+    if log is not None:
+        log.emit(
+            CheckpointWritten(path=str(path), checkpoint_kind="trial", next_trial=next_trial)
+        )
 
 
 def _load_checkpoint(path: Path, config: MonteCarloConfig):
@@ -259,7 +283,21 @@ def run_resilient_trials(
     if resume and path is not None and path.exists():
         start, outcomes, failures = _load_checkpoint(path, config)
     resumed = len(outcomes) + len(failures)
+    resumed_ok = len(outcomes)
+    resumed_failed = len(failures)
 
+    log = active_event_log()
+    if log is not None:
+        log.emit(
+            RunStarted(
+                trials=config.trials,
+                seed=config.seed,
+                workers=config.resolved_workers(),
+                source="runner",
+            )
+        )
+    start_wall = time.perf_counter_ns()
+    start_cpu = time.process_time_ns()
     truncated = False
     started_at = time.monotonic()
     next_trial = start
@@ -299,6 +337,20 @@ def run_resilient_trials(
             close()
     if path is not None:
         _write_checkpoint(path, config, next_trial, outcomes, failures)
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.inc("trials_completed", len(outcomes) - resumed_ok)
+        metrics.inc("trials_failed", len(failures) - resumed_failed)
+    if log is not None:
+        log.emit(
+            RunFinished(
+                completed=len(outcomes),
+                failed=len(failures),
+                wall_ns=time.perf_counter_ns() - start_wall,
+                cpu_ns=time.process_time_ns() - start_cpu,
+                source="runner",
+            )
+        )
     return ResilientResult(
         requested=config.trials,
         outcomes=tuple(outcomes),

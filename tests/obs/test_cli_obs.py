@@ -1,0 +1,97 @@
+"""CLI surface of the observability work: --trace/--metrics, report, diagnose."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestRunFlags:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                ["run", "EQ2-MC", "--trace", str(trace), "--metrics", str(metrics)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert json.loads(trace.read_text().splitlines()[0])["kind"] == "manifest"
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["trials_completed"] > 0
+
+    def test_run_without_flags_writes_nothing(self, tmp_path, capsys):
+        assert main(["run", "FIG7"]) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_checkpoint_is_version_stamped(self, tmp_path, capsys):
+        assert main(["run", "FIG7", "--checkpoint", str(tmp_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "run_checkpoint.json").read_text())
+        assert payload["version"]
+        assert payload["seed"] == 0
+
+
+class TestReport:
+    def _trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "EQ2-MC", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_text_report(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "fullview run report" in out
+        assert "trials/s" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["report", str(trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trials_completed"] > 0
+
+    def test_rejects_non_trace_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("not json\n")
+        assert main(["report", str(bogus)]) == 2
+        assert "fullview report" in capsys.readouterr().err
+
+
+class TestLifetimeFlags:
+    def test_lifetime_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "lifetime",
+                    "--n",
+                    "40",
+                    "--trials",
+                    "4",
+                    "--epochs",
+                    "3",
+                    "--max-grid-points",
+                    "32",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        kinds = {json.loads(line)["kind"] for line in trace.read_text().splitlines()}
+        assert "manifest" in kinds and "event" in kinds
+
+
+class TestDiagnoseSelfCheck:
+    def test_diagnose_prints_obs_self_check(self, capsys):
+        assert main(["diagnose", "estate_surveillance", "--resolution", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "observability self-check" in out
+        assert "ns/span" in out
+        assert "writable" in out

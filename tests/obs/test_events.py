@@ -1,0 +1,89 @@
+"""Tests for the typed lifecycle events and their JSONL sink."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import (
+    CheckpointWritten,
+    ChunkDispatched,
+    ChunkFellBack,
+    EpochAdvanced,
+    EventLog,
+    RunFinished,
+    RunStarted,
+    active_event_log,
+    event_scope,
+)
+
+
+def _lines(sink: io.StringIO):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestEventLog:
+    def test_sequence_starts_at_zero_and_increments(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        assert log.emit(RunStarted(trials=4, seed=0, workers=1)) == 0
+        assert log.emit(RunFinished(completed=4, failed=0, wall_ns=1, cpu_ns=1)) == 1
+        rows = _lines(sink)
+        assert [row["seq"] for row in rows] == [0, 1]
+        assert log.emitted == 2
+
+    def test_t_ns_is_monotonic(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        for _ in range(5):
+            log.emit(ChunkDispatched(chunk=0, first_trial=0, trials=8))
+        stamps = [row["t_ns"] for row in _lines(sink)]
+        assert stamps == sorted(stamps)
+
+    def test_line_shape_includes_type_and_fields(self):
+        sink = io.StringIO()
+        EventLog(sink).emit(
+            ChunkFellBack(chunk=2, first_trial=16, trials=8, reason="broken-pool")
+        )
+        (row,) = _lines(sink)
+        assert row["kind"] == "event"
+        assert row["event"] == "ChunkFellBack"
+        assert row["reason"] == "broken-pool"
+        assert row["first_trial"] == 16
+
+    def test_checkpoint_event_keeps_line_kind(self):
+        """The event's own checkpoint_kind must not clobber the line kind."""
+        sink = io.StringIO()
+        EventLog(sink).emit(
+            CheckpointWritten(path="x.json", checkpoint_kind="run", next_trial=3)
+        )
+        (row,) = _lines(sink)
+        assert row["kind"] == "event"
+        assert row["checkpoint_kind"] == "run"
+
+    def test_epoch_event_round_trips(self):
+        sink = io.StringIO()
+        EventLog(sink).emit(EpochAdvanced(epoch=3, alive=17, coverage=0.5))
+        (row,) = _lines(sink)
+        assert (row["epoch"], row["alive"], row["coverage"]) == (3, 17, 0.5)
+
+    def test_closed_sink_raises_observability_error(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        sink.close()
+        with pytest.raises(ObservabilityError):
+            log.emit(RunStarted(trials=1, seed=0, workers=1))
+
+
+class TestScope:
+    def test_disabled_by_default(self):
+        assert active_event_log() is None
+
+    def test_scope_installs_and_restores(self):
+        log = EventLog(io.StringIO())
+        with event_scope(log):
+            assert active_event_log() is log
+        assert active_event_log() is None

@@ -1,0 +1,101 @@
+"""Tests for counters, gauges, histograms and the snapshot exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import (
+    METRICS_FORMAT,
+    Histogram,
+    MetricsRegistry,
+    active_metrics,
+    metrics_scope,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        assert registry.inc("trials") == 1
+        assert registry.inc("trials", 4) == 5
+        assert registry.counter("trials") == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MetricsRegistry().inc("trials", -1)
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("workers", 2)
+        registry.set_gauge("workers", 4)
+        assert registry.gauge("workers") == pytest.approx(4.0)
+
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().gauge("never") is None
+
+
+class TestHistogram:
+    def test_bounds_must_ascend(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            Histogram([])
+
+    def test_bucketing_and_overflow(self):
+        h = Histogram([1.0, 10.0])
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.min == pytest.approx(0.5)
+        assert h.max == pytest.approx(50.0)
+        assert h.total == pytest.approx(55.5)
+
+    def test_snapshot_shape(self):
+        h = Histogram([1.0])
+        h.observe(0.2)
+        snap = h.snapshot()
+        assert len(snap["counts"]) == len(snap["buckets"]) + 1
+        assert sum(snap["counts"]) == snap["count"] == 1
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_schema_tagged(self):
+        registry = MetricsRegistry()
+        registry.inc("trials_completed", 3)
+        registry.set_gauge("workers", 2)
+        registry.observe("trial_seconds", 0.01)
+        snap = registry.snapshot()
+        assert snap["format"] == METRICS_FORMAT
+        assert snap["counters"] == {"trials_completed": 3}
+        assert snap["gauges"] == {"workers": 2.0}
+        assert snap["histograms"]["trial_seconds"]["count"] == 1
+
+    def test_export_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("chunk_fallbacks")
+        path = registry.export_json(tmp_path / "metrics.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == METRICS_FORMAT
+        assert payload["counters"]["chunk_fallbacks"] == 1
+        # Atomic write leaves no temp file behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestScope:
+    def test_disabled_by_default(self):
+        assert active_metrics() is None
+
+    def test_scope_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            assert active_metrics() is registry
+        assert active_metrics() is None

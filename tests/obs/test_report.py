@@ -1,0 +1,149 @@
+"""End-to-end: observe() -> trace file -> load_trace -> build_report."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import observe
+from repro.obs.events import RunFinished, RunStarted, active_event_log
+from repro.obs.report import TRACE_FORMAT, build_report, load_trace
+from repro.simulation.engine import (
+    MonteCarloConfig,
+    ParallelExecutor,
+    execute_trials,
+)
+
+CHECKER = Path(__file__).resolve().parents[2] / "scripts" / "check_obs_schema.py"
+
+
+def draw_trial(trial: int, rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+@pytest.fixture()
+def traced_run(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.json"
+    cfg = MonteCarloConfig(trials=20, seed=7)
+    with observe(trace=trace, metrics=metrics, meta={"command": "test"}):
+        execute_trials(draw_trial, cfg, executor=ParallelExecutor(workers=2))
+    return trace, metrics, cfg
+
+
+class TestObserveContext:
+    def test_trace_file_has_manifest_first(self, traced_run):
+        trace, _, _ = traced_run
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert first["kind"] == "manifest"
+        assert first["format"] == TRACE_FORMAT
+        assert first["meta"] == {"command": "test"}
+
+    def test_inert_without_sinks(self):
+        with observe() as ctx:
+            assert not ctx.enabled
+            assert active_event_log() is None
+
+    def test_contexts_restore_previous_actives(self, tmp_path):
+        with observe(trace=tmp_path / "outer.jsonl"):
+            outer = active_event_log()
+            with observe(trace=tmp_path / "inner.jsonl"):
+                assert active_event_log() is not outer
+            assert active_event_log() is outer
+
+    def test_metrics_exported(self, traced_run):
+        _, metrics, cfg = traced_run
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["trials_completed"] == cfg.trials
+
+
+class TestLoadTrace:
+    def test_parses_all_line_kinds(self, traced_run):
+        trace, _, cfg = traced_run
+        data = load_trace(trace)
+        assert data.manifest["format"] == TRACE_FORMAT
+        assert len(data.trials) == cfg.trials
+        assert data.chunks
+        assert data.metrics is not None
+        assert any(e["event"] == "RunStarted" for e in data.events)
+
+    def test_rejects_non_trace(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"kind": "nonsense"}\n')
+        with pytest.raises(ObservabilityError):
+            load_trace(bogus)
+
+    def test_rejects_missing_manifest(self, tmp_path):
+        headless = tmp_path / "headless.jsonl"
+        headless.write_text('{"kind": "trial", "trial": 0, "dur_ns": 1}\n')
+        with pytest.raises(ObservabilityError):
+            load_trace(headless)
+
+
+class TestBuildReport:
+    def test_report_totals_and_workers(self, traced_run):
+        trace, _, cfg = traced_run
+        report = build_report(load_trace(trace))
+        assert report.trials_completed == cfg.trials
+        assert report.trials_failed == 0
+        assert report.workers == 2
+        assert report.chunks_dispatched > 0
+        assert report.wall_seconds > 0
+        assert 0.0 < (report.worker_utilization or 0.0) <= 1.0
+
+    def test_render_text_mentions_throughput(self, traced_run):
+        trace, _, _ = traced_run
+        text = build_report(load_trace(trace)).render_text()
+        assert "trials/s" in text
+        assert "span breakdown" in text
+
+    def test_to_json_parses(self, traced_run):
+        trace, _, cfg = traced_run
+        payload = json.loads(build_report(load_trace(trace)).to_json())
+        assert payload["trials_completed"] == cfg.trials
+        assert payload["slowest_trials"]
+
+    def test_event_clock_fallback_without_run_events(self, tmp_path):
+        trace = tmp_path / "partial.jsonl"
+        with observe(trace=trace):
+            log = active_event_log()
+            log.emit(RunStarted(trials=2, seed=0, workers=1))
+            log.emit(RunFinished(completed=2, failed=0, wall_ns=0, cpu_ns=0))
+        report = build_report(load_trace(trace))
+        # wall_ns of 0 in the event forces the t_ns fallback clock.
+        assert report.wall_seconds >= 0.0
+
+
+class TestSchemaChecker:
+    def test_checker_accepts_real_artifacts(self, traced_run):
+        trace, metrics, _ = traced_run
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(CHECKER),
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_checker_rejects_corrupt_trace(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "bogus"}\n')
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER), "--trace", str(bad)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "unknown line kind" in proc.stderr

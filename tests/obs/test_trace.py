@@ -1,0 +1,158 @@
+"""Tests for the span API: nesting, threading, pickling, aggregation."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.trace import (
+    TRIAL_SPAN,
+    ChunkTrace,
+    SpanSummary,
+    TraceRecorder,
+    active_recorder,
+    recording,
+    set_recorder,
+    span,
+)
+
+
+class TestDisabledPath:
+    def test_no_recorder_by_default(self):
+        assert active_recorder() is None
+
+    def test_span_is_noop_without_recorder(self):
+        with recording(None):
+            s = span("anything", trial=3)
+            with s:
+                pass
+            assert s.duration_ns == 0
+
+    def test_null_span_is_shared(self):
+        with recording(None):
+            assert span("a") is span("b")
+
+
+class TestRecording:
+    def test_records_name_trial_and_duration(self):
+        with recording(TraceRecorder()) as recorder:
+            with span("estimate", trial=7) as s:
+                pass
+        (record,) = recorder.records
+        assert record.name == "estimate"
+        assert record.trial == 7
+        assert record.duration_ns == s.duration_ns > 0
+
+    def test_nested_span_records_parent(self):
+        with recording(TraceRecorder()) as recorder:
+            with span(TRIAL_SPAN, trial=0):
+                with span("deploy"):
+                    pass
+        by_name = {r.name: r for r in recorder.records}
+        assert by_name["deploy"].parent == TRIAL_SPAN
+        assert by_name[TRIAL_SPAN].parent is None
+
+    def test_attrs_are_kept(self):
+        with recording(TraceRecorder()) as recorder:
+            with span("experiment", experiment="FIG7"):
+                pass
+        (record,) = recorder.records
+        assert record.attrs == {"experiment": "FIG7"}
+
+    def test_scope_restores_previous_recorder(self):
+        outer = TraceRecorder()
+        previous = set_recorder(outer)
+        try:
+            with recording(TraceRecorder()) as inner:
+                assert active_recorder() is inner
+            assert active_recorder() is outer
+        finally:
+            set_recorder(previous)
+
+    def test_thread_safety_and_per_thread_stacks(self):
+        recorder = TraceRecorder()
+        errors = []
+
+        def work(index: int):
+            try:
+                for trial in range(50):
+                    with span(TRIAL_SPAN, trial=index * 50 + trial):
+                        with span("deploy"):
+                            pass
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        with recording(recorder):
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert recorder.span_count(TRIAL_SPAN) == 200
+        assert recorder.span_count("deploy") == 200
+        # Stacks are thread-local: every deploy has the trial parent.
+        assert all(
+            r.parent == TRIAL_SPAN
+            for r in recorder.records
+            if r.name == "deploy"
+        )
+
+
+class TestAggregation:
+    def _traced_recorder(self, trials):
+        recorder = TraceRecorder()
+        with recording(recorder):
+            for trial in trials:
+                with span(TRIAL_SPAN, trial=trial):
+                    pass
+        return recorder
+
+    def test_to_chunk_is_picklable(self):
+        recorder = self._traced_recorder(range(4))
+        chunk = recorder.to_chunk(tuple(range(4)), wall_ns=123)
+        clone = pickle.loads(pickle.dumps(chunk))
+        assert clone == chunk
+        assert clone.wall_ns == 123
+        assert [t for t, _ in clone.trial_ns] == [0, 1, 2, 3]
+
+    def test_merge_chunk_counts_and_durations(self):
+        parent = TraceRecorder()
+        worker = self._traced_recorder([5, 6])
+        parent.merge_chunk(worker.to_chunk((5, 6), wall_ns=10))
+        assert parent.span_count(TRIAL_SPAN) == 2
+        assert [t for t, _ in parent.trial_durations()] == [5, 6]
+
+    def test_summaries_merge_direct_and_chunks(self):
+        parent = self._traced_recorder([0])
+        worker = self._traced_recorder([1, 2])
+        parent.merge_chunk(worker.to_chunk((1, 2), wall_ns=1))
+        summary = parent.summaries()[(TRIAL_SPAN, None)]
+        assert summary.count == 3
+        assert summary.total_ns >= summary.min_ns + summary.max_ns
+
+    def test_summary_merge_rejects_mismatched_population(self):
+        a = SpanSummary(name="a", count=1, total_ns=1, min_ns=1, max_ns=1)
+        b = SpanSummary(name="b", count=1, total_ns=1, min_ns=1, max_ns=1)
+        with pytest.raises(InvalidParameterError):
+            a.merged(b)
+
+    def test_iter_summary_rows_sorted_by_total(self):
+        recorder = TraceRecorder()
+        with recording(recorder):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        totals = [s.total_ns for s in recorder.iter_summary_rows()]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_chunktrace_holds_trial_order(self):
+        chunk = ChunkTrace(
+            trials=(3, 4), wall_ns=9, summaries=(), trial_ns=((3, 10), (4, 20))
+        )
+        parent = TraceRecorder()
+        parent.merge_chunk(chunk)
+        assert parent.trial_durations() == [(3, 10), (4, 20)]

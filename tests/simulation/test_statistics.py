@@ -54,6 +54,50 @@ class TestWilsonInterval:
         assert lo <= successes / trials <= hi
 
 
+class TestWilsonDegenerateEndpoints:
+    """The pinned endpoints at 0/n and n/n successes, including n = 1."""
+
+    @pytest.mark.parametrize("trials", [1, 2, 10, 1000])
+    def test_zero_successes_pins_lower_exactly(self, trials):
+        lo, hi = wilson_interval(0, trials)
+        assert lo == 0.0
+        assert 0.0 < hi < 1.0
+
+    @pytest.mark.parametrize("trials", [1, 2, 10, 1000])
+    def test_all_successes_pins_upper_exactly(self, trials):
+        lo, hi = wilson_interval(trials, trials)
+        assert hi == 1.0
+        assert 0.0 < lo < 1.0
+
+    def test_single_trial_intervals_are_sane(self):
+        lo0, hi0 = wilson_interval(0, 1)
+        lo1, hi1 = wilson_interval(1, 1)
+        assert (lo0, hi1) == (0.0, 1.0)
+        # One observation says almost nothing: both intervals are wide...
+        assert hi0 - lo0 > 0.5 and hi1 - lo1 > 0.5
+        # ...and mirror each other around 1/2.
+        assert lo1 == pytest.approx(1.0 - hi0)
+        assert hi1 == pytest.approx(1.0 - lo0)
+
+    @pytest.mark.parametrize("trials", [1, 5, 50])
+    def test_degenerate_interval_shrinks_with_trials(self, trials):
+        _, hi_small = wilson_interval(0, trials)
+        _, hi_large = wilson_interval(0, trials * 10)
+        assert hi_large < hi_small
+
+    def test_widened_interval_contains_wilson(self):
+        """``contains`` with slack accepts everything the raw interval does."""
+        est = BernoulliEstimate(successes=7, trials=40)
+        lo, hi = est.wilson()
+        for theory in (lo, hi, (lo + hi) / 2):
+            assert est.contains(theory)
+            assert est.contains(theory, slack=0.05)
+        # Slack widens monotonically: the widened interval also accepts
+        # values just outside the raw one, but not far outside.
+        assert est.contains(hi + 0.04, slack=0.05)
+        assert not est.contains(hi + 0.2, slack=0.05)
+
+
 class TestClopperPearson:
     def test_wider_than_wilson_typically(self):
         w = np.diff(wilson_interval(5, 20))[0]
