@@ -26,17 +26,19 @@ from repro.sensors.model import CameraSpec, HeterogeneousProfile
 THETA = math.pi / 3
 
 
-def _record_mean(bench: str, fn, *args, reps: int = 50) -> None:
+def _record_mean(bench: str, fn, *args, reps: int = 50, **kwargs) -> float:
     """Ledger a self-timed mean for ``fn`` into ``BENCH_core.json``.
 
     ``benchmark.stats`` is unavailable under ``--benchmark-disable``,
     so the recorded number comes from a short timed loop of its own.
+    Returns the mean in microseconds so callers can compare paths.
     """
     start = time.perf_counter()
     for _ in range(reps):
-        fn(*args)
+        fn(*args, **kwargs)
     mean_us = (time.perf_counter() - start) / reps * 1e6
     record(bench, mean_us, "us/call", BENCH_CORE)
+    return mean_us
 
 
 @pytest.fixture(scope="module")
@@ -115,6 +117,70 @@ def test_perf_full_view_mask_batch(benchmark, fleet):
     result = benchmark(full_view_mask, fleet, points, THETA)
     assert result.shape == (256,)
     _record_mean("core_full_view_mask_256", full_view_mask, fleet, points, THETA, reps=10)
+
+
+@pytest.fixture(scope="module")
+def paper_fleet():
+    """The acceptance regime: n = 2000 sensors at r = sqrt(log n / n)."""
+    n = 2000
+    radius = math.sqrt(math.log(n) / n)
+    profile = HeterogeneousProfile.homogeneous(
+        CameraSpec(radius=radius, angle_of_view=math.pi / 2)
+    )
+    fleet = UniformDeployment().deploy(profile, n, np.random.default_rng(0))
+    fleet.build_index()
+    return fleet
+
+
+def test_perf_full_view_mask_sparse(benchmark, paper_fleet):
+    """Sparse candidate-pruned checker vs dense, same fleet and points.
+
+    The sparse path must be at least 4x faster than the dense path in
+    the paper's regime (r ~ sqrt(log n / n), so each point sees only
+    O(log n) candidate sensors out of 2000).
+    """
+    from repro.core.batch import full_view_mask
+
+    points = np.random.default_rng(2).uniform(size=(256, 2))
+    result = benchmark(full_view_mask, paper_fleet, points, THETA, kernel="sparse")
+    assert result.shape == (256,)
+    sparse_us = _record_mean(
+        "core_full_view_mask_sparse_256",
+        full_view_mask, paper_fleet, points, THETA, reps=10, kernel="sparse",
+    )
+    dense_us = _record_mean(
+        "core_full_view_mask_dense_256",
+        full_view_mask, paper_fleet, points, THETA, reps=10, kernel="dense",
+    )
+    record("core_sparse_speedup_256", dense_us / sparse_us, "x", BENCH_CORE)
+    assert dense_us / sparse_us >= 4.0
+
+
+def test_perf_sparse_candidate_density_sweep(paper_fleet):
+    """How sparse throughput scales with candidate density.
+
+    Sweeps the sensing radius from the paper regime up towards
+    region-scale disks, recording pairs-per-point and us/call per
+    density so the dispatch cutoff stays grounded in measurements.
+    """
+    from repro.core.batch import full_view_mask, sparse_covering_pairs
+
+    n = 2000
+    points = np.random.default_rng(2).uniform(size=(256, 2))
+    for radius in (math.sqrt(math.log(n) / n), 0.1, 0.2, 0.4):
+        profile = HeterogeneousProfile.homogeneous(
+            CameraSpec(radius=radius, angle_of_view=math.pi / 2)
+        )
+        fleet = UniformDeployment().deploy(profile, n, np.random.default_rng(0))
+        fleet.build_index()
+        sp = sparse_covering_pairs(fleet, points)
+        pairs_per_point = sp.sensors.shape[0] / points.shape[0]
+        tag = f"r{radius:.3f}".replace(".", "p")
+        record(f"core_sparse_pairs_per_point_{tag}", pairs_per_point, "pairs", BENCH_CORE)
+        _record_mean(
+            f"core_full_view_mask_sparse_256_{tag}",
+            full_view_mask, fleet, points, THETA, reps=5, kernel="sparse",
+        )
 
 
 def test_perf_breach_cost(benchmark, directions):

@@ -16,9 +16,7 @@ Run:  python examples/estate_surveillance.py
 
 import math
 
-import numpy as np
-
-from repro import MonteCarloConfig, estimate_area_fraction
+from repro.api import estimate
 from repro.core.csa import csa_necessary, csa_sufficient
 from repro.simulation.results import ResultTable
 from repro.simulation.workloads import estate_surveillance
@@ -29,13 +27,14 @@ def assess(workload, trials: int = 40) -> dict:
     s_c = workload.profile.weighted_sensing_area
     nec = csa_necessary(workload.n, workload.theta)
     suf = csa_sufficient(workload.n, workload.theta)
-    cfg = MonteCarloConfig(trials=trials, seed=0)
-    mean, half = estimate_area_fraction(
-        workload.profile,
-        workload.n,
-        workload.theta,
-        "exact",
-        cfg,
+    mean, half = estimate(
+        kind="area_fraction",
+        profile=workload.profile,
+        n=workload.n,
+        theta=workload.theta,
+        condition="exact",
+        trials=trials,
+        seed=0,
         scheme=workload.scheme,
         sample_points=128,
     )

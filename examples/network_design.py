@@ -16,9 +16,7 @@ Run:  python examples/network_design.py
 
 import math
 
-import numpy as np
-
-from repro import MonteCarloConfig, estimate_area_fraction
+from repro.api import estimate
 from repro.core.csa import csa_sufficient
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.results import ResultTable
@@ -73,13 +71,14 @@ def main() -> None:
 
     # Verify the winning design by simulation.
     profile = HeterogeneousProfile.homogeneous(CameraSpec.from_area(best_s, phi))
-    cfg = MonteCarloConfig(trials=30, seed=0)
-    mean, half = estimate_area_fraction(
-        profile, best_n, theta, "exact", cfg, sample_points=128
+    trials = 30
+    mean, half = estimate(
+        kind="area_fraction", profile=profile, n=best_n, theta=theta,
+        condition="exact", trials=trials, seed=0, sample_points=128,
     )
     print(
         f"simulated full-view covered area fraction: {mean:.1%} "
-        f"(+/- {half:.1%}) over {cfg.trials} random deployments"
+        f"(+/- {half:.1%}) over {trials} random deployments"
     )
     print(
         "\nTrend to note: the area term n * s_S,c(n) grows only "

@@ -12,17 +12,15 @@ Run:  python examples/quickstart.py
 
 import math
 
-import numpy as np
-
 from repro import (
     CameraSpec,
     HeterogeneousProfile,
-    UniformDeployment,
     csa_necessary,
     csa_sufficient,
     diagnose_point,
     point_is_full_view_covered,
 )
+from repro.api import deploy
 
 
 def main() -> None:
@@ -39,8 +37,7 @@ def main() -> None:
     print(f"per-sensor sensing area s = {profile.weighted_sensing_area:.4f}")
 
     # 2. Deploy n sensors uniformly at random (fixed seed = reproducible).
-    fleet = UniformDeployment().deploy(profile, n=n, rng=np.random.default_rng(7))
-    fleet.build_index()
+    fleet = deploy(profile=profile, n=n, seed=7)
     print(f"deployed: {fleet}")
 
     # 3. Check the centre point and explain the verdict.

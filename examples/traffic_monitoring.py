@@ -15,12 +15,8 @@ Run:  python examples/traffic_monitoring.py
 
 import math
 
-import numpy as np
-
-from repro import UniformDeployment
+from repro.api import deploy, evaluate_grid
 from repro.core.csa import csa_sufficient, required_radius_homogeneous
-from repro.core.full_view import full_view_coverage_fraction
-from repro.geometry.grid import DenseGrid
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.results import ResultTable
 
@@ -66,10 +62,8 @@ def main() -> None:
     n, phi = 800, math.radians(60)
     r = required_radius_homogeneous(n, theta, phi, q=1.2)
     profile = HeterogeneousProfile.homogeneous(CameraSpec(radius=r, angle_of_view=phi))
-    fleet = UniformDeployment().deploy(profile, n, np.random.default_rng(3))
-    fleet.build_index()
-    grid = DenseGrid(side=10)
-    frac = full_view_coverage_fraction(fleet, grid.points, theta)
+    fleet = deploy(profile=profile, n=n, seed=3)
+    frac = evaluate_grid(fleet=fleet, theta=theta, resolution=10).fraction
     print(
         f"\nend-to-end check: n = {n}, phi = 60 deg, r = {r:.3f} "
         f"(1.2x sufficient CSA) full-view covers {frac:.1%} of a 10x10 "

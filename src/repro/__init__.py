@@ -69,6 +69,7 @@ from repro.errors import (
     InvalidParameterError,
     InvalidProfileError,
 )
+from repro.core.kernels import KernelPolicy
 from repro.geometry import DenseGrid, Region
 from repro.resilience import (
     BernoulliFailure,
@@ -109,6 +110,7 @@ __all__ = [
     "HeterogeneousProfile",
     "InvalidParameterError",
     "InvalidProfileError",
+    "KernelPolicy",
     "LifetimeDistribution",
     "LifetimeTrace",
     "MaternClusterDeployment",

@@ -7,6 +7,15 @@ grid of cells over the region and answers radius queries by scanning
 only the cells that intersect the query disk, wrapping across the torus
 seam when the region wraps.
 
+Storage is a CSR-style cell layout built with vectorised numpy ops: the
+indexed points are argsorted by flattened cell id into ``_members``, and
+``_cell_starts`` holds the prefix offsets of each cell's slice.  The
+same layout serves the scalar queries and the batched
+:meth:`ToroidalCellIndex.query_radius_batch`, which answers a radius
+query for *many* points at once with no per-point Python loops — the
+candidate-pruning backbone of the sparse coverage kernels in
+:mod:`repro.core.batch`.
+
 For the sensor counts the paper studies (``n`` up to tens of thousands,
 radii of order ``sqrt(log n / n)``), this turns per-point candidate
 scans from ``O(n)`` into ``O(1)`` expected.
@@ -15,7 +24,7 @@ scans from ``O(n)`` into ``O(1)`` expected.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -56,10 +65,16 @@ class ToroidalCellIndex:
         max_cells = max(1, int(region.side / cell_size))
         self._cells_per_side = max(1, min(max_cells, 4096))
         self._cell_size = region.side / self._cells_per_side
-        self._buckets: Dict[Tuple[int, int], List[int]] = {}
-        for idx, (x, y) in enumerate(self._points):
-            key = self._cell_of(float(x), float(y))
-            self._buckets.setdefault(key, []).append(idx)
+        cs = self._cells_per_side
+        cx, cy = self._cell_coords(self._points)
+        cell_ids = cx * cs + cy
+        # CSR layout: point indices argsorted by cell id, plus per-cell
+        # prefix offsets.  The stable sort keeps members of a cell in
+        # ascending point-index order.
+        self._members = np.argsort(cell_ids, kind="stable").astype(np.intp)
+        counts = np.bincount(cell_ids, minlength=cs * cs)
+        self._cell_starts = np.zeros(cs * cs + 1, dtype=np.intp)
+        np.cumsum(counts, out=self._cell_starts[1:])
 
     def __len__(self) -> int:
         return self._points.shape[0]
@@ -70,41 +85,61 @@ class ToroidalCellIndex:
         view.flags.writeable = False
         return view
 
-    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
-        cx = int(x / self._cell_size)
-        cy = int(y / self._cell_size)
-        # Guard against points exactly on the far edge.
-        return (min(cx, self._cells_per_side - 1), min(cy, self._cells_per_side - 1))
+    def _cell_coords(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised cell coordinates, clipped into the cell grid.
+
+        Clipping guards points exactly on the far edge (torus) and
+        out-of-region points (bounded square), matching the scalar
+        guard the dict-bucket implementation applied per point.
+        """
+        cs = self._cells_per_side
+        cx = np.clip((points[:, 0] / self._cell_size).astype(np.intp), 0, cs - 1)
+        cy = np.clip((points[:, 1] / self._cell_size).astype(np.intp), 0, cs - 1)
+        return cx, cy
+
+    def _gather_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Concatenated member indices of ``cells`` (flattened cell ids)."""
+        starts = self._cell_starts[cells]
+        lengths = self._cell_starts[cells + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.intp)
+        ends = np.cumsum(lengths)
+        # Position j of the output reads _members at
+        # starts[cell of j] + (j - begin of that cell's output slice).
+        take = np.arange(total, dtype=np.intp) + np.repeat(starts - (ends - lengths), lengths)
+        return self._members[take]
 
     def candidates_within(self, point: Point, radius: float) -> np.ndarray:
         """Indices of points whose cell intersects the query disk.
 
         This is a superset of the points within ``radius`` — callers
-        refine with an exact distance test (see :meth:`query`).
+        refine with an exact distance test (see :meth:`query`).  The
+        result is sorted and duplicate-free.
         """
         if radius < 0:
             raise InvalidParameterError(f"radius must be non-negative, got {radius!r}")
         px, py = self.region.wrap_point(point)
         reach = int(math.ceil(radius / self._cell_size))
-        cx, cy = self._cell_of(px, py)
-        n_cells = self._cells_per_side
-        if 2 * reach + 1 >= n_cells:
+        cs = self._cells_per_side
+        if 2 * reach + 1 >= cs:
             # Query disk spans the whole region: return everything.
             return np.arange(len(self), dtype=np.intp)
-        found: List[int] = []
-        for dx in range(-reach, reach + 1):
-            for dy in range(-reach, reach + 1):
-                ix, iy = cx + dx, cy + dy
-                if self.region.torus:
-                    key = (ix % n_cells, iy % n_cells)
-                elif 0 <= ix < n_cells and 0 <= iy < n_cells:
-                    key = (ix, iy)
-                else:
-                    continue
-                bucket = self._buckets.get(key)
-                if bucket:
-                    found.extend(bucket)
-        return np.asarray(sorted(set(found)), dtype=np.intp)
+        probe = np.array([[px, py]], dtype=float)
+        cx, cy = self._cell_coords(probe)
+        offsets = np.arange(-reach, reach + 1, dtype=np.intp)
+        xs = cx[0] + offsets
+        ys = cy[0] + offsets
+        if self.region.torus:
+            xs %= cs
+            ys %= cs
+        else:
+            xs = xs[(xs >= 0) & (xs < cs)]
+            ys = ys[(ys >= 0) & (ys < cs)]
+        cells = (xs[:, None] * cs + ys[None, :]).ravel()
+        found = self._gather_cells(cells)
+        found.sort()
+        return found
 
     def query(self, point: Point, radius: float) -> np.ndarray:
         """Indices of indexed points within ``radius`` of ``point``.
@@ -117,6 +152,100 @@ class ToroidalCellIndex:
             return candidates
         dists = self.region.distances(point, self._points[candidates])
         return candidates[dists <= radius]
+
+    def query_radius_batch(
+        self, points: np.ndarray, radius: float, refine: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Radius query for many points at once, CSR-style.
+
+        Parameters
+        ----------
+        points:
+            ``(m, 2)`` array of query points.
+        radius:
+            Query radius (one value for all points).
+        refine:
+            When true (default) candidates are filtered by the exact
+            wrapped distance, so row ``i`` equals
+            ``query(points[i], radius)``.  When false the cell-level
+            candidate superset is returned unfiltered — row ``i``
+            equals ``candidates_within(points[i], radius)`` — which is
+            what the sparse coverage kernels want (they apply their own
+            exact per-pair tests).
+
+        Returns
+        -------
+        indptr:
+            ``(m + 1,)`` intp prefix offsets.
+        indices:
+            ``(nnz,)`` intp indexed-point ids; row ``i`` occupies
+            ``indices[indptr[i]:indptr[i + 1]]``, ascending within the
+            row and duplicate-free.
+
+        The whole computation is vectorised over points *and* candidate
+        cells — no per-point Python loops.
+        """
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be non-negative, got {radius!r}")
+        pts = self.region.wrap_points(np.asarray(points, dtype=float).reshape(-1, 2))
+        m = pts.shape[0]
+        n = len(self)
+        if m == 0 or n == 0:
+            return np.zeros(m + 1, dtype=np.intp), np.empty(0, dtype=np.intp)
+        cs = self._cells_per_side
+        reach = int(math.ceil(radius / self._cell_size))
+        if 2 * reach + 1 >= cs:
+            # Every query disk spans the whole region: all pairs are
+            # candidates (the sensors-cover-the-torus regime).
+            per_point = np.full(m, n, dtype=np.intp)
+            cand = np.tile(np.arange(n, dtype=np.intp), m)
+        else:
+            pcx, pcy = self._cell_coords(pts)
+            offsets = np.arange(-reach, reach + 1, dtype=np.intp)
+            xs = pcx[:, None] + offsets[None, :]
+            ys = pcy[:, None] + offsets[None, :]
+            if self.region.torus:
+                xs %= cs
+                ys %= cs
+                valid = np.ones((m, offsets.size, offsets.size), dtype=bool)
+            else:
+                valid_x = (xs >= 0) & (xs < cs)
+                valid_y = (ys >= 0) & (ys < cs)
+                valid = valid_x[:, :, None] & valid_y[:, None, :]
+                xs = np.clip(xs, 0, cs - 1)
+                ys = np.clip(ys, 0, cs - 1)
+            # (m, k, k) flattened cell ids for each point's reach block;
+            # with 2*reach+1 < cs the wrapped cells of one block are
+            # distinct, so no deduplication is needed.
+            cells = (xs[:, :, None] * cs + ys[:, None, :]).reshape(m, -1)
+            valid = valid.reshape(m, -1)
+            starts = self._cell_starts[cells]
+            lengths = np.where(valid, self._cell_starts[cells + 1] - starts, 0)
+            per_point = lengths.sum(axis=1).astype(np.intp)
+            flat_lengths = lengths.ravel()
+            flat_starts = starts.ravel()
+            total = int(flat_lengths.sum())
+            ends = np.cumsum(flat_lengths)
+            take = np.arange(total, dtype=np.intp) + np.repeat(
+                flat_starts - (ends - flat_lengths), flat_lengths
+            )
+            cand = self._members[take]
+        rows = np.repeat(np.arange(m, dtype=np.intp), per_point)
+        if refine:
+            delta = self._points[cand] - pts[rows]
+            if self.region.torus:
+                half = 0.5 * self.region.side
+                delta = np.mod(delta + half, self.region.side) - half
+            # Same comparison as query(): hypot distance against radius.
+            keep = np.hypot(delta[:, 0], delta[:, 1]) <= radius
+            cand = cand[keep]
+            rows = rows[keep]
+        order = np.lexsort((cand, rows))
+        cand = cand[order]
+        counts = np.bincount(rows, minlength=m)
+        indptr = np.zeros(m + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, cand
 
     def nearest(self, point: Point) -> Tuple[int, float]:
         """Index and distance of the nearest indexed point.

@@ -133,6 +133,24 @@ class Region:
         delta = self.displacements(source, targets)
         return np.hypot(delta[:, 0], delta[:, 1])
 
+    def elementwise_displacements(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Displacement vectors between aligned point arrays.
+
+        ``sources`` and ``targets`` are both ``(n, 2)``; row ``i`` of the
+        result is the shortest displacement ``sources[i] -> targets[i]``.
+        The wrap formula is the same one :meth:`pairwise_displacements`
+        applies, so a pair evaluated here is bit-identical to the same
+        pair inside a dense displacement block — the sparse coverage
+        kernels rely on that.
+        """
+        sources = np.asarray(sources, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        delta = targets - sources
+        if self.torus:
+            half = 0.5 * self.side
+            delta = np.mod(delta + half, self.side) - half
+        return delta
+
     def pairwise_displacements(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """All displacement vectors between two point sets.
 

@@ -54,6 +54,7 @@ import math
 import multiprocessing
 import os
 import time
+import warnings
 from abc import ABC, abstractmethod
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -104,6 +105,11 @@ TrialTask = Callable[[int, np.random.Generator], Any]
 #: Upper bound on the automatic chunk size; keeps partial results
 #: flowing back to the consumer (checkpoints, budgets) on huge sweeps.
 _MAX_AUTO_CHUNK = 256
+
+#: Adaptive chunking targets at least this much work per dispatched
+#: chunk, so per-chunk costs (task pickling, IPC, future bookkeeping)
+#: stay a small fraction of the chunk's runtime.
+_TARGET_CHUNK_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -169,7 +175,21 @@ class MonteCarloConfig:
             yield self.rng_for_trial(trial)
 
     def rngs_list(self) -> List[np.random.Generator]:
-        """Eager shim for callers that need ``len()`` or indexing."""
+        """Deprecated eager shim; address trials with :meth:`rng_for_trial`.
+
+        .. deprecated::
+            Materialising one generator per trial defeats the O(1)
+            addressability that checkpointing and parallel execution
+            are built on.  Call ``rng_for_trial(i)`` for a single
+            trial's generator or iterate :meth:`rngs` lazily.
+        """
+        warnings.warn(
+            "MonteCarloConfig.rngs_list() is deprecated; use "
+            "rng_for_trial(i) for O(1) access to one trial's generator "
+            "(or iterate rngs() lazily)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return list(self.rngs())
 
     def resolved_workers(self) -> int:
@@ -255,13 +275,39 @@ def run_trial(
     return outcome
 
 
+def _chunk_loop(
+    task: TrialTask,
+    config: MonteCarloConfig,
+    trials: Sequence[int],
+    isolate: bool,
+) -> Tuple[List[TrialOutcome], Optional[BaseException]]:
+    """Run trials in order, keeping completed outcomes on interrupt.
+
+    A non-``Exception`` ``BaseException`` (``KeyboardInterrupt``,
+    ``SystemExit``) mid-chunk is captured and returned alongside the
+    outcomes completed so far, so the parent can surface them before
+    re-raising — larger chunks must not coarsen what an interrupt can
+    lose.  Plain ``Exception`` keeps propagating (the parent's
+    in-process fallback re-runs the chunk and resurfaces it).
+    """
+    outcomes: List[TrialOutcome] = []
+    for trial in trials:
+        try:
+            outcomes.append(run_trial(task, config, trial, isolate=isolate))
+        except BaseException as exc:
+            if isinstance(exc, Exception):
+                raise
+            return outcomes, exc
+    return outcomes, None
+
+
 def _run_chunk(
     task: TrialTask,
     config: MonteCarloConfig,
     trials: Sequence[int],
     isolate: bool,
     trace: bool = False,
-) -> Tuple[List[TrialOutcome], Optional[ChunkTrace]]:
+) -> Tuple[List[TrialOutcome], Optional[ChunkTrace], Optional[BaseException]]:
     """Run a contiguous chunk of trials (module-level, so it pickles).
 
     With ``trace`` a fresh recorder is installed for the chunk (the
@@ -269,23 +315,21 @@ def _run_chunk(
     recorder when falling back in-process — is restored afterwards)
     and the chunk's spans come back aggregated as a picklable
     :class:`ChunkTrace`, so traces survive the process-pool boundary.
+    The third element is a captured mid-chunk interrupt (see
+    :func:`_chunk_loop`), ``None`` on a clean run.
     """
     if not trace:
-        return (
-            [run_trial(task, config, trial, isolate=isolate) for trial in trials],
-            None,
-        )
+        outcomes, interrupt = _chunk_loop(task, config, trials, isolate)
+        return outcomes, None, interrupt
     recorder = TraceRecorder()
     previous = set_recorder(recorder)
     start = time.perf_counter_ns()
     try:
-        outcomes = [
-            run_trial(task, config, trial, isolate=isolate) for trial in trials
-        ]
+        outcomes, interrupt = _chunk_loop(task, config, trials, isolate)
     finally:
         set_recorder(previous)
     wall_ns = time.perf_counter_ns() - start
-    return outcomes, recorder.to_chunk(tuple(trials), wall_ns)
+    return outcomes, recorder.to_chunk(tuple(trials), wall_ns), interrupt
 
 
 class TrialExecutor(ABC):
@@ -404,9 +448,14 @@ class ParallelExecutor(TrialExecutor):
     workers:
         Worker process count (>= 1).
     chunk_size:
-        Trials per dispatched chunk; default splits the sweep into
-        about four chunks per worker (capped so very long sweeps still
-        stream partial results back for checkpoints and budgets).
+        Trials per dispatched chunk.  ``None`` — the default — sizes
+        chunks adaptively: the sweep's first trial runs in-process as a
+        timed probe, and the remaining trials are chunked so each chunk
+        carries at least :data:`_TARGET_CHUNK_SECONDS` of work (capped
+        by :data:`_MAX_AUTO_CHUNK`, and never so large that workers sit
+        idle).  The probe is trial 0 of the sweep, so outcomes stay in
+        trial order and bit-identical — adaptivity only moves chunk
+        boundaries, which cannot affect results.
     """
 
     def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
@@ -419,8 +468,19 @@ class ParallelExecutor(TrialExecutor):
         self.workers = workers
         self.chunk_size = chunk_size
 
-    def _chunks(self, trials: Sequence[int]) -> List[Sequence[int]]:
-        size = self.chunk_size
+    def _adaptive_size(self, probe_seconds: float, remaining: int) -> int:
+        """Chunk size targeting ≥ 50 ms of probed per-trial work."""
+        if probe_seconds > 0:
+            size = math.ceil(_TARGET_CHUNK_SECONDS / probe_seconds)
+        else:
+            size = _MAX_AUTO_CHUNK
+        size = max(1, min(size, _MAX_AUTO_CHUNK))
+        # Never chunk so coarsely that some workers get nothing.
+        return min(size, max(1, math.ceil(remaining / self.workers)))
+
+    def _chunks(self, trials: Sequence[int], size: Optional[int] = None) -> List[Sequence[int]]:
+        if size is None:
+            size = self.chunk_size
         if size is None:
             size = max(1, math.ceil(len(trials) / (self.workers * 4)))
             size = min(size, _MAX_AUTO_CHUNK)
@@ -436,11 +496,31 @@ class ParallelExecutor(TrialExecutor):
         trials = list(trials)
         if not trials:
             return
-        chunks = self._chunks(trials)
         recorder = active_recorder()
         trace = recorder is not None
         log = active_event_log()
         metrics = active_metrics()
+        probe_pair = None
+        if self.chunk_size is None:
+            # Timed in-process probe of the sweep's first trial; its
+            # wall time drives the chunk size for the rest.
+            probe_start = time.perf_counter()
+            probe_pair = _run_chunk(task, config, (trials[0],), isolate, trace)
+            probe_seconds = time.perf_counter() - probe_start
+            rest = trials[1:]
+            size = self._adaptive_size(probe_seconds, len(rest))
+            chunks = self._chunks(rest, size) if rest else []
+            if probe_pair[2] is not None:
+                # The probe itself was interrupted: surface what it
+                # produced, dispatch nothing.
+                chunks = []
+            if metrics is not None:
+                metrics.set_gauge("parallel_chunk_size", float(size))
+                metrics.set_gauge("parallel_probe_seconds", probe_seconds)
+        else:
+            chunks = self._chunks(trials)
+            if metrics is not None:
+                metrics.set_gauge("parallel_chunk_size", float(self.chunk_size))
 
         def fall_back(index: int, chunk: Sequence[int], reason: str):
             if metrics is not None:
@@ -456,18 +536,18 @@ class ParallelExecutor(TrialExecutor):
                 )
             return _run_chunk(task, config, tuple(chunk), isolate, trace)
 
-        def merge(pair) -> List[TrialOutcome]:
-            batch, chunk_trace = pair
+        def merge(pair) -> Tuple[List[TrialOutcome], Optional[BaseException]]:
+            batch, chunk_trace, interrupt = pair
             if chunk_trace is not None and recorder is not None:
                 recorder.merge_chunk(chunk_trace)
                 if metrics is not None:
                     for _trial, dur_ns in chunk_trace.trial_ns:
                         metrics.observe("trial_seconds", dur_ns / 1e9)
-            return batch
+            return batch, interrupt
 
         futures: List[Future] = []
         try:
-            pool = _pool_for(self.workers)
+            pool = _pool_for(self.workers) if chunks else None
             futures = [
                 pool.submit(_run_chunk, task, config, tuple(chunk), isolate, trace)
                 for chunk in chunks
@@ -476,8 +556,25 @@ class ParallelExecutor(TrialExecutor):
             # Pool could not even accept work — run the whole sweep
             # in-process.
             _discard_pool(self.workers)
+            if probe_pair is not None:
+                batch, interrupt = merge(probe_pair)
+                yield batch
+                if interrupt is not None:
+                    raise interrupt
             for index, chunk in enumerate(chunks):
-                yield merge(fall_back(index, chunk, "submit-failed"))
+                batch, interrupt = merge(fall_back(index, chunk, "submit-failed"))
+                yield batch
+                if interrupt is not None:
+                    raise interrupt
+            return
+        if probe_pair is not None:
+            # The probe is trial 0 of the sweep: yield it first, while
+            # the pool is already chewing on the dispatched chunks.
+            batch, interrupt = merge(probe_pair)
+            yield batch
+            if interrupt is not None:
+                raise interrupt
+        if not chunks:
             return
         if log is not None:
             for index, chunk in enumerate(chunks):
@@ -503,7 +600,10 @@ class ParallelExecutor(TrialExecutor):
                     # worker raised.  Re-run in-process; genuine task
                     # errors then resurface with their real type.
                     pair = fall_back(index, chunk, "worker-error")
-                yield merge(pair)
+                batch, interrupt = merge(pair)
+                yield batch
+                if interrupt is not None:
+                    raise interrupt
         finally:
             # Abandoned generators (time budget, interrupt) must not
             # leave queued chunks running; the shared pool itself

@@ -36,6 +36,7 @@ from repro.core.conditions import (
     necessary_condition_holds,
     sufficient_condition_holds,
 )
+from repro.core.kernels import KernelPolicy
 from repro.core.full_view import is_full_view_covered
 from repro.deployment.base import DeploymentScheme
 from repro.deployment.uniform import UniformDeployment
@@ -52,6 +53,7 @@ __all__ = [
     "AreaFractionTask",
     "ConditionChainTask",
     "DirectionPredicate",
+    "EstimatorTask",
     "GridFailureTask",
     "MonteCarloConfig",
     "Point",
@@ -126,22 +128,42 @@ def _deploy(
     return fleet
 
 
-@dataclass(frozen=True)
-class PointProbabilityTask:
-    """One trial of :func:`estimate_point_probability`.
+@dataclass(frozen=True, kw_only=True)
+class EstimatorTask:
+    """Shared keyword-only signature of the four estimator trial tasks.
 
-    Deploys a fresh fleet and reports whether the fixed ``point`` meets
-    ``condition``.  Evaluation goes through the batch kernel, which
-    never consults the spatial index, so no index is built; the verdict
-    is identical to the scalar predicate path.  Frozen and picklable,
-    so the parallel executor can ship it to worker processes.
+    Every estimator task deploys ``n`` sensors drawn from ``profile``
+    via ``scheme`` and evaluates some condition at effective angle
+    ``theta``; ``kernel`` is the shared :class:`KernelPolicy` selecting
+    the dense or sparse batch evaluation path (a pure performance knob
+    — both paths are bit-identical, so estimates never depend on it).
+    Subclasses add their own keyword-only fields and stay frozen and
+    picklable for the process-pool executor.
     """
 
     profile: HeterogeneousProfile
     n: int
     theta: float
-    condition: str
     scheme: DeploymentScheme
+    kernel: KernelPolicy = KernelPolicy()
+
+    def __post_init__(self) -> None:
+        validate_effective_angle(self.theta)
+
+
+@dataclass(frozen=True, kw_only=True)
+class PointProbabilityTask(EstimatorTask):
+    """One trial of :func:`estimate_point_probability`.
+
+    Deploys a fresh fleet and reports whether the fixed ``point`` meets
+    ``condition``.  Evaluation goes through the batch kernel, which
+    never consults the spatial index for a dense evaluation (the sparse
+    kernel builds the fleet's index on demand); the verdict is
+    identical to the scalar predicate path.  Frozen and picklable,
+    so the parallel executor can ship it to worker processes.
+    """
+
+    condition: str
     point: Point
     k: int = 1
 
@@ -154,12 +176,15 @@ class PointProbabilityTask:
         fleet = self.scheme.deploy(self.profile, self.n, rng)
         pts = np.array([self.point], dtype=float)
         return bool(
-            condition_mask(fleet, pts, self.theta, self.condition, k=self.k)[0]
+            condition_mask(
+                fleet, pts, self.theta, self.condition, k=self.k,
+                kernel=self.kernel.kernel,
+            )[0]
         )
 
 
-@dataclass(frozen=True)
-class GridFailureTask:
+@dataclass(frozen=True, kw_only=True)
+class GridFailureTask(EstimatorTask):
     """One trial of :func:`estimate_grid_failure_probability`.
 
     Deploys a fresh fleet and reports whether *some* evaluation point
@@ -168,16 +193,12 @@ class GridFailureTask:
     that order, for stream stability) when ``max_grid_points`` caps it.
     """
 
-    profile: HeterogeneousProfile
-    n: int
-    theta: float
     condition: str
-    scheme: DeploymentScheme
     grid: DenseGrid
     max_grid_points: Optional[int] = None
 
     def __post_init__(self) -> None:
-        validate_effective_angle(self.theta)
+        super().__post_init__()
         if self.condition not in _GRID_CONDITIONS:
             raise InvalidParameterError(
                 "grid conditions are 'necessary', 'sufficient' or 'exact', "
@@ -203,7 +224,11 @@ class GridFailureTask:
         chunk = 32
         while start < points.shape[0]:
             mask = condition_mask(
-                fleet, points[start : start + chunk], self.theta, self.condition
+                fleet,
+                points[start : start + chunk],
+                self.theta,
+                self.condition,
+                kernel=self.kernel.kernel,
             )
             if not mask.all():
                 return True
@@ -212,8 +237,8 @@ class GridFailureTask:
         return False
 
 
-@dataclass(frozen=True)
-class AreaFractionTask:
+@dataclass(frozen=True, kw_only=True)
+class AreaFractionTask(EstimatorTask):
     """One trial of :func:`estimate_area_fraction`.
 
     Deploys a fresh fleet, draws ``sample_points`` uniform points with
@@ -223,11 +248,7 @@ class AreaFractionTask:
     scalar per-point loop.
     """
 
-    profile: HeterogeneousProfile
-    n: int
-    theta: float
     condition: str
-    scheme: DeploymentScheme
     sample_points: int = 256
     k: int = 1
 
@@ -243,29 +264,27 @@ class AreaFractionTask:
         del trial
         fleet = self.scheme.deploy(self.profile, self.n, rng)
         points = rng.uniform(0.0, self.scheme.region.side, size=(self.sample_points, 2))
-        mask = condition_mask(fleet, points, self.theta, self.condition, k=self.k)
+        mask = condition_mask(
+            fleet, points, self.theta, self.condition, k=self.k,
+            kernel=self.kernel.kernel,
+        )
         return float(mask.mean())
 
 
-@dataclass(frozen=True)
-class ConditionChainTask:
+@dataclass(frozen=True, kw_only=True)
+class ConditionChainTask(EstimatorTask):
     """One trial of :func:`estimate_condition_chain`.
 
     Evaluates necessary / exact / sufficient on the *same* deployment
     and returns the three verdicts as a tuple.  Uses the scalar
     covering-directions path (a single point, three predicates), where
-    the spatial index genuinely helps, hence the ``use_index`` knob.
+    the spatial index genuinely helps, hence the ``use_index`` knob;
+    the shared ``kernel`` policy is accepted for signature uniformity
+    but has nothing to dispatch on this scalar path.
     """
 
-    profile: HeterogeneousProfile
-    n: int
-    theta: float
-    scheme: DeploymentScheme
     point: Point
     use_index: bool = True
-
-    def __post_init__(self) -> None:
-        validate_effective_angle(self.theta)
 
     def __call__(
         self, trial: int, rng: np.random.Generator
@@ -302,6 +321,7 @@ def estimate_point_probability(
     scheme: Optional[DeploymentScheme] = None,
     point: Optional[Point] = None,
     k: int = 1,
+    kernel: str = "auto",
 ) -> BernoulliEstimate:
     """P(a fixed point meets ``condition``) over random deployments.
 
@@ -317,6 +337,7 @@ def estimate_point_probability(
         scheme=scheme,
         point=_default_point(scheme, point),
         k=k,
+        kernel=KernelPolicy(kernel=kernel),
     )
     outcomes = execute_trials(task, config)
     successes = sum(1 for outcome in outcomes if outcome.value)
@@ -332,6 +353,7 @@ def estimate_grid_failure_probability(
     scheme: Optional[DeploymentScheme] = None,
     grid: Optional[DenseGrid] = None,
     max_grid_points: Optional[int] = None,
+    kernel: str = "auto",
 ) -> BernoulliEstimate:
     """P(some grid point fails ``condition``) — the event ``not H``.
 
@@ -349,6 +371,7 @@ def estimate_grid_failure_probability(
         scheme=scheme,
         grid=grid or DenseGrid.for_sensor_count(n, scheme.region),
         max_grid_points=max_grid_points,
+        kernel=KernelPolicy(kernel=kernel),
     )
     outcomes = execute_trials(task, config)
     failures = sum(1 for outcome in outcomes if outcome.value)
@@ -364,6 +387,7 @@ def estimate_area_fraction(
     scheme: Optional[DeploymentScheme] = None,
     sample_points: int = 256,
     k: int = 1,
+    kernel: str = "auto",
 ) -> Tuple[float, float]:
     """Expected fraction of the region meeting ``condition``.
 
@@ -380,6 +404,7 @@ def estimate_area_fraction(
         scheme=scheme,
         sample_points=sample_points,
         k=k,
+        kernel=KernelPolicy(kernel=kernel),
     )
     outcomes = execute_trials(task, config)
     return mean_and_half_width([outcome.value for outcome in outcomes])

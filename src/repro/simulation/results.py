@@ -22,6 +22,20 @@ __all__ = ["Cell", "ResultTable"]
 Cell = Union[str, int, float, bool, None]
 
 
+def _parse_cell(text: str) -> Cell:
+    """Best-effort inverse of CSV cell formatting (see :meth:`load_csv`)."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
 def _format_cell(value: Cell, float_format: str) -> str:
     if value is None:
         return ""
@@ -118,6 +132,30 @@ class ResultTable:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.to_csv())
         return path
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path], title: str = "") -> "ResultTable":
+        """Load a table previously written by :meth:`save_csv`.
+
+        CSV carries no type information, so cells are recovered
+        heuristically: ints, then floats, empty string to ``None``,
+        everything else stays a string.  ``title`` defaults to the file
+        stem.  Raises :class:`~repro.errors.InvalidParameterError` for a
+        missing or headerless file.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise InvalidParameterError(f"no result file at {path}")
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                columns = next(reader)
+            except StopIteration:
+                raise InvalidParameterError(f"{path} is empty") from None
+            table = cls(title=title or path.stem, columns=columns)
+            for row in reader:
+                table.add_row(*[_parse_cell(cell) for cell in row])
+        return table
 
     def pretty(self, max_width: int = 14) -> str:
         """Fixed-width terminal rendering."""

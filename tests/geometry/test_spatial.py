@@ -98,6 +98,92 @@ class TestCandidates:
         assert hits <= candidates
 
 
+class TestQueryRadiusBatch:
+    def _rows(self, indptr, indices):
+        return [indices[indptr[i] : indptr[i + 1]].tolist() for i in range(len(indptr) - 1)]
+
+    def test_matches_scalar_query(self, rng):
+        points = rng.uniform(size=(200, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.1)
+        probes = rng.uniform(size=(40, 2))
+        indptr, indices = idx.query_radius_batch(probes, 0.15)
+        assert indptr.shape == (41,)
+        assert indptr[-1] == indices.shape[0]
+        for i, row in enumerate(self._rows(indptr, indices)):
+            assert row == idx.query(tuple(probes[i]), 0.15).tolist()
+
+    def test_unrefined_matches_candidates_within(self, rng):
+        points = rng.uniform(size=(150, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.12)
+        probes = rng.uniform(size=(25, 2))
+        indptr, indices = idx.query_radius_batch(probes, 0.12, refine=False)
+        for i, row in enumerate(self._rows(indptr, indices)):
+            assert row == idx.candidates_within(tuple(probes[i]), 0.12).tolist()
+
+    def test_wrap_seam_probes(self, rng):
+        points = rng.uniform(size=(120, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.1)
+        probes = np.array([[0.0, 0.0], [0.999, 0.001], [0.001, 0.999], [0.999, 0.999]])
+        indptr, indices = idx.query_radius_batch(probes, 0.2)
+        for i, row in enumerate(self._rows(indptr, indices)):
+            expected = brute_force_query(points, tuple(probes[i]), 0.2, UNIT_TORUS)
+            assert set(row) == expected
+
+    def test_radius_spanning_whole_region(self, rng):
+        points = rng.uniform(size=(30, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.2)
+        indptr, indices = idx.query_radius_batch(rng.uniform(size=(5, 2)), 1.0, refine=False)
+        for row in self._rows(indptr, indices):
+            assert row == list(range(30))
+
+    def test_empty_probe_set(self, rng):
+        idx = ToroidalCellIndex(rng.uniform(size=(10, 2)), 0.1)
+        indptr, indices = idx.query_radius_batch(np.empty((0, 2)), 0.2)
+        assert indptr.tolist() == [0]
+        assert indices.size == 0
+
+    def test_empty_index(self):
+        idx = ToroidalCellIndex(np.empty((0, 2)), 0.1)
+        indptr, indices = idx.query_radius_batch(np.array([[0.5, 0.5]]), 0.2)
+        assert indptr.tolist() == [0, 0]
+        assert indices.size == 0
+
+    def test_bounded_square(self, rng):
+        points = rng.uniform(size=(100, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.1, region=UNIT_SQUARE)
+        probes = np.array([[0.02, 0.02], [0.98, 0.5], [0.5, 0.5]])
+        indptr, indices = idx.query_radius_batch(probes, 0.15)
+        for i, row in enumerate(self._rows(indptr, indices)):
+            expected = brute_force_query(points, tuple(probes[i]), 0.15, UNIT_SQUARE)
+            assert set(row) == expected
+
+    def test_negative_radius_raises(self, rng):
+        idx = ToroidalCellIndex(rng.uniform(size=(10, 2)), 0.1)
+        with pytest.raises(InvalidParameterError):
+            idx.query_radius_batch(np.array([[0.5, 0.5]]), -0.1)
+
+    def test_rows_sorted_and_unique(self, rng):
+        points = rng.uniform(size=(300, 2))
+        idx = ToroidalCellIndex(points, cell_size=0.07)
+        indptr, indices = idx.query_radius_batch(rng.uniform(size=(50, 2)), 0.11, refine=False)
+        for row in self._rows(indptr, indices):
+            assert row == sorted(set(row))
+
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=1, max_size=50),
+        st.lists(st.tuples(coords, coords), min_size=1, max_size=10),
+        st.floats(min_value=0.01, max_value=0.6),
+        st.floats(min_value=0.02, max_value=0.3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force_property(self, pts, probes, radius, cell):
+        points = np.array(pts)
+        idx = ToroidalCellIndex(points, cell_size=cell)
+        indptr, indices = idx.query_radius_batch(np.array(probes), radius)
+        for i, row in enumerate(self._rows(indptr, indices)):
+            assert set(row) == brute_force_query(points, probes[i], radius, UNIT_TORUS)
+
+
 class TestNearest:
     def test_simple(self):
         points = np.array([[0.1, 0.1], [0.9, 0.9]])

@@ -53,6 +53,15 @@ def failing_trial(trial: int, rng: np.random.Generator) -> float:
     return draw_trial(trial, rng)
 
 
+def interrupting_trial(trial: int, rng: np.random.Generator) -> float:
+    """Fails on trial 2, interrupts on trial 6, succeeds elsewhere."""
+    if trial == 2:
+        raise ValueError("injected failure")
+    if trial == 6:
+        raise KeyboardInterrupt()
+    return draw_trial(trial, rng)
+
+
 PROFILE = HeterogeneousProfile.homogeneous(
     CameraSpec(radius=0.3, angle_of_view=math.pi / 2)
 )
@@ -195,6 +204,79 @@ class TestExecutorEquivalence:
     def test_empty_trial_range_yields_nothing(self):
         batches = list(ParallelExecutor(workers=2).run(draw_trial, self.CFG, []))
         assert batches == []
+
+
+class TestAdaptiveChunking:
+    """Default chunking probes per-trial cost and targets >= 50 ms/chunk."""
+
+    def test_slow_trials_get_small_chunks(self):
+        # A probed trial slower than the target means one trial per chunk.
+        assert ParallelExecutor(workers=4)._adaptive_size(0.2, 100) == 1
+
+    def test_fast_trials_get_large_chunks(self):
+        # 1 ms/trial -> 50 trials reach the 50 ms target.
+        assert ParallelExecutor(workers=2)._adaptive_size(0.001, 1000) == 50
+
+    def test_chunks_capped_by_max_auto_chunk(self):
+        from repro.simulation.engine import _MAX_AUTO_CHUNK
+
+        assert (
+            ParallelExecutor(workers=1)._adaptive_size(1e-9, 10**6)
+            == _MAX_AUTO_CHUNK
+        )
+
+    def test_chunks_never_starve_workers(self):
+        # 8 remaining trials over 4 workers: at most 2 per chunk, however
+        # cheap the probe says they are.
+        assert ParallelExecutor(workers=4)._adaptive_size(1e-6, 8) == 2
+
+    def test_probe_first_batch_is_trial_zero(self):
+        cfg = MonteCarloConfig(trials=9, seed=3)
+        batches = list(
+            ParallelExecutor(workers=2).run(draw_trial, cfg, list(range(9)))
+        )
+        assert [o.trial for o in batches[0]] == [0]
+        assert [o.trial for batch in batches for o in batch] == list(range(9))
+
+    def test_chunk_size_gauge_recorded(self):
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        cfg = MonteCarloConfig(trials=6, seed=5)
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            execute_trials(
+                draw_trial, cfg, executor=ParallelExecutor(workers=2)
+            )
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["parallel_chunk_size"] >= 1
+        assert "parallel_probe_seconds" in snapshot["gauges"]
+
+    def test_interrupt_preserves_completed_chunk_outcomes(self):
+        # An interrupt mid-chunk must not discard the chunk's completed
+        # trials — however coarse the adaptive sizing made the chunk.
+        cfg = MonteCarloConfig(trials=20, seed=99)
+        seen = []
+        with pytest.raises(KeyboardInterrupt):
+            for batch in ParallelExecutor(workers=2).run(
+                interrupting_trial, cfg, list(range(20)), isolate=True
+            ):
+                seen.extend(batch)
+        trials_seen = [o.trial for o in seen]
+        assert trials_seen == list(range(6))
+        assert [o.trial for o in seen if not o.ok] == [2]
+
+    def test_explicit_chunk_size_gauge_recorded(self):
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        cfg = MonteCarloConfig(trials=6, seed=5)
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            execute_trials(
+                draw_trial,
+                cfg,
+                executor=ParallelExecutor(workers=2, chunk_size=3),
+            )
+        assert registry.snapshot()["gauges"]["parallel_chunk_size"] == 3
 
 
 class TestEstimatorBitIdentity:

@@ -53,9 +53,10 @@ class TestConfig:
             trials=10**9, seed=0
         ).rng_for_trial(0).random()
 
-    def test_rngs_list_shim_matches_generator(self):
+    def test_rngs_list_shim_matches_generator_and_warns(self):
         cfg = MonteCarloConfig(trials=4, seed=7)
-        eager = [g.random() for g in cfg.rngs_list()]
+        with pytest.warns(DeprecationWarning, match="rng_for_trial"):
+            eager = [g.random() for g in cfg.rngs_list()]
         lazy = [g.random() for g in cfg.rngs()]
         assert eager == lazy
 
