@@ -63,6 +63,7 @@ from repro.deployment import (
 from repro.deployment.cluster import MaternClusterDeployment
 from repro.sensors.io import load_fleet, save_fleet
 from repro.errors import (
+    ChaosError,
     CheckpointError,
     DeploymentError,
     FullViewError,
@@ -86,12 +87,15 @@ from repro.resilience import (
 from repro.sensors import CameraSpec, GroupSpec, HeterogeneousProfile, SensorFleet
 from repro.simulation import (
     BernoulliEstimate,
+    ChaosPolicy,
     MonteCarloConfig,
     ResilientResult,
     ResultTable,
+    RetryPolicy,
     estimate_area_fraction,
     estimate_grid_failure_probability,
     estimate_point_probability,
+    fault_scope,
     run_resilient_trials,
 )
 
@@ -99,6 +103,8 @@ __all__ = [
     "BernoulliEstimate",
     "BernoulliFailure",
     "CameraSpec",
+    "ChaosError",
+    "ChaosPolicy",
     "CheckpointError",
     "DenseGrid",
     "DeploymentError",
@@ -121,6 +127,7 @@ __all__ = [
     "Region",
     "ResilientResult",
     "ResultTable",
+    "RetryPolicy",
     "SensorFleet",
     "SquareLatticeDeployment",
     "TriangularLatticeDeployment",
@@ -136,6 +143,7 @@ __all__ = [
     "estimate_area_fraction",
     "estimate_grid_failure_probability",
     "estimate_point_probability",
+    "fault_scope",
     "find_widest_covered_strip",
     "full_view_coverage_fraction",
     "full_view_mask",

@@ -108,8 +108,34 @@ def _obs_context(args: argparse.Namespace, command: str):
     )
 
 
+def _fault_context(args: argparse.Namespace):
+    """The ``--max-retries``/``--chunk-timeout``/``--chaos`` fault scope.
+
+    Only flags the user actually passed become scoped overrides; unset
+    slots keep resolving from the ``FULLVIEW_MAX_RETRIES`` /
+    ``FULLVIEW_CHUNK_TIMEOUT`` / ``FULLVIEW_CHAOS`` environment
+    variables.
+    """
+    import dataclasses
+
+    from repro.simulation.faults import ChaosPolicy, RetryPolicy, fault_scope
+
+    retry = None
+    overrides = {}
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
+    if getattr(args, "chunk_timeout", None) is not None:
+        overrides["chunk_timeout"] = args.chunk_timeout
+    if overrides:
+        retry = dataclasses.replace(RetryPolicy.from_env(), **overrides)
+    chaos = None
+    if getattr(args, "chaos", None):
+        chaos = ChaosPolicy.parse(args.chaos)
+    return fault_scope(retry=retry, chaos=chaos)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    with _obs_context(args, "run"):
+    with _obs_context(args, "run"), _fault_context(args):
         return _run_body(args)
 
 
@@ -168,7 +194,7 @@ def _run_body(args: argparse.Namespace) -> int:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
-    with _obs_context(args, "lifetime"):
+    with _obs_context(args, "lifetime"), _fault_context(args):
         return _lifetime_body(args)
 
 
@@ -309,7 +335,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
-    with _obs_context(args, "workloads"):
+    with _obs_context(args, "workloads"), _fault_context(args):
         return _workloads_body(args)
 
 
@@ -510,6 +536,27 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="pool resubmissions allowed per chunk before falling back "
+        "(default: 2, or FULLVIEW_MAX_RETRIES)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt deadline for a dispatched chunk; a timed-out "
+        "pool is respawned (default: wait forever, or "
+        "FULLVIEW_CHUNK_TIMEOUT)",
+    )
+    parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="deterministic fault injection, e.g. "
+        "'seed=7,crash=0.2,slow=0.1' (keys: seed, crash, hang, slow, "
+        "pickle, corrupt, poison, hang_seconds, slow_seconds, "
+        "attempts); results stay bit-identical to a fault-free run",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``fullview`` argument parser with every subcommand wired."""
     parser = argparse.ArgumentParser(
@@ -547,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
         "FULLVIEW_WORKERS environment variable)",
     )
     _add_obs_arguments(p_run)
+    _add_fault_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_life = sub.add_parser(
@@ -619,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_life.add_argument("--out", help="directory for CSV exports")
     _add_obs_arguments(p_life)
+    _add_fault_arguments(p_life)
     p_life.set_defaults(func=_cmd_lifetime)
 
     p_fig = sub.add_parser("figures", help="render Figures 7 and 8")
@@ -634,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run Monte-Carlo trials on a process pool of N workers",
     )
     _add_obs_arguments(p_work)
+    _add_fault_arguments(p_work)
     p_work.set_defaults(func=_cmd_workloads)
 
     p_report = sub.add_parser(

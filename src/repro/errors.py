@@ -8,6 +8,7 @@ also swallowing programming errors such as :class:`TypeError`.
 from __future__ import annotations
 
 __all__ = [
+    "ChaosError",
     "CheckpointError",
     "ConvergenceError",
     "DeploymentError",
@@ -60,6 +61,16 @@ class CheckpointError(FullViewError, RuntimeError):
     Raised when resuming a sweep whose checkpoint does not match the
     requested configuration (different seed or trial count), or whose
     JSON payload cannot be parsed.
+    """
+
+
+class ChaosError(FullViewError, RuntimeError):
+    """A fault injected on purpose by the chaos harness.
+
+    Raised from inside ``_run_chunk`` when an active
+    :class:`repro.simulation.faults.ChaosPolicy` decides (by seed) that
+    this chunk attempt crashes.  Distinct from organic worker errors so
+    tests and retry accounting can tell injected faults from real bugs.
     """
 
 

@@ -100,6 +100,7 @@ def run(
             epochs=epochs,
             condition="necessary",
             max_grid_points=grid_cap,
+            isolate=True,
         )
         means.append(dist.mean_lifetime)
         lifetime_table.add_row(
@@ -125,6 +126,7 @@ def run(
         condition="necessary",
         max_grid_points=grid_cap,
         track_curves=True,
+        isolate=True,
     )
     survival = curve_dist.survival_curve()
     curve_table = ResultTable(

@@ -12,12 +12,59 @@ rename only ever publishes fully-persisted bytes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Mapping, Union
 
-__all__ = ["write_json_atomic", "write_text_atomic"]
+__all__ = [
+    "CHECKSUM_KEY",
+    "payload_checksum",
+    "stamp_checksum",
+    "verify_checksum",
+    "write_json_atomic",
+    "write_text_atomic",
+]
+
+#: Key under which :func:`stamp_checksum` records a payload's digest.
+CHECKSUM_KEY = "sha256"
+
+
+def payload_checksum(payload: Mapping[str, Any]) -> str:
+    """The sha256 hex digest of ``payload`` minus its checksum field.
+
+    The digest is computed over the canonical (key-sorted) JSON
+    encoding, so it is stable across dict insertion orders and across
+    write/read round trips.
+    """
+    body = {key: value for key, value in payload.items() if key != CHECKSUM_KEY}
+    encoded = json.dumps(body, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def stamp_checksum(payload: Mapping[str, Any]) -> dict:
+    """A copy of ``payload`` with its sha256 digest stamped in.
+
+    Readers call :func:`verify_checksum` to detect torn or truncated
+    files: JSON that still parses but lost (or mutated) fields fails
+    the digest even though it looks structurally plausible.
+    """
+    stamped = dict(payload)
+    stamped[CHECKSUM_KEY] = payload_checksum(payload)
+    return stamped
+
+
+def verify_checksum(payload: Mapping[str, Any]) -> bool:
+    """Whether a stamped payload's digest matches its contents.
+
+    Payloads without a checksum field pass (pre-checksum files remain
+    loadable); payloads with one must match exactly.
+    """
+    recorded = payload.get(CHECKSUM_KEY)
+    if recorded is None:
+        return True
+    return recorded == payload_checksum(payload)
 
 
 def write_text_atomic(path: Union[str, Path], text: str) -> Path:

@@ -27,13 +27,17 @@ from typing import IO, Optional, Union
 from repro.errors import ObservabilityError
 
 __all__ = [
+    "CheckpointRecovered",
+    "CheckpointWritten",
     "ChunkDispatched",
     "ChunkFellBack",
-    "CheckpointWritten",
+    "ChunkRetried",
     "EpochAdvanced",
     "EventLog",
+    "PoolRespawned",
     "RunFinished",
     "RunStarted",
+    "TrialQuarantined",
     "active_event_log",
     "event_scope",
     "set_event_log",
@@ -74,6 +78,40 @@ class ChunkFellBack:
 
 
 @dataclass(frozen=True)
+class ChunkRetried:
+    """A chunk's pool attempt failed and it was resubmitted.
+
+    ``attempt`` is the 1-based retry index (1 = first resubmission) and
+    ``reason`` names what killed the previous attempt (``"timeout"``,
+    ``"broken-pool"`` or ``"worker-error"``).
+    """
+
+    chunk: int
+    first_trial: int
+    trials: int
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class PoolRespawned:
+    """The warm process pool was discarded and a fresh one spawned."""
+
+    workers: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class TrialQuarantined:
+    """Bisection isolated a repeatedly-failing trial; it was recorded
+    as a failed :class:`~repro.simulation.engine.TrialOutcome` and the
+    sweep continued without it."""
+
+    trial: int
+    error: str
+
+
+@dataclass(frozen=True)
 class CheckpointWritten:
     """A checkpoint reached disk (durably, post-fsync).
 
@@ -87,6 +125,15 @@ class CheckpointWritten:
     path: str
     checkpoint_kind: str
     next_trial: int = 0
+
+
+@dataclass(frozen=True)
+class CheckpointRecovered:
+    """A corrupt main checkpoint was healed from its last good backup."""
+
+    path: str
+    recovered_from: str
+    next_trial: int
 
 
 @dataclass(frozen=True)
@@ -129,7 +176,11 @@ class EventLog:
             RunStarted,
             ChunkDispatched,
             ChunkFellBack,
+            ChunkRetried,
+            PoolRespawned,
+            TrialQuarantined,
             CheckpointWritten,
+            CheckpointRecovered,
             EpochAdvanced,
             RunFinished,
         ],

@@ -128,6 +128,10 @@ class RunReport:
     chunk_fallbacks: int
     checkpoints_written: int
     epochs_advanced: int
+    chunks_retried: int = 0
+    pools_respawned: int = 0
+    trials_quarantined: int = 0
+    checkpoints_recovered: int = 0
     span_rows: Tuple[Mapping[str, Any], ...] = ()
     slowest_trials: Tuple[Tuple[int, int], ...] = ()
     counters: Mapping[str, int] = field(default_factory=dict)
@@ -148,6 +152,10 @@ class RunReport:
             "chunk_fallbacks": self.chunk_fallbacks,
             "checkpoints_written": self.checkpoints_written,
             "epochs_advanced": self.epochs_advanced,
+            "chunks_retried": self.chunks_retried,
+            "pools_respawned": self.pools_respawned,
+            "trials_quarantined": self.trials_quarantined,
+            "checkpoints_recovered": self.checkpoints_recovered,
             "spans": [dict(row) for row in self.span_rows],
             "slowest_trials": [
                 {"trial": trial, "dur_ns": dur} for trial, dur in self.slowest_trials
@@ -189,6 +197,19 @@ class RunReport:
             f"checkpoints written: {self.checkpoints_written} | lifetime "
             f"epochs advanced: {self.epochs_advanced}"
         )
+        faults = (
+            self.chunks_retried
+            + self.pools_respawned
+            + self.trials_quarantined
+            + self.checkpoints_recovered
+        )
+        if faults:
+            lines.append(
+                f"fault handling: {self.chunks_retried} chunk retries, "
+                f"{self.pools_respawned} pool respawns, "
+                f"{self.trials_quarantined} trials quarantined, "
+                f"{self.checkpoints_recovered} checkpoints recovered"
+            )
         if self.span_rows:
             labels = [
                 row["name"] + (f" <{row['parent']}" if row.get("parent") else "")
@@ -224,6 +245,7 @@ def build_report(data: TraceData) -> RunReport:
     wall_ns = cpu_ns = 0
     workers = 1
     chunks_dispatched = fallbacks = checkpoints = epochs = 0
+    retried = respawned = quarantined = recovered = 0
     for event in data.events:
         name = event.get("event")
         if name == "RunStarted":
@@ -238,8 +260,16 @@ def build_report(data: TraceData) -> RunReport:
             chunks_dispatched += 1
         elif name == "ChunkFellBack":
             fallbacks += 1
+        elif name == "ChunkRetried":
+            retried += 1
+        elif name == "PoolRespawned":
+            respawned += 1
+        elif name == "TrialQuarantined":
+            quarantined += 1
         elif name == "CheckpointWritten":
             checkpoints += 1
+        elif name == "CheckpointRecovered":
+            recovered += 1
         elif name == "EpochAdvanced":
             epochs += 1
     # Without Run events (e.g. a truncated trace) fall back to the
@@ -279,6 +309,10 @@ def build_report(data: TraceData) -> RunReport:
         chunk_fallbacks=fallbacks,
         checkpoints_written=checkpoints,
         epochs_advanced=epochs,
+        chunks_retried=retried,
+        pools_respawned=respawned,
+        trials_quarantined=quarantined,
+        checkpoints_recovered=recovered,
         span_rows=span_rows,
         slowest_trials=slowest,
         counters=counters,

@@ -19,6 +19,7 @@ curve.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
@@ -303,6 +304,7 @@ def lifetime_distribution(
     scheme: Optional[DeploymentScheme] = None,
     max_grid_points: Optional[int] = None,
     track_curves: bool = False,
+    isolate: bool = False,
 ) -> LifetimeDistribution:
     """Monte-Carlo lifetime distribution over fresh deployments.
 
@@ -312,6 +314,11 @@ def lifetime_distribution(
     subsampled per trial to ``max_grid_points`` when set.  Trials run
     on the shared engine, so ``config.workers`` parallelises the sweep
     with bit-identical results.
+
+    With ``isolate`` a failing (or quarantined) trial is dropped from
+    the distribution with a warning instead of killing the sweep — the
+    long-horizon regime where a single poisoned trial must not cost
+    hours of completed epochs.
     """
     scheme = scheme or UniformDeployment()
     task = LifetimeTask(
@@ -326,7 +333,18 @@ def lifetime_distribution(
         max_grid_points=max_grid_points,
         track_curves=track_curves,
     )
-    outcomes = execute_trials(task, config)
+    outcomes = execute_trials(task, config, isolate=isolate)
+    if isolate:
+        lost = [outcome for outcome in outcomes if not outcome.ok]
+        if lost:
+            warnings.warn(
+                f"lifetime sweep lost {len(lost)} of {len(outcomes)} trials "
+                f"to isolated failures (first: trial {lost[0].trial}: "
+                f"{lost[0].error}); the distribution covers the survivors",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        outcomes = [outcome for outcome in outcomes if outcome.ok]
     traces = [outcome.value for outcome in outcomes]
     curves = [t.coverage_fractions for t in traces] if track_curves else []
     mean_curve: Tuple[float, ...] = ()

@@ -32,6 +32,11 @@ from repro.simulation.engine import (
     executor_for,
     run_trial,
 )
+from repro.simulation.faults import (
+    ChaosPolicy,
+    RetryPolicy,
+    fault_scope,
+)
 from repro.simulation.montecarlo import (
     estimate_area_fraction,
     estimate_grid_failure_probability,
@@ -48,16 +53,19 @@ from repro.simulation.statistics import BernoulliEstimate, wilson_interval
 
 __all__ = [
     "BernoulliEstimate",
+    "ChaosPolicy",
     "MonteCarloConfig",
     "ParallelExecutor",
     "ResilientResult",
     "ResultTable",
+    "RetryPolicy",
     "SerialExecutor",
     "TrialExecutor",
     "TrialFailure",
     "TrialOutcome",
     "execute_trials",
     "executor_for",
+    "fault_scope",
     "make_point_probability_trial",
     "run_resilient_trials",
     "run_trial",

@@ -53,10 +53,12 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import pickle
 import time
 import warnings
 from abc import ABC, abstractmethod
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -66,8 +68,11 @@ from repro.errors import InvalidParameterError
 from repro.obs.events import (
     ChunkDispatched,
     ChunkFellBack,
+    ChunkRetried,
+    PoolRespawned,
     RunFinished,
     RunStarted,
+    TrialQuarantined,
     active_event_log,
 )
 from repro.obs.metrics import active_metrics
@@ -78,6 +83,12 @@ from repro.obs.trace import (
     active_recorder,
     set_recorder,
     span,
+)
+from repro.simulation.faults import (
+    ChaosPolicy,
+    RetryPolicy,
+    resolve_chaos_policy,
+    resolve_retry_policy,
 )
 
 __all__ = [
@@ -275,6 +286,21 @@ def run_trial(
     return outcome
 
 
+def _is_serialization_error(exc: Exception) -> bool:
+    """Whether a worker-boundary failure is a pickling problem.
+
+    ``pickle`` is inconsistent about the type it raises: lambdas give
+    ``PicklingError``, local functions ``AttributeError`` and
+    unpicklable values (locks, generators) ``TypeError`` — the stable
+    signal across all three is the word "pickle" in the message.
+    """
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    return isinstance(exc, (AttributeError, TypeError)) and "pickle" in str(
+        exc
+    ).lower()
+
+
 def _chunk_loop(
     task: TrialTask,
     config: MonteCarloConfig,
@@ -307,6 +333,8 @@ def _run_chunk(
     trials: Sequence[int],
     isolate: bool,
     trace: bool = False,
+    chaos: Optional[ChaosPolicy] = None,
+    attempt: int = 0,
 ) -> Tuple[List[TrialOutcome], Optional[ChunkTrace], Optional[BaseException]]:
     """Run a contiguous chunk of trials (module-level, so it pickles).
 
@@ -317,7 +345,14 @@ def _run_chunk(
     :class:`ChunkTrace`, so traces survive the process-pool boundary.
     The third element is a captured mid-chunk interrupt (see
     :func:`_chunk_loop`), ``None`` on a clean run.
+
+    ``chaos`` is the injection seam: an active policy may raise or
+    sleep here, *before any trial runs*, so injected faults can never
+    perturb a trial generator — a retried chunk (``attempt`` counts
+    resubmissions) re-derives every stream bit-identically.
     """
+    if chaos is not None:
+        chaos.perturb_chunk(trials, attempt)
     if not trace:
         outcomes, interrupt = _chunk_loop(task, config, trials, isolate)
         return outcomes, None, interrupt
@@ -395,6 +430,12 @@ def _mp_context():
 
 def _pool_for(workers: int) -> ProcessPoolExecutor:
     pool = _POOL_CACHE.get(workers)
+    if pool is not None and getattr(pool, "_broken", False):
+        # A pool that broke mid-sweep must never be handed out again:
+        # every submit on it raises BrokenProcessPool forever.  Discard
+        # it here so callers always receive a usable pool.
+        _discard_pool(workers)
+        pool = None
     if pool is None:
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
         _POOL_CACHE[workers] = pool
@@ -434,14 +475,21 @@ class ParallelExecutor(TrialExecutor):
     process (started via a fork-safe method, see :func:`_mp_context`),
     so only the first parallel sweep pays worker startup.
 
-    Fault isolation is per chunk: when a chunk's future fails for
-    infrastructure reasons (worker killed, unpicklable task, broken
-    pool) the chunk is re-executed in-process, so the sweep completes —
-    serially in the worst case — rather than dying; a broken pool is
-    discarded so the next sweep gets a fresh one.  Task-level
-    exceptions keep their usual regime: propagated when
-    ``isolate=False`` (re-raised by the in-process re-execution with
-    their original type), recorded per trial when ``isolate=True``.
+    Fault handling is a graceful-degradation ladder governed by a
+    :class:`~repro.simulation.faults.RetryPolicy`.  A chunk whose pool
+    attempt fails (worker raised, pool broke, per-attempt deadline
+    expired) is retried with exponential backoff up to
+    ``max_retries`` resubmissions; a broken or timed-out pool is
+    discarded and respawned up to ``max_pool_respawns`` times; when the
+    respawn budget is spent the rest of the sweep runs in-process
+    serially — the sweep *completes* in every regime, it only gets
+    slower.  Under ``isolate=True`` a chunk that exhausts its retries
+    is bisected down to the offending trial, which is quarantined as a
+    failed :class:`TrialOutcome` while every other trial's result
+    survives.  Task-level exceptions keep their usual regime:
+    propagated when ``isolate=False`` (re-raised by the in-process
+    re-execution with their original type), recorded per trial when
+    ``isolate=True``.
 
     Parameters
     ----------
@@ -456,9 +504,26 @@ class ParallelExecutor(TrialExecutor):
         idle).  The probe is trial 0 of the sweep, so outcomes stay in
         trial order and bit-identical — adaptivity only moves chunk
         boundaries, which cannot affect results.
+    retry:
+        Deadlines/retry/degradation knobs; ``None`` resolves the scoped
+        policy (:func:`~repro.simulation.faults.fault_scope`), else the
+        ``FULLVIEW_MAX_RETRIES`` / ``FULLVIEW_CHUNK_TIMEOUT``
+        environment defaults.
+    chaos:
+        Fault-injection profile; ``None`` resolves the scoped policy,
+        else ``FULLVIEW_CHAOS``, else no injection.  Chaos fires only
+        at the worker-boundary seam of :func:`_run_chunk` — never in
+        the in-process fallback and never in the probe — so results
+        remain bit-identical to a fault-free run.
     """
 
-    def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosPolicy] = None,
+    ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers!r}")
         if chunk_size is not None and chunk_size < 1:
@@ -467,6 +532,8 @@ class ParallelExecutor(TrialExecutor):
             )
         self.workers = workers
         self.chunk_size = chunk_size
+        self.retry = resolve_retry_policy(retry)
+        self.chaos = resolve_chaos_policy(chaos)
 
     def _adaptive_size(self, probe_seconds: float, remaining: int) -> int:
         """Chunk size targeting ≥ 50 ms of probed per-trial work."""
@@ -500,6 +567,7 @@ class ParallelExecutor(TrialExecutor):
         trace = recorder is not None
         log = active_event_log()
         metrics = active_metrics()
+        retry = self.retry
         probe_pair = None
         if self.chunk_size is None:
             # Timed in-process probe of the sweep's first trial; its
@@ -545,28 +613,166 @@ class ParallelExecutor(TrialExecutor):
                         metrics.observe("trial_seconds", dur_ns / 1e9)
             return batch, interrupt
 
-        futures: List[Future] = []
-        try:
-            pool = _pool_for(self.workers) if chunks else None
-            futures = [
-                pool.submit(_run_chunk, task, config, tuple(chunk), isolate, trace)
-                for chunk in chunks
-            ]
-        except Exception:
-            # Pool could not even accept work — run the whole sweep
-            # in-process.
+        chaos = self.chaos
+        futures: List[Optional[Future]] = [None] * len(chunks)
+        attempts = [0] * len(chunks)
+        pool: Optional[ProcessPoolExecutor] = None
+        respawns_left = retry.max_pool_respawns
+        degraded_reason: Optional[str] = None
+
+        def submit(index: int) -> Future:
+            chunk = chunks[index]
+            return pool.submit(
+                _run_chunk,
+                task,
+                config,
+                tuple(chunk),
+                isolate,
+                trace,
+                chaos,
+                attempts[index],
+            )
+
+        def respawn(reason: str) -> None:
+            # One rung down the ladder: discard the broken/hung pool
+            # and start a fresh one, unless the respawn budget is spent
+            # — then degrade to in-process serial for the rest of the
+            # sweep.
+            nonlocal pool, respawns_left, degraded_reason
             _discard_pool(self.workers)
-            if probe_pair is not None:
-                batch, interrupt = merge(probe_pair)
-                yield batch
-                if interrupt is not None:
-                    raise interrupt
-            for index, chunk in enumerate(chunks):
-                batch, interrupt = merge(fall_back(index, chunk, "submit-failed"))
-                yield batch
-                if interrupt is not None:
-                    raise interrupt
-            return
+            pool = None
+            if respawns_left <= 0:
+                degraded_reason = reason
+                return
+            respawns_left -= 1
+            try:
+                pool = _pool_for(self.workers)
+            except Exception:
+                degraded_reason = reason
+                return
+            if metrics is not None:
+                metrics.inc("pool_respawns")
+            if log is not None:
+                log.emit(PoolRespawned(workers=self.workers, reason=reason))
+
+        def resubmit_pending(start: int) -> None:
+            # A discarded pool took its queued futures with it: keep
+            # every chunk that already completed cleanly, re-queue the
+            # rest on the fresh pool (same attempt index, so chaos
+            # decisions replay deterministically).
+            nonlocal pool, degraded_reason
+            for i in range(start, len(chunks)):
+                f = futures[i]
+                if (
+                    f is not None
+                    and f.done()
+                    and not f.cancelled()
+                    and f.exception() is None
+                ):
+                    continue
+                if pool is None:
+                    futures[i] = None
+                    continue
+                try:
+                    futures[i] = submit(i)
+                except Exception:
+                    _discard_pool(self.workers)
+                    pool = None
+                    degraded_reason = "submit-failed"
+                    futures[i] = None
+
+        def quarantine(
+            index: int, chunk: Sequence[int], failure: str
+        ) -> Tuple[List[TrialOutcome], None, Optional[BaseException]]:
+            # Bisect an exhausted chunk down to the offending trial(s).
+            # Parts run through the pool at the chunk's final attempt
+            # index (cleared probabilistic faults stay cleared); a part
+            # that still dies at the worker boundary is split, and a
+            # single trial that keeps dying is recorded as a failed
+            # outcome while every other trial's result survives.
+            attempt_floor = attempts[index]
+            if chaos is not None:
+                attempt_floor = max(attempt_floor, chaos.attempts)
+            outcomes: List[TrialOutcome] = []
+            state: Dict[str, Any] = {"interrupt": None, "error": failure}
+
+            def attempt_part(part: Sequence[int]):
+                if pool is None:
+                    # Degraded mid-bisection: in-process, no chaos —
+                    # the parent is not a worker.
+                    return _run_chunk(task, config, tuple(part), isolate, trace)
+                future = None
+                try:
+                    future = pool.submit(
+                        _run_chunk,
+                        task,
+                        config,
+                        tuple(part),
+                        isolate,
+                        trace,
+                        chaos,
+                        attempt_floor,
+                    )
+                    return future.result(timeout=retry.chunk_timeout)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    state["error"] = "TimeoutError: chunk attempt exceeded deadline"
+                    respawn("timeout")
+                    return None
+                except BrokenExecutor as exc:
+                    state["error"] = f"{type(exc).__name__}: worker died"
+                    respawn("broken-pool")
+                    return None
+                except Exception as exc:
+                    state["error"] = f"{type(exc).__name__}: {exc}"
+                    return None
+
+            def run_part(part: Sequence[int]) -> None:
+                if state["interrupt"] is not None:
+                    return
+                pair = attempt_part(part)
+                if pair is None:
+                    if len(part) == 1:
+                        trial = int(part[0])
+                        if metrics is not None:
+                            metrics.inc("trials_quarantined")
+                        if log is not None:
+                            log.emit(
+                                TrialQuarantined(trial=trial, error=state["error"])
+                            )
+                        outcomes.append(
+                            TrialOutcome(trial=trial, error=state["error"])
+                        )
+                        return
+                    mid = len(part) // 2
+                    run_part(part[:mid])
+                    run_part(part[mid:])
+                    return
+                batch, chunk_trace, part_interrupt = pair
+                outcomes.extend(batch)
+                if chunk_trace is not None and recorder is not None:
+                    recorder.merge_chunk(chunk_trace)
+                    if metrics is not None:
+                        for _trial, dur_ns in chunk_trace.trial_ns:
+                            metrics.observe("trial_seconds", dur_ns / 1e9)
+                if part_interrupt is not None:
+                    state["interrupt"] = part_interrupt
+
+            run_part(tuple(chunk))
+            return outcomes, None, state["interrupt"]
+
+        if chunks:
+            try:
+                pool = _pool_for(self.workers)
+                for index in range(len(chunks)):
+                    futures[index] = submit(index)
+            except Exception:
+                # The pool could not even accept work: bottom rung,
+                # the whole sweep runs in-process.
+                _discard_pool(self.workers)
+                pool = None
+                degraded_reason = "submit-failed"
+                futures = [None] * len(chunks)
         if probe_pair is not None:
             # The probe is trial 0 of the sweep: yield it first, while
             # the pool is already chewing on the dispatched chunks.
@@ -576,30 +782,102 @@ class ParallelExecutor(TrialExecutor):
                 raise interrupt
         if not chunks:
             return
-        if log is not None:
-            for index, chunk in enumerate(chunks):
-                log.emit(
-                    ChunkDispatched(
-                        chunk=index, first_trial=chunk[0], trials=len(chunk)
+        if pool is not None:
+            if log is not None:
+                for index, chunk in enumerate(chunks):
+                    log.emit(
+                        ChunkDispatched(
+                            chunk=index, first_trial=chunk[0], trials=len(chunk)
+                        )
                     )
-                )
-        if metrics is not None:
-            metrics.inc("chunks_dispatched", len(chunks))
+            if metrics is not None:
+                metrics.inc("chunks_dispatched", len(chunks))
         try:
-            for index, (chunk, future) in enumerate(zip(chunks, futures)):
-                try:
-                    pair = future.result()
-                except BrokenExecutor:
-                    # The pool itself died; replace it for future
-                    # sweeps and finish this one in-process.
-                    _discard_pool(self.workers)
-                    pair = fall_back(index, chunk, "broken-pool")
-                except Exception:
-                    # Chunk-level fault isolation: the task cannot
-                    # cross the process boundary (closures), or the
-                    # worker raised.  Re-run in-process; genuine task
-                    # errors then resurface with their real type.
-                    pair = fall_back(index, chunk, "worker-error")
+            for index, chunk in enumerate(chunks):
+                pair = None
+                reason: Optional[str] = None
+                retryable = True
+                failure = "worker-boundary failure"
+                while True:
+                    future = futures[index]
+                    if pool is None or future is None:
+                        break
+                    infra = False
+                    try:
+                        pair = future.result(timeout=retry.chunk_timeout)
+                        break
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        reason = "timeout"
+                        infra = True
+                        failure = "TimeoutError: chunk attempt exceeded deadline"
+                    except BrokenExecutor as exc:
+                        reason = "broken-pool"
+                        infra = True
+                        failure = f"{type(exc).__name__}: worker died"
+                    except Exception as exc:
+                        reason = "worker-error"
+                        # A task that cannot cross the process boundary
+                        # (pickle raises PicklingError for lambdas but
+                        # AttributeError/TypeError for local functions
+                        # and unpicklable arguments) fails identically
+                        # on every attempt; no retry can fix that —
+                        # straight to the in-process fallback.
+                        if _is_serialization_error(exc):
+                            retryable = False
+                        failure = f"{type(exc).__name__}: {exc}"
+                    futures[index] = None
+                    if infra:
+                        # A hung or dead pool poisons every queued
+                        # chunk: respawn it and re-queue what has not
+                        # finished yet.
+                        respawn(reason)
+                        if pool is not None:
+                            resubmit_pending(index + 1)
+                    if pool is None or not retryable:
+                        break
+                    attempts[index] += 1
+                    if attempts[index] > retry.max_retries:
+                        break
+                    if metrics is not None:
+                        metrics.inc("chunk_retries")
+                    if log is not None:
+                        log.emit(
+                            ChunkRetried(
+                                chunk=index,
+                                first_trial=chunk[0],
+                                trials=len(chunk),
+                                attempt=attempts[index],
+                                reason=reason,
+                            )
+                        )
+                    delay = retry.backoff_seconds(
+                        config.seed, int(chunk[0]), attempts[index]
+                    )
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    try:
+                        futures[index] = submit(index)
+                    except Exception:
+                        _discard_pool(self.workers)
+                        pool = None
+                        degraded_reason = "submit-failed"
+                        break
+                if pair is None:
+                    if pool is None:
+                        pair = fall_back(
+                            index, chunk, degraded_reason or reason or "degraded"
+                        )
+                    elif not retryable:
+                        pair = fall_back(index, chunk, reason)
+                    elif isolate:
+                        pair = quarantine(index, chunk, failure)
+                    else:
+                        # Retries exhausted without isolation: the
+                        # in-process re-run either succeeds (the fault
+                        # was infrastructure) or re-raises the task's
+                        # real error with its original type.
+                        pair = fall_back(index, chunk, reason)
                 batch, interrupt = merge(pair)
                 yield batch
                 if interrupt is not None:
@@ -609,7 +887,8 @@ class ParallelExecutor(TrialExecutor):
             # leave queued chunks running; the shared pool itself
             # stays warm for the next sweep.
             for future in futures:
-                future.cancel()
+                if future is not None:
+                    future.cancel()
 
 
 def executor_for(config: MonteCarloConfig) -> TrialExecutor:

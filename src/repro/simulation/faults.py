@@ -1,0 +1,413 @@
+"""Deterministic fault injection and retry policy for trial execution.
+
+Long Monte-Carlo sweeps die in ways the trial functions never see:
+a worker process is OOM-killed mid-chunk, a worker wedges on a lock and
+never returns, the pool's pickle channel chokes on a payload, a
+checkpoint file is truncated by a crash or a full disk.  Losing trials
+to any of these silently biases the very estimates the paper's
+Theorems 1-3 are validated against, so the engine must *recover* from
+them — and recovery code that is never executed is recovery code that
+does not work.  This module makes every one of those failure modes a
+first-class, seed-reproducible event:
+
+- :class:`ChaosPolicy` — a frozen, picklable profile of fault
+  probabilities (worker crash, worker hang, slow chunk, pickle
+  failure, checkpoint corruption, and an always-fatal *poison trial*).
+  Every decision is a pure function of ``(chaos seed, fault kind,
+  injection site, attempt)`` via spawn-key derived generators, so a
+  failing run replays bit-for-bit from its seed — in the parent, in
+  the workers, and across retries.  Activated explicitly, through
+  :func:`fault_scope`, or process-wide via the :data:`CHAOS_ENV_VAR`
+  environment variable (``FULLVIEW_CHAOS="seed=7,crash=0.2,hang=0.1"``).
+- :class:`RetryPolicy` — the hardened executor's knobs: bounded
+  per-chunk retries, an optional per-attempt deadline, exponential
+  backoff with deterministic half-jitter, and the pool-respawn budget
+  that bounds the graceful-degradation ladder (warm pool -> respawned
+  pool -> in-process serial).  Environment defaults come from
+  :data:`MAX_RETRIES_ENV_VAR` / :data:`CHUNK_TIMEOUT_ENV_VAR`.
+
+Injection happens at exactly two seams: the top of
+:func:`repro.simulation.engine._run_chunk` (before any trial runs, so
+an injected fault can never perturb a trial's generator — a retried
+chunk re-derives every stream and tallies bit-identical results) and
+the checkpoint-write path of :mod:`repro.simulation.runner` (after the
+durable write, modelling corruption at rest).  The in-process fallback
+rung never injects: chaos models faults of the *worker boundary*, and
+the parent is not a worker.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ChaosError, InvalidParameterError
+from repro.seeding import derive_rng
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "CHUNK_TIMEOUT_ENV_VAR",
+    "ChaosPolicy",
+    "MAX_RETRIES_ENV_VAR",
+    "RetryPolicy",
+    "active_chaos_policy",
+    "active_retry_policy",
+    "fault_scope",
+    "resolve_chaos_policy",
+    "resolve_retry_policy",
+]
+
+#: Environment variable holding a chaos spec (``"seed=7,crash=0.2"``);
+#: unset or empty means no injection anywhere.
+CHAOS_ENV_VAR = "FULLVIEW_CHAOS"
+
+#: Environment default for :attr:`RetryPolicy.max_retries`.
+MAX_RETRIES_ENV_VAR = "FULLVIEW_MAX_RETRIES"
+
+#: Environment default for :attr:`RetryPolicy.chunk_timeout` (seconds).
+CHUNK_TIMEOUT_ENV_VAR = "FULLVIEW_CHUNK_TIMEOUT"
+
+#: Spawn-key codes for the fault kinds, so each kind draws from its own
+#: independent stream under the chaos seed.
+_CRASH_KEY = 1
+_HANG_KEY = 2
+_SLOW_KEY = 3
+_PICKLE_KEY = 4
+_CORRUPT_KEY = 5
+_BACKOFF_KEY = 6
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A seeded profile of injected faults (frozen, picklable).
+
+    Rates are per-injection-site probabilities in ``[0, 1]``; every
+    draw is keyed by ``(seed, kind, site, attempt)``, so the same
+    policy produces the same faults in any execution order and across
+    process boundaries.
+
+    Attributes
+    ----------
+    seed:
+        Master seed for every injection decision.
+    crash:
+        Probability a chunk attempt dies at the worker boundary
+        (raises :class:`~repro.errors.ChaosError` before any trial
+        runs — the observable shape of a killed worker).
+    hang:
+        Probability a chunk attempt sleeps ``hang_seconds`` before
+        starting (trips the executor's per-chunk deadline when one is
+        set; otherwise merely slow).
+    slow:
+        Probability a chunk attempt sleeps ``slow_seconds`` (latency
+        noise that must never affect results).
+    pickle_error:
+        Probability a chunk attempt fails like a broken pickle channel
+        (a :class:`~repro.errors.ChaosError` tagged as such).
+    corrupt:
+        Probability a just-written trial checkpoint is truncated on
+        disk (corruption at rest; exercises checkpoint self-healing).
+    poison_trial:
+        A trial index whose chunk *always* dies at the worker boundary,
+        on every attempt — the reproducible stand-in for a trial that
+        segfaults its worker.  Drives the quarantine bisection.
+    hang_seconds / slow_seconds:
+        Injected sleep durations.
+    attempts:
+        Only attempt indices below this fire the probabilistic faults
+        (the fault "clears" on later retries).  The default of 1 makes
+        every non-poison fault recoverable with a single retry, which
+        is what keeps chaos runs completing bit-identically.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    slow: float = 0.0
+    pickle_error: float = 0.0
+    corrupt: float = 0.0
+    poison_trial: Optional[int] = None
+    hang_seconds: float = 0.5
+    slow_seconds: float = 0.02
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "hang", "slow", "pickle_error", "corrupt"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidParameterError(
+                    f"chaos rate {name} must be in [0, 1], got {rate!r}"
+                )
+        if self.hang_seconds < 0.0 or self.slow_seconds < 0.0:
+            raise InvalidParameterError(
+                "chaos sleep durations must be >= 0, got "
+                f"hang_seconds={self.hang_seconds!r}, "
+                f"slow_seconds={self.slow_seconds!r}"
+            )
+        if self.attempts < 1:
+            raise InvalidParameterError(
+                f"chaos attempts must be >= 1, got {self.attempts!r}"
+            )
+
+    #: Spec keys accepted by :meth:`parse`, mapped to field names.
+    _SPEC_KEYS = {
+        "seed": "seed",
+        "crash": "crash",
+        "hang": "hang",
+        "slow": "slow",
+        "pickle": "pickle_error",
+        "corrupt": "corrupt",
+        "poison": "poison_trial",
+        "hang_seconds": "hang_seconds",
+        "slow_seconds": "slow_seconds",
+        "attempts": "attempts",
+    }
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPolicy":
+        """Parse a ``"key=value,key=value"`` chaos spec.
+
+        Keys: ``seed``, ``crash``, ``hang``, ``slow``, ``pickle``,
+        ``corrupt``, ``poison``, ``hang_seconds``, ``slow_seconds``,
+        ``attempts``.  Unknown keys and malformed values raise
+        :class:`~repro.errors.InvalidParameterError`.
+        """
+        values = {}
+        integral = {"seed", "poison_trial", "attempts"}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in cls._SPEC_KEYS:
+                known = ", ".join(sorted(cls._SPEC_KEYS))
+                raise InvalidParameterError(
+                    f"bad chaos spec entry {part!r}; expected key=value with "
+                    f"key one of: {known}"
+                )
+            field = cls._SPEC_KEYS[key]
+            try:
+                values[field] = (
+                    int(raw) if field in integral else float(raw)
+                )
+            except ValueError as exc:
+                raise InvalidParameterError(
+                    f"bad chaos spec value for {key!r}: {raw!r}"
+                ) from exc
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosPolicy"]:
+        """The policy named by :data:`CHAOS_ENV_VAR`, or ``None``."""
+        spec = os.environ.get(CHAOS_ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    def _fires(self, rate: float, kind: int, *key: int) -> bool:
+        """One deterministic injection decision."""
+        if rate <= 0.0:
+            return False
+        return bool(derive_rng(self.seed, kind, *key).random() < rate)
+
+    def perturb_chunk(self, trials: Sequence[int], attempt: int) -> None:
+        """The ``_run_chunk`` injection seam: raise or sleep, or do nothing.
+
+        Runs before any trial of the chunk, so injected faults can
+        never touch a trial generator.  Poison fires on every attempt;
+        the probabilistic faults only on attempts below
+        :attr:`attempts` (keyed by the chunk's first trial and the
+        attempt index, so retries redraw independently).
+        """
+        first = int(trials[0]) if len(trials) else 0
+        if self.poison_trial is not None and self.poison_trial in trials:
+            raise ChaosError(
+                f"chaos: poison trial {self.poison_trial} crashed its worker "
+                f"(chunk at trial {first}, attempt {attempt})"
+            )
+        if attempt < self.attempts:
+            if self._fires(self.crash, _CRASH_KEY, first, attempt):
+                raise ChaosError(
+                    f"chaos: injected worker crash "
+                    f"(chunk at trial {first}, attempt {attempt})"
+                )
+            if self._fires(self.pickle_error, _PICKLE_KEY, first, attempt):
+                raise ChaosError(
+                    f"chaos: injected pickle failure "
+                    f"(chunk at trial {first}, attempt {attempt})"
+                )
+            if self._fires(self.hang, _HANG_KEY, first, attempt):
+                time.sleep(self.hang_seconds)
+        if self._fires(self.slow, _SLOW_KEY, first, attempt):
+            time.sleep(self.slow_seconds)
+
+    def corrupts_checkpoint(self, write_index: int) -> bool:
+        """Whether checkpoint write ``write_index`` is truncated at rest."""
+        return self._fires(self.corrupt, _CORRUPT_KEY, write_index)
+
+    def render_spec(self) -> str:
+        """The ``key=value`` spec that reproduces this policy."""
+        reverse = {field: key for key, field in self._SPEC_KEYS.items()}
+        default = ChaosPolicy()
+        parts = []
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value != getattr(default, field.name):
+                parts.append(f"{reverse[field.name]}={value}")
+        return ",".join(parts) if parts else "seed=0"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadlines, retries, backoff and the degradation budget.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-submissions allowed per chunk after its first attempt.
+    chunk_timeout:
+        Per-attempt deadline in seconds (``None`` waits forever — the
+        fault-free fast path).  A timed-out chunk's pool is respawned,
+        because a hung worker poisons one slot until it returns.
+    backoff_base:
+        First retry delay in seconds; doubled per retry, capped at
+        ``backoff_max``, scaled by deterministic half-jitter in
+        ``[0.5, 1.0)`` keyed by the sweep seed, chunk and attempt.
+    max_pool_respawns:
+        Fresh pools a single sweep may start after breakage/timeouts
+        before degrading to in-process serial execution for the rest
+        of the sweep.
+    """
+
+    max_retries: int = 2
+    chunk_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    max_pool_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise InvalidParameterError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.chunk_timeout is not None and not self.chunk_timeout > 0.0:
+            raise InvalidParameterError(
+                f"chunk_timeout must be positive seconds or None, "
+                f"got {self.chunk_timeout!r}"
+            )
+        if self.backoff_base < 0.0 or self.backoff_max < 0.0:
+            raise InvalidParameterError(
+                "backoff durations must be >= 0, got "
+                f"base={self.backoff_base!r}, max={self.backoff_max!r}"
+            )
+        if self.max_pool_respawns < 0:
+            raise InvalidParameterError(
+                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns!r}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Defaults overridden by the retry environment variables."""
+        kwargs = {}
+        raw = os.environ.get(MAX_RETRIES_ENV_VAR, "").strip()
+        if raw:
+            try:
+                kwargs["max_retries"] = int(raw)
+            except ValueError as exc:
+                raise InvalidParameterError(
+                    f"{MAX_RETRIES_ENV_VAR} must be an integer >= 0, got {raw!r}"
+                ) from exc
+        raw = os.environ.get(CHUNK_TIMEOUT_ENV_VAR, "").strip()
+        if raw:
+            try:
+                kwargs["chunk_timeout"] = float(raw)
+            except ValueError as exc:
+                raise InvalidParameterError(
+                    f"{CHUNK_TIMEOUT_ENV_VAR} must be positive seconds, got {raw!r}"
+                ) from exc
+        return cls(**kwargs)
+
+    def backoff_seconds(self, seed: int, chunk_first_trial: int, attempt: int) -> float:
+        """The delay before retry ``attempt`` (>= 1) of one chunk.
+
+        Exponential in the retry index with deterministic half-jitter:
+        ``min(backoff_max, backoff_base * 2**(attempt-1)) * u`` with
+        ``u`` drawn from ``[0.5, 1.0)`` under the sweep seed, so
+        colliding retries de-synchronise without losing replayability.
+        """
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = min(self.backoff_max, self.backoff_base * (2.0 ** (attempt - 1)))
+        u = derive_rng(seed, _BACKOFF_KEY, chunk_first_trial, attempt).random()
+        return delay * (0.5 + 0.5 * u)
+
+
+#: Process-wide scoped policies (installed by :class:`fault_scope`);
+#: ``None`` slots fall through to the environment variables.
+_ACTIVE_RETRY: Optional[RetryPolicy] = None
+_ACTIVE_CHAOS: Optional[ChaosPolicy] = None
+
+
+def active_retry_policy() -> Optional[RetryPolicy]:
+    """The scoped retry policy, if a :class:`fault_scope` installed one."""
+    return _ACTIVE_RETRY
+
+
+def active_chaos_policy() -> Optional[ChaosPolicy]:
+    """The scoped chaos policy, if a :class:`fault_scope` installed one."""
+    return _ACTIVE_CHAOS
+
+
+def resolve_retry_policy(explicit: Optional[RetryPolicy] = None) -> RetryPolicy:
+    """Explicit policy, else the scoped one, else environment defaults."""
+    if explicit is not None:
+        return explicit
+    if _ACTIVE_RETRY is not None:
+        return _ACTIVE_RETRY
+    return RetryPolicy.from_env()
+
+
+def resolve_chaos_policy(explicit: Optional[ChaosPolicy] = None) -> Optional[ChaosPolicy]:
+    """Explicit policy, else the scoped one, else :data:`CHAOS_ENV_VAR`."""
+    if explicit is not None:
+        return explicit
+    if _ACTIVE_CHAOS is not None:
+        return _ACTIVE_CHAOS
+    return ChaosPolicy.from_env()
+
+
+class fault_scope:
+    """Context manager scoping retry/chaos policies (restores on exit).
+
+    A ``None`` slot does not disable anything — it simply leaves
+    resolution to the environment variables, so a scope built from CLI
+    flags only overrides what the user actually passed.
+    """
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosPolicy] = None,
+    ) -> None:
+        self._retry = retry
+        self._chaos = chaos
+        self._previous: Tuple[Optional[RetryPolicy], Optional[ChaosPolicy]] = (
+            None,
+            None,
+        )
+
+    def __enter__(self) -> "fault_scope":
+        global _ACTIVE_RETRY, _ACTIVE_CHAOS
+        self._previous = (_ACTIVE_RETRY, _ACTIVE_CHAOS)
+        if self._retry is not None:
+            _ACTIVE_RETRY = self._retry
+        if self._chaos is not None:
+            _ACTIVE_CHAOS = self._chaos
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE_RETRY, _ACTIVE_CHAOS
+        _ACTIVE_RETRY, _ACTIVE_CHAOS = self._previous

@@ -47,6 +47,7 @@ the trial generators.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -57,8 +58,9 @@ import numpy as np
 from repro._version import __version__
 from repro.deployment.uniform import UniformDeployment
 from repro.errors import CheckpointError, InvalidParameterError
-from repro.ioutil import write_json_atomic
+from repro.ioutil import stamp_checksum, verify_checksum, write_json_atomic
 from repro.obs.events import (
+    CheckpointRecovered,
     CheckpointWritten,
     RunFinished,
     RunStarted,
@@ -66,10 +68,12 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import active_metrics
 from repro.simulation.engine import MonteCarloConfig, executor_for
+from repro.simulation.faults import ChaosPolicy, resolve_chaos_policy
 from repro.simulation.montecarlo import PointProbabilityTask
 from repro.simulation.statistics import BernoulliEstimate, wilson_interval
 
 __all__ = [
+    "CHECKPOINT_BACKUP_FILENAME",
     "CHECKPOINT_FILENAME",
     "CHECKPOINT_FORMAT",
     "ResilientResult",
@@ -84,6 +88,16 @@ CHECKPOINT_FORMAT = "fullview-mc-checkpoint-v1"
 
 #: File name used inside a checkpoint directory.
 CHECKPOINT_FILENAME = "checkpoint.json"
+
+#: Rotated copy of the previous checkpoint, kept as the recovery source
+#: when the main file is found corrupt or truncated at resume time.
+CHECKPOINT_BACKUP_FILENAME = CHECKPOINT_FILENAME + ".bak"
+
+#: Appended to corruption errors so the operator knows the way out.
+_RECOVERY_HINT = (
+    "delete the checkpoint directory (or run with resume disabled) to "
+    "start the sweep fresh"
+)
 
 TrialFn = Callable[[int, np.random.Generator], Union[bool, int, float]]
 
@@ -170,25 +184,47 @@ def _checkpoint_path(checkpoint_dir: Union[str, Path]) -> Path:
     return Path(checkpoint_dir) / CHECKPOINT_FILENAME
 
 
+def _backup_path(path: Path) -> Path:
+    return path.with_name(CHECKPOINT_BACKUP_FILENAME)
+
+
 def _write_checkpoint(
     path: Path,
     config: MonteCarloConfig,
     next_trial: int,
     outcomes: List[Tuple[int, float]],
     failures: List[TrialFailure],
+    chaos: Optional[ChaosPolicy] = None,
+    write_index: int = 0,
 ) -> None:
-    payload = {
-        "format": CHECKPOINT_FORMAT,
-        "version": __version__,
-        "seed": config.seed,
-        "trials": config.trials,
-        "next_trial": next_trial,
-        "outcomes": [[trial, value] for trial, value in outcomes],
-        "failures": [{"trial": f.trial, "error": f.error} for f in failures],
-    }
+    payload = stamp_checksum(
+        {
+            "format": CHECKPOINT_FORMAT,
+            "version": __version__,
+            "seed": config.seed,
+            "trials": config.trials,
+            "next_trial": next_trial,
+            "outcomes": [[trial, value] for trial, value in outcomes],
+            "failures": [{"trial": f.trial, "error": f.error} for f in failures],
+        }
+    )
+    # Rotate the previous checkpoint to the .bak slot before publishing
+    # the new one: if the new file is later found corrupt at rest, the
+    # backup still holds a valid (merely older) resume point.
+    if path.exists():
+        try:
+            os.replace(path, _backup_path(path))
+        except OSError:
+            pass
     # Durable atomic write: fsync before the rename, so a crash can
     # never publish a torn checkpoint over a good one.
     write_json_atomic(path, payload)
+    if chaos is not None and chaos.corrupts_checkpoint(write_index):
+        # The checkpoint-write chaos seam: model corruption *at rest*
+        # (a torn sector, a truncating crash) by chopping the published
+        # file after the durable write succeeded.
+        text = path.read_text()
+        path.write_text(text[: max(1, len(text) // 2)])
     metrics = active_metrics()
     if metrics is not None:
         metrics.inc("checkpoint_writes")
@@ -199,15 +235,39 @@ def _write_checkpoint(
         )
 
 
-def _load_checkpoint(path: Path, config: MonteCarloConfig):
+def _parse_checkpoint(path: Path) -> dict:
+    """Read and integrity-check one checkpoint file (no config checks).
+
+    Raises :class:`CheckpointError` for every *corruption* shape —
+    unreadable file, truncated/invalid JSON, wrong format tag, failed
+    checksum — which is exactly the class of failure the backup file
+    can recover from.
+    """
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
-        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}; {_RECOVERY_HINT}"
+        ) from exc
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(
-            f"{path} is not a {CHECKPOINT_FORMAT} checkpoint"
+            f"{path} is not a {CHECKPOINT_FORMAT} checkpoint; {_RECOVERY_HINT}"
         )
+    if not verify_checksum(payload):
+        raise CheckpointError(
+            f"checkpoint {path} failed its sha256 integrity check "
+            f"(truncated or corrupted at rest); {_RECOVERY_HINT}"
+        )
+    return payload
+
+
+def _validate_checkpoint(path: Path, payload: dict, config: MonteCarloConfig):
+    """Check a parsed checkpoint against ``config`` and unpack it.
+
+    Seed/trial mismatches are *configuration* errors, not corruption:
+    they raise even when a backup exists, because the backup was
+    written for the same sweep.
+    """
     if payload.get("seed") != config.seed or payload.get("trials") != config.trials:
         raise CheckpointError(
             f"checkpoint {path} was written for seed={payload.get('seed')}, "
@@ -222,13 +282,59 @@ def _load_checkpoint(path: Path, config: MonteCarloConfig):
             for f in payload["failures"]
         ]
     except (KeyError, TypeError, ValueError) as exc:
-        raise CheckpointError(f"checkpoint {path} is malformed: {exc}") from exc
+        raise CheckpointError(
+            f"checkpoint {path} is malformed: {exc}; {_RECOVERY_HINT}"
+        ) from exc
     if not (0 <= next_trial <= config.trials):
         raise CheckpointError(
             f"checkpoint {path} has next_trial={next_trial} outside "
-            f"[0, {config.trials}]"
+            f"[0, {config.trials}]; {_RECOVERY_HINT}"
         )
     return next_trial, outcomes, failures
+
+
+def _load_checkpoint(path: Path, config: MonteCarloConfig):
+    return _validate_checkpoint(path, _parse_checkpoint(path), config)
+
+
+def _load_or_recover_checkpoint(path: Path, config: MonteCarloConfig):
+    """Load the main checkpoint, healing from the backup if corrupt.
+
+    A corrupt or missing main file falls back to the rotated ``.bak``;
+    when that parses, the good payload is republished as the main
+    checkpoint (so the next rotation starts from a valid file), a
+    :class:`CheckpointRecovered` event is emitted, and the sweep
+    resumes from the backup's (older) trial index — bit-identical to an
+    uninterrupted run, because the replayed trials re-derive the same
+    streams.  A backup that is itself unreadable re-raises the main
+    file's original error.
+    """
+    backup = _backup_path(path)
+    try:
+        payload = _parse_checkpoint(path)
+    except CheckpointError as exc:
+        if not backup.exists():
+            raise
+        try:
+            payload = _parse_checkpoint(backup)
+        except CheckpointError:
+            raise exc from None
+        state = _validate_checkpoint(backup, payload, config)
+        write_json_atomic(path, payload)
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.inc("checkpoint_recoveries")
+        log = active_event_log()
+        if log is not None:
+            log.emit(
+                CheckpointRecovered(
+                    path=str(path),
+                    recovered_from=str(backup),
+                    next_trial=state[0],
+                )
+            )
+        return state
+    return _validate_checkpoint(path, payload, config)
 
 
 def run_resilient_trials(
@@ -277,14 +383,29 @@ def run_resilient_trials(
         raise InvalidParameterError("resume=True requires a checkpoint_dir")
 
     path = _checkpoint_path(checkpoint_dir) if checkpoint_dir is not None else None
+    chaos = resolve_chaos_policy(None)
+    write_index = 0
     outcomes: List[Tuple[int, float]] = []
     failures: List[TrialFailure] = []
     start = 0
-    if resume and path is not None and path.exists():
-        start, outcomes, failures = _load_checkpoint(path, config)
+    if (
+        resume
+        and path is not None
+        and (path.exists() or _backup_path(path).exists())
+    ):
+        start, outcomes, failures = _load_or_recover_checkpoint(path, config)
     resumed = len(outcomes) + len(failures)
     resumed_ok = len(outcomes)
     resumed_failed = len(failures)
+
+    def checkpoint(at_trial: int) -> None:
+        # Each write carries its ordinal so the chaos corrupt seam can
+        # target one specific write deterministically.
+        nonlocal write_index
+        _write_checkpoint(
+            path, config, at_trial, outcomes, failures, chaos, write_index
+        )
+        write_index += 1
 
     log = active_event_log()
     if log is not None:
@@ -324,11 +445,11 @@ def run_resilient_trials(
                     )
                 next_trial = outcome.trial + 1
                 if path is not None and (next_trial - start) % checkpoint_every == 0:
-                    _write_checkpoint(path, config, next_trial, outcomes, failures)
+                    checkpoint(next_trial)
     except BaseException:
         # Interrupts and crashes must not lose completed work.
         if path is not None:
-            _write_checkpoint(path, config, next_trial, outcomes, failures)
+            checkpoint(next_trial)
         raise
     finally:
         # Dropping the executor's generator cancels any queued chunks.
@@ -336,7 +457,7 @@ def run_resilient_trials(
         if close is not None:
             close()
     if path is not None:
-        _write_checkpoint(path, config, next_trial, outcomes, failures)
+        checkpoint(next_trial)
     metrics = active_metrics()
     if metrics is not None:
         metrics.inc("trials_completed", len(outcomes) - resumed_ok)

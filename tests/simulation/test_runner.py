@@ -15,8 +15,11 @@ import numpy as np
 import pytest
 
 from repro.errors import CheckpointError, InvalidParameterError
+from repro.ioutil import verify_checksum
+from repro.simulation.faults import ChaosPolicy, fault_scope
 from repro.simulation.montecarlo import MonteCarloConfig
 from repro.simulation.runner import (
+    CHECKPOINT_BACKUP_FILENAME,
     CHECKPOINT_FILENAME,
     ResilientResult,
     TrialFailure,
@@ -230,8 +233,118 @@ class TestCheckpointResume:
         run_resilient_trials(
             coin_trial, CONFIG, checkpoint_dir=tmp_path, checkpoint_every=1
         )
-        leftovers = [p.name for p in tmp_path.iterdir()]
-        assert leftovers == [CHECKPOINT_FILENAME]
+        # Only the checkpoint and its rotated backup may remain — no
+        # .tmp droppings from the atomic-write dance.
+        leftovers = sorted(p.name for p in tmp_path.iterdir())
+        assert leftovers == [CHECKPOINT_FILENAME, CHECKPOINT_BACKUP_FILENAME]
+
+
+class TestCheckpointSelfHealing:
+    """Corrupt checkpoints heal from the rotated backup, bit-identically."""
+
+    def _seed_files(self, tmp_path):
+        """A finished sweep's checkpoint pair (main + rotated backup)."""
+        run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, checkpoint_every=8
+        )
+        main = tmp_path / CHECKPOINT_FILENAME
+        backup = tmp_path / CHECKPOINT_BACKUP_FILENAME
+        assert main.exists() and backup.exists()
+        return main, backup
+
+    def test_truncated_main_recovers_from_backup(self, tmp_path, baseline):
+        main, backup = self._seed_files(tmp_path)
+        text = main.read_text()
+        main.write_text(text[: len(text) // 2])
+        result = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        # The backup holds an older resume point; replaying the tail
+        # re-derives the same streams, so the healed run is identical.
+        assert result.outcomes == baseline.outcomes
+        assert result.resumed_trials == 16
+        healed = json.loads(main.read_text())
+        assert verify_checksum(healed)
+
+    def test_missing_main_recovers_from_backup(self, tmp_path, baseline):
+        main, backup = self._seed_files(tmp_path)
+        main.unlink()
+        result = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert result.outcomes == baseline.outcomes
+
+    def test_corrupt_main_without_backup_raises_with_hint(self, tmp_path):
+        main, backup = self._seed_files(tmp_path)
+        main.write_text("{not json")
+        backup.unlink()
+        with pytest.raises(CheckpointError, match="start the sweep fresh"):
+            run_resilient_trials(
+                coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        main, backup = self._seed_files(tmp_path)
+        payload = json.loads(main.read_text())
+        payload["next_trial"] = 3  # parseable, but no longer what was written
+        main.write_text(json.dumps(payload))
+        backup.unlink()
+        with pytest.raises(CheckpointError, match="sha256"):
+            run_resilient_trials(
+                coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_corrupt_backup_reraises_main_error(self, tmp_path):
+        main, backup = self._seed_files(tmp_path)
+        main.write_text("{not json")
+        backup.write_text("also {not json")
+        with pytest.raises(CheckpointError, match="cannot read checkpoint"):
+            run_resilient_trials(
+                coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_legacy_checkpoint_without_checksum_loads(self, tmp_path, baseline):
+        main, backup = self._seed_files(tmp_path)
+        payload = json.loads(main.read_text())
+        del payload["sha256"]
+        main.write_text(json.dumps(payload))
+        result = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert result.outcomes == baseline.outcomes
+
+    def test_chaos_corrupted_write_recovers_on_resume(self, tmp_path, baseline):
+        # Find a chaos seed whose corrupt draw hits exactly the final
+        # checkpoint write (index 2 of: trial 8, trial 16, final).
+        chaos = None
+        for seed in range(256):
+            candidate = ChaosPolicy(seed=seed, corrupt=0.5)
+            if (
+                candidate.corrupts_checkpoint(2)
+                and not candidate.corrupts_checkpoint(0)
+                and not candidate.corrupts_checkpoint(1)
+            ):
+                chaos = candidate
+                break
+        assert chaos is not None
+        with fault_scope(chaos=chaos):
+            first = run_resilient_trials(
+                coin_trial, CONFIG, checkpoint_dir=tmp_path, checkpoint_every=8
+            )
+        assert first.outcomes == baseline.outcomes
+        main = tmp_path / CHECKPOINT_FILENAME
+        try:
+            corrupt = not verify_checksum(json.loads(main.read_text()))
+        except ValueError:
+            corrupt = True
+        assert corrupt, "the chaos seam should have truncated the final write"
+        # Resume (chaos-free) heals from the backup and replays the
+        # tail into the same outcomes as an uninterrupted run.
+        resumed = run_resilient_trials(
+            coin_trial, CONFIG, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.outcomes == baseline.outcomes
+        assert resumed.resumed_trials == 16
 
 
 class TestTimeBudget:

@@ -60,15 +60,19 @@ class TestErrorHierarchy:
             errors.ConvergenceError,
             errors.ExperimentError,
             errors.CheckpointError,
+            errors.ChaosError,
         ]
         for cls in concrete:
             assert issubclass(cls, FullViewError)
 
     def test_stdlib_lineage_preserved(self):
+        from repro.errors import ChaosError
+
         assert issubclass(InvalidParameterError, ValueError)
         assert issubclass(InvalidProfileError, ValueError)
         assert issubclass(CheckpointError, RuntimeError)
         assert issubclass(ExperimentError, RuntimeError)
+        assert issubclass(ChaosError, RuntimeError)
 
 
 class TestConstructionRejections:
