@@ -493,6 +493,29 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_files() -> List[Path]:
+    """Python files reported changed by ``git diff --name-only HEAD``."""
+    import subprocess
+
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", "HEAD"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        from repro.errors import LintError
+
+        raise LintError(
+            f"--changed needs a git checkout: {proc.stderr.strip() or 'git diff failed'}"
+        )
+    return [
+        Path(line.strip())
+        for line in proc.stdout.splitlines()
+        if line.strip().endswith(".py")
+    ]
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import LintError
     from repro.lint import lint_paths, render_json, render_text, write_baseline
@@ -501,6 +524,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = args.select.split(",") if args.select else None
     baseline_path = Path(args.baseline) if args.baseline else None
     try:
+        restrict_to = _changed_files() if args.changed else None
+        if restrict_to == []:
+            print("fvlint: no changed python files; nothing to check")
+            return 0
         if args.write_baseline:
             result = lint_paths(paths, select=select)
             target = baseline_path or Path("fvlint-baseline.json")
@@ -513,7 +540,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if baseline_path is not None and not baseline_path.exists():
             print(f"baseline {baseline_path} does not exist", file=sys.stderr)
             return 2
-        result = lint_paths(paths, select=select, baseline_path=baseline_path)
+        result = lint_paths(
+            paths,
+            select=select,
+            baseline_path=baseline_path,
+            restrict_to=restrict_to,
+        )
     except LintError as exc:
         print(f"fvlint: {exc}", file=sys.stderr)
         return 2
@@ -727,8 +759,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the fvlint domain-invariant static analysis",
         description="AST-based lint pass enforcing the repo's RNG, "
         "error-contract, angle-hygiene, float-equality and API-surface "
-        "conventions (rules FV001-FV005). Exits 1 when findings remain "
-        "after pragmas and the baseline.",
+        "conventions (rules FV001-FV005) plus whole-program "
+        "parallel-safety, determinism, portability and layering checks "
+        "(FV006-FV010). Exits 1 when findings remain after pragmas and "
+        "the baseline.",
     )
     p_lint.add_argument(
         "paths", nargs="*", help="files or directories to lint (default: src)"
@@ -748,6 +782,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="record current findings into --baseline "
         "(default fvlint-baseline.json) and exit 0",
+    )
+    p_lint.add_argument(
+        "--changed", action="store_true",
+        help="check only files in 'git diff --name-only HEAD' plus their "
+        "reverse import-graph dependents (the whole-program model is "
+        "still built over every file)",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

@@ -16,10 +16,28 @@ but the reproduction's correctness rests on:
 - **FV005 api-surface** — public modules declare an honest ``__all__``
   and document their public surface.
 
-Run it as ``fullview lint src/`` (text or ``--format json``), suppress
-single findings with ``# fvlint: disable=FV00x (why)`` pragmas, and
-grandfather legacy findings with a committed baseline
-(``--write-baseline``).
+On top of the per-file rules, a whole-program model
+(:mod:`repro.lint.project`: import graph, symbol tables, a conservative
+call graph rooted at the worker seams) powers five interprocedural
+rules:
+
+- **FV006 pickle-safety** — worker task dataclasses are frozen,
+  module-level, and composed of statically picklable fields.
+- **FV007 worker-state-hygiene** — no module-level mutable globals on
+  paths reachable from the worker seams (audited ``repro.obs`` exempt).
+- **FV008 hidden-nondeterminism** — no wall-clock/entropy values in
+  trial results, no set iteration on worker paths, no legacy
+  ``np.random.*`` global-state draws anywhere.
+- **FV009 array-api-portability** — hot batch/kernel paths call only
+  numpy functions with array-API-standard equivalents.
+- **FV010 layering** — no load-time import cycles; package imports
+  point strictly down the layer table.
+
+Run it as ``fullview lint src/`` (text or ``--format json``), scope a
+fast local run to the current diff and its reverse dependents with
+``--changed``, suppress single findings with
+``# fvlint: disable=FV00x (why)`` pragmas, and grandfather legacy
+findings with a committed baseline (``--write-baseline``).
 """
 
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
@@ -27,25 +45,31 @@ from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_so
 from repro.lint.model import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
     Severity,
     all_rules,
     resolve_rules,
 )
+from repro.lint.project import ProjectModel, build_project, module_name_for_path
 from repro.lint.reporters import render_json, render_text
 
 __all__ = [
     "Finding",
     "LintResult",
     "ModuleContext",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
     "apply_baseline",
+    "build_project",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "module_name_for_path",
     "render_json",
     "render_text",
     "resolve_rules",

@@ -1,10 +1,18 @@
 """The ``fvlint`` engine: file discovery, parsing, pragmas, baselines.
 
-Each file is read and parsed exactly once; every selected rule then
-walks the shared AST.  Findings can be suppressed two ways:
+Each file is read and parsed exactly once.  A run then proceeds in two
+phases: the parsed modules are assembled into the shared
+:class:`repro.lint.project.ProjectModel` (import graph, symbol tables,
+worker-seam call graph) which is bound to every whole-program rule, and
+only then does each rule walk each module — so findings stay anchored
+in the file that must change even when the evidence is cross-file.
 
-- an inline pragma ``# fvlint: disable=FV001,FV004 (why)`` on the
-  flagged line (``disable=all`` silences every rule there), or
+Findings can be suppressed two ways:
+
+- an inline pragma ``# fvlint: disable=FV001,FV004 (why)`` anywhere in
+  the flagged *statement* — including a decorator line or a
+  continuation line of a multi-line call (``disable=all`` silences
+  every rule there), or
 - a committed baseline file (:mod:`repro.lint.baseline`) grandfathering
   existing findings by fingerprint.
 
@@ -18,11 +26,19 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import LintError
 from repro.lint.baseline import apply_baseline, load_baseline
-from repro.lint.model import Finding, ModuleContext, Rule, Severity, resolve_rules
+from repro.lint.model import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    Severity,
+    resolve_rules,
+)
+from repro.lint.project import build_project
 
 __all__ = [
     "LintResult",
@@ -81,32 +97,93 @@ def iter_python_files(paths: Sequence[Path]) -> List[Path]:
     return files
 
 
-def _pragma_map(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """1-indexed line → set of rule codes (or ``{"ALL"}``) disabled there."""
+def _statement_extents(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line span of every statement, for pragma anchoring.
+
+    Simple statements span decorator start through ``end_lineno``;
+    compound statements (anything with a statement body) span only
+    their *header* — decorators through the line before the first body
+    statement — so a pragma on a ``def`` line never silences the whole
+    function body.
+    """
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", None) or node.lineno
+        extents.append((start, max(start, end)))
+    return extents
+
+
+def _suppression_map(module: ModuleContext) -> Dict[int, Set[str]]:
+    """1-indexed line → rule codes (or ``{"ALL"}``) suppressed there.
+
+    A pragma covers its own physical line plus every line of the
+    innermost statement extent containing it, so decorated and
+    multi-line statements suppress wherever the rule anchored the
+    finding.  A pragma on a bare comment line between statements still
+    covers only that line.
+    """
     pragmas: Dict[int, Set[str]] = {}
-    for i, line in enumerate(lines, start=1):
+    for i, line in enumerate(module.lines, start=1):
         match = _PRAGMA.search(line)
         if match:
             codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
             pragmas[i] = codes
-    return pragmas
+    if not pragmas:
+        return {}
+    extents = _statement_extents(module.tree)
+    covered: Dict[int, Set[str]] = {}
+    for pragma_line, codes in pragmas.items():
+        covered.setdefault(pragma_line, set()).update(codes)
+        innermost: Optional[Tuple[int, int]] = None
+        for start, end in extents:
+            if not (start <= pragma_line <= end):
+                continue
+            if innermost is None or (end - start, -start) < (
+                innermost[1] - innermost[0],
+                -innermost[0],
+            ):
+                innermost = (start, end)
+        if innermost is not None:
+            for line_no in range(innermost[0], innermost[1] + 1):
+                covered.setdefault(line_no, set()).update(codes)
+    return covered
 
 
 def _run_rules(
     module: ModuleContext, rules: Sequence[Rule]
 ) -> tuple[List[Finding], int]:
     """All findings for one parsed module, minus pragma suppressions."""
-    pragmas = _pragma_map(module.lines)
+    suppressions = _suppression_map(module)
     kept: List[Finding] = []
     suppressed = 0
     for rule in rules:
         for finding in rule.check(module):
-            disabled = pragmas.get(finding.line, set())
+            disabled = suppressions.get(finding.line, set())
             if "ALL" in disabled or finding.code in disabled:
                 suppressed += 1
             else:
                 kept.append(finding)
     return kept, suppressed
+
+
+def _bind_project(rules: Sequence[Rule], contexts: Sequence[ModuleContext]) -> None:
+    """Build the whole-program model and hand it to the project rules."""
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    if not project_rules:
+        return
+    project = build_project(contexts)
+    for rule in project_rules:
+        rule.bind(project)
 
 
 def lint_source(
@@ -116,7 +193,10 @@ def lint_source(
 ) -> List[Finding]:
     """Lint a source string — the unit-test entry point.
 
-    Returns pragma-filtered findings sorted by location; raises
+    Whole-program rules see a one-module project, so intra-file
+    violations (an unpicklable task field, a set iteration inside the
+    file's own ``__call__``) are still caught.  Returns pragma-filtered
+    findings sorted by location; raises
     :class:`repro.errors.LintError` when the source does not parse.
     """
     try:
@@ -124,24 +204,17 @@ def lint_source(
     except SyntaxError as exc:
         raise LintError(f"{path} does not parse: {exc}") from exc
     module = ModuleContext(path=path, source=source, tree=tree)
-    findings, _ = _run_rules(module, resolve_rules(select))
+    rules = resolve_rules(select)
+    _bind_project(rules, [module])
+    findings, _ = _run_rules(module, rules)
     return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.code))
 
 
-def lint_paths(
-    paths: Sequence[Path],
-    select: Optional[Iterable[str]] = None,
-    baseline_path: Optional[Path] = None,
-) -> LintResult:
-    """Lint files and directories, applying pragmas and the baseline.
-
-    Unparseable files yield an ``FV000`` finding rather than aborting
-    the run, so one bad file cannot hide findings in the rest.
-    """
-    rules = resolve_rules(select)
-    baseline = load_baseline(baseline_path) if baseline_path else {}
-    result = LintResult()
-    all_findings: List[Finding] = []
+def _parse_contexts(
+    paths: Sequence[Path], result: LintResult, parse_findings: List[Finding]
+) -> List[ModuleContext]:
+    """Phase 1: read and parse every file once."""
+    contexts: List[ModuleContext] = []
     for file_path in iter_python_files(paths):
         try:
             source = file_path.read_text()
@@ -150,12 +223,12 @@ def lint_paths(
         head = "\n".join(source.splitlines()[:5])
         if _SKIP_FILE.search(head):
             continue
-        result.files_checked += 1
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
             result.parse_failures += 1
-            all_findings.append(
+            result.files_checked += 1
+            parse_findings.append(
                 Finding(
                     code="FV000",
                     message=f"file does not parse: {exc.msg}",
@@ -166,7 +239,60 @@ def lint_paths(
                 )
             )
             continue
-        module = ModuleContext(path=str(file_path), source=source, tree=tree)
+        contexts.append(ModuleContext(path=str(file_path), source=source, tree=tree))
+    return contexts
+
+
+def _restricted_modules(
+    contexts: Sequence[ModuleContext], restrict_to: Sequence[Path]
+) -> Set[str]:
+    """Module names to check for a ``--changed`` run.
+
+    The seed set is every parsed module whose path matches an entry of
+    ``restrict_to``; it is expanded to all transitive reverse
+    dependents (via *all* import edges), so a module consuming the
+    change — even through a function-level import — is re-checked.
+    """
+    project = build_project(list(contexts))  # also fills in module_name
+    wanted = {Path(p).resolve() for p in restrict_to}
+    seeds = [
+        context.module_name
+        for context in contexts
+        if Path(context.path).resolve() in wanted
+    ]
+    return project.reverse_dependents(seeds)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Iterable[str]] = None,
+    baseline_path: Optional[Path] = None,
+    restrict_to: Optional[Sequence[Path]] = None,
+) -> LintResult:
+    """Lint files and directories, applying pragmas and the baseline.
+
+    The whole-program model is always built over *every* discovered
+    file; ``restrict_to`` (the ``--changed`` mode) only narrows which
+    modules have rules run on them — to the listed files plus their
+    transitive reverse import-graph dependents — so cross-file evidence
+    stays complete while the rule pass gets cheap.
+
+    Unparseable files yield an ``FV000`` finding rather than aborting
+    the run, so one bad file cannot hide findings in the rest.
+    """
+    rules = resolve_rules(select)
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    result = LintResult()
+    all_findings: List[Finding] = []
+    contexts = _parse_contexts(paths, result, all_findings)
+    _bind_project(rules, contexts)
+    keep: Optional[Set[str]] = None
+    if restrict_to is not None:
+        keep = _restricted_modules(contexts, restrict_to)
+    for module in contexts:
+        if keep is not None and module.module_name not in keep:
+            continue
+        result.files_checked += 1
         findings, suppressed = _run_rules(module, rules)
         result.suppressed += suppressed
         all_findings.extend(findings)

@@ -18,6 +18,7 @@ from repro.errors import LintError
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
@@ -76,6 +77,9 @@ class ModuleContext:
     source: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    #: Dotted module name within the lint run; filled in by the engine
+    #: (via :func:`repro.lint.project.build_project`) before rules run.
+    module_name: str = ""
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -118,6 +122,25 @@ class Rule:
             severity=self.severity,
             snippet=module.line_text(line).strip(),
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (FV006+).
+
+    The engine builds one :class:`repro.lint.project.ProjectModel` per
+    run and hands it to every project rule through :meth:`bind` before
+    any module is checked; :meth:`check` still runs once per module so
+    findings stay anchored (and pragma-suppressible) where they occur.
+    A rule whose model was never bound checks nothing — per-module
+    entry points that skip the project build degrade gracefully.
+    """
+
+    #: The bound model; ``None`` until the engine calls :meth:`bind`.
+    project = None
+
+    def bind(self, project) -> None:
+        """Attach the lint run's shared project model."""
+        self.project = project
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

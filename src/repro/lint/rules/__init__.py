@@ -9,12 +9,23 @@ from repro.lint.rules.angles import AngleHygieneRule
 from repro.lint.rules.api import ApiSurfaceRule
 from repro.lint.rules.errors_contract import ErrorContractRule
 from repro.lint.rules.floats import FloatEqualityRule
+from repro.lint.rules.parallel import (
+    HiddenNondeterminismRule,
+    PickleSafetyRule,
+    WorkerStateHygieneRule,
+)
+from repro.lint.rules.portability import ArrayApiPortabilityRule, LayeringRule
 from repro.lint.rules.rng import RngDisciplineRule
 
 __all__ = [
     "AngleHygieneRule",
     "ApiSurfaceRule",
+    "ArrayApiPortabilityRule",
     "ErrorContractRule",
     "FloatEqualityRule",
+    "HiddenNondeterminismRule",
+    "LayeringRule",
+    "PickleSafetyRule",
     "RngDisciplineRule",
+    "WorkerStateHygieneRule",
 ]

@@ -363,7 +363,9 @@ def _run_chunk(
         outcomes, interrupt = _chunk_loop(task, config, trials, isolate)
     finally:
         set_recorder(previous)
-    wall_ns = time.perf_counter_ns() - start
+    # wall_ns feeds the audited ChunkTrace telemetry channel only — it is
+    # carried beside the outcomes and never influences a trial value.
+    wall_ns = time.perf_counter_ns() - start  # fvlint: disable=FV008 (telemetry only)
     return outcomes, recorder.to_chunk(tuple(trials), wall_ns), interrupt
 
 

@@ -1,0 +1,44 @@
+"""Corpus: FV006 true positives — unpicklable worker tasks."""
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["BrokenTask", "LeakyTask", "UnfrozenTask", "make_task"]
+
+
+class BrokenTask:
+    """Flags: a task that is not a dataclass at all."""
+
+    def __call__(self, rng):
+        return 0.0
+
+
+@dataclass
+class UnfrozenTask:
+    """Flags: a task dataclass without ``frozen=True``."""
+
+    n: int = 0
+
+    def __call__(self, rng):
+        return float(self.n)
+
+
+@dataclass(frozen=True)
+class LeakyTask:
+    """Flags twice: a lock-typed field and a lambda default."""
+
+    lock: threading.Lock
+    scale: object = lambda x: x
+
+    def __call__(self, rng):
+        return 0.0
+
+
+def make_task():
+    """Flags: a task class defined inside a function cannot pickle."""
+
+    class InnerTask:
+        def __call__(self, rng):
+            return 0.0
+
+    return InnerTask()

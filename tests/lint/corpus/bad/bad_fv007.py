@@ -1,0 +1,25 @@
+"""Corpus: FV007 true positives — worker-reachable mutable globals."""
+
+from dataclasses import dataclass
+
+__all__ = ["CachingTask", "remember"]
+
+_RESULTS: dict = {}
+
+
+def remember(key: str, value: float) -> float:
+    """Writes a module-level cache; reached from the task below."""
+    _RESULTS[key] = value
+    return value
+
+
+@dataclass(frozen=True)
+class CachingTask:
+    """A worker task whose call path touches module-level state."""
+
+    name: str
+
+    def __call__(self, rng) -> float:
+        if self.name in _RESULTS:
+            return _RESULTS[self.name]
+        return remember(self.name, 1.0)

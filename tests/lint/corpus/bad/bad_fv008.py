@@ -1,0 +1,29 @@
+"""Corpus: FV008 true positives — nondeterminism leaking into results."""
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TimingTask", "legacy_draw"]
+
+
+def legacy_draw() -> float:
+    """Flags: a legacy global-state draw, anywhere in the tree."""
+    return float(np.random.uniform())
+
+
+@dataclass(frozen=True)
+class TimingTask:
+    """A worker task whose result depends on the wall clock."""
+
+    labels: tuple
+
+    def __call__(self, rng) -> dict:
+        started = time.perf_counter()
+        seen = 0
+        for label in {"exact", "necessary", "sufficient"}:
+            if label in self.labels:
+                seen += 1
+        elapsed = time.perf_counter() - started
+        return {"seen": seen, "elapsed": elapsed}

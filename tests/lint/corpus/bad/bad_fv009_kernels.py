@@ -1,0 +1,13 @@
+"""Corpus: FV009 true positives — numpy-only calls in a hot kernel."""
+
+import numpy as np
+
+__all__ = ["gap_histogram"]
+
+
+def gap_histogram(rows, weights):
+    """Three calls below have no array-API-standard equivalent."""
+    counts = np.bincount(rows, weights=weights)
+    total = np.add.reduce(counts)
+    grid = np.ix_(rows, rows)
+    return counts, total, grid

@@ -1,0 +1,1 @@
+"""Corpus: a package with a genuine load-time import cycle."""

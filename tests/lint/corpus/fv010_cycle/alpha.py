@@ -1,0 +1,10 @@
+"""Corpus: half of a load-time cycle — imports beta at module level."""
+
+from fv010_cycle import beta
+
+__all__ = ["alpha_value"]
+
+
+def alpha_value() -> int:
+    """Depends on beta at load time."""
+    return beta.beta_value() + 1

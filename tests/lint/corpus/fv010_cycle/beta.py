@@ -1,0 +1,10 @@
+"""Corpus: other half of the cycle — imports alpha back at module level."""
+
+from fv010_cycle import alpha
+
+__all__ = ["beta_value"]
+
+
+def beta_value() -> int:
+    """Depends on alpha at load time: the cycle FV010 must flag."""
+    return 0 if alpha is None else 0

@@ -1,0 +1,6 @@
+"""Corpus: the old ``montecarlo -> batch`` cycle, correctly broken.
+
+Regression fixture for the PR3 fix: ``batch`` needs a symbol from
+``montecarlo`` but imports it inside the function body, so there is no
+*load-time* cycle and FV010 must stay quiet.
+"""

@@ -1,0 +1,15 @@
+"""Corpus: needs montecarlo back, but only via a function-level import.
+
+The sanctioned cycle-breaking idiom: the reverse edge exists in the
+*all-imports* graph (so ``--changed`` still re-checks dependents) but
+not in the load-time graph FV010 analyses.
+"""
+
+__all__ = ["kernel"]
+
+
+def kernel(n: int) -> float:
+    """Late-binds the estimator to avoid a load-time cycle."""
+    from fv010_fixed import montecarlo  # local import breaks the cycle
+
+    return float(n) if montecarlo is not None else 0.0

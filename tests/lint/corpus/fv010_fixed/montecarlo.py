@@ -1,0 +1,10 @@
+"""Corpus: imports batch at load time (one direction is fine)."""
+
+from fv010_fixed import batch
+
+__all__ = ["estimate"]
+
+
+def estimate(n: int) -> float:
+    """Top-level dependency on the batch kernels."""
+    return batch.kernel(n)

@@ -1,0 +1,27 @@
+"""Corpus: FV006 negatives — a picklable frozen worker task."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["CleanEstimatorTask", "default_weights"]
+
+
+def default_weights() -> Tuple[float, ...]:
+    """Module-level factory: picklable by reference, unlike a lambda."""
+    return (1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class CleanEstimatorTask:
+    """Frozen, module-level, and every field statically picklable."""
+
+    trials: int
+    theta: float
+    weights: Tuple[float, ...] = (1.0, 1.0)
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        """One trial estimate from the provided seeded generator."""
+        draw = float(rng.uniform(0.0, self.theta))
+        return draw * self.weights[0] / max(self.trials, 1)

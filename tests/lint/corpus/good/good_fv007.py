@@ -1,0 +1,30 @@
+"""Corpus: FV007 negatives — explicit state, workers stay stateless."""
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+__all__ = ["StatelessTask", "registry_names"]
+
+#: Mutable registry is fine: nothing worker-reachable touches it.
+_REGISTRY: dict = {"uniform": 0}
+
+#: Immutable module state is always safe to read from a worker.
+_LEVELS: Tuple[str, ...] = ("necessary", "sufficient")
+
+
+def registry_names() -> Tuple[str, ...]:
+    """Import-time helper; not reachable from any worker seam."""
+    return tuple(sorted(_REGISTRY))
+
+
+@dataclass(frozen=True)
+class StatelessTask:
+    """All state rides on the (frozen, pickled) task itself."""
+
+    table: Mapping[str, float]
+
+    def __call__(self, rng) -> float:
+        total = 0.0
+        for level in _LEVELS:
+            total += self.table.get(level, 0.0)
+        return total

@@ -1,0 +1,22 @@
+"""Corpus: FV008 negatives — results are pure functions of the seed."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeterministicTask"]
+
+
+@dataclass(frozen=True)
+class DeterministicTask:
+    """Every source of variation flows from the seeded generator."""
+
+    labels: tuple
+
+    def __call__(self, rng: np.random.Generator) -> dict:
+        seen = 0
+        for label in sorted({"exact", "necessary", "sufficient"}):
+            if label in self.labels:
+                seen += 1
+        draw = float(rng.uniform(0.0, 1.0))
+        return {"seen": seen, "draw": draw}

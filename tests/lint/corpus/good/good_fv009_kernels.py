@@ -1,0 +1,14 @@
+"""Corpus: FV009 negatives — a kernel the backend swap can cover."""
+
+import numpy as np
+
+__all__ = ["gap_widths"]
+
+
+def gap_widths(directions):
+    """Standard and renamed array-API calls only."""
+    flat = np.concatenate([directions, directions[:1]])
+    order = np.argsort(flat)
+    widths = np.diff(flat[order])
+    norm = np.linalg.norm(widths)
+    return np.where(widths > 0, widths, 0.0), norm

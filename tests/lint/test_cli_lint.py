@@ -7,6 +7,7 @@ Exit-code contract: 0 = clean, 1 = findings remain, 2 = usage error
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.cli import main
@@ -90,8 +91,87 @@ class TestBaselineFlow:
         capsys.readouterr()
 
 
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@t", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChangedMode:
+    CLEAN = '"""Doc."""\n\n__all__ = []\n'
+
+    def _repo(self, tmp_path, files):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+
+    def test_no_changes_is_a_clean_noop(self, tmp_path, capsys, monkeypatch):
+        self._repo(tmp_path, {"src/mod.py": self.CLEAN})
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--changed", "src"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_changed_file_is_checked(self, tmp_path, capsys, monkeypatch):
+        self._repo(tmp_path, {"src/mod.py": self.CLEAN})
+        (tmp_path / "src" / "mod.py").write_text(self.CLEAN + "ok = x == 0.5\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--changed", "src"]) == 1
+        assert "FV004" in capsys.readouterr().out
+
+    def test_unchanged_unrelated_file_is_skipped(self, tmp_path, capsys, monkeypatch):
+        # The violation lives in an untouched, unrelated module: a
+        # --changed run must not flag it.
+        self._repo(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": self.CLEAN,
+                "src/pkg/touched.py": self.CLEAN,
+                "src/pkg/legacy.py": self.CLEAN + "ok = x == 0.5\n",
+            },
+        )
+        (tmp_path / "src" / "pkg" / "touched.py").write_text(self.CLEAN + "\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--changed", "src"]) == 0
+        capsys.readouterr()
+
+    def test_reverse_dependents_are_rechecked(self, tmp_path, capsys, monkeypatch):
+        # base.py changes; dep.py imports it and carries the finding —
+        # the import-graph expansion must pull dep.py into the run.
+        self._repo(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": self.CLEAN,
+                "src/pkg/base.py": self.CLEAN,
+                "src/pkg/dep.py": (
+                    '"""Doc."""\n\n'
+                    "from pkg import base\n\n"
+                    "__all__ = []\n\n"
+                    "ok = x == 0.5\n"
+                ),
+            },
+        )
+        (tmp_path / "src" / "pkg" / "base.py").write_text(self.CLEAN + "\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--changed", "src"]) == 1
+        assert "dep.py" in capsys.readouterr().out
+
+
 class TestSourceTree:
     def test_repo_src_lints_clean(self, capsys):
         src = Path(__file__).resolve().parents[2] / "src"
         assert main(["lint", str(src)]) == 0
+        capsys.readouterr()
+
+    def test_repo_src_clean_under_whole_program_rules(self, capsys):
+        # The ISSUE 7 acceptance gate, kept green forever.
+        src = Path(__file__).resolve().parents[2] / "src"
+        code = main(["lint", "--select", "FV006,FV007,FV008,FV009,FV010", str(src)])
+        assert code == 0
         capsys.readouterr()

@@ -26,9 +26,12 @@ BAD_COMPARISON = "ok = x == 0.5\n"
 
 
 class TestRuleRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         registry = all_rules()
-        assert list(registry) == ["FV001", "FV002", "FV003", "FV004", "FV005"]
+        assert list(registry) == [
+            "FV001", "FV002", "FV003", "FV004", "FV005",
+            "FV006", "FV007", "FV008", "FV009", "FV010",
+        ]
         assert all(cls.code == code for code, cls in registry.items())
 
     def test_select_narrows(self):
@@ -58,6 +61,39 @@ class TestPragmas:
 
     def test_pragma_on_other_line_does_not_suppress(self):
         src = "# fvlint: disable=FV004\nok = x == 0.5\n"
+        assert len(lint_source(src, select=["FV004"])) == 1
+
+    def test_pragma_on_continuation_line_suppresses(self):
+        # The finding anchors on line 1 (the comparison), the pragma
+        # sits on a continuation line of the same statement.
+        src = (
+            "ok = (x == 0.5\n"
+            "      and y)  # fvlint: disable=FV004 (statement extent)\n"
+        )
+        assert lint_source(src, select=["FV004"]) == []
+
+    def test_pragma_on_first_line_covers_continuations(self):
+        src = (
+            "ok = (True  # fvlint: disable=FV004 (statement extent)\n"
+            "      and x == 0.5)\n"
+        )
+        assert lint_source(src, select=["FV004"]) == []
+
+    def test_pragma_on_decorator_line_covers_def_header(self):
+        src = (
+            "@decorated  # fvlint: disable=FV004\n"
+            "def f(x=(0.5 == y)):\n"
+            "    return x\n"
+        )
+        assert lint_source(src, select=["FV004"]) == []
+
+    def test_def_header_pragma_does_not_cover_body(self):
+        # A compound statement's extent is its *header* only: a pragma
+        # on the def line must not silence findings inside the body.
+        src = (
+            "def f(x):  # fvlint: disable=FV004\n"
+            "    return x == 0.5\n"
+        )
         assert len(lint_source(src, select=["FV004"])) == 1
 
     def test_suppressions_are_counted(self, tmp_path):

@@ -1,0 +1,235 @@
+"""The whole-program project model: naming, imports, seams, cycles.
+
+Exercised on synthetic package trees written to ``tmp_path`` so the
+on-disk ``__init__.py`` walk, absolute/relative import resolution and
+call-graph construction are all tested the way the engine uses them —
+from parsed files, never by importing the analysed code.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint import build_project, module_name_for_path
+from repro.lint.model import ModuleContext
+from repro.lint.project import attr_chain
+
+
+def _contexts_from_tree(root: Path):
+    """Parse every python file under ``root`` into ModuleContexts."""
+    contexts = []
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text()
+        contexts.append(
+            ModuleContext(path=str(path), source=source, tree=ast.parse(source))
+        )
+    return contexts
+
+
+def _write_tree(root: Path, files):
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+
+
+class TestAttrChain:
+    def test_dotted_chain(self):
+        node = ast.parse("np.random.default_rng").body[0].value
+        assert attr_chain(node) == "np.random.default_rng"
+
+    def test_non_chain_is_empty(self):
+        node = ast.parse("f().attr").body[0].value
+        assert attr_chain(node) == ""
+
+
+class TestModuleNaming:
+    def test_package_walk(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/mod.py": "",
+            },
+        )
+        assert module_name_for_path(tmp_path / "pkg" / "sub" / "mod.py") == "pkg.sub.mod"
+        assert module_name_for_path(tmp_path / "pkg" / "sub" / "__init__.py") == "pkg.sub"
+
+    def test_free_standing_file_is_its_stem(self, tmp_path):
+        target = tmp_path / "snippet.py"
+        target.write_text("")
+        assert module_name_for_path(target) == "snippet"
+
+
+class TestImportGraph:
+    def test_toplevel_vs_function_level_edges(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from pkg import b\n",
+                "pkg/b.py": "def late():\n    from pkg import a\n    return a\n",
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        a = project.modules["pkg.a"]
+        b = project.modules["pkg.b"]
+        assert "pkg.b" in a.toplevel_imports
+        assert "pkg.a" in b.all_imports
+        assert "pkg.a" not in b.toplevel_imports
+
+    def test_relative_import_resolves(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from . import b\n",
+                "pkg/b.py": "",
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        assert "pkg.b" in project.modules["pkg.a"].toplevel_imports
+
+    def test_reverse_dependents_transitive(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/base.py": "",
+                "pkg/mid.py": "from pkg import base\n",
+                "pkg/top.py": "from pkg import mid\n",
+                "pkg/other.py": "",
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        dependents = project.reverse_dependents(["pkg.base"])
+        assert dependents == {"pkg.base", "pkg.mid", "pkg.top"}
+
+    def test_cycle_detection_finds_scc(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from pkg import b\n",
+                "pkg/b.py": "from pkg import a\n",
+                "pkg/c.py": "from pkg import a\n",
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        assert project.import_cycles() == [["pkg.a", "pkg.b"]]
+
+    def test_function_level_import_is_not_a_cycle(self, tmp_path):
+        # The shape of the old montecarlo -> batch fix.
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/montecarlo.py": "from pkg import batch\n",
+                "pkg/batch.py": (
+                    "def kernel():\n"
+                    "    from pkg import montecarlo\n"
+                    "    return montecarlo\n"
+                ),
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        assert project.import_cycles() == []
+
+
+class TestCallGraph:
+    def test_seam_reachability_through_helpers(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/helpers.py": (
+                    "def inner():\n    return 1\n\n"
+                    "def outer():\n    return inner()\n\n"
+                    "def unrelated():\n    return 2\n"
+                ),
+                "pkg/tasks.py": (
+                    "from pkg.helpers import outer\n\n"
+                    "class SweepTask:\n"
+                    "    def __call__(self, rng):\n"
+                    "        return outer()\n"
+                ),
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        reachable = project.seam_reachable()
+        assert "pkg.tasks::SweepTask.__call__" in reachable
+        assert "pkg.helpers::outer" in reachable
+        assert "pkg.helpers::inner" in reachable
+        assert "pkg.helpers::unrelated" not in reachable
+
+    def test_run_chunk_is_a_root(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/engine.py": (
+                    "def _helper():\n    return 0\n\n"
+                    "def _run_chunk(trials):\n    return _helper()\n"
+                ),
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        reachable = project.seam_reachable()
+        assert "pkg.engine::_run_chunk" in reachable
+        assert "pkg.engine::_helper" in reachable
+
+    def test_self_method_resolves_through_base_class(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/tasks.py": (
+                    "class BaseTask:\n"
+                    "    def shared(self):\n"
+                    "        return 1\n\n"
+                    "class ChildTask(BaseTask):\n"
+                    "    def __call__(self, rng):\n"
+                    "        return self.shared()\n"
+                ),
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        assert "pkg.tasks::BaseTask.shared" in project.seam_reachable()
+
+    def test_task_classes_include_inheritors(self, tmp_path):
+        _write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "class EstimatorTask:\n    pass\n",
+                "pkg/b.py": (
+                    "from pkg.a import EstimatorTask\n\n"
+                    "class GridEstimator(EstimatorTask):\n    pass\n"
+                ),
+            },
+        )
+        project = build_project(_contexts_from_tree(tmp_path))
+        names = {cls.name for cls in project.task_classes()}
+        assert names == {"EstimatorTask", "GridEstimator"}
+
+
+class TestRealTree:
+    SRC = Path(__file__).resolve().parents[2] / "src"
+
+    def test_src_has_no_loadtime_cycles(self):
+        project = build_project(_contexts_from_tree(self.SRC))
+        assert project.import_cycles() == []
+
+    def test_engine_chunk_loop_is_worker_reachable(self):
+        project = build_project(_contexts_from_tree(self.SRC))
+        reachable = project.seam_reachable()
+        assert "repro.simulation.engine::_run_chunk" in reachable
+        assert "repro.simulation.engine::_chunk_loop" in reachable
+
+    def test_estimator_tasks_are_discovered(self):
+        project = build_project(_contexts_from_tree(self.SRC))
+        names = {cls.name for cls in project.task_classes()}
+        assert "EstimatorTask" in names
+        assert "LifetimeTask" in names
