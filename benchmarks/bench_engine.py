@@ -9,9 +9,12 @@ subsampled dense-grid scan per trial):
    process-pool engine; the per-trial difference is the dispatch
    overhead, reported in ``extra_info`` (microseconds per trial).
 2. *What does a pool buy?*  The same grid-failure sweep is timed
-   serially and with four workers.  On a >= 4-core machine the speedup
-   must reach 2x; on smaller machines the ratio is only reported
-   (process pools cannot beat serial without cores to run on).
+   serially and with four workers — once on the process backend, once
+   on the thread backend (numpy kernels release the GIL, so threads
+   overlap without any pickling or shared-memory traffic).  On a
+   >= 4-core machine each speedup must reach 2x; on smaller machines
+   the ratios are only reported (no backend can beat serial without
+   cores to run on).
 
 Every timing path asserts bit-identical tallies first — the engine's
 defining property — so the numbers can never come from divergent work.
@@ -21,6 +24,7 @@ from __future__ import annotations
 
 import math
 import os
+import statistics
 import time
 
 import numpy as np
@@ -130,14 +134,23 @@ def test_parallel_dispatch_overhead(benchmark):
     record("engine_parallel_dispatch_overhead", overhead_us, "us/trial")
 
 
+#: Interleaved measurement rounds for the retry-overhead comparison.
+#: Medians over this many rounds are stable enough that the reported
+#: overhead no longer swings negative on scheduler noise alone.
+RETRY_ROUNDS = 7
+
+
 def test_retry_machinery_overhead(benchmark):
     """Fault-free cost of the retry ladder on the pool dispatch path.
 
     The hardened executor arms per-chunk deadlines, attempt accounting
     and backoff state even when no fault ever fires; this compares it
     against a retry-free policy on the same pool and asserts the
-    machinery stays under the 5% acceptance ceiling (percent of the
-    retry-free wall-clock, min-of-rounds on both sides).
+    machinery stays under the 5% acceptance ceiling.  Both sides are
+    the *median* of ``RETRY_ROUNDS`` interleaved rounds — min-of-rounds
+    let one lucky bare round report a negative overhead — and a
+    measurement that still lands below zero is clamped to 0 with a
+    widened-CI note instead of recording noise as a speedup.
     """
     bare = ParallelExecutor(
         workers=2,
@@ -157,7 +170,7 @@ def test_retry_machinery_overhead(benchmark):
     expected = through(bare)
     # Interleave the rounds so clock drift hits both sides equally.
     bare_times, hardened_times = [], []
-    for _ in range(5):
+    for _ in range(RETRY_ROUNDS - 1):
         elapsed, successes = _timed(lambda: through(bare))
         assert successes == expected
         bare_times.append(elapsed)
@@ -165,6 +178,9 @@ def test_retry_machinery_overhead(benchmark):
         assert successes == expected
         hardened_times.append(elapsed)
 
+    elapsed, successes = _timed(lambda: through(bare))
+    assert successes == expected
+    bare_times.append(elapsed)
     times = []
     successes = benchmark.pedantic(
         _self_timing(lambda: through(hardened), times), rounds=1, iterations=1
@@ -172,10 +188,20 @@ def test_retry_machinery_overhead(benchmark):
     assert successes == expected
     hardened_times.append(times[0])
 
-    overhead_pct = (
-        (min(hardened_times) - min(bare_times)) / min(bare_times) * 100.0
+    raw_pct = (
+        (statistics.median(hardened_times) - statistics.median(bare_times))
+        / statistics.median(bare_times)
+        * 100.0
     )
+    overhead_pct = max(0.0, raw_pct)
     benchmark.extra_info["overhead_pct"] = overhead_pct
+    benchmark.extra_info["raw_overhead_pct"] = raw_pct
+    benchmark.extra_info["rounds"] = RETRY_ROUNDS
+    if raw_pct < 0.0:
+        benchmark.extra_info["note"] = (
+            "median difference below the noise floor: confidence interval "
+            "includes 0, reported as 0"
+        )
     record("engine_retry_overhead_pct", overhead_pct, "%")
     assert overhead_pct < 5.0, (
         f"fault-free retry machinery costs {overhead_pct:.2f}% over a "
@@ -220,5 +246,47 @@ def test_parallel_speedup_grid_failure(benchmark):
     if (os.cpu_count() or 1) >= SWEEP_WORKERS:
         assert speedup >= 2.0, (
             f"expected >= 2x speedup with {SWEEP_WORKERS} workers on "
+            f"{os.cpu_count()} cores, measured {speedup:.2f}x"
+        )
+
+
+def test_thread_speedup_grid_failure(benchmark):
+    """The same acceptance sweep on the thread backend.
+
+    The estimator's inner loops are numpy batch kernels that release
+    the GIL, so worker threads overlap for real — with none of the
+    process backend's pickling or shared-memory traffic.  Identity is
+    asserted unconditionally; the speedup floor only with the cores to
+    run on.
+    """
+
+    def sweep(kind: str, workers: int):
+        return estimate_grid_failure_probability(
+            SWEEP_PROFILE,
+            SWEEP_N,
+            THETA,
+            "exact",
+            MonteCarloConfig(
+                trials=SWEEP_TRIALS, seed=5, workers=workers, executor=kind
+            ),
+            max_grid_points=SWEEP_GRID_POINTS,
+        )
+
+    serial_time, serial_estimate = _timed(lambda: sweep("serial", 1))
+    times = []
+    threaded_estimate = benchmark.pedantic(
+        _self_timing(lambda: sweep("thread", SWEEP_WORKERS), times),
+        rounds=1,
+        iterations=1,
+    )
+    assert threaded_estimate == serial_estimate
+    speedup = serial_time / min(times)
+    benchmark.extra_info["serial_seconds"] = serial_time
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["cores"] = os.cpu_count()
+    record("engine_thread_speedup_4w", speedup, "x")
+    if (os.cpu_count() or 1) >= SWEEP_WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x thread speedup with {SWEEP_WORKERS} workers on "
             f"{os.cpu_count()} cores, measured {speedup:.2f}x"
         )

@@ -8,8 +8,9 @@ Subcommands
   to export every table as CSV.  ``--checkpoint DIR`` records completed
   experiments so an interrupted sweep can continue with ``--resume``;
   ``--time-budget SECONDS`` stops gracefully between experiments;
-  ``--workers N`` runs the Monte-Carlo trials on a process pool
-  (bit-identical to serial execution).
+  ``--workers N`` runs the Monte-Carlo trials on a worker pool and
+  ``--executor serial|thread|process|auto`` picks the backend
+  (bit-identical results either way).
 - ``fullview lifetime`` — simulate network lifetime under a per-epoch
   failure schedule via the checkpointed resilient runner (supports
   ``--checkpoint/--resume/--time-budget`` at trial granularity).
@@ -25,7 +26,9 @@ Subcommands
 
 ``run``, ``lifetime`` and ``workloads`` accept ``--trace PATH`` and
 ``--metrics PATH`` to record structured telemetry (see
-:mod:`repro.obs`); both are off by default and never perturb results.
+:mod:`repro.obs`), plus ``--executor`` to scope the trial-executor
+backend for the whole command; all are off by default and never
+perturb results.
 """
 
 from __future__ import annotations
@@ -108,6 +111,18 @@ def _obs_context(args: argparse.Namespace, command: str):
     )
 
 
+def _executor_context(args: argparse.Namespace):
+    """The ``--executor`` scope: backend selection for the whole command.
+
+    Only an explicitly-passed flag becomes a scoped override; otherwise
+    every config keeps resolving from the ``FULLVIEW_EXECUTOR``
+    environment variable (else ``auto``), mirroring the fault scope.
+    """
+    from repro.simulation.engine import executor_scope
+
+    return executor_scope(getattr(args, "executor", None))
+
+
 def _fault_context(args: argparse.Namespace):
     """The ``--max-retries``/``--chunk-timeout``/``--chaos`` fault scope.
 
@@ -135,7 +150,7 @@ def _fault_context(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    with _obs_context(args, "run"), _fault_context(args):
+    with _obs_context(args, "run"), _fault_context(args), _executor_context(args):
         return _run_body(args)
 
 
@@ -194,7 +209,9 @@ def _run_body(args: argparse.Namespace) -> int:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
-    with _obs_context(args, "lifetime"), _fault_context(args):
+    with _obs_context(args, "lifetime"), _fault_context(args), _executor_context(
+        args
+    ):
         return _lifetime_body(args)
 
 
@@ -335,7 +352,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
-    with _obs_context(args, "workloads"), _fault_context(args):
+    with _obs_context(args, "workloads"), _fault_context(args), _executor_context(
+        args
+    ):
         return _workloads_body(args)
 
 
@@ -568,6 +587,18 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", default=None,
+        choices=("auto", "serial", "thread", "process"),
+        help="trial executor backend: 'thread' shares the task by "
+        "reference and relies on numpy releasing the GIL, 'process' "
+        "ships it once per run via shared memory, 'auto' (the default, "
+        "or FULLVIEW_EXECUTOR) picks threads for the numpy-bound "
+        "estimator tasks; results are bit-identical across backends",
+    )
+
+
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-retries", type=int, default=None, metavar="N",
@@ -625,6 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are bit-identical to serial; default: serial, or the "
         "FULLVIEW_WORKERS environment variable)",
     )
+    _add_executor_argument(p_run)
     _add_obs_arguments(p_run)
     _add_fault_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
@@ -698,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to serial; checkpoints stay contiguous)",
     )
     p_life.add_argument("--out", help="directory for CSV exports")
+    _add_executor_argument(p_life)
     _add_obs_arguments(p_life)
     _add_fault_arguments(p_life)
     p_life.set_defaults(func=_cmd_lifetime)
@@ -714,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="run Monte-Carlo trials on a process pool of N workers",
     )
+    _add_executor_argument(p_work)
     _add_obs_arguments(p_work)
     _add_fault_arguments(p_work)
     p_work.set_defaults(func=_cmd_workloads)

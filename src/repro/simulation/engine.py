@@ -24,7 +24,29 @@ as three separable pieces:
   each chunk's outcomes in trial order; a chunk whose worker dies is
   transparently re-executed in-process (fault isolation per chunk), so
   a broken pool degrades to the serial path instead of losing the
-  sweep.
+  sweep.  :class:`ThreadExecutor` runs the same chunked ladder on a
+  thread pool: no pickling, no process boundary — the win comes from
+  numpy releasing the GIL inside the batch kernels.
+
+The process backend rides the payload plane
+(:mod:`repro.simulation.payload`): a run registers its task once — big
+ndarrays land in shared-memory segments, the task body in one more —
+and every chunk submission carries only a content-digest
+:class:`~repro.simulation.payload.TaskRef` plus trial indices, so
+payload bytes cross the boundary once per run instead of once per
+chunk.  Workers resolve handles lazily and cache per process; named
+segments survive pool respawns, so the faults ladder re-attaches for
+free.  Tasks that cannot pickle skip registration and fall back to
+inline shipping (and ultimately in-process execution) exactly as
+before.
+
+Backend selection is layered like the fault policies: an explicit
+``executor`` field on :class:`MonteCarloConfig` wins, else a scoped
+:class:`executor_scope` (what ``--executor`` installs), else the
+:data:`EXECUTOR_ENV_VAR` environment variable, else ``auto`` — which
+picks threads when the task advertises ``releases_gil`` (the estimator
+tasks do; their inner loops are numpy kernels) and processes
+otherwise.
 
 Executors yield batches *in trial order* even though parallel chunks
 complete out of order; consumers therefore always observe a contiguous
@@ -53,14 +75,18 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-import pickle
 import time
 import warnings
 from abc import ABC, abstractmethod
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -72,6 +98,8 @@ from repro.obs.events import (
     PoolRespawned,
     RunFinished,
     RunStarted,
+    SegmentsReleased,
+    TaskRegistered,
     TrialQuarantined,
     active_event_log,
 )
@@ -87,20 +115,26 @@ from repro.obs.trace import (
 from repro.simulation.faults import (
     ChaosPolicy,
     RetryPolicy,
+    is_serialization_error,
     resolve_chaos_policy,
     resolve_retry_policy,
 )
+from repro.simulation.payload import PayloadStore, TaskRef, prime_worker, resolve_task
 
 __all__ = [
+    "EXECUTOR_ENV_VAR",
     "MonteCarloConfig",
     "ParallelExecutor",
     "SerialExecutor",
+    "ThreadExecutor",
     "TrialExecutor",
     "TrialOutcome",
     "TrialTask",
     "WORKERS_ENV_VAR",
+    "active_executor_kind",
     "execute_trials",
     "executor_for",
+    "executor_scope",
     "run_trial",
     "shutdown_worker_pools",
 ]
@@ -110,8 +144,66 @@ __all__ = [
 #: entire test suite without touching call sites.
 WORKERS_ENV_VAR = "FULLVIEW_WORKERS"
 
+#: Environment variable selecting the executor backend when neither a
+#: config field nor an :class:`executor_scope` names one; lets a CI job
+#: drive the whole suite through one backend.  Accepts the same values
+#: as ``--executor``: ``serial``, ``thread``, ``process`` or ``auto``.
+EXECUTOR_ENV_VAR = "FULLVIEW_EXECUTOR"
+
+#: Recognised executor kinds, in documentation order.
+EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
 #: A trial task: derive everything from ``rng``, return a small record.
 TrialTask = Callable[[int, np.random.Generator], Any]
+
+
+def _validated_kind(kind: str, source: str) -> str:
+    kind = kind.strip().lower()
+    if kind not in EXECUTOR_KINDS:
+        known = ", ".join(EXECUTOR_KINDS)
+        raise InvalidParameterError(
+            f"{source} must be one of {known}; got {kind!r}"
+        )
+    return kind
+
+
+#: Process-wide scoped executor kind (installed by :class:`executor_scope`);
+#: ``None`` falls through to :data:`EXECUTOR_ENV_VAR`.  Parent-only, like
+#: the scoped fault policies: workers never consult it.
+_ACTIVE_EXECUTOR: Optional[str] = None
+
+
+def active_executor_kind() -> Optional[str]:
+    """The scoped executor kind, if an :class:`executor_scope` installed one."""
+    return _ACTIVE_EXECUTOR
+
+
+class executor_scope:
+    """Context manager scoping the executor backend (restores on exit).
+
+    ``--executor`` on the CLI installs one of these around the whole
+    command, so every config built inside the experiment — none of
+    which sets the ``executor`` field — resolves to the requested
+    backend.  ``None`` leaves resolution to the environment variable,
+    so a scope built from CLI flags only overrides what the user
+    actually passed; an explicit config field always wins over the
+    scope, mirroring :class:`~repro.simulation.faults.fault_scope`.
+    """
+
+    def __init__(self, kind: Optional[str] = None) -> None:
+        self._kind = None if kind is None else _validated_kind(kind, "executor")
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "executor_scope":
+        global _ACTIVE_EXECUTOR
+        self._previous = _ACTIVE_EXECUTOR
+        if self._kind is not None:
+            _ACTIVE_EXECUTOR = self._kind
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE_EXECUTOR
+        _ACTIVE_EXECUTOR = self._previous
 
 #: Upper bound on the automatic chunk size; keeps partial results
 #: flowing back to the consumer (checkpoints, budgets) on huge sweeps.
@@ -142,12 +234,19 @@ class MonteCarloConfig:
         ``> 1`` dispatches chunks to a process pool (bit-identical
         results by construction).  ``None`` — the default — falls back
         to the :data:`WORKERS_ENV_VAR` environment variable, else 1.
+    executor:
+        Executor backend: ``"serial"``, ``"thread"``, ``"process"`` or
+        ``"auto"``.  ``None`` — the default — falls back to the scoped
+        :class:`executor_scope`, else :data:`EXECUTOR_ENV_VAR`, else
+        ``"auto"``.  Results are bit-identical across all backends; the
+        field chooses purely on wall-clock grounds.
     """
 
     trials: int = 200
     seed: int = 0
     use_index: bool = True
     workers: Optional[int] = None
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -156,6 +255,10 @@ class MonteCarloConfig:
             raise InvalidParameterError(
                 f"workers must be >= 1 (or None for the environment default), "
                 f"got {self.workers!r}"
+            )
+        if self.executor is not None:
+            object.__setattr__(
+                self, "executor", _validated_kind(self.executor, "executor")
             )
 
     def rng_for_trial(self, trial: int) -> np.random.Generator:
@@ -227,6 +330,23 @@ class MonteCarloConfig:
             )
         return value
 
+    def resolved_executor(self) -> str:
+        """The effective backend kind (field, scope, environment, auto).
+
+        Resolution mirrors the fault policies: the explicit ``executor``
+        field wins, else the scoped kind installed by
+        :class:`executor_scope` (what ``--executor`` does), else
+        :data:`EXECUTOR_ENV_VAR`, else ``"auto"``.
+        """
+        if self.executor is not None:
+            return self.executor
+        if _ACTIVE_EXECUTOR is not None:
+            return _ACTIVE_EXECUTOR
+        raw = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+        if not raw:
+            return "auto"
+        return _validated_kind(raw, EXECUTOR_ENV_VAR)
+
 
 @dataclass(frozen=True)
 class TrialOutcome:
@@ -286,21 +406,6 @@ def run_trial(
     return outcome
 
 
-def _is_serialization_error(exc: Exception) -> bool:
-    """Whether a worker-boundary failure is a pickling problem.
-
-    ``pickle`` is inconsistent about the type it raises: lambdas give
-    ``PicklingError``, local functions ``AttributeError`` and
-    unpicklable values (locks, generators) ``TypeError`` — the stable
-    signal across all three is the word "pickle" in the message.
-    """
-    if isinstance(exc, pickle.PicklingError):
-        return True
-    return isinstance(exc, (AttributeError, TypeError)) and "pickle" in str(
-        exc
-    ).lower()
-
-
 def _chunk_loop(
     task: TrialTask,
     config: MonteCarloConfig,
@@ -328,7 +433,7 @@ def _chunk_loop(
 
 
 def _run_chunk(
-    task: TrialTask,
+    task: Union[TrialTask, TaskRef],
     config: MonteCarloConfig,
     trials: Sequence[int],
     isolate: bool,
@@ -337,6 +442,12 @@ def _run_chunk(
     attempt: int = 0,
 ) -> Tuple[List[TrialOutcome], Optional[ChunkTrace], Optional[BaseException]]:
     """Run a contiguous chunk of trials (module-level, so it pickles).
+
+    ``task`` is either the callable itself (inline shipping, the
+    in-process fallback) or a :class:`~repro.simulation.payload.TaskRef`
+    resolved here against this process's payload cache — the first
+    chunk of a run in each worker pays one attach-and-unpickle, every
+    later chunk a dictionary lookup.
 
     With ``trace`` a fresh recorder is installed for the chunk (the
     previous recorder — ``None`` in worker processes, the run's own
@@ -347,12 +458,15 @@ def _run_chunk(
     :func:`_chunk_loop`), ``None`` on a clean run.
 
     ``chaos`` is the injection seam: an active policy may raise or
-    sleep here, *before any trial runs*, so injected faults can never
-    perturb a trial generator — a retried chunk (``attempt`` counts
-    resubmissions) re-derives every stream bit-identically.
+    sleep here, *before any trial runs and before the task resolves*,
+    so injected faults can never perturb a trial generator — a retried
+    chunk (``attempt`` counts resubmissions) re-derives every stream
+    bit-identically.
     """
     if chaos is not None:
         chaos.perturb_chunk(trials, attempt)
+    if isinstance(task, TaskRef):
+        task = resolve_task(task)
     if not trace:
         outcomes, interrupt = _chunk_loop(task, config, trials, isolate)
         return outcomes, None, interrupt
@@ -430,7 +544,7 @@ def _mp_context():
     )
 
 
-def _pool_for(workers: int) -> ProcessPoolExecutor:
+def _pool_for(workers: int, prime: Tuple[TaskRef, ...] = ()) -> ProcessPoolExecutor:
     pool = _POOL_CACHE.get(workers)
     if pool is not None and getattr(pool, "_broken", False):
         # A pool that broke mid-sweep must never be handed out again:
@@ -439,7 +553,19 @@ def _pool_for(workers: int) -> ProcessPoolExecutor:
         _discard_pool(workers)
         pool = None
     if pool is None:
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+        # ``prime`` pre-resolves the current run's registered tasks in
+        # every worker the new pool spawns — the respawn rung of the
+        # faults ladder re-attaches its segments before the first
+        # resubmitted chunk arrives.  Best-effort only (prime_worker
+        # never raises): lazy resolution in _run_chunk is what
+        # guarantees correctness, including for workers this pool
+        # spawns after the priming run has ended.
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+            initializer=prime_worker,
+            initargs=(prime,),
+        )
         _POOL_CACHE[workers] = pool
         metrics = active_metrics()
         if metrics is not None:
@@ -622,11 +748,48 @@ class ParallelExecutor(TrialExecutor):
         respawns_left = retry.max_pool_respawns
         degraded_reason: Optional[str] = None
 
+        # Register the task once per run: big arrays into shared
+        # segments, the pickle body into one more, and every chunk
+        # submission below ships only the content-digest handle.  A
+        # task that cannot pickle cannot register either — it ships
+        # inline instead, and the existing serialization fallback
+        # applies unchanged.
+        payload: Optional[PayloadStore] = None
+        task_ref: Optional[TaskRef] = None
+        shipped: Union[TrialTask, TaskRef] = task
+        if chunks:
+            try:
+                payload = PayloadStore()
+                task_ref = payload.register_task(task)
+                shipped = task_ref
+            except Exception:
+                if payload is not None:
+                    payload.close()
+                payload = None
+                task_ref = None
+                shipped = task
+            else:
+                if metrics is not None:
+                    metrics.inc("payload_tasks_registered")
+                    metrics.inc("payload_bytes_shipped", payload.payload_bytes)
+                    metrics.set_gauge(
+                        "payload_segments_active", float(len(payload.segment_names()))
+                    )
+                if log is not None:
+                    log.emit(
+                        TaskRegistered(
+                            digest=task_ref.digest,
+                            payload_bytes=payload.payload_bytes,
+                            segments=len(payload.segment_names()),
+                        )
+                    )
+        prime = (task_ref,) if task_ref is not None else ()
+
         def submit(index: int) -> Future:
             chunk = chunks[index]
             return pool.submit(
                 _run_chunk,
-                task,
+                shipped,
                 config,
                 tuple(chunk),
                 isolate,
@@ -637,9 +800,11 @@ class ParallelExecutor(TrialExecutor):
 
         def respawn(reason: str) -> None:
             # One rung down the ladder: discard the broken/hung pool
-            # and start a fresh one, unless the respawn budget is spent
-            # — then degrade to in-process serial for the rest of the
-            # sweep.
+            # and start a fresh one (primed with this run's task
+            # handle, so its workers re-attach the named segments
+            # before the first resubmitted chunk arrives), unless the
+            # respawn budget is spent — then degrade to in-process
+            # serial for the rest of the sweep.
             nonlocal pool, respawns_left, degraded_reason
             _discard_pool(self.workers)
             pool = None
@@ -648,7 +813,7 @@ class ParallelExecutor(TrialExecutor):
                 return
             respawns_left -= 1
             try:
-                pool = _pool_for(self.workers)
+                pool = _pool_for(self.workers, prime)
             except Exception:
                 degraded_reason = reason
                 return
@@ -707,7 +872,7 @@ class ParallelExecutor(TrialExecutor):
                 try:
                     future = pool.submit(
                         _run_chunk,
-                        task,
+                        shipped,
                         config,
                         tuple(part),
                         isolate,
@@ -765,7 +930,7 @@ class ParallelExecutor(TrialExecutor):
 
         if chunks:
             try:
-                pool = _pool_for(self.workers)
+                pool = _pool_for(self.workers, prime)
                 for index in range(len(chunks)):
                     futures[index] = submit(index)
             except Exception:
@@ -825,7 +990,7 @@ class ParallelExecutor(TrialExecutor):
                         # and unpicklable arguments) fails identically
                         # on every attempt; no retry can fix that —
                         # straight to the in-process fallback.
-                        if _is_serialization_error(exc):
+                        if is_serialization_error(exc):
                             retryable = False
                         failure = f"{type(exc).__name__}: {exc}"
                     futures[index] = None
@@ -891,14 +1056,329 @@ class ParallelExecutor(TrialExecutor):
             for future in futures:
                 if future is not None:
                     future.cancel()
+            # The run's segments die with the run — unlink is
+            # unconditional (a straggler chunk still mapping one only
+            # delays the page reclaim, never the name's removal).
+            if payload is not None:
+                released = len(payload.segment_names())
+                released_bytes = payload.payload_bytes
+                payload.close()
+                if metrics is not None:
+                    metrics.set_gauge("payload_segments_active", 0.0)
+                if log is not None:
+                    log.emit(
+                        SegmentsReleased(
+                            segments=released, payload_bytes=released_bytes
+                        )
+                    )
 
 
-def executor_for(config: MonteCarloConfig) -> TrialExecutor:
-    """The executor a config asks for: serial at 1 worker, else a pool."""
+def _thread_chunk(
+    task: TrialTask,
+    config: MonteCarloConfig,
+    trials: Sequence[int],
+    isolate: bool,
+    chaos: Optional[ChaosPolicy],
+    attempt: int,
+) -> Tuple[List[TrialOutcome], Optional[BaseException]]:
+    """One chunk on a worker thread: chaos seam, then the plain loop.
+
+    No trace plumbing is needed: the run's :class:`TraceRecorder` is
+    thread-safe and span stacks are thread-local, so worker threads
+    record spans (and observe metrics) directly into the parent's
+    active obs context — the payload plane is bypassed entirely
+    because there is no boundary to cross.
+    """
+    if chaos is not None:
+        chaos.perturb_chunk(trials, attempt)
+    return _chunk_loop(task, config, trials, isolate)
+
+
+class ThreadExecutor(TrialExecutor):
+    """Chunked thread-pool execution, bit-identical to serial.
+
+    The third backend: the same contiguous chunks and in-order yields
+    as :class:`ParallelExecutor`, dispatched to worker *threads*.  No
+    pickling, no shared-memory segments, no warm-pool bookkeeping —
+    the task object is shared by reference — so the backend wins
+    whenever the task spends its time inside numpy kernels that
+    release the GIL (the batch coverage kernels in
+    :mod:`repro.core.batch` do).  Tasks that close over anything,
+    picklable or not, run unmodified.
+
+    The faults ladder is mirrored minus its process rungs: chaos
+    injects at the chunk seam (:func:`_thread_chunk`), failed attempts
+    retry with the same deterministic backoff up to ``max_retries``,
+    an exhausted chunk bisects down to the offending trial under
+    ``isolate=True`` (quarantine) or re-runs in the main thread
+    without chaos otherwise, re-raising the task's real error with
+    its original type.  There is no respawn rung — threads cannot be
+    killed, so a chunk that times out is simply retried on a fresh
+    future while the hung thread's eventual result is discarded.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosPolicy] = None,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {chunk_size!r}"
+            )
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.retry = resolve_retry_policy(retry)
+        self.chaos = resolve_chaos_policy(chaos)
+
+    _adaptive_size = ParallelExecutor._adaptive_size
+    _chunks = ParallelExecutor._chunks
+
+    def run(
+        self,
+        task: TrialTask,
+        config: MonteCarloConfig,
+        trials: Sequence[int],
+        isolate: bool = False,
+    ) -> Iterator[List[TrialOutcome]]:
+        trials = list(trials)
+        if not trials:
+            return
+        log = active_event_log()
+        metrics = active_metrics()
+        retry = self.retry
+        chaos = self.chaos
+        probe_pair = None
+        if self.chunk_size is None:
+            # Same adaptive sizing as the process backend: trial 0 runs
+            # inline as a timed probe (no chaos — the main thread is
+            # not a worker) and sizes the chunks for the rest.
+            probe_start = time.perf_counter()
+            probe_pair = _chunk_loop(task, config, (trials[0],), isolate)
+            probe_seconds = time.perf_counter() - probe_start
+            rest = trials[1:]
+            size = self._adaptive_size(probe_seconds, len(rest))
+            chunks = self._chunks(rest, size) if rest else []
+            if probe_pair[1] is not None:
+                chunks = []
+            if metrics is not None:
+                metrics.set_gauge("parallel_chunk_size", float(size))
+                metrics.set_gauge("parallel_probe_seconds", probe_seconds)
+        else:
+            chunks = self._chunks(trials)
+            if metrics is not None:
+                metrics.set_gauge("parallel_chunk_size", float(self.chunk_size))
+
+        def fall_back(index: int, chunk: Sequence[int], reason: str):
+            if metrics is not None:
+                metrics.inc("chunk_fallbacks")
+            if log is not None:
+                log.emit(
+                    ChunkFellBack(
+                        chunk=index,
+                        first_trial=chunk[0],
+                        trials=len(chunk),
+                        reason=reason,
+                    )
+                )
+            return _chunk_loop(task, config, tuple(chunk), isolate)
+
+        futures: List[Optional[Future]] = [None] * len(chunks)
+        attempts = [0] * len(chunks)
+        pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="fv-trial"
+        )
+
+        def submit(index: int) -> Future:
+            chunk = chunks[index]
+            return pool.submit(
+                _thread_chunk,
+                task,
+                config,
+                tuple(chunk),
+                isolate,
+                chaos,
+                attempts[index],
+            )
+
+        def quarantine(
+            index: int, chunk: Sequence[int], failure: str
+        ) -> Tuple[List[TrialOutcome], Optional[BaseException]]:
+            # Bisect an exhausted chunk down to the offending trial(s),
+            # mirroring the process backend: parts run at the chunk's
+            # final attempt index (cleared probabilistic faults stay
+            # cleared), and a single trial that keeps dying is recorded
+            # as a failed outcome while every other result survives.
+            attempt_floor = attempts[index]
+            if chaos is not None:
+                attempt_floor = max(attempt_floor, chaos.attempts)
+            outcomes: List[TrialOutcome] = []
+            state: Dict[str, Any] = {"interrupt": None, "error": failure}
+
+            def attempt_part(part: Sequence[int]):
+                future = pool.submit(
+                    _thread_chunk,
+                    task,
+                    config,
+                    tuple(part),
+                    isolate,
+                    chaos,
+                    attempt_floor,
+                )
+                try:
+                    return future.result(timeout=retry.chunk_timeout)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    state["error"] = "TimeoutError: chunk attempt exceeded deadline"
+                    return None
+                except Exception as exc:
+                    state["error"] = f"{type(exc).__name__}: {exc}"
+                    return None
+
+            def run_part(part: Sequence[int]) -> None:
+                if state["interrupt"] is not None:
+                    return
+                pair = attempt_part(part)
+                if pair is None:
+                    if len(part) == 1:
+                        trial = int(part[0])
+                        if metrics is not None:
+                            metrics.inc("trials_quarantined")
+                        if log is not None:
+                            log.emit(
+                                TrialQuarantined(trial=trial, error=state["error"])
+                            )
+                        outcomes.append(
+                            TrialOutcome(trial=trial, error=state["error"])
+                        )
+                        return
+                    mid = len(part) // 2
+                    run_part(part[:mid])
+                    run_part(part[mid:])
+                    return
+                batch, part_interrupt = pair
+                outcomes.extend(batch)
+                if part_interrupt is not None:
+                    state["interrupt"] = part_interrupt
+
+            run_part(tuple(chunk))
+            return outcomes, state["interrupt"]
+
+        try:
+            for index in range(len(chunks)):
+                futures[index] = submit(index)
+            if probe_pair is not None:
+                batch, interrupt = probe_pair
+                yield batch
+                if interrupt is not None:
+                    raise interrupt
+            if not chunks:
+                return
+            if log is not None:
+                for index, chunk in enumerate(chunks):
+                    log.emit(
+                        ChunkDispatched(
+                            chunk=index, first_trial=chunk[0], trials=len(chunk)
+                        )
+                    )
+            if metrics is not None:
+                metrics.inc("chunks_dispatched", len(chunks))
+            for index, chunk in enumerate(chunks):
+                pair = None
+                reason: Optional[str] = None
+                failure = "worker-boundary failure"
+                while True:
+                    future = futures[index]
+                    try:
+                        pair = future.result(timeout=retry.chunk_timeout)
+                        break
+                    except FuturesTimeoutError:
+                        # The thread cannot be killed; discard its
+                        # future (a late result is simply dropped) and
+                        # retry on a fresh one.
+                        future.cancel()
+                        reason = "timeout"
+                        failure = "TimeoutError: chunk attempt exceeded deadline"
+                    except Exception as exc:
+                        reason = "worker-error"
+                        failure = f"{type(exc).__name__}: {exc}"
+                    futures[index] = None
+                    attempts[index] += 1
+                    if attempts[index] > retry.max_retries:
+                        break
+                    if metrics is not None:
+                        metrics.inc("chunk_retries")
+                    if log is not None:
+                        log.emit(
+                            ChunkRetried(
+                                chunk=index,
+                                first_trial=chunk[0],
+                                trials=len(chunk),
+                                attempt=attempts[index],
+                                reason=reason,
+                            )
+                        )
+                    delay = retry.backoff_seconds(
+                        config.seed, int(chunk[0]), attempts[index]
+                    )
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    futures[index] = submit(index)
+                if pair is None:
+                    if isolate:
+                        pair = quarantine(index, chunk, failure)
+                    else:
+                        # Retries exhausted without isolation: re-run
+                        # in the main thread without chaos — the real
+                        # error (if any) re-raises with its original
+                        # type.
+                        pair = fall_back(index, chunk, reason or "exhausted")
+                batch, interrupt = pair
+                yield batch
+                if interrupt is not None:
+                    raise interrupt
+        finally:
+            for future in futures:
+                if future is not None:
+                    future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def executor_for(
+    config: MonteCarloConfig, task: Optional[TrialTask] = None
+) -> TrialExecutor:
+    """The executor a config asks for.
+
+    One worker always means :class:`SerialExecutor`.  With more, the
+    resolved backend kind decides (see
+    :meth:`MonteCarloConfig.resolved_executor`); ``auto`` picks
+    :class:`ThreadExecutor` when the task advertises ``releases_gil``
+    — the estimator tasks do, their inner loops being numpy kernels
+    that drop the GIL — and :class:`ParallelExecutor` otherwise (an
+    unknown task is assumed to hold the GIL, where processes are the
+    safe bet).
+    """
     workers = config.resolved_workers()
-    if workers <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(workers)
+    kind = config.resolved_executor()
+    if kind == "auto":
+        kind = "thread" if getattr(task, "releases_gil", False) else "process"
+    if workers <= 1 or kind == "serial":
+        kind = "serial"
+        executor: TrialExecutor = SerialExecutor()
+    elif kind == "thread":
+        executor = ThreadExecutor(workers)
+    else:
+        kind = "process"
+        executor = ParallelExecutor(workers)
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.inc(f"executor_selected_{kind}")
+        metrics.set_gauge("executor_workers", float(workers))
+    return executor
 
 
 def execute_trials(
@@ -912,12 +1392,14 @@ def execute_trials(
 
     The one-line entry point the estimators use: results are identical
     for every executor, so callers choose purely on wall-clock grounds
-    (``executor=None`` respects ``config.workers``).  With an active
-    obs context the sweep is bracketed by ``RunStarted``/``RunFinished``
-    events and tallies the ``trials_completed``/``trials_failed``
-    counters; instrumentation is inert (two ``None`` checks) otherwise.
+    (``executor=None`` respects ``config.workers`` and
+    ``config.executor``, with ``auto`` picking threads for tasks that
+    release the GIL).  With an active obs context the sweep is
+    bracketed by ``RunStarted``/``RunFinished`` events and tallies the
+    ``trials_completed``/``trials_failed`` counters; instrumentation
+    is inert (two ``None`` checks) otherwise.
     """
-    executor = executor if executor is not None else executor_for(config)
+    executor = executor if executor is not None else executor_for(config, task)
     log = active_event_log()
     metrics = active_metrics()
     if log is not None:

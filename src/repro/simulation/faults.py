@@ -39,6 +39,7 @@ the parent is not a worker.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from dataclasses import dataclass, fields
 from typing import Optional, Sequence, Tuple
@@ -55,6 +56,7 @@ __all__ = [
     "active_chaos_policy",
     "active_retry_policy",
     "fault_scope",
+    "is_serialization_error",
     "resolve_chaos_policy",
     "resolve_retry_policy",
 ]
@@ -68,6 +70,25 @@ MAX_RETRIES_ENV_VAR = "FULLVIEW_MAX_RETRIES"
 
 #: Environment default for :attr:`RetryPolicy.chunk_timeout` (seconds).
 CHUNK_TIMEOUT_ENV_VAR = "FULLVIEW_CHUNK_TIMEOUT"
+
+def is_serialization_error(exc: Exception) -> bool:
+    """Whether a worker-boundary failure is a pickling problem.
+
+    Failure classification belongs with the fault policies: this is
+    the one error class no retry can fix (the same task fails the same
+    way on every attempt), so every executor backend routes it straight
+    to its in-process fallback.  ``pickle`` is inconsistent about the
+    type it raises: lambdas give ``PicklingError``, local functions
+    ``AttributeError`` and unpicklable values (locks, generators)
+    ``TypeError`` — the stable signal across all three is the word
+    "pickle" in the message.
+    """
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    return isinstance(exc, (AttributeError, TypeError)) and "pickle" in str(
+        exc
+    ).lower()
+
 
 #: Spawn-key codes for the fault kinds, so each kind draws from its own
 #: independent stream under the chaos seed.

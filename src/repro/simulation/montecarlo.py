@@ -27,7 +27,7 @@ the scalar reference path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, ClassVar, Optional, Tuple
 
 import numpy as np
 
@@ -139,7 +139,17 @@ class EstimatorTask:
     — both paths are bit-identical, so estimates never depend on it).
     Subclasses add their own keyword-only fields and stay frozen and
     picklable for the process-pool executor.
+
+    ``releases_gil`` advertises that the tasks spend their time inside
+    numpy's batch kernels, which drop the GIL — the signal
+    :func:`~repro.simulation.engine.executor_for` uses to pick the
+    thread backend under ``executor="auto"``.  A class-level marker,
+    not a field: it describes the task *code*, travels with the class,
+    and keeps the engine free of any import of this module.
     """
+
+    #: Estimator trials are numpy-kernel bound; ``auto`` may use threads.
+    releases_gil: ClassVar[bool] = True
 
     profile: HeterogeneousProfile
     n: int

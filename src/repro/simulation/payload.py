@@ -1,0 +1,417 @@
+"""The payload plane: shared-memory array segments and task registration.
+
+The process-pool executor used to re-pickle the full task dataclass —
+grid arrays, fleet profiles, kernel policy — into every dispatched
+chunk, so payload bytes crossed the process boundary once *per chunk*.
+This module makes them cross once *per run*:
+
+- :class:`PayloadStore` — a run-scoped owner of
+  ``multiprocessing.shared_memory`` segments.  Large ndarrays inside a
+  task are externalised into content-addressed segments and replaced by
+  lightweight :class:`ArrayRef` handles; the task's remaining pickle
+  body goes into one more segment keyed by its content digest, yielding
+  a tiny :class:`TaskRef` that is all a chunk submission has to carry.
+- :func:`resolve_task` — the worker-side half.  A worker receiving a
+  :class:`TaskRef` attaches the named segments lazily, verifies the
+  body digest, rebuilds the task with zero-copy read-only array views,
+  and caches it per process, so every later chunk of the run costs a
+  dictionary lookup.  Named segments persist across pool respawns, so
+  the faults ladder re-attaches for free — a freshly spawned worker
+  resolves the same handles the dead one held.
+
+Lifecycle is the part that must not be optional: every segment a store
+creates is unlinked when the owning run finishes (``close()``), when
+the store is garbage collected, or — the crash net — by an ``atexit``
+hook covering stores abandoned by an exception.  Workers never unlink:
+pool workers share the parent's resource-tracker process, so their
+attachments piggyback on the parent's create-time registration (see
+:func:`_attach`), and each worker keeps a small LRU of resolved tasks
+so long-lived warm pools do not accumulate maps of dead segments.
+
+The interception point is pickling itself (``persistent_id`` /
+``persistent_load``), so tasks stay plain frozen dataclasses: they do
+not know about segments, FV006 pickle-safety is untouched, and a task
+that cannot pickle fails registration exactly the way it fails chunk
+submission — the engine's serialization fallback applies unchanged.
+
+The module-level worker caches (``_ATTACHED``, ``_LOCAL_SEGMENTS``,
+``_TASK_CACHE``, ``_TASK_SEGMENTS``) are the audited exception to
+fvlint's worker-state hygiene rule (FV007): they are append-only maps
+of immutable handles, keyed by globally-unique segment names, and never
+influence a trial value — see ``AUDITED_WORKER_GLOBALS`` in
+:mod:`repro.lint.rules.parallel`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import io
+import itertools
+import os
+import pickle
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PayloadError
+
+__all__ = [
+    "MIN_SHARED_BYTES",
+    "ArrayRef",
+    "PayloadStore",
+    "SEGMENT_PREFIX",
+    "TaskRef",
+    "prime_worker",
+    "resolve_task",
+]
+
+#: Arrays smaller than this stay inline in the task's pickle body; a
+#: segment per tiny array would cost more in attach round-trips than it
+#: saves in bytes.
+MIN_SHARED_BYTES = 2048
+
+#: Prefix of every segment name this module creates; tests scan for it
+#: when asserting that runs leak nothing.
+SEGMENT_PREFIX = "fvp"
+
+#: Resolved tasks cached per worker process.  Small and bounded: a warm
+#: pool outlives many runs, and each run's segments die with its store,
+#: so unbounded caching would pin maps of unlinked segments forever.
+_TASK_CACHE_LIMIT = 4
+
+_STORE_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable handle to an ndarray living in a shared segment.
+
+    ``resolve()`` maps the segment and returns a zero-copy, read-only
+    view; the handle itself is a few dozen bytes however large the
+    array is.
+    """
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+    nbytes: int
+
+    def resolve(self) -> np.ndarray:
+        """Attach the segment and view it as a read-only ndarray."""
+        shm = _attach(self.segment)
+        array = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+        array.flags.writeable = False
+        return array
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """A content-digest handle to a registered task.
+
+    The task's pickle body (arrays already externalised as
+    :class:`ArrayRef`) lives in ``segment``; ``digest`` keys the
+    worker-side cache and doubles as an integrity check on the bytes
+    read back.
+    """
+
+    segment: str
+    nbytes: int
+    digest: str
+
+
+class _PayloadPickler(pickle.Pickler):
+    """Pickler that externalises large ndarrays into a store's segments."""
+
+    def __init__(self, store: "PayloadStore", file: io.BytesIO) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store = store
+
+    def persistent_id(self, obj: Any) -> Optional[ArrayRef]:
+        if (
+            type(obj) is np.ndarray
+            and obj.nbytes >= self._store.min_bytes
+            and not obj.dtype.hasobject
+        ):
+            return self._store.share_array(obj)
+        return None
+
+
+class _PayloadUnpickler(pickle.Unpickler):
+    """Unpickler resolving :class:`ArrayRef` ids into shared views."""
+
+    def __init__(self, file: io.BytesIO) -> None:
+        super().__init__(file)
+        self.resolved_segments: List[str] = []
+
+    def persistent_load(self, pid: Any) -> Any:
+        if isinstance(pid, ArrayRef):
+            self.resolved_segments.append(pid.segment)
+            return pid.resolve()
+        raise PayloadError(f"unknown persistent id {pid!r}")
+
+
+#: Live stores awaiting cleanup; weak so a collected store (whose
+#: ``__del__`` already unlinked) never pins itself here.
+_LIVE_STORES: "weakref.WeakSet[PayloadStore]" = weakref.WeakSet()
+
+
+def _cleanup_live_stores() -> None:
+    """The atexit crash net: unlink segments of stores never closed."""
+    for store in list(_LIVE_STORES):
+        store.close()
+
+
+atexit.register(_cleanup_live_stores)
+
+
+class PayloadStore:
+    """Run-scoped owner of shared-memory payload segments.
+
+    One store backs one executor run: ``register_task`` externalises a
+    task once, the run ships the resulting :class:`TaskRef` with every
+    chunk, and ``close()`` (or the atexit net, or garbage collection)
+    unlinks everything.  Segment names embed the pid and a store nonce,
+    so concurrent runs — even of identical tasks — never collide.
+    """
+
+    def __init__(self, min_bytes: int = MIN_SHARED_BYTES) -> None:
+        self.min_bytes = min_bytes
+        self._token = f"{os.getpid():x}-{next(_STORE_IDS):x}"
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._array_refs: Dict[str, ArrayRef] = {}
+        self._task_refs: Dict[str, TaskRef] = {}
+        self._closed = False
+        _LIVE_STORES.add(self)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the store's segments have been unlinked."""
+        return self._closed
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total bytes placed into shared segments by this store."""
+        return sum(shm.size for shm in self._segments.values())
+
+    def segment_names(self) -> Tuple[str, ...]:
+        """The names of every live segment this store owns."""
+        return tuple(self._segments)
+
+    def _new_segment(self, tag: str, size: int) -> shared_memory.SharedMemory:
+        if self._closed:
+            raise PayloadError("payload store is closed")
+        name = f"{SEGMENT_PREFIX}{self._token}-{tag}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, size))
+        self._segments[name] = shm
+        # Export locally so the in-process fallback path resolves refs
+        # against the owner's mapping instead of re-attaching (a second
+        # attachment in the creating process would also re-register the
+        # name with the resource tracker).
+        _LOCAL_SEGMENTS[name] = shm
+        return shm
+
+    def share_array(self, array: np.ndarray) -> ArrayRef:
+        """Place one ndarray into a segment, content-deduplicated.
+
+        The same bytes shared twice (the same grid appearing in two
+        tasks, say) reuse one segment.  The returned handle resolves to
+        a read-only view, which is what makes cross-process sharing
+        sound: trial code treats task payloads as immutable inputs.
+        """
+        array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            raise PayloadError("object-dtype arrays cannot be shared")
+        fingerprint = hashlib.sha256()
+        fingerprint.update(array.dtype.str.encode("ascii"))
+        fingerprint.update(repr(array.shape).encode("ascii"))
+        fingerprint.update(array.data)
+        key = fingerprint.hexdigest()[:16]
+        ref = self._array_refs.get(key)
+        if ref is not None:
+            return ref
+        shm = self._new_segment(f"a{key}", array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        ref = ArrayRef(
+            segment=shm.name,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+            nbytes=array.nbytes,
+        )
+        self._array_refs[key] = ref
+        return ref
+
+    def register_task(self, task: Any) -> TaskRef:
+        """Externalise one task: arrays into segments, body into one more.
+
+        Registration *is* pickling, so anything that cannot cross the
+        process boundary (a lambda, a lock) fails here with the same
+        error it would fail chunk submission with — callers fall back
+        to inline shipping exactly as before.  Identical tasks (same
+        pickle bytes) registered twice return the same handle.
+        """
+        buffer = io.BytesIO()
+        _PayloadPickler(self, buffer).dump(task)
+        body = buffer.getvalue()
+        digest = hashlib.sha256(body).hexdigest()[:16]
+        ref = self._task_refs.get(digest)
+        if ref is not None:
+            return ref
+        shm = self._new_segment(f"t{digest}", len(body))
+        shm.buf[: len(body)] = body
+        ref = TaskRef(segment=shm.name, nbytes=len(body), digest=digest)
+        self._task_refs[digest] = ref
+        return ref
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent).
+
+        Locally cached resolutions of this store's tasks are evicted
+        first so their array views release the mappings; a view still
+        held elsewhere only delays the munmap (the kernel frees the
+        pages when the last map dies), never the unlink — ``/dev/shm``
+        is clean the moment this returns.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_STORES.discard(self)
+        for digest in self._task_refs:
+            _evict_task(digest)
+        for name, shm in self._segments.items():
+            _LOCAL_SEGMENTS.pop(name, None)
+            try:
+                shm.close()
+            except BufferError:  # a live view still exports the buffer
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        self._array_refs.clear()
+        self._task_refs.clear()
+
+    def __enter__(self) -> "PayloadStore":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --- worker-side attachment and resolution -------------------------------
+#
+# These four module-level maps are the audited worker-side payload
+# cache (fvlint FV007 allowlist): they hold immutable handles keyed by
+# globally-unique segment names / content digests, they are only ever
+# *added to* on the worker side, and nothing read from them depends on
+# insertion order, so they cannot leak state between trials.
+
+#: Segments this process attached to (worker side of the plane).
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Segments this process *created*; the in-process fallback resolves
+#: against these directly instead of re-attaching.
+_LOCAL_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Resolved tasks, LRU-bounded per process (see :data:`_TASK_CACHE_LIMIT`).
+_TASK_CACHE: "OrderedDict[str, Any]" = OrderedDict()
+
+#: Which segments each cached task's views live in, for eviction.
+_TASK_SEGMENTS: Dict[str, FrozenSet[str]] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Map a named segment, preferring a locally-owned mapping.
+
+    On this Python, *attaching* registers the name with the resource
+    tracker too — but pool workers (forkserver/spawn) share the
+    parent's tracker process, so the worker-side registration is a
+    set no-op against the parent's create-time entry and the single
+    balanced unregister happens when the owning store unlinks.  The
+    tracker therefore stays what it should be: the crash net that
+    reaps segments of a parent that died without closing its store.
+    """
+    shm = _ATTACHED.get(name)
+    if shm is not None:
+        return shm
+    local = _LOCAL_SEGMENTS.get(name)
+    if local is not None:
+        return local
+    shm = shared_memory.SharedMemory(name=name)
+    _ATTACHED[name] = shm
+    return shm
+
+
+def _evict_task(digest: str) -> None:
+    """Drop one cached task and close attachments it alone was using."""
+    _TASK_CACHE.pop(digest, None)
+    segments = _TASK_SEGMENTS.pop(digest, frozenset())
+    still_needed = frozenset().union(*_TASK_SEGMENTS.values()) if _TASK_SEGMENTS else frozenset()
+    for name in segments:
+        if name in still_needed:
+            continue
+        shm = _ATTACHED.pop(name, None)
+        if shm is None:
+            continue
+        try:
+            shm.close()
+        except BufferError:
+            # A view outlived its task (caller still holds one): keep
+            # the mapping; the process exit reclaims it.
+            _ATTACHED[name] = shm
+
+
+def resolve_task(ref: TaskRef) -> Any:
+    """Rebuild (or fetch from cache) the task behind a handle.
+
+    The first resolution per process attaches the body segment, checks
+    the bytes against the handle's content digest, and unpickles with
+    array handles resolving to zero-copy shared views; later chunks of
+    the run hit the cache.  Raises :class:`~repro.errors.PayloadError`
+    when the segment bytes do not match the digest.
+    """
+    task = _TASK_CACHE.get(ref.digest)
+    if task is not None:
+        _TASK_CACHE.move_to_end(ref.digest)
+        return task
+    shm = _attach(ref.segment)
+    body = bytes(shm.buf[: ref.nbytes])
+    if hashlib.sha256(body).hexdigest()[:16] != ref.digest:
+        raise PayloadError(
+            f"payload segment {ref.segment!r} does not match digest "
+            f"{ref.digest!r}; refusing to run a corrupt task"
+        )
+    unpickler = _PayloadUnpickler(io.BytesIO(body))
+    task = unpickler.load()
+    _TASK_CACHE[ref.digest] = task
+    _TASK_SEGMENTS[ref.digest] = frozenset(unpickler.resolved_segments) | {ref.segment}
+    while len(_TASK_CACHE) > _TASK_CACHE_LIMIT:
+        _evict_task(next(iter(_TASK_CACHE)))
+    return task
+
+
+def prime_worker(refs: Tuple[TaskRef, ...] = ()) -> None:
+    """Pool initializer: pre-resolve a run's tasks in a fresh worker.
+
+    Purely an optimisation — lazy resolution in :func:`resolve_task`
+    is what guarantees correctness — so this must never raise: a
+    worker spawned late (or after the run ended) would otherwise break
+    its whole pool over a segment that no longer exists.
+    """
+    for ref in refs:
+        try:
+            resolve_task(ref)
+        except Exception:
+            pass

@@ -422,7 +422,7 @@ def run_resilient_trials(
     truncated = False
     started_at = time.monotonic()
     next_trial = start
-    batches = executor_for(config).run(
+    batches = executor_for(config, trial_fn).run(
         trial_fn, config, range(start, config.trials), isolate=True
     )
     try:

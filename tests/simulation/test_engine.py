@@ -21,13 +21,17 @@ from repro.deployment.uniform import UniformDeployment
 from repro.errors import InvalidParameterError
 from repro.sensors.model import CameraSpec, HeterogeneousProfile
 from repro.simulation.engine import (
+    EXECUTOR_ENV_VAR,
     WORKERS_ENV_VAR,
     MonteCarloConfig,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
     TrialOutcome,
+    active_executor_kind,
     execute_trials,
     executor_for,
+    executor_scope,
     run_trial,
 )
 from repro.simulation.montecarlo import (
@@ -121,10 +125,93 @@ class TestMonteCarloConfig:
 
     def test_executor_for_respects_workers(self, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
         assert isinstance(executor_for(MonteCarloConfig(trials=1)), SerialExecutor)
         assert isinstance(
             executor_for(MonteCarloConfig(trials=1, workers=2)), ParallelExecutor
         )
+
+
+class TestExecutorSelection:
+    """Backend resolution: config field > scope > environment > auto."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+
+    def test_config_field_validated(self):
+        with pytest.raises(InvalidParameterError):
+            MonteCarloConfig(trials=1, executor="fibers")
+        assert MonteCarloConfig(trials=1, executor="THREAD").executor == "thread"
+
+    def test_env_value_validated(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "quantum")
+        with pytest.raises(InvalidParameterError):
+            MonteCarloConfig(trials=1).resolved_executor()
+
+    def test_default_is_auto(self):
+        assert MonteCarloConfig(trials=1).resolved_executor() == "auto"
+
+    def test_env_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "thread")
+        cfg = MonteCarloConfig(trials=1, workers=2)
+        assert cfg.resolved_executor() == "thread"
+        assert isinstance(executor_for(cfg), ThreadExecutor)
+
+    def test_scope_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "thread")
+        with executor_scope("process"):
+            assert active_executor_kind() == "process"
+            cfg = MonteCarloConfig(trials=1, workers=2)
+            assert cfg.resolved_executor() == "process"
+            assert isinstance(executor_for(cfg), ParallelExecutor)
+        assert active_executor_kind() is None
+
+    def test_config_field_overrides_scope(self):
+        with executor_scope("process"):
+            cfg = MonteCarloConfig(trials=1, workers=2, executor="thread")
+            assert cfg.resolved_executor() == "thread"
+
+    def test_none_scope_is_transparent(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "thread")
+        with executor_scope(None):
+            assert MonteCarloConfig(trials=1).resolved_executor() == "thread"
+
+    def test_scope_validates_kind(self):
+        with pytest.raises(InvalidParameterError):
+            executor_scope("coroutines")
+
+    def test_single_worker_always_serial(self):
+        cfg = MonteCarloConfig(trials=1, executor="process")
+        assert isinstance(executor_for(cfg), SerialExecutor)
+        cfg = MonteCarloConfig(trials=1, executor="thread")
+        assert isinstance(executor_for(cfg), SerialExecutor)
+
+    def test_auto_picks_threads_for_gil_releasing_tasks(self):
+        # Estimator tasks advertise releases_gil (numpy kernels); plain
+        # callables do not, so processes stay the safe default.
+        task = PointProbabilityTask(
+            profile=PROFILE,
+            n=10,
+            theta=THETA,
+            condition="necessary",
+            scheme=UniformDeployment(),
+            point=(0.5, 0.5),
+        )
+        cfg = MonteCarloConfig(trials=1, workers=2)
+        assert isinstance(executor_for(cfg, task), ThreadExecutor)
+        assert isinstance(executor_for(cfg, draw_trial), ParallelExecutor)
+
+    def test_selection_metrics_recorded(self):
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            executor_for(MonteCarloConfig(trials=1, workers=2, executor="thread"))
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["executor_selected_thread"] == 1
+        assert snapshot["gauges"]["executor_workers"] == 2.0
 
 
 class TestRunTrial:
@@ -195,14 +282,58 @@ class TestExecutorEquivalence:
                 failing_trial, self.CFG, executor=ParallelExecutor(workers=2)
             )
 
+    @pytest.mark.parametrize("chunk_size", [None, 1, 4, 17, 100])
+    def test_thread_matches_serial(self, chunk_size):
+        threaded = execute_trials(
+            draw_trial,
+            self.CFG,
+            executor=ThreadExecutor(workers=2, chunk_size=chunk_size),
+        )
+        assert threaded == self._serial()
+
+    def test_thread_closure_task_needs_no_fallback(self):
+        # Threads share the interpreter: closures never hit a pickle
+        # boundary, so they run directly and still match serial.
+        offset = 0.0
+        threaded = execute_trials(
+            lambda trial, rng: float(rng.random()) + offset,
+            self.CFG,
+            executor=ThreadExecutor(workers=2),
+        )
+        assert threaded == self._serial()
+
+    def test_thread_isolated_failures_recorded(self):
+        outcomes = execute_trials(
+            failing_trial,
+            self.CFG,
+            executor=ThreadExecutor(workers=2, chunk_size=5),
+            isolate=True,
+        )
+        assert len(outcomes) == 17
+        bad = [o for o in outcomes if not o.ok]
+        assert [o.trial for o in bad] == [3]
+        assert bad[0].error == "ValueError: injected failure"
+
+    def test_thread_unisolated_failure_propagates(self):
+        with pytest.raises(ValueError):
+            execute_trials(
+                failing_trial, self.CFG, executor=ThreadExecutor(workers=2)
+            )
+
     def test_invalid_executor_parameters(self):
         with pytest.raises(InvalidParameterError):
             ParallelExecutor(workers=0)
         with pytest.raises(InvalidParameterError):
             ParallelExecutor(workers=2, chunk_size=0)
+        with pytest.raises(InvalidParameterError):
+            ThreadExecutor(workers=0)
+        with pytest.raises(InvalidParameterError):
+            ThreadExecutor(workers=2, chunk_size=0)
 
     def test_empty_trial_range_yields_nothing(self):
         batches = list(ParallelExecutor(workers=2).run(draw_trial, self.CFG, []))
+        assert batches == []
+        batches = list(ThreadExecutor(workers=2).run(draw_trial, self.CFG, []))
         assert batches == []
 
 
@@ -339,6 +470,61 @@ class TestEstimatorBitIdentity:
             profile, 60, THETA, "sufficient", self._cfg(None)
         )
         assert serial == parallel
+
+
+class TestThreeExecutorIdentity:
+    """serial == process == thread, bit for bit, on every estimator.
+
+    The ``executor`` config field drives selection here, exactly as the
+    CLI and the env override do; one extra case pins the
+    ``FULLVIEW_EXECUTOR`` path itself.
+    """
+
+    def _cfg(self, executor, workers=2, seed=11, trials=10):
+        return MonteCarloConfig(
+            trials=trials, seed=seed, workers=workers, executor=executor
+        )
+
+    def _estimate(self, estimator, profile, cfg):
+        if estimator == "point":
+            return estimate_point_probability(profile, 60, THETA, "necessary", cfg)
+        if estimator == "grid":
+            return estimate_grid_failure_probability(
+                profile, 40, THETA, "exact", cfg, max_grid_points=25
+            )
+        if estimator == "area":
+            return estimate_area_fraction(
+                profile, 40, THETA, "k_coverage", cfg, sample_points=32, k=2
+            )
+        return estimate_condition_chain(profile, 60, THETA, cfg)
+
+    @pytest.mark.parametrize("estimator", ["point", "grid", "area", "chain"])
+    def test_all_backends_agree(self, profile, estimator):
+        serial = self._estimate(estimator, profile, self._cfg("serial"))
+        threaded = self._estimate(estimator, profile, self._cfg("thread"))
+        process = self._estimate(estimator, profile, self._cfg("process"))
+        assert serial == threaded
+        assert serial == process
+
+    def test_env_override_path_matches(self, profile, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        serial = self._estimate("point", profile, self._cfg("serial"))
+        for kind in ("thread", "process"):
+            monkeypatch.setenv(EXECUTOR_ENV_VAR, kind)
+            assert self._estimate("point", profile, self._cfg(None)) == serial
+
+    def test_auto_uses_threads_and_matches(self, profile, monkeypatch):
+        # Estimator tasks release the GIL, so auto lands on threads —
+        # and the answer is still the serial answer.
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        serial = self._estimate("point", profile, self._cfg("serial"))
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            auto = self._estimate("point", profile, self._cfg("auto"))
+        assert auto == serial
+        assert registry.snapshot()["counters"]["executor_selected_thread"] >= 1
 
 
 class TestParallelCheckpointResume:

@@ -1,0 +1,344 @@
+"""The payload plane: shared segments live exactly as long as a run.
+
+Two contracts are pinned here.  First, the mechanics: registering a
+task externalises its large arrays into content-addressed shared-memory
+segments, resolving the handle rebuilds an equal task around zero-copy
+read-only views, and corrupt bytes are refused by digest check.
+Second — the part that must survive every failure mode — lifecycle:
+``/dev/shm`` holds no ``fvp*`` segment after a normal run, after a
+worker crash, after pool respawns, after chaos profiles, or after a
+process that abandoned its store without closing it.  An autouse
+fixture scans for orphaned segment names in teardown, so *every* test
+in this module doubles as a leak test.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from dataclasses import dataclass
+from multiprocessing import parent_process
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import PayloadError
+from repro.simulation import payload as payload_module
+from repro.simulation.engine import (
+    MonteCarloConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    execute_trials,
+)
+from repro.simulation.faults import ChaosPolicy, RetryPolicy
+from repro.simulation.payload import (
+    MIN_SHARED_BYTES,
+    SEGMENT_PREFIX,
+    ArrayRef,
+    PayloadStore,
+    TaskRef,
+    prime_worker,
+    resolve_task,
+)
+
+SHM_DIR = Path("/dev/shm")
+
+#: Fast retries for tests: no backoff sleeps, bounded attempts.
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.0, max_pool_respawns=2)
+
+
+def live_segments() -> set:
+    """Names of this module's shared segments currently on /dev/shm."""
+    if not SHM_DIR.is_dir():  # non-Linux: leak scans become vacuous
+        return set()
+    return {p.name for p in SHM_DIR.glob(f"{SEGMENT_PREFIX}*")}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this module must leave /dev/shm as it found it."""
+    before = live_segments()
+    yield
+    leaked = live_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+@dataclass(frozen=True, eq=False)
+class ArrayMeanTask:
+    """A trial task carrying a payload array big enough to externalise."""
+
+    weights: np.ndarray
+
+    def __call__(self, trial: int, rng: np.random.Generator) -> float:
+        return float(rng.random() * self.weights[trial % self.weights.size])
+
+
+def crash_in_worker_trial(trial: int, rng: np.random.Generator) -> float:
+    """Hard-kills the hosting *worker* on trial 3; safe in the parent.
+
+    ``os._exit`` models a segfault-style death (no cleanup handlers run,
+    the pool sees ``BrokenProcessPool``); guarding on ``parent_process``
+    keeps the in-process degradation rung — and pytest itself — alive.
+    """
+    if trial == 3 and parent_process() is not None:
+        os._exit(1)
+    return float(rng.random())
+
+
+def _weights(n: int, scale: float = 1.0) -> np.ndarray:
+    # Distinct scales give distinct content digests, so tests cannot
+    # alias each other through the worker-side cache.
+    return np.linspace(0.1, scale, n)
+
+
+class TestPayloadStore:
+    def test_register_resolve_roundtrip(self):
+        task = ArrayMeanTask(weights=_weights(1024, 2.0))
+        with PayloadStore() as store:
+            ref = store.register_task(task)
+            assert isinstance(ref, TaskRef)
+            rebuilt = resolve_task(ref)
+            assert isinstance(rebuilt, ArrayMeanTask)
+            assert np.array_equal(rebuilt.weights, task.weights)
+            rng = np.random.default_rng(3)
+            assert rebuilt(5, rng) == task(5, np.random.default_rng(3))
+
+    def test_resolved_arrays_are_read_only_views(self):
+        task = ArrayMeanTask(weights=_weights(1024, 3.0))
+        with PayloadStore() as store:
+            rebuilt = resolve_task(store.register_task(task))
+            assert not rebuilt.weights.flags.writeable
+            with pytest.raises(ValueError):
+                rebuilt.weights[0] = 99.0
+
+    def test_large_arrays_externalise_small_stay_inline(self):
+        small = ArrayMeanTask(weights=np.arange(8, dtype=np.float64))
+        big = ArrayMeanTask(weights=_weights(4096, 4.0))
+        assert small.weights.nbytes < MIN_SHARED_BYTES <= big.weights.nbytes
+        with PayloadStore() as store:
+            store.register_task(small)
+            assert len(store.segment_names()) == 1  # body only
+        with PayloadStore() as store:
+            store.register_task(big)
+            assert len(store.segment_names()) == 2  # body + array
+
+    def test_identical_content_is_deduplicated(self):
+        weights = _weights(1024, 5.0)
+        with PayloadStore() as store:
+            ref_a = store.share_array(weights)
+            ref_b = store.share_array(weights.copy())  # same bytes, new object
+            assert ref_a == ref_b
+            task_ref = store.register_task(ArrayMeanTask(weights=weights))
+            again = store.register_task(ArrayMeanTask(weights=weights))
+            assert task_ref == again
+            # One array segment + one body segment, despite four calls.
+            assert len(store.segment_names()) == 2
+
+    def test_payload_bytes_accounts_all_segments(self):
+        weights = _weights(1024, 6.0)
+        with PayloadStore() as store:
+            store.register_task(ArrayMeanTask(weights=weights))
+            assert store.payload_bytes >= weights.nbytes
+
+    def test_close_unlinks_and_is_idempotent(self):
+        store = PayloadStore()
+        store.register_task(ArrayMeanTask(weights=_weights(1024, 7.0)))
+        names = set(store.segment_names())
+        assert names <= live_segments() or not SHM_DIR.is_dir()
+        store.close()
+        assert store.closed
+        assert not (names & live_segments())
+        store.close()  # idempotent
+        with pytest.raises(PayloadError):
+            store.share_array(_weights(1024, 7.5))
+
+    def test_object_dtype_refused(self):
+        with PayloadStore() as store:
+            with pytest.raises(PayloadError):
+                store.share_array(np.array([object()] * 600))
+
+    def test_unpicklable_task_fails_registration_cleanly(self):
+        captured = _weights(1024, 8.0)
+        store = PayloadStore()
+        with pytest.raises(Exception):
+            store.register_task(lambda trial, rng: float(captured[trial]))
+        store.close()  # any partial segments are reclaimed
+
+
+class TestResolveTask:
+    def test_repeat_resolution_hits_cache(self):
+        with PayloadStore() as store:
+            ref = store.register_task(ArrayMeanTask(weights=_weights(1024, 9.0)))
+            first = resolve_task(ref)
+            assert resolve_task(ref) is first
+
+    def test_corrupt_segment_refused_by_digest(self):
+        with PayloadStore() as store:
+            ref = store.register_task(ArrayMeanTask(weights=_weights(1024, 10.0)))
+            shm = store._segments[ref.segment]
+            shm.buf[0] = shm.buf[0] ^ 0xFF
+            with pytest.raises(PayloadError):
+                resolve_task(ref)
+
+    def test_worker_cache_is_bounded(self):
+        limit = payload_module._TASK_CACHE_LIMIT
+        with PayloadStore() as store:
+            refs = [
+                store.register_task(ArrayMeanTask(weights=_weights(512, 11.0 + i)))
+                for i in range(limit + 2)
+            ]
+            for ref in refs:
+                resolve_task(ref)
+            assert len(payload_module._TASK_CACHE) <= limit
+
+    def test_close_evicts_cached_resolutions(self):
+        with PayloadStore() as store:
+            ref = store.register_task(ArrayMeanTask(weights=_weights(1024, 17.0)))
+            resolve_task(ref)
+            assert ref.digest in payload_module._TASK_CACHE
+        assert ref.digest not in payload_module._TASK_CACHE
+
+    def test_missing_segment_raises(self):
+        ref = TaskRef(segment=f"{SEGMENT_PREFIX}dead-0-tfeedface", nbytes=4, digest="feedface")
+        with pytest.raises(FileNotFoundError):
+            resolve_task(ref)
+
+    def test_prime_worker_swallows_stale_refs(self):
+        # A worker spawned after its run ended must not break the pool.
+        stale = TaskRef(segment=f"{SEGMENT_PREFIX}dead-0-tdeadbeef", nbytes=4, digest="deadbeef")
+        prime_worker((stale,))  # must not raise
+
+    def test_array_ref_resolves_against_owner_mapping(self):
+        weights = _weights(1024, 18.0)
+        with PayloadStore() as store:
+            ref = store.share_array(weights)
+            assert isinstance(ref, ArrayRef)
+            view = ref.resolve()
+            assert np.array_equal(view, weights)
+            assert not view.flags.writeable
+            del view
+
+
+class TestRunLifecycle:
+    """Engine runs across every failure mode leave /dev/shm clean."""
+
+    CFG = MonteCarloConfig(trials=12, seed=21)
+
+    def _serial(self, task, cfg=None):
+        return execute_trials(task, cfg or self.CFG, executor=SerialExecutor())
+
+    def test_normal_parallel_run_no_leaks(self):
+        task = ArrayMeanTask(weights=_weights(4096, 12.0))
+        parallel = execute_trials(
+            task, self.CFG, executor=ParallelExecutor(workers=2, chunk_size=4)
+        )
+        assert parallel == self._serial(task)
+        assert not live_segments()
+
+    def test_registration_events_and_metrics(self):
+        import io
+        import json
+
+        from repro.obs.events import EventLog, event_scope
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        task = ArrayMeanTask(weights=_weights(4096, 13.0))
+        sink = io.StringIO()
+        registry = MetricsRegistry()
+        with event_scope(EventLog(sink)), metrics_scope(registry):
+            execute_trials(
+                task, self.CFG, executor=ParallelExecutor(workers=2, chunk_size=4)
+            )
+        events = {
+            json.loads(line)["event"]: json.loads(line)
+            for line in sink.getvalue().splitlines()
+        }
+        assert events["TaskRegistered"]["payload_bytes"] >= task.weights.nbytes
+        assert events["TaskRegistered"]["segments"] == 2
+        assert events["SegmentsReleased"]["segments"] == 2
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["payload_tasks_registered"] == 1
+        assert snapshot["gauges"]["payload_segments_active"] == 0.0
+
+    def test_worker_crash_respawn_no_leaks(self):
+        # Trial 3 hard-kills every worker that tries it; the ladder
+        # respawns the pool (named segments must survive the respawn)
+        # and finally completes the chunk in-process.
+        cfg = MonteCarloConfig(trials=8, seed=5)
+        executor = ParallelExecutor(workers=2, chunk_size=4, retry=FAST_RETRY)
+        outcomes = execute_trials(crash_in_worker_trial, cfg, executor=executor)
+        assert outcomes == self._serial(crash_in_worker_trial, cfg)
+        assert not live_segments()
+
+    def test_chaos_crash_profile_no_leaks(self):
+        task = ArrayMeanTask(weights=_weights(4096, 14.0))
+        executor = ParallelExecutor(
+            2, chunk_size=4, retry=FAST_RETRY, chaos=ChaosPolicy(seed=5, crash=0.6)
+        )
+        outcomes = execute_trials(task, self.CFG, executor=executor)
+        assert outcomes == self._serial(task)
+        assert not live_segments()
+
+    def test_chaos_hang_respawn_no_leaks(self):
+        # First attempts hang past the deadline: the executor times
+        # them out and respawns the pool mid-run.  Freshly spawned
+        # workers re-attach the same named segments, and the close path
+        # still unlinks everything afterwards.
+        task = ArrayMeanTask(weights=_weights(4096, 15.0))
+        cfg = MonteCarloConfig(trials=6, seed=123)
+        executor = ParallelExecutor(
+            2,
+            chunk_size=6,
+            retry=RetryPolicy(
+                max_retries=2, chunk_timeout=2.0,
+                backoff_base=0.0, max_pool_respawns=2,
+            ),
+            chaos=ChaosPolicy(seed=3, hang=1.0, hang_seconds=8.0),
+        )
+        outcomes = execute_trials(task, cfg, executor=executor)
+        assert outcomes == self._serial(task, cfg)
+        assert not live_segments()
+
+    def test_closure_fallback_run_no_leaks(self):
+        # Registration fails for closures; the run ships the task
+        # inline exactly as before the payload plane existed.
+        offset = 1.0
+        outcomes = execute_trials(
+            lambda trial, rng: float(rng.random()) + offset,
+            self.CFG,
+            executor=ParallelExecutor(workers=2, chunk_size=4),
+        )
+        assert len(outcomes) == self.CFG.trials
+        assert not live_segments()
+
+
+@pytest.mark.skipif(not SHM_DIR.is_dir(), reason="needs /dev/shm to observe segments")
+class TestCrashNet:
+    def test_atexit_unlinks_abandoned_store(self, tmp_path):
+        # A process that registers a payload and exits without closing
+        # the store must still unlink its segments (the atexit net).
+        script = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.simulation.payload import PayloadStore
+
+            store = PayloadStore()
+            store.register_task({"weights": np.linspace(0.0, 1.0, 4096)})
+            for name in store.segment_names():
+                print(name)
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        names = set(proc.stdout.split())
+        assert names, "subprocess registered no segments"
+        assert not (names & live_segments())
