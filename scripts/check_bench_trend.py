@@ -6,6 +6,9 @@ benchmarks append their rows, so it must not depend on importing
 ``repro``.  For each watched benchmark it compares the latest recorded
 value against the previous one and emits a GitHub ``::warning::``
 annotation when the drop exceeds the threshold (20% by default).
+``--watch`` rows are larger-is-better (speedups); ``--watch-overhead``
+rows are smaller-is-better (overhead percentages), warned on *upward*
+drift past the same threshold.
 
 The guard is deliberately *soft* — it always exits 0 on a regression.
 Speedup numbers depend on the cores and load of the runner that
@@ -30,6 +33,12 @@ from typing import List, Optional
 
 #: Benchmarks where *larger is better* and a sudden drop merits a look.
 DEFAULT_WATCHED = ("engine_parallel_speedup_4w",)
+
+#: Benchmarks where *smaller is better* and a sudden rise merits a look.
+DEFAULT_WATCHED_OVERHEAD = (
+    "engine_retry_overhead_pct",
+    "engine_progress_overhead_pct",
+)
 
 #: Relative drop (vs the previous observation) that triggers a warning.
 DEFAULT_THRESHOLD = 0.20
@@ -75,6 +84,33 @@ def check_bench(bench: str, rows: List[dict], threshold: float) -> Optional[str]
     )
 
 
+def check_bench_overhead(
+    bench: str, rows: List[dict], threshold: float
+) -> Optional[str]:
+    """A warning line if ``bench``'s latest value *rose* too far, else None."""
+    history = [
+        row for row in rows
+        if row.get("bench") == bench and isinstance(row.get("value"), (int, float))
+    ]
+    if len(history) < 2:
+        return None
+    previous, latest = history[-2], history[-1]
+    prev_value, last_value = float(previous["value"]), float(latest["value"])
+    if prev_value <= 0.0:
+        # A clamped-to-zero baseline gives no meaningful relative drift.
+        return None
+    rise = (last_value - prev_value) / prev_value
+    if rise <= threshold:
+        return None
+    unit = latest.get("unit", "")
+    return (
+        f"{bench} rose {rise * 100.0:.1f}% above the previous "
+        f"observation: {prev_value:.3f} -> {last_value:.3f} {unit} "
+        f"(threshold {threshold * 100.0:.0f}%; previous sha "
+        f"{previous.get('git_sha', 'unknown')[:12]})"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("ledger", type=Path, help="BENCH_*.json ledger to scan")
@@ -84,6 +120,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="BENCH",
         help="benchmark name to watch (repeatable; larger-is-better)",
+    )
+    parser.add_argument(
+        "--watch-overhead",
+        action="append",
+        default=None,
+        metavar="BENCH",
+        help="overhead benchmark to watch (repeatable; smaller-is-better, "
+        "warned on upward drift)",
     )
     parser.add_argument(
         "--threshold",
@@ -99,9 +143,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if rows is None:
         return 2
     watched = args.watch if args.watch else list(DEFAULT_WATCHED)
+    watched_overhead = (
+        args.watch_overhead if args.watch_overhead else list(DEFAULT_WATCHED_OVERHEAD)
+    )
     regressions = 0
-    for bench in watched:
-        message = check_bench(bench, rows, args.threshold)
+    checks = [(bench, check_bench) for bench in watched]
+    checks += [(bench, check_bench_overhead) for bench in watched_overhead]
+    for bench, check in checks:
+        message = check(bench, rows, args.threshold)
         if message is None:
             print(f"{bench}: ok")
         else:

@@ -14,6 +14,15 @@ Stdlib-only on purpose: CI runs this against the files a traced
   and consistent totals.
 - ``--bench FILE``   — a BENCH_*.json ledger: a list of rows each
   holding bench/value/unit/git_sha/timestamp of the right types.
+- ``--status FILE``  — fullview-status-v1 live status snapshot:
+  counts are non-negative ints with ``done <= total``, rates and ETA
+  are finite, ``state`` is running or finished.
+- ``--ledger FILE``  — fullview-ledger-v1 JSONL run ledger: every row
+  carries the documented fields with sane types and values.
+
+RunProgress events inside a trace additionally get sequence checks:
+``done`` must never decrease, never exceed ``total``, and the reported
+throughput/ETA must be finite (ETA may be null before a rate exists).
 
 Exits 0 when every named artifact validates, 1 otherwise (with one
 line per problem on stderr).
@@ -23,17 +32,61 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 from typing import Any, List
 
 TRACE_FORMAT = "fullview-trace-v1"
 METRICS_FORMAT = "fullview-metrics-v1"
+STATUS_FORMAT = "fullview-status-v1"
+LEDGER_FORMAT = "fullview-ledger-v1"
 TRACE_KINDS = {"manifest", "event", "span_summary", "trial", "chunk", "metrics"}
 
 
 def _fail(problems: List[str], message: str) -> None:
     problems.append(message)
+
+
+def _is_count(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def _is_finite_number(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def check_run_progress(
+    prefix: str, row: dict, last_done: int, problems: List[str]
+) -> int:
+    """Validate one RunProgress event; returns the new ``done`` watermark."""
+    done = row.get("done")
+    total = row.get("total")
+    for key in ("done", "total", "failed", "retries", "respawns", "quarantined",
+                "fallbacks", "epochs"):
+        if not _is_count(row.get(key)):
+            _fail(problems, f"{prefix}: RunProgress {key!r} must be a non-negative int")
+    if _is_count(done):
+        if done < last_done:
+            _fail(
+                problems,
+                f"{prefix}: RunProgress done went backwards ({done} < {last_done})",
+            )
+        else:
+            last_done = done
+        if _is_count(total) and done > total:
+            _fail(problems, f"{prefix}: RunProgress done {done} > total {total}")
+    rate = row.get("trials_per_sec")
+    if not _is_finite_number(rate) or rate < 0:
+        _fail(problems, f"{prefix}: RunProgress trials_per_sec must be finite >= 0")
+    eta = row.get("eta_seconds")
+    if eta is not None and (not _is_finite_number(eta) or eta < 0):
+        _fail(problems, f"{prefix}: RunProgress eta_seconds must be null or finite >= 0")
+    return last_done
 
 
 def check_trace(path: Path, problems: List[str]) -> None:
@@ -66,6 +119,7 @@ def check_trace(path: Path, problems: List[str]) -> None:
         )
     expected_seq = 0
     last_t_ns = None
+    last_done = 0
     for number, row in rows:
         kind = row["kind"]
         if kind == "event":
@@ -84,6 +138,10 @@ def check_trace(path: Path, problems: List[str]) -> None:
                 last_t_ns = t_ns
             if not isinstance(row.get("event"), str):
                 _fail(problems, f"{path}:{number}: event missing type name")
+            elif row["event"] == "RunProgress":
+                last_done = check_run_progress(
+                    f"{path}:{number}", row, last_done, problems
+                )
         elif kind == "trial":
             if not isinstance(row.get("trial"), int) or not isinstance(
                 row.get("dur_ns"), int
@@ -159,14 +217,127 @@ def check_bench(path: Path, problems: List[str]) -> None:
                 _fail(problems, f"{path}[{i}]: field {key!r} missing or wrong type")
 
 
+def check_status(path: Path, problems: List[str]) -> None:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        _fail(problems, f"{path}: unreadable or invalid JSON: {exc}")
+        return
+    if not isinstance(payload, dict) or payload.get("format") != STATUS_FORMAT:
+        _fail(problems, f"{path}: not a {STATUS_FORMAT} snapshot")
+        return
+    if payload.get("state") not in ("running", "finished"):
+        _fail(problems, f"{path}: state must be 'running' or 'finished'")
+    if not isinstance(payload.get("run_id"), str) or not payload.get("run_id"):
+        _fail(problems, f"{path}: run_id must be a non-empty string")
+    for key in ("done", "total", "failed", "retries", "respawns", "quarantined",
+                "fallbacks", "epochs"):
+        if not _is_count(payload.get(key)):
+            _fail(problems, f"{path}: {key!r} must be a non-negative int")
+    done, total = payload.get("done"), payload.get("total")
+    if _is_count(done) and _is_count(total) and done > total:
+        _fail(problems, f"{path}: done {done} > total {total}")
+    heartbeats = payload.get("heartbeats")
+    if not _is_count(heartbeats) or heartbeats < 1:
+        _fail(problems, f"{path}: heartbeats must be an int >= 1")
+    rate = payload.get("trials_per_sec")
+    if not _is_finite_number(rate) or rate < 0:
+        _fail(problems, f"{path}: trials_per_sec must be finite >= 0")
+    eta = payload.get("eta_seconds")
+    if eta is not None and (not _is_finite_number(eta) or eta < 0):
+        _fail(problems, f"{path}: eta_seconds must be null or finite >= 0")
+    elapsed = payload.get("elapsed_seconds")
+    if not _is_finite_number(elapsed) or elapsed < 0:
+        _fail(problems, f"{path}: elapsed_seconds must be finite >= 0")
+    if not _is_finite_number(payload.get("updated_unix")):
+        _fail(problems, f"{path}: updated_unix must be a finite number")
+
+
+# Mirrors repro.obs.ledger._ROW_FIELDS without importing the package:
+# name -> (allowed types, nullable).
+LEDGER_FIELDS = {
+    "format": (str, False),
+    "run_id": (str, False),
+    "experiment": (str, False),
+    "config_digest": (str, True),
+    "git_sha": (str, True),
+    "trace_path": (str, True),
+    "metrics_path": (str, True),
+    "seed": (int, True),
+    "executor": (str, False),
+    "workers": (int, False),
+    "wall_seconds": ((int, float), False),
+    "trials_per_sec": ((int, float), False),
+    "started_unix": ((int, float), False),
+    "trials_completed": (int, False),
+    "trials_failed": (int, False),
+    "retries": (int, False),
+    "respawns": (int, False),
+    "quarantined": (int, False),
+    "checkpoints_recovered": (int, False),
+    "outcome": (str, False),
+}
+
+
+def check_ledger(path: Path, problems: List[str]) -> None:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        _fail(problems, f"{path}: unreadable: {exc}")
+        return
+    rows = 0
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError as exc:
+            _fail(problems, f"{path}:{number}: invalid JSON: {exc}")
+            continue
+        if not isinstance(row, dict):
+            _fail(problems, f"{path}:{number}: row must be an object")
+            continue
+        rows += 1
+        if row.get("format") != LEDGER_FORMAT:
+            _fail(problems, f"{path}:{number}: not a {LEDGER_FORMAT} row")
+            continue
+        for key, (types, nullable) in LEDGER_FIELDS.items():
+            value = row.get(key)
+            if value is None:
+                if not nullable:
+                    _fail(problems, f"{path}:{number}: {key!r} must not be null")
+                continue
+            if isinstance(value, bool) or not isinstance(value, types):
+                _fail(problems, f"{path}:{number}: {key!r} has the wrong type")
+                continue
+            if isinstance(value, (int, float)) and not math.isfinite(value):
+                _fail(problems, f"{path}:{number}: {key!r} must be finite")
+        for key in ("trials_completed", "trials_failed", "retries", "respawns",
+                    "quarantined", "checkpoints_recovered"):
+            value = row.get(key)
+            if isinstance(value, int) and not isinstance(value, bool) and value < 0:
+                _fail(problems, f"{path}:{number}: {key!r} must be >= 0")
+        workers = row.get("workers")
+        if isinstance(workers, int) and not isinstance(workers, bool) and workers < 1:
+            _fail(problems, f"{path}:{number}: workers must be >= 1")
+        if row.get("outcome") not in ("ok", "error"):
+            _fail(problems, f"{path}:{number}: outcome must be 'ok' or 'error'")
+    if not rows:
+        _fail(problems, f"{path}: empty ledger")
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", action="append", default=[], metavar="FILE")
     parser.add_argument("--metrics", action="append", default=[], metavar="FILE")
     parser.add_argument("--bench", action="append", default=[], metavar="FILE")
+    parser.add_argument("--status", action="append", default=[], metavar="FILE")
+    parser.add_argument("--ledger", action="append", default=[], metavar="FILE")
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.bench):
-        parser.error("nothing to check: pass --trace/--metrics/--bench")
+    if not (args.trace or args.metrics or args.bench or args.status or args.ledger):
+        parser.error(
+            "nothing to check: pass --trace/--metrics/--bench/--status/--ledger"
+        )
     problems: List[str] = []
     for name in args.trace:
         check_trace(Path(name), problems)
@@ -174,9 +345,19 @@ def main(argv: List[str] | None = None) -> int:
         check_metrics(Path(name), problems)
     for name in args.bench:
         check_bench(Path(name), problems)
+    for name in args.status:
+        check_status(Path(name), problems)
+    for name in args.ledger:
+        check_ledger(Path(name), problems)
     for problem in problems:
         print(problem, file=sys.stderr)
-    checked = len(args.trace) + len(args.metrics) + len(args.bench)
+    checked = (
+        len(args.trace)
+        + len(args.metrics)
+        + len(args.bench)
+        + len(args.status)
+        + len(args.ledger)
+    )
     if not problems:
         print(f"ok: {checked} artifact(s) validated")
     return 1 if problems else 0

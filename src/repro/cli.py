@@ -22,13 +22,21 @@ Subcommands
   analysis (RNG discipline, error contract, angle hygiene, ...) over
   source trees, with text/JSON reports and a baseline workflow.
 - ``fullview report`` — summarize a ``--trace`` JSONL file (throughput,
-  wall vs. CPU, worker utilization, span breakdown, slowest trials).
+  wall vs. CPU, worker utilization, span breakdown, latency
+  percentiles, slowest trials), or export it with ``--format
+  chrome|flamegraph|prom`` (Perfetto trace, collapsed-stack
+  flamegraph, Prometheus text exposition).
+- ``fullview runs`` — list or inspect the persistent run ledger
+  (``~/.fullview/runs.jsonl``, ``--ledger PATH`` or FULLVIEW_LEDGER).
+- ``fullview watch PATH`` — tail a ``--status`` live file and render a
+  single-line refreshing progress view for a running job.
 
 ``run``, ``lifetime`` and ``workloads`` accept ``--trace PATH`` and
 ``--metrics PATH`` to record structured telemetry (see
-:mod:`repro.obs`), plus ``--executor`` to scope the trial-executor
-backend for the whole command; all are off by default and never
-perturb results.
+:mod:`repro.obs`), ``--status PATH``/``--ledger [PATH]`` for live
+progress and the run ledger, plus ``--executor`` to scope the
+trial-executor backend for the whole command; all are off by default
+and never perturb results.
 """
 
 from __future__ import annotations
@@ -100,14 +108,28 @@ def _save_run_checkpoint(path: Path, seed: int, full: bool, completed: dict) -> 
 
 
 def _obs_context(args: argparse.Namespace, command: str):
-    """The ``--trace``/``--metrics`` obs context for a subcommand."""
+    """The ``--trace``/``--metrics``/``--status``/``--ledger`` obs context."""
     from repro.obs import observe
 
-    meta = {"command": command, "seed": getattr(args, "seed", None)}
+    ledger = getattr(args, "ledger", None)
+    if ledger == "":
+        # ``--ledger`` with no PATH: the default persistent location
+        # (FULLVIEW_LEDGER or ~/.fullview/runs.jsonl).
+        from repro.obs.ledger import default_ledger_path
+
+        ledger = default_ledger_path()
+    experiment = ",".join(getattr(args, "ids", None) or []) or None
+    meta = {
+        "command": command,
+        "seed": getattr(args, "seed", None),
+        "experiment": experiment,
+    }
     return observe(
         trace=getattr(args, "trace", None),
         metrics=getattr(args, "metrics", None),
         meta={k: v for k, v in meta.items() if v is not None},
+        status=getattr(args, "status", None),
+        ledger=ledger,
     )
 
 
@@ -399,6 +421,7 @@ def _workloads_body(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.errors import ObservabilityError
+    from repro.obs.export import EXPORT_FORMATS, export_trace
     from repro.obs.report import build_report, load_trace
 
     try:
@@ -406,12 +429,115 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except ObservabilityError as exc:
         print(f"fullview report: {exc}", file=sys.stderr)
         return 2
+    if args.format in EXPORT_FORMATS:
+        print(export_trace(data, args.format))
+        return 0
     report = build_report(data)
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.render_text())
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ObservabilityError
+    from repro.obs.ledger import default_ledger_path, load_runs, render_runs_table
+
+    path = Path(args.ledger) if args.ledger else default_ledger_path()
+    if not path.exists():
+        print(f"no run ledger at {path}")
+        return 1 if args.run_id else 0
+    try:
+        rows, problems = load_runs(path)
+    except ObservabilityError as exc:
+        print(f"fullview runs: {exc}", file=sys.stderr)
+        return 2
+    for problem in problems:
+        print(f"fullview runs: {problem}", file=sys.stderr)
+    if args.run_id:
+        matches = [row for row in rows if row["run_id"].startswith(args.run_id)]
+        if not matches:
+            print(f"no run matching {args.run_id!r} in {path}", file=sys.stderr)
+            return 1
+        print(json.dumps(matches[0], indent=2))
+        return 0
+    if args.limit is not None and args.limit >= 0:
+        rows = rows[: args.limit]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    elif rows:
+        print(render_runs_table(rows))
+    else:
+        print(f"no runs recorded in {path}")
+    return 0
+
+
+def _render_status_line(payload: dict) -> str:
+    """One refreshable progress line from a fullview-status-v1 payload."""
+    done = int(payload.get("done", 0))
+    total = int(payload.get("total", 0))
+    pct = f" ({done / total:.0%})" if total > 0 else ""
+    rate = float(payload.get("trials_per_sec", 0.0) or 0.0)
+    eta = payload.get("eta_seconds")
+    eta_text = f"{float(eta):.1f}s" if isinstance(eta, (int, float)) else "--"
+    run_id = payload.get("run_id") or "?"
+    faults = " ".join(
+        f"{key}:{payload.get(key, 0)}"
+        for key in ("retries", "respawns", "quarantined", "fallbacks")
+        if payload.get(key)
+    )
+    line = (
+        f"run {run_id} [{payload.get('state', '?')}] {done}/{total} trials{pct}"
+        f" | {rate:.1f} trials/s | ETA {eta_text}"
+    )
+    if faults:
+        line += f" | faults {faults}"
+    return line
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.obs.progress import STATUS_FORMAT
+
+    path = Path(args.path)
+    deadline = (
+        time.monotonic() + args.timeout if args.timeout is not None else None
+    )
+    refreshing = False
+    while True:
+        payload = None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # Absent, mid-replace or foreign: poll again (the writer is
+            # atomic, so a parseable file is always complete).
+            payload = None
+        if isinstance(payload, dict) and payload.get("format") == STATUS_FORMAT:
+            line = _render_status_line(payload)
+            finished = payload.get("state") == "finished"
+            if args.once:
+                print(line)
+                return 0
+            # \x1b[2K clears the previous (possibly longer) line.
+            print(f"\r\x1b[2K{line}", end="", flush=True)
+            refreshing = True
+            if finished:
+                print()
+                return 0
+        elif args.once:
+            print(f"fullview watch: no status file at {path}", file=sys.stderr)
+            return 1
+        if deadline is not None and time.monotonic() >= deadline:
+            if refreshing:
+                print()
+            print(f"fullview watch: timed out waiting on {path}", file=sys.stderr)
+            return 1
+        time.sleep(args.interval)
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -584,6 +710,18 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="write a counters/gauges/histograms snapshot (JSON) to PATH",
+    )
+    parser.add_argument(
+        "--status", metavar="PATH", default=None,
+        help="keep a live fullview-status-v1 JSON file at PATH updated "
+        "with throttled progress heartbeats (tail it with "
+        "'fullview watch PATH')",
+    )
+    parser.add_argument(
+        "--ledger", metavar="PATH", nargs="?", const="", default=None,
+        help="append one fullview-ledger-v1 row for this run; with no "
+        "PATH, the default ledger (FULLVIEW_LEDGER or "
+        "~/.fullview/runs.jsonl) — inspect with 'fullview runs'",
     )
 
 
@@ -761,9 +899,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("path", help="trace file written via --trace")
     p_report.add_argument(
-        "--format", choices=["text", "json"], default="text", help="report format"
+        "--format",
+        choices=["text", "json", "chrome", "flamegraph", "prom"],
+        default="text",
+        help="report format: 'chrome' emits Perfetto-loadable trace-event "
+        "JSON, 'flamegraph' collapsed-stack text, 'prom' the metrics "
+        "snapshot as Prometheus text exposition",
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="list or inspect the persistent run ledger",
+        description="Read the append-only fullview-ledger-v1 run ledger "
+        "(newest first, schema-validated): every observed run's id, "
+        "experiment, seed, executor, throughput and outcome.",
+    )
+    p_runs.add_argument(
+        "run_id", nargs="?", default=None,
+        help="show one run's full row (id prefix match)",
+    )
+    p_runs.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger file (default: FULLVIEW_LEDGER or ~/.fullview/runs.jsonl)",
+    )
+    p_runs.add_argument(
+        "--json", action="store_true", help="emit rows as JSON instead of a table"
+    )
+    p_runs.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most the N newest runs",
+    )
+    p_runs.set_defaults(func=_cmd_runs)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="tail a --status live file with a refreshing progress line",
+        description="Poll a fullview-status-v1 live status file (written "
+        "by a run started with --status PATH) and render a single-line "
+        "refreshing progress view; exits 0 when the run finishes.",
+    )
+    p_watch.add_argument("path", help="status file written via --status")
+    p_watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval (default 0.5s)",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up (exit 1) after this long without the run finishing",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="render the current status once and exit (1 if absent)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_diag = sub.add_parser(
         "diagnose", help="deploy a workload and render coverage/barrier maps"

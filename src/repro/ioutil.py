@@ -20,6 +20,7 @@ from typing import Any, Mapping, Union
 
 __all__ = [
     "CHECKSUM_KEY",
+    "append_jsonl_line",
     "payload_checksum",
     "stamp_checksum",
     "verify_checksum",
@@ -101,3 +102,25 @@ def write_text_atomic(path: Union[str, Path], text: str) -> Path:
 def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
     """Durably replace ``path`` with ``payload`` serialized as JSON."""
     return write_text_atomic(path, json.dumps(payload))
+
+
+def append_jsonl_line(path: Union[str, Path], payload: Mapping[str, Any]) -> Path:
+    """Durably append ``payload`` as one JSONL line to ``path``.
+
+    The encoded line (newline included) goes out in a single
+    ``os.write`` on an ``O_APPEND`` descriptor — POSIX appends of one
+    small write are atomic with respect to concurrent appenders, so two
+    processes growing the same ledger can interleave *lines* but never
+    *bytes*.  The descriptor is fsynced before close, matching the
+    durability bar of the atomic writers above.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = (json.dumps(payload) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return path

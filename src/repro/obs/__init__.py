@@ -14,12 +14,23 @@ disabled:
   CPU, worker utilization, fallback counts, slowest trials) over the
   trace file.
 
-:class:`ObsContext` (usually via :func:`observe`) bundles the three
+PR 9 adds the live layer on top of the same substrate:
+
+- :mod:`repro.obs.progress` — a thread-safe progress tracker fed
+  parent-side by the executors, emitting throttled ``RunProgress``
+  heartbeats and an atomically-replaced live status file;
+- :mod:`repro.obs.ledger` — a persistent append-only run ledger
+  (one ``fullview-ledger-v1`` row per observed run);
+- :mod:`repro.obs.export` — Chrome-trace / flamegraph / Prometheus
+  exporters over recorded artifacts.
+
+:class:`ObsContext` (usually via :func:`observe`) bundles the
 collectors, installs them as the process-wide actives, and on exit
 writes the trace JSONL (manifest first, then events as they happened,
-then span/trial/chunk summaries and a metrics snapshot) and the
-metrics JSON.  Instrumentation never touches random state: traced and
-untraced runs produce bit-identical trial outcomes.
+then span/trial/chunk summaries and a metrics snapshot), the metrics
+JSON, the final ``finished`` status and the ledger row.
+Instrumentation never touches random state: traced and untraced runs
+produce bit-identical trial outcomes.
 """
 
 from __future__ import annotations
@@ -31,10 +42,22 @@ from typing import IO, Any, Dict, Mapping, Optional, Union
 
 from repro._version import __version__
 from repro.errors import ObservabilityError
-from repro.obs.events import EventLog, set_event_log
+from repro.obs.events import EventLog, event_scope, set_event_log
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    append_run,
+    git_sha,
+    new_run_id,
+)
 from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.progress import (
+    DEFAULT_HEARTBEAT_SECONDS,
+    ProgressTracker,
+    set_progress,
+)
 from repro.obs.report import TRACE_FORMAT
 from repro.obs.trace import TraceRecorder, recording, set_recorder, span
+from repro.ioutil import payload_checksum
 
 __all__ = [
     "ObsContext",
@@ -62,24 +85,51 @@ class ObsContext:
         trace_path: Optional[Union[str, Path]] = None,
         metrics_path: Optional[Union[str, Path]] = None,
         meta: Optional[Mapping[str, Any]] = None,
+        status_path: Optional[Union[str, Path]] = None,
+        ledger_path: Optional[Union[str, Path]] = None,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
     ) -> None:
         self.trace_path = Path(trace_path) if trace_path is not None else None
         self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+        self.status_path = Path(status_path) if status_path is not None else None
+        self.ledger_path = Path(ledger_path) if ledger_path is not None else None
         self.meta: Dict[str, Any] = dict(meta or {})
-        self.enabled = self.trace_path is not None or self.metrics_path is not None
+        self.enabled = any(
+            sink is not None
+            for sink in (
+                self.trace_path,
+                self.metrics_path,
+                self.status_path,
+                self.ledger_path,
+            )
+        )
+        self.run_id: Optional[str] = new_run_id() if self.enabled else None
         self.recorder: Optional[TraceRecorder] = (
             TraceRecorder() if self.enabled else None
         )
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if self.enabled else None
         )
+        self.progress: Optional[ProgressTracker] = (
+            ProgressTracker(
+                status_path=self.status_path,
+                heartbeat_seconds=heartbeat_seconds,
+                run_id=self.run_id,
+            )
+            if self.enabled
+            else None
+        )
         self.event_log: Optional[EventLog] = None
         self._trace_file: Optional[IO[str]] = None
         self._previous: Optional[tuple] = None
+        self._started_unix: Optional[float] = None
+        self._started_perf_ns: Optional[int] = None
 
     def __enter__(self) -> "ObsContext":
         if not self.enabled:
             return self
+        self._started_unix = time.time()
+        self._started_perf_ns = time.perf_counter_ns()
         if self.trace_path is not None:
             self.trace_path.parent.mkdir(parents=True, exist_ok=True)
             try:
@@ -95,6 +145,7 @@ class ObsContext:
             set_recorder(self.recorder),
             set_metrics(self.metrics),
             set_event_log(self.event_log),
+            set_progress(self.progress),
         )
         return self
 
@@ -102,11 +153,17 @@ class ObsContext:
         if not self.enabled:
             return
         if self._previous is not None:
-            prev_recorder, prev_metrics, prev_log = self._previous
+            prev_recorder, prev_metrics, prev_log, prev_progress = self._previous
             set_recorder(prev_recorder)
             set_metrics(prev_metrics)
             set_event_log(prev_log)
+            set_progress(prev_progress)
             self._previous = None
+        # The final heartbeat (state "finished") must land in the trace
+        # before the tail summaries, while the event log is still open.
+        if self.progress is not None:
+            with event_scope(self.event_log):
+                self.progress.close()
         if self._trace_file is not None:
             try:
                 self._write_trace_tail()
@@ -115,6 +172,8 @@ class ObsContext:
                 self._trace_file = None
         if self.metrics_path is not None and self.metrics is not None:
             self.metrics.export_json(self.metrics_path)
+        if self.ledger_path is not None:
+            append_run(self.ledger_path, self._ledger_row(exc_type))
 
     def _manifest(self) -> Dict[str, Any]:
         return {
@@ -122,7 +181,51 @@ class ObsContext:
             "format": TRACE_FORMAT,
             "version": __version__,
             "created_unix": time.time(),
+            "run_id": self.run_id,
             "meta": self.meta,
+        }
+
+    def _ledger_row(self, exc_type: Optional[type]) -> Dict[str, Any]:
+        """The run's ``fullview-ledger-v1`` row, from metrics + clocks."""
+        assert self.metrics is not None and self.run_id is not None
+        snapshot = self.metrics.snapshot()
+        counters: Mapping[str, Any] = snapshot.get("counters", {})
+        gauges: Mapping[str, Any] = snapshot.get("gauges", {})
+        executor = "unknown"
+        selected = {
+            name[len("executor_selected_"):]: count
+            for name, count in counters.items()
+            if name.startswith("executor_selected_")
+        }
+        if selected:
+            executor = max(selected, key=lambda kind: (selected[kind], kind))
+        workers = max(1, int(gauges.get("executor_workers", 1)))
+        wall_seconds = 0.0
+        if self._started_perf_ns is not None:
+            wall_seconds = (time.perf_counter_ns() - self._started_perf_ns) / 1e9
+        completed = int(counters.get("trials_completed", 0))
+        seed = self.meta.get("seed")
+        return {
+            "format": LEDGER_FORMAT,
+            "run_id": self.run_id,
+            "experiment": str(self.meta.get("experiment", self.meta.get("command", "?"))),
+            "config_digest": payload_checksum(self.meta),
+            "seed": int(seed) if seed is not None else None,
+            "git_sha": git_sha(),
+            "executor": executor,
+            "workers": workers,
+            "wall_seconds": wall_seconds,
+            "trials_per_sec": completed / wall_seconds if wall_seconds > 0 else 0.0,
+            "trials_completed": completed,
+            "trials_failed": int(counters.get("trials_failed", 0)),
+            "outcome": "ok" if exc_type is None else "error",
+            "retries": int(counters.get("chunk_retries", 0)),
+            "respawns": int(counters.get("pool_respawns", 0)),
+            "quarantined": int(counters.get("trials_quarantined", 0)),
+            "checkpoints_recovered": int(counters.get("checkpoint_recoveries", 0)),
+            "trace_path": str(self.trace_path) if self.trace_path else None,
+            "metrics_path": str(self.metrics_path) if self.metrics_path else None,
+            "started_unix": self._started_unix if self._started_unix else 0.0,
         }
 
     def _write_trace_tail(self) -> None:
@@ -170,16 +273,27 @@ def observe(
     trace: Optional[Union[str, Path]] = None,
     metrics: Optional[Union[str, Path]] = None,
     meta: Optional[Mapping[str, Any]] = None,
+    status: Optional[Union[str, Path]] = None,
+    ledger: Optional[Union[str, Path]] = None,
+    heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
 ) -> ObsContext:
-    """An :class:`ObsContext` for the given sinks (inert when both None).
+    """An :class:`ObsContext` for the given sinks (inert when all None).
 
-    The CLI's ``--trace``/``--metrics`` flags funnel straight here::
+    The CLI's ``--trace``/``--metrics``/``--status``/``--ledger`` flags
+    funnel straight here::
 
         with observe(trace=args.trace, metrics=args.metrics,
                      meta={"command": "run"}):
             ...  # everything inside is instrumented
     """
-    return ObsContext(trace_path=trace, metrics_path=metrics, meta=meta)
+    return ObsContext(
+        trace_path=trace,
+        metrics_path=metrics,
+        meta=meta,
+        status_path=status,
+        ledger_path=ledger,
+        heartbeat_seconds=heartbeat_seconds,
+    )
 
 
 def obs_self_check(directory: Optional[Union[str, Path]] = None) -> Dict[str, Any]:

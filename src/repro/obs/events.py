@@ -36,6 +36,7 @@ __all__ = [
     "EventLog",
     "PoolRespawned",
     "RunFinished",
+    "RunProgress",
     "RunStarted",
     "SegmentsReleased",
     "TaskRegistered",
@@ -171,6 +172,30 @@ class EpochAdvanced:
 
 
 @dataclass(frozen=True)
+class RunProgress:
+    """A throttled heartbeat from the live progress tracker.
+
+    Emitted parent-side by :class:`~repro.obs.progress.ProgressTracker`
+    as trials complete: cumulative position (``done``/``total``/
+    ``failed`` — monotone across the sweeps of one command), the
+    trials/sec EWMA, the derived ETA (``None`` until a rate exists, so
+    the JSON stays standard — never ``Infinity``), and the
+    fault-handling tallies accumulated so far.
+    """
+
+    done: int
+    total: int
+    failed: int
+    trials_per_sec: float
+    eta_seconds: Optional[float]
+    retries: int
+    respawns: int
+    quarantined: int
+    fallbacks: int
+    epochs: int
+
+
+@dataclass(frozen=True)
 class RunFinished:
     """A trial sweep completed (or stopped): tallies and clock readings."""
 
@@ -209,6 +234,7 @@ class EventLog:
             CheckpointWritten,
             CheckpointRecovered,
             EpochAdvanced,
+            RunProgress,
             RunFinished,
         ],
     ) -> int:

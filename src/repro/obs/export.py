@@ -1,0 +1,329 @@
+"""Trace/metrics exporters: Chrome trace-event JSON, flamegraph, Prometheus.
+
+Three read-side converters over the artifacts :class:`repro.obs.ObsContext`
+writes, surfaced as ``fullview report PATH --format chrome|flamegraph|prom``:
+
+- :func:`chrome_trace` — the trace as Chrome/Perfetto *trace event*
+  objects (the JSON-array flavour ``chrome://tracing`` and
+  https://ui.perfetto.dev load directly): chunk executions become ``X``
+  duration events laid out on per-worker tracks, per-trial wall times
+  nest inside their owning chunk, lifecycle events become ``i``
+  instants and ``RunProgress`` heartbeats a ``C`` counter track.
+- :func:`flamegraph_lines` — the span summaries as collapsed-stack
+  text (``parent;child <self_time_us>`` per line), the input format of
+  Brendan Gregg's ``flamegraph.pl`` and of speedscope.  Values are
+  *self* time: each row's total minus its children's totals, clamped
+  at zero, so the flame widths add up instead of double-counting.
+- :func:`prometheus_lines` — the metrics snapshot in Prometheus text
+  exposition format (counters as ``_total``, histograms as cumulative
+  ``_bucket{le=...}`` series), ready for the node-exporter textfile
+  collector or a future service ``/metrics`` endpoint.
+
+All exporters are pure functions of parsed :class:`~repro.obs.report.TraceData`
+— they never re-open the run — and degrade gracefully on empty traces
+(a zero-trial run exports an empty-but-valid document in every format).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.report import TraceData
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "chrome_trace",
+    "chrome_trace_json",
+    "export_trace",
+    "flamegraph_lines",
+    "prometheus_lines",
+]
+
+#: Formats :func:`export_trace` understands.
+EXPORT_FORMATS = ("chrome", "flamegraph", "prom")
+
+#: Trace-event keys every emitted event carries (pid is constant: one
+#: run is one process from the viewer's perspective).
+_PID = 1
+
+#: Event-payload keys that are envelope, not arguments.
+_ENVELOPE_KEYS = frozenset({"kind", "event", "seq", "t_ns"})
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# ----------------------------------------------------------------------
+# Chrome / Perfetto trace events
+
+
+def _worker_count(data: TraceData) -> int:
+    workers = 1
+    for event in data.events:
+        if event.get("event") == "RunStarted":
+            workers = max(workers, int(event.get("workers", 1)))
+    return workers
+
+
+def chrome_trace(data: TraceData) -> List[Dict[str, Any]]:
+    """The trace as a list of Chrome trace-event objects.
+
+    Timestamps are microseconds relative to the first recorded event
+    (the format's native unit).  Chunk rows carry only durations, not
+    start times, so chunk placement is a *reconstruction*: chunks are
+    laid onto ``workers`` tracks greedily in dispatch order, each
+    starting at the later of its dispatch instant and its track's free
+    time — the same earliest-free-worker discipline the pool itself
+    uses.  Per-trial spans are packed sequentially inside their owning
+    chunk's window (serial trials onto the main track), so relative
+    widths are exact even where absolute starts are estimates.
+    """
+    base_ns = min(
+        (int(event["t_ns"]) for event in data.events if "t_ns" in event),
+        default=0,
+    )
+
+    def ts(t_ns: int) -> float:
+        return (t_ns - base_ns) / 1e3
+
+    out: List[Dict[str, Any]] = []
+    used_tids = {0}
+
+    for event in data.events:
+        name = event.get("event", "event")
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in _ENVELOPE_KEYS
+        }
+        stamp = ts(int(event.get("t_ns", base_ns)))
+        if name == "RunProgress":
+            out.append(
+                {
+                    "name": "trials_done",
+                    "ph": "C",
+                    "ts": stamp,
+                    "pid": _PID,
+                    "tid": 0,
+                    "args": {"done": int(event.get("done", 0))},
+                }
+            )
+        else:
+            out.append(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "ts": stamp,
+                    "pid": _PID,
+                    "tid": 0,
+                    "s": "p",
+                    "args": args,
+                }
+            )
+
+    # Dispatch instants by first trial, for chunk placement.
+    dispatch_ts: Dict[int, float] = {}
+    for event in data.events:
+        if event.get("event") == "ChunkDispatched":
+            dispatch_ts.setdefault(
+                int(event.get("first_trial", -1)), ts(int(event["t_ns"]))
+            )
+
+    workers = _worker_count(data)
+    track_free = [0.0] * max(1, workers)
+    chunk_window: Dict[Tuple[int, int], Tuple[float, int]] = {}
+    ordered_chunks = sorted(
+        data.chunks,
+        key=lambda chunk: dispatch_ts.get(int(chunk.get("first_trial", -1)), 0.0),
+    )
+    for chunk in ordered_chunks:
+        first = int(chunk.get("first_trial", -1))
+        count = int(chunk.get("trials", 0))
+        dur_us = int(chunk.get("wall_ns", 0)) / 1e3
+        earliest = dispatch_ts.get(first, 0.0)
+        track = min(range(len(track_free)), key=track_free.__getitem__)
+        start = max(earliest, track_free[track])
+        track_free[track] = start + dur_us
+        tid = track + 1
+        used_tids.add(tid)
+        chunk_window[(first, count)] = (start, tid)
+        out.append(
+            {
+                "name": f"chunk[{first}..{first + count})",
+                "ph": "X",
+                "ts": start,
+                "dur": dur_us,
+                "pid": _PID,
+                "tid": tid,
+                "args": {"first_trial": first, "trials": count},
+            }
+        )
+
+    # Per-trial spans: inside the owning chunk's window, else packed
+    # sequentially on the main track (the serial executor's shape).
+    windows = sorted(chunk_window.items())
+    cursor_by_key: Dict[Tuple[int, int], float] = {
+        key: start for key, (start, _) in chunk_window.items()
+    }
+    serial_cursor = 0.0
+    for trial, dur_ns in data.trials:
+        dur_us = dur_ns / 1e3
+        owner: Optional[Tuple[int, int]] = None
+        for (first, count), _window in windows:
+            if first <= trial < first + count:
+                owner = (first, count)
+                break
+        if owner is not None:
+            start = cursor_by_key[owner]
+            cursor_by_key[owner] = start + dur_us
+            tid = chunk_window[owner][1]
+        else:
+            start = serial_cursor
+            serial_cursor = start + dur_us
+            tid = 0
+        out.append(
+            {
+                "name": f"trial {trial}",
+                "ph": "X",
+                "ts": start,
+                "dur": dur_us,
+                "pid": _PID,
+                "tid": tid,
+                "args": {"trial": trial},
+            }
+        )
+
+    meta = data.manifest.get("meta", {}) if isinstance(data.manifest, dict) else {}
+    process_name = str(meta.get("command", "fullview run"))
+    out.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": f"fullview {process_name}"},
+        }
+    )
+    for tid in sorted(used_tids):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": "main" if tid == 0 else f"worker-{tid}"},
+            }
+        )
+    return out
+
+
+def chrome_trace_json(data: TraceData) -> str:
+    """:func:`chrome_trace` serialized as the JSON-array file format."""
+    return json.dumps(chrome_trace(data), indent=1)
+
+
+# ----------------------------------------------------------------------
+# Collapsed-stack flamegraph
+
+
+def flamegraph_lines(data: TraceData) -> List[str]:
+    """Collapsed-stack lines (``a;b;c <self_us>``) from span summaries.
+
+    Span summaries are aggregated ``(name, parent)`` rows, so the stack
+    for a row is recovered by walking the parent chain (first-seen
+    parent per name; cycle-guarded).  Values are self time in integer
+    microseconds — total minus the totals of direct children — clamped
+    at zero so reconstruction error never produces negative widths.
+    """
+    rows = list(data.span_summaries)
+    parent_of: Dict[str, Optional[str]] = {}
+    children_total: Dict[str, int] = {}
+    for row in rows:
+        name = str(row.get("name", "?"))
+        parent = row.get("parent")
+        parent_of.setdefault(name, parent)
+        if parent:
+            children_total[str(parent)] = children_total.get(
+                str(parent), 0
+            ) + int(row.get("total_ns", 0))
+
+    lines: List[str] = []
+    for row in rows:
+        name = str(row.get("name", "?"))
+        self_ns = max(0, int(row.get("total_ns", 0)) - children_total.get(name, 0))
+        self_us = self_ns // 1000
+        if self_us <= 0:
+            continue
+        stack = [name]
+        seen = {name}
+        cursor = row.get("parent")
+        while cursor and cursor not in seen:
+            cursor = str(cursor)
+            stack.append(cursor)
+            seen.add(cursor)
+            cursor = parent_of.get(cursor)
+        lines.append(";".join(reversed(stack)) + f" {self_us}")
+    return sorted(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_NAME_RE.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_lines(snapshot: Optional[Mapping[str, Any]]) -> List[str]:
+    """The metrics snapshot as Prometheus text-exposition lines.
+
+    Counters become ``fullview_<name>_total``, gauges keep their name,
+    histograms expand to the conventional cumulative ``_bucket{le=...}``
+    series plus ``_sum``/``_count``.  A trace with no snapshot exports
+    a single explanatory comment — still a valid exposition document.
+    """
+    if not snapshot:
+        return ["# no metrics snapshot in trace"]
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = f"fullview_{_prom_name(str(name))}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(float(value))}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = f"fullview_{_prom_name(str(name))}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(float(value))}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        metric = f"fullview_{_prom_name(str(name))}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        buckets = hist.get("buckets", [])
+        counts = hist.get("counts", [])
+        for bound, count in zip(buckets, counts):
+            cumulative += int(count)
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {int(hist.get("count", 0))}')
+        lines.append(f"{metric}_sum {repr(float(hist.get('total', 0.0)))}")
+        lines.append(f"{metric}_count {int(hist.get('count', 0))}")
+    return lines
+
+
+def export_trace(data: TraceData, fmt: str) -> str:
+    """Render ``data`` in one of :data:`EXPORT_FORMATS`."""
+    if fmt == "chrome":
+        return chrome_trace_json(data)
+    if fmt == "flamegraph":
+        return "\n".join(flamegraph_lines(data))
+    if fmt == "prom":
+        return "\n".join(prometheus_lines(data.metrics))
+    raise ObservabilityError(
+        f"unknown export format {fmt!r}; expected one of {EXPORT_FORMATS}"
+    )

@@ -19,6 +19,7 @@ setup, and the parent's own span time is not subtracted.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
@@ -111,6 +112,12 @@ def load_trace(path: Union[str, Path]) -> TraceData:
     )
 
 
+def _percentile_ms(sorted_ns: List[int], q: float) -> float:
+    """Nearest-rank percentile of ascending durations, in milliseconds."""
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_ns)))
+    return sorted_ns[min(rank, len(sorted_ns)) - 1] / 1e6
+
+
 @dataclass(frozen=True)
 class RunReport:
     """The derived summary of one trace file."""
@@ -132,6 +139,9 @@ class RunReport:
     pools_respawned: int = 0
     trials_quarantined: int = 0
     checkpoints_recovered: int = 0
+    trial_p50_ms: Optional[float] = None
+    trial_p90_ms: Optional[float] = None
+    trial_p99_ms: Optional[float] = None
     span_rows: Tuple[Mapping[str, Any], ...] = ()
     slowest_trials: Tuple[Tuple[int, int], ...] = ()
     counters: Mapping[str, int] = field(default_factory=dict)
@@ -156,6 +166,11 @@ class RunReport:
             "pools_respawned": self.pools_respawned,
             "trials_quarantined": self.trials_quarantined,
             "checkpoints_recovered": self.checkpoints_recovered,
+            "trial_latency_ms": {
+                "p50": self.trial_p50_ms,
+                "p90": self.trial_p90_ms,
+                "p99": self.trial_p99_ms,
+            },
             "spans": [dict(row) for row in self.span_rows],
             "slowest_trials": [
                 {"trial": trial, "dur_ns": dur} for trial, dur in self.slowest_trials
@@ -226,6 +241,11 @@ class RunReport:
                     f"  {label:<{width}} {row['count']:>5} {total_ms:>13.3f} "
                     f"{mean_us:>11.1f}"
                 )
+        if self.trial_p50_ms is not None:
+            lines.append(
+                f"trial latency: p50 {self.trial_p50_ms:.3f} ms | "
+                f"p90 {self.trial_p90_ms:.3f} ms | p99 {self.trial_p99_ms:.3f} ms"
+            )
         if self.slowest_trials:
             lines.append("")
             lines.append("slowest trials:")
@@ -287,6 +307,12 @@ def build_report(data: TraceData) -> RunReport:
     slowest = tuple(
         sorted(data.trials, key=lambda pair: -pair[1])[:_SLOWEST]
     )
+    p50 = p90 = p99 = None
+    if data.trials:
+        durations = sorted(dur for _trial, dur in data.trials)
+        p50, p90, p99 = (
+            _percentile_ms(durations, q) for q in (50.0, 90.0, 99.0)
+        )
     span_rows = tuple(
         sorted(data.span_summaries, key=lambda row: -int(row.get("total_ns", 0)))
     )
@@ -313,6 +339,9 @@ def build_report(data: TraceData) -> RunReport:
         pools_respawned=respawned,
         trials_quarantined=quarantined,
         checkpoints_recovered=recovered,
+        trial_p50_ms=p50,
+        trial_p90_ms=p90,
+        trial_p99_ms=p99,
         span_rows=span_rows,
         slowest_trials=slowest,
         counters=counters,

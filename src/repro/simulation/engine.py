@@ -104,6 +104,7 @@ from repro.obs.events import (
     active_event_log,
 )
 from repro.obs.metrics import active_metrics
+from repro.obs.progress import active_progress
 from repro.obs.trace import (
     TRIAL_SPAN,
     ChunkTrace,
@@ -517,8 +518,13 @@ class SerialExecutor(TrialExecutor):
         trials: Sequence[int],
         isolate: bool = False,
     ) -> Iterator[List[TrialOutcome]]:
+        progress = active_progress()
+        advance = progress.advance if progress is not None else None
         for trial in trials:
-            yield [run_trial(task, config, trial, isolate=isolate)]
+            batch = [run_trial(task, config, trial, isolate=isolate)]
+            if advance is not None:
+                advance(1, failed=1 if batch[0].error is not None else 0)
+            yield batch
 
 
 #: Warm process pools, one per worker count, reused across sweeps.
@@ -695,6 +701,7 @@ class ParallelExecutor(TrialExecutor):
         trace = recorder is not None
         log = active_event_log()
         metrics = active_metrics()
+        progress = active_progress()
         retry = self.retry
         probe_pair = None
         if self.chunk_size is None:
@@ -721,6 +728,8 @@ class ParallelExecutor(TrialExecutor):
         def fall_back(index: int, chunk: Sequence[int], reason: str):
             if metrics is not None:
                 metrics.inc("chunk_fallbacks")
+            if progress is not None:
+                progress.note("fallbacks")
             if log is not None:
                 log.emit(
                     ChunkFellBack(
@@ -739,6 +748,13 @@ class ParallelExecutor(TrialExecutor):
                 if metrics is not None:
                     for _trial, dur_ns in chunk_trace.trial_ns:
                         metrics.observe("trial_seconds", dur_ns / 1e9)
+            # Every path to a yield funnels through here (probe, pool
+            # result, fallback, quarantine), so one advance covers them
+            # all — parent-side, after the batch exists.
+            if progress is not None:
+                progress.advance(
+                    len(batch), failed=sum(1 for o in batch if not o.ok)
+                )
             return batch, interrupt
 
         chaos = self.chaos
@@ -819,6 +835,8 @@ class ParallelExecutor(TrialExecutor):
                 return
             if metrics is not None:
                 metrics.inc("pool_respawns")
+            if progress is not None:
+                progress.note("respawns")
             if log is not None:
                 log.emit(PoolRespawned(workers=self.workers, reason=reason))
 
@@ -903,6 +921,8 @@ class ParallelExecutor(TrialExecutor):
                         trial = int(part[0])
                         if metrics is not None:
                             metrics.inc("trials_quarantined")
+                        if progress is not None:
+                            progress.note("quarantined")
                         if log is not None:
                             log.emit(
                                 TrialQuarantined(trial=trial, error=state["error"])
@@ -1008,6 +1028,8 @@ class ParallelExecutor(TrialExecutor):
                         break
                     if metrics is not None:
                         metrics.inc("chunk_retries")
+                    if progress is not None:
+                        progress.note("retries")
                     if log is not None:
                         log.emit(
                             ChunkRetried(
@@ -1150,6 +1172,7 @@ class ThreadExecutor(TrialExecutor):
             return
         log = active_event_log()
         metrics = active_metrics()
+        progress = active_progress()
         retry = self.retry
         chaos = self.chaos
         probe_pair = None
@@ -1176,6 +1199,8 @@ class ThreadExecutor(TrialExecutor):
         def fall_back(index: int, chunk: Sequence[int], reason: str):
             if metrics is not None:
                 metrics.inc("chunk_fallbacks")
+            if progress is not None:
+                progress.note("fallbacks")
             if log is not None:
                 log.emit(
                     ChunkFellBack(
@@ -1186,6 +1211,14 @@ class ThreadExecutor(TrialExecutor):
                     )
                 )
             return _chunk_loop(task, config, tuple(chunk), isolate)
+
+        def advance(batch: List[TrialOutcome]) -> None:
+            # Parent-side, right before the batch is yielded — worker
+            # threads never touch the tracker.
+            if progress is not None:
+                progress.advance(
+                    len(batch), failed=sum(1 for o in batch if not o.ok)
+                )
 
         futures: List[Optional[Future]] = [None] * len(chunks)
         attempts = [0] * len(chunks)
@@ -1248,6 +1281,8 @@ class ThreadExecutor(TrialExecutor):
                         trial = int(part[0])
                         if metrics is not None:
                             metrics.inc("trials_quarantined")
+                        if progress is not None:
+                            progress.note("quarantined")
                         if log is not None:
                             log.emit(
                                 TrialQuarantined(trial=trial, error=state["error"])
@@ -1273,6 +1308,7 @@ class ThreadExecutor(TrialExecutor):
                 futures[index] = submit(index)
             if probe_pair is not None:
                 batch, interrupt = probe_pair
+                advance(batch)
                 yield batch
                 if interrupt is not None:
                     raise interrupt
@@ -1312,6 +1348,8 @@ class ThreadExecutor(TrialExecutor):
                         break
                     if metrics is not None:
                         metrics.inc("chunk_retries")
+                    if progress is not None:
+                        progress.note("retries")
                     if log is not None:
                         log.emit(
                             ChunkRetried(
@@ -1338,6 +1376,7 @@ class ThreadExecutor(TrialExecutor):
                         # type.
                         pair = fall_back(index, chunk, reason or "exhausted")
                 batch, interrupt = pair
+                advance(batch)
                 yield batch
                 if interrupt is not None:
                     raise interrupt
@@ -1402,6 +1441,7 @@ def execute_trials(
     executor = executor if executor is not None else executor_for(config, task)
     log = active_event_log()
     metrics = active_metrics()
+    progress = active_progress()
     if log is not None:
         log.emit(
             RunStarted(
@@ -1410,6 +1450,8 @@ def execute_trials(
                 workers=getattr(executor, "workers", 1),
             )
         )
+    if progress is not None:
+        progress.begin(config.trials)
     start_wall = time.perf_counter_ns()
     start_cpu = time.process_time_ns()
     outcomes: List[TrialOutcome] = []
@@ -1429,4 +1471,6 @@ def execute_trials(
                 cpu_ns=time.process_time_ns() - start_cpu,
             )
         )
+    if progress is not None:
+        progress.finish()
     return outcomes

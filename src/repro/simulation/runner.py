@@ -67,6 +67,7 @@ from repro.obs.events import (
     active_event_log,
 )
 from repro.obs.metrics import active_metrics
+from repro.obs.progress import active_progress
 from repro.simulation.engine import MonteCarloConfig, executor_for
 from repro.simulation.faults import ChaosPolicy, resolve_chaos_policy
 from repro.simulation.montecarlo import PointProbabilityTask
@@ -417,6 +418,12 @@ def run_resilient_trials(
                 source="runner",
             )
         )
+    progress = active_progress()
+    if progress is not None:
+        # Resumed trials count as already done: the heartbeat position
+        # reflects the sweep, not just this process's share of it.
+        progress.begin(config.trials)
+        progress.advance(resumed, failed=resumed_failed)
     start_wall = time.perf_counter_ns()
     start_cpu = time.process_time_ns()
     truncated = False
@@ -472,6 +479,8 @@ def run_resilient_trials(
                 source="runner",
             )
         )
+    if progress is not None:
+        progress.finish()
     return ResilientResult(
         requested=config.trials,
         outcomes=tuple(outcomes),

@@ -1,10 +1,13 @@
-"""CLI surface of the observability work: --trace/--metrics, report, diagnose."""
+"""CLI surface of the observability work: --trace/--metrics, report, diagnose,
+status/ledger flags, ``fullview runs`` and ``fullview watch``."""
 
 from __future__ import annotations
 
 import json
 
 from repro.cli import main
+from repro.obs.ledger import LEDGER_FORMAT
+from repro.obs.progress import STATUS_FORMAT
 
 
 class TestRunFlags:
@@ -60,6 +63,157 @@ class TestReport:
         bogus.write_text("not json\n")
         assert main(["report", str(bogus)]) == 2
         assert "fullview report" in capsys.readouterr().err
+
+
+class TestReportExportFormats:
+    def _trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "EQ2-MC", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_chrome_format_emits_valid_trace_event_json(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["report", str(trace), "--format", "chrome"]) == 0
+        events = json.loads(capsys.readouterr().out)
+        assert isinstance(events, list) and events
+        assert {e["ph"] for e in events} <= {"X", "i", "C", "M"}
+
+    def test_flamegraph_format_emits_collapsed_stacks(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["report", str(trace), "--format", "flamegraph"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(line.rpartition(" ")[2].isdigit() for line in lines)
+
+    def test_prom_format_emits_exposition_text(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["report", str(trace), "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE fullview_trials_completed_total counter" in out
+
+
+class TestStatusAndLedgerFlags:
+    def test_run_writes_status_and_ledger(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        ledger = tmp_path / "runs.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "EQ2-MC",
+                    "--status",
+                    str(status),
+                    "--ledger",
+                    str(ledger),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(status.read_text())
+        assert payload["format"] == STATUS_FORMAT
+        assert payload["state"] == "finished"
+        assert payload["done"] == payload["total"] > 0
+        (line,) = ledger.read_text().splitlines()
+        row = json.loads(line)
+        assert row["format"] == LEDGER_FORMAT
+        assert row["outcome"] == "ok"
+        assert row["experiment"] == "EQ2-MC"
+        assert row["trials_completed"] > 0
+
+    def test_bare_ledger_flag_uses_env_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("FULLVIEW_LEDGER", str(tmp_path / "default.jsonl"))
+        assert main(["run", "EQ2-MC", "--ledger"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "default.jsonl").exists()
+
+
+class TestRunsCommand:
+    def _ledger(self, tmp_path, capsys):
+        ledger = tmp_path / "runs.jsonl"
+        assert main(["run", "EQ2-MC", "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        return ledger
+
+    def test_runs_lists_completed_run(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, capsys)
+        assert main(["runs", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RUN")
+        assert "EQ2-MC" in out
+
+    def test_runs_json_round_trips(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, capsys)
+        assert main(["runs", "--ledger", str(ledger), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["experiment"] == "EQ2-MC"
+
+    def test_runs_shows_one_run_by_id_prefix(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, capsys)
+        run_id = json.loads(ledger.read_text().splitlines()[0])["run_id"]
+        assert main(["runs", run_id[:6], "--ledger", str(ledger)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run_id"] == run_id
+
+    def test_runs_unknown_id_fails(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path, capsys)
+        assert main(["runs", "zzzzzz", "--ledger", str(ledger)]) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_runs_missing_ledger_is_calm(self, tmp_path, capsys):
+        assert main(["runs", "--ledger", str(tmp_path / "absent.jsonl")]) == 0
+        assert "no run ledger" in capsys.readouterr().out
+
+
+class TestWatchCommand:
+    def test_watch_once_on_finished_status(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        assert main(["run", "EQ2-MC", "--status", str(status)]) == 0
+        capsys.readouterr()
+        assert main(["watch", str(status), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "trials" in out
+
+    def test_watch_once_on_absent_file_fails(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "absent.json"), "--once"]) == 1
+        assert capsys.readouterr().err
+
+    def test_watch_polls_until_finished(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        assert main(["run", "EQ2-MC", "--status", str(status)]) == 0
+        capsys.readouterr()
+        assert main(["watch", str(status), "--interval", "0.01"]) == 0
+        assert "[finished]" in capsys.readouterr().out
+
+    def test_watch_timeout_on_stuck_run(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        payload = {
+            "format": STATUS_FORMAT,
+            "run_id": "abc",
+            "state": "running",
+            "done": 1,
+            "total": 2,
+            "failed": 0,
+            "trials_per_sec": 1.0,
+            "eta_seconds": 1.0,
+            "elapsed_seconds": 1.0,
+            "heartbeats": 1,
+            "updated_unix": 0.0,
+            "retries": 0,
+            "respawns": 0,
+            "quarantined": 0,
+            "fallbacks": 0,
+            "epochs": 0,
+        }
+        status.write_text(json.dumps(payload))
+        assert (
+            main(["watch", str(status), "--interval", "0.01", "--timeout", "0.05"])
+            == 1
+        )
+        assert "timeout" in capsys.readouterr().err.lower()
 
 
 class TestLifetimeFlags:

@@ -1,0 +1,169 @@
+"""Tests for the trace exporters: chrome, flamegraph, prometheus."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import observe
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    chrome_trace,
+    chrome_trace_json,
+    export_trace,
+    flamegraph_lines,
+    prometheus_lines,
+)
+from repro.obs.report import build_report, load_trace
+from repro.simulation.engine import (
+    MonteCarloConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    execute_trials,
+)
+
+CFG = MonteCarloConfig(trials=20, seed=7)
+
+
+def draw_trial(trial: int, rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+@pytest.fixture()
+def traced_data(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.json"
+    with observe(trace=trace, metrics=metrics, meta={"command": "test"}):
+        execute_trials(draw_trial, CFG, executor=ParallelExecutor(workers=2))
+    return load_trace(trace)
+
+
+@pytest.fixture()
+def empty_data(tmp_path):
+    """A run that executed zero trials: manifest + tail, nothing else."""
+    trace = tmp_path / "empty.jsonl"
+    with observe(trace=trace, meta={"command": "empty"}):
+        pass
+    return load_trace(trace)
+
+
+class TestChrome:
+    def test_output_is_valid_trace_event_json(self, traced_data):
+        events = json.loads(chrome_trace_json(traced_data))
+        assert isinstance(events, list) and events
+        assert events == chrome_trace(traced_data)
+        for event in events:
+            assert isinstance(event["name"], str)
+            assert event["ph"] in ("X", "i", "C", "M")
+            assert isinstance(event["pid"], int)
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], (int, float))
+                assert event["ts"] >= 0
+
+    def test_duration_events_cover_all_trials(self, traced_data):
+        events = json.loads(chrome_trace_json(traced_data))
+        trials = [e for e in events if e["ph"] == "X" and e["name"].startswith("trial ")]
+        assert len(trials) == CFG.trials
+        assert all(e["dur"] >= 0 for e in trials)
+
+    def test_chunk_tracks_never_overlap(self, traced_data):
+        events = json.loads(chrome_trace_json(traced_data))
+        chunks = [e for e in events if e["ph"] == "X" and e["name"].startswith("chunk[")]
+        assert chunks
+        by_tid = {}
+        for c in chunks:
+            by_tid.setdefault(c["tid"], []).append((c["ts"], c["ts"] + c["dur"]))
+        for spans in by_tid.values():
+            spans.sort()
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert start >= end
+
+    def test_metadata_names_process_and_threads(self, traced_data):
+        events = json.loads(chrome_trace_json(traced_data))
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_progress_counter_series_present_when_tracked(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with observe(trace=trace, meta={"command": "test"}):
+            execute_trials(draw_trial, CFG, executor=SerialExecutor())
+        events = json.loads(chrome_trace_json(load_trace(trace)))
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters, "observe() tracks progress, so counters must exist"
+        assert counters[-1]["args"]["done"] == CFG.trials
+
+
+class TestFlamegraph:
+    def test_lines_are_collapsed_stacks(self, traced_data):
+        lines = flamegraph_lines(traced_data)
+        assert lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack
+            assert weight.isdigit()
+
+    def test_self_time_weights_are_positive(self, traced_data):
+        for line in flamegraph_lines(traced_data):
+            assert int(line.rpartition(" ")[2]) > 0
+
+
+class TestPrometheus:
+    def test_counters_and_gauges_exposed(self, traced_data):
+        lines = prometheus_lines(traced_data.metrics)
+        text = "\n".join(lines)
+        assert "# TYPE fullview_trials_completed_total counter" in text
+        assert "fullview_trials_completed_total 20" in text
+
+    def test_histogram_buckets_are_cumulative(self, traced_data):
+        lines = prometheus_lines(traced_data.metrics)
+        buckets = [
+            float(line.rpartition(" ")[2])
+            for line in lines
+            if line.startswith("fullview_trial_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        inf_line = next(
+            line
+            for line in lines
+            if line.startswith('fullview_trial_seconds_bucket{le="+Inf"}')
+        )
+        count_line = next(
+            line for line in lines if line.startswith("fullview_trial_seconds_count")
+        )
+        assert inf_line.rpartition(" ")[2] == count_line.rpartition(" ")[2]
+
+    def test_missing_snapshot_yields_comment(self):
+        lines = prometheus_lines(None)
+        assert lines == ["# no metrics snapshot in trace"]
+
+
+class TestDispatchAndDegenerates:
+    def test_unknown_format_raises(self, traced_data):
+        with pytest.raises(ObservabilityError):
+            export_trace(traced_data, "svg")
+
+    def test_every_format_handles_a_real_trace(self, traced_data):
+        for fmt in EXPORT_FORMATS:
+            assert export_trace(traced_data, fmt)
+
+    def test_every_format_handles_a_zero_trial_trace(self, empty_data):
+        for fmt in EXPORT_FORMATS:
+            out = export_trace(empty_data, fmt)
+            assert isinstance(out, str)
+        assert json.loads(export_trace(empty_data, "chrome")) is not None
+
+    def test_report_handles_a_zero_trial_trace(self, empty_data):
+        report = build_report(empty_data)
+        assert json.loads(report.to_json())["trial_latency_ms"]["p50"] is None
+        assert report.render_text()
+
+    def test_report_percentiles_on_a_real_trace(self, traced_data):
+        report = build_report(traced_data)
+        latency = json.loads(report.to_json())["trial_latency_ms"]
+        assert latency["p50"] is not None
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert "p50" in report.render_text()

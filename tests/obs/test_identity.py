@@ -12,11 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs import obs_self_check
+from repro.obs.progress import ProgressTracker, progress_scope
 from repro.obs.trace import TRIAL_SPAN, TraceRecorder, recording
 from repro.simulation.engine import (
     MonteCarloConfig,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
     execute_trials,
 )
 
@@ -81,6 +83,37 @@ class TestSpanCompleteness:
             )
         covered = [t for chunk in recorder.chunks for t in chunk.trials]
         assert sorted(covered) == list(range(CFG.trials))
+
+
+class TestProgressIdentity:
+    """Live progress tracking must be invisible to the numbers too.
+
+    The tracker is fed parent-side on already-computed batches, so a
+    progress-enabled run must stay bit-identical to an untracked one on
+    every executor — and the tracker must have seen every trial.
+    """
+
+    def _tracked(self, executor):
+        tracker = ProgressTracker()
+        with progress_scope(tracker):
+            outcomes = execute_trials(draw_trial, CFG, executor=executor)
+        assert tracker.done == CFG.trials
+        assert tracker.total == CFG.trials
+        return outcomes
+
+    def test_progress_serial_matches_untracked(self):
+        untracked = execute_trials(draw_trial, CFG, executor=SerialExecutor())
+        assert _values(self._tracked(SerialExecutor())) == _values(untracked)
+
+    def test_progress_thread_matches_untracked(self):
+        untracked = execute_trials(draw_trial, CFG, executor=SerialExecutor())
+        tracked = self._tracked(ThreadExecutor(workers=2, chunk_size=5))
+        assert _values(tracked) == _values(untracked)
+
+    def test_progress_process_matches_untracked(self):
+        untracked = execute_trials(draw_trial, CFG, executor=SerialExecutor())
+        tracked = self._tracked(ParallelExecutor(workers=2, chunk_size=5))
+        assert _values(tracked) == _values(untracked)
 
 
 class TestDisabledOverhead:

@@ -1,0 +1,151 @@
+"""Tests for the append-only run ledger: round-trip, concurrency, hygiene."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.ledger import (
+    LEDGER_ENV_VAR,
+    LEDGER_FORMAT,
+    append_run,
+    default_ledger_path,
+    load_runs,
+    new_run_id,
+    render_runs_table,
+    validate_row,
+)
+
+
+def make_row(run_id: str = "abc123def456", **overrides):
+    row = {
+        "format": LEDGER_FORMAT,
+        "run_id": run_id,
+        "experiment": "EQ2-MC",
+        "config_digest": "deadbeef",
+        "seed": 42,
+        "git_sha": None,
+        "executor": "serial",
+        "workers": 1,
+        "wall_seconds": 1.5,
+        "trials_per_sec": 533.3,
+        "trials_completed": 800,
+        "trials_failed": 0,
+        "outcome": "ok",
+        "retries": 0,
+        "respawns": 0,
+        "quarantined": 0,
+        "checkpoints_recovered": 0,
+        "trace_path": None,
+        "metrics_path": None,
+        "started_unix": 1754000000.0,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestValidation:
+    def test_well_formed_row_passes(self):
+        assert validate_row(make_row()) is None
+
+    def test_missing_field_named(self):
+        row = make_row()
+        del row["executor"]
+        assert "executor" in validate_row(row)
+
+    def test_bool_masquerading_as_int_rejected(self):
+        assert validate_row(make_row(workers=True)) is not None
+
+    def test_nonfinite_float_rejected(self):
+        assert validate_row(make_row(wall_seconds=float("inf"))) is not None
+
+    def test_zero_workers_rejected(self):
+        assert validate_row(make_row(workers=0)) is not None
+
+    def test_negative_count_rejected(self):
+        assert validate_row(make_row(retries=-1)) is not None
+
+    def test_unknown_outcome_rejected(self):
+        assert validate_row(make_row(outcome="meh")) is not None
+
+    def test_append_refuses_invalid_row(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            append_run(tmp_path / "runs.jsonl", make_row(outcome="meh"))
+        assert not (tmp_path / "runs.jsonl").exists()
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        append_run(ledger, make_row("first0000000"))
+        append_run(ledger, make_row("second000000"))
+        rows, problems = load_runs(ledger)
+        assert problems == []
+        # Newest first: the last row appended leads the listing.
+        assert [r["run_id"] for r in rows] == ["second000000", "first0000000"]
+
+    def test_bad_lines_skipped_and_reported(self, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        append_run(ledger, make_row())
+        with ledger.open("a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"format": "other-v9"}) + "\n")
+        rows, problems = load_runs(ledger)
+        assert len(rows) == 1
+        assert len(problems) == 2
+
+    def test_missing_ledger_raises_observability_error(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            load_runs(tmp_path / "absent.jsonl")
+
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        writers = 8
+        per_writer = 10
+
+        def spin(writer: int) -> None:
+            for i in range(per_writer):
+                append_run(ledger, make_row(f"w{writer:02d}i{i:04d}xxxx"))
+
+        threads = [
+            threading.Thread(target=spin, args=(w,)) for w in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        rows, problems = load_runs(ledger)
+        assert problems == []
+        assert len(rows) == writers * per_writer
+        assert len({r["run_id"] for r in rows}) == writers * per_writer
+
+
+class TestDefaults:
+    def test_env_var_overrides_default_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LEDGER_ENV_VAR, str(tmp_path / "custom.jsonl"))
+        assert default_ledger_path() == tmp_path / "custom.jsonl"
+
+    def test_default_lands_in_home(self, monkeypatch):
+        monkeypatch.delenv(LEDGER_ENV_VAR, raising=False)
+        assert default_ledger_path().name == "runs.jsonl"
+        assert default_ledger_path().parent.name == ".fullview"
+
+    def test_run_ids_are_twelve_hex_and_unique(self):
+        ids = {new_run_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 12 and set(i) <= set("0123456789abcdef") for i in ids)
+
+
+class TestTable:
+    def test_table_has_header_and_one_line_per_row(self):
+        rows = [make_row("a" * 12), make_row("b" * 12, seed=None)]
+        table = render_runs_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("RUN")
+        assert len(lines) == 3
+        assert "a" * 12 in lines[1]
+        # A null seed renders as "-" instead of crashing the table.
+        assert " - " in lines[2]

@@ -1,0 +1,235 @@
+"""Tests for the live progress tracker: math, throttle, status, engine feed."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.events import EventLog, event_scope
+from repro.obs.progress import (
+    NOTE_KINDS,
+    STATUS_FORMAT,
+    ProgressTracker,
+    active_progress,
+    progress_scope,
+    set_progress,
+)
+from repro.simulation.engine import (
+    MonteCarloConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    execute_trials,
+)
+
+CFG = MonteCarloConfig(trials=20, seed=9)
+
+
+def draw_trial(trial: int, rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def _progress_rows(sink: io.StringIO):
+    return [
+        row
+        for row in map(json.loads, sink.getvalue().splitlines())
+        if row.get("event") == "RunProgress"
+    ]
+
+
+class TestTrackerMath:
+    def test_counts_accumulate_across_sweeps(self):
+        tracker = ProgressTracker()
+        tracker.begin(10)
+        tracker.advance(4)
+        tracker.begin(5)
+        tracker.advance(11, failed=2)
+        assert tracker.total == 15
+        assert tracker.done == 15
+        assert tracker.snapshot()["failed"] == 2
+
+    def test_negative_begin_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ProgressTracker().begin(-1)
+
+    def test_negative_heartbeat_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ProgressTracker(heartbeat_seconds=-0.1)
+
+    def test_zero_advance_is_a_noop(self):
+        tracker = ProgressTracker()
+        tracker.begin(5)
+        before = tracker.heartbeats
+        tracker.advance(0)
+        assert tracker.done == 0
+        assert tracker.heartbeats == before
+
+    def test_unknown_note_kind_rejected(self):
+        tracker = ProgressTracker()
+        with pytest.raises(InvalidParameterError):
+            tracker.note("no-such-kind")
+
+    def test_note_kinds_tally(self):
+        tracker = ProgressTracker()
+        for kind in NOTE_KINDS:
+            tracker.note(kind)
+            tracker.note(kind, count=2)
+        snapshot = tracker.snapshot()
+        assert all(snapshot[kind] == 3 for kind in NOTE_KINDS)
+
+    def test_eta_is_none_before_rate_then_zero_at_completion(self):
+        tracker = ProgressTracker()
+        tracker.begin(8)
+        assert tracker.eta_seconds() is None
+        tracker.advance(8)
+        assert tracker.eta_seconds() == 0.0
+
+    def test_eta_finite_and_positive_midway(self):
+        tracker = ProgressTracker(heartbeat_seconds=0.0)
+        tracker.begin(1000)
+        tracker.advance(500)
+        eta = tracker.eta_seconds()
+        if eta is not None:  # rate needs a nonzero clock delta
+            assert 0.0 <= eta < float("inf")
+
+
+class TestThrottle:
+    def test_long_heartbeat_keeps_only_forced_emits(self):
+        sink = io.StringIO()
+        tracker = ProgressTracker(heartbeat_seconds=3600.0)
+        with event_scope(EventLog(sink)):
+            tracker.begin(1000)  # forced
+            for _ in range(1000):
+                tracker.advance(1)
+            tracker.finish()  # forced
+        rows = _progress_rows(sink)
+        assert len(rows) == 2
+        assert rows[-1]["done"] == 1000
+
+    def test_zero_heartbeat_emits_every_advance(self):
+        sink = io.StringIO()
+        tracker = ProgressTracker(heartbeat_seconds=0.0)
+        with event_scope(EventLog(sink)):
+            tracker.begin(5)
+            for _ in range(5):
+                tracker.advance(1)
+        assert [row["done"] for row in _progress_rows(sink)] == [0, 1, 2, 3, 4, 5]
+
+    def test_done_is_monotone_across_heartbeats(self):
+        sink = io.StringIO()
+        tracker = ProgressTracker(heartbeat_seconds=0.0)
+        with event_scope(EventLog(sink)):
+            tracker.begin(50)
+            for _ in range(10):
+                tracker.advance(5)
+            tracker.finish()
+        dones = [row["done"] for row in _progress_rows(sink)]
+        assert dones == sorted(dones)
+        assert dones[-1] == 50
+
+
+class TestStatusFile:
+    def test_status_file_is_schema_valid(self, tmp_path):
+        status = tmp_path / "status.json"
+        tracker = ProgressTracker(status_path=status, run_id="abc123")
+        tracker.begin(4)
+        tracker.advance(4)
+        tracker.close()
+        payload = json.loads(status.read_text())
+        assert payload["format"] == STATUS_FORMAT
+        assert payload["run_id"] == "abc123"
+        assert payload["state"] == "finished"
+        assert (payload["done"], payload["total"]) == (4, 4)
+        assert payload["heartbeats"] >= 1
+        assert payload["elapsed_seconds"] >= 0.0
+        for kind in NOTE_KINDS:
+            assert payload[kind] == 0
+
+    def test_close_always_lands_finished_state(self, tmp_path):
+        # Forced *event* heartbeats throttle the status file, but the
+        # final close must rewrite it whatever the throttle says.
+        status = tmp_path / "status.json"
+        tracker = ProgressTracker(status_path=status, heartbeat_seconds=3600.0)
+        tracker.begin(2)
+        tracker.advance(2)
+        tracker.finish()
+        assert json.loads(status.read_text())["state"] == "running"
+        tracker.close()
+        assert json.loads(status.read_text())["state"] == "finished"
+
+    def test_no_leftover_tmp_file(self, tmp_path):
+        status = tmp_path / "status.json"
+        tracker = ProgressTracker(status_path=status)
+        tracker.begin(1)
+        tracker.close()
+        assert [p.name for p in tmp_path.iterdir()] == ["status.json"]
+
+    def test_status_json_never_contains_infinity(self, tmp_path):
+        status = tmp_path / "status.json"
+        tracker = ProgressTracker(status_path=status)
+        tracker.begin(10)  # no rate yet: ETA must be null, not Infinity
+        text = status.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        assert json.loads(text)["eta_seconds"] is None
+
+
+class TestScope:
+    def test_disabled_by_default(self):
+        assert active_progress() is None
+
+    def test_scope_installs_and_restores(self):
+        tracker = ProgressTracker()
+        with progress_scope(tracker):
+            assert active_progress() is tracker
+        assert active_progress() is None
+
+    def test_set_progress_returns_previous(self):
+        tracker = ProgressTracker()
+        assert set_progress(tracker) is None
+        assert set_progress(None) is tracker
+
+
+class TestEngineFeed:
+    @pytest.mark.parametrize(
+        "executor_factory",
+        [
+            SerialExecutor,
+            lambda: ThreadExecutor(workers=2, chunk_size=4),
+            lambda: ParallelExecutor(workers=2, chunk_size=4),
+        ],
+        ids=["serial", "thread", "process"],
+    )
+    def test_every_executor_feeds_done_to_total(self, executor_factory):
+        tracker = ProgressTracker()
+        with progress_scope(tracker):
+            outcomes = execute_trials(draw_trial, CFG, executor=executor_factory())
+        assert len(outcomes) == CFG.trials
+        assert tracker.done == CFG.trials
+        assert tracker.total == CFG.trials
+
+    def test_final_heartbeat_reports_completion(self):
+        sink = io.StringIO()
+        tracker = ProgressTracker()
+        with event_scope(EventLog(sink)), progress_scope(tracker):
+            execute_trials(draw_trial, CFG, executor=SerialExecutor())
+        last = _progress_rows(sink)[-1]
+        assert (last["done"], last["total"]) == (CFG.trials, CFG.trials)
+        assert last["eta_seconds"] == 0.0
+
+    def test_pool_fallback_is_noted(self):
+        # A lambda cannot cross the pickle seam: every chunk falls back
+        # to the parent-side serial path, which must tally "fallbacks".
+        tracker = ProgressTracker()
+        with progress_scope(tracker):
+            outcomes = execute_trials(
+                lambda trial, rng: float(rng.random()),
+                CFG,
+                executor=ParallelExecutor(workers=2, chunk_size=4),
+            )
+        assert len(outcomes) == CFG.trials
+        assert tracker.done == CFG.trials
+        assert tracker.snapshot()["fallbacks"] >= 1

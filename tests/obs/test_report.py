@@ -120,6 +120,46 @@ class TestBuildReport:
         assert report.wall_seconds >= 0.0
 
 
+class TestLatencyPercentiles:
+    def _data_with_durations(self, tmp_path, durations_ns):
+        trace = tmp_path / "synthetic.jsonl"
+        lines = [json.dumps({"kind": "manifest", "format": TRACE_FORMAT})]
+        lines += [
+            json.dumps({"kind": "trial", "trial": i, "dur_ns": d})
+            for i, d in enumerate(durations_ns)
+        ]
+        trace.write_text("\n".join(lines) + "\n")
+        return load_trace(trace)
+
+    def test_percentiles_from_known_durations(self, tmp_path):
+        # 100 trials at 1..100 ms: nearest-rank percentiles are exact.
+        data = self._data_with_durations(
+            tmp_path, [i * 1_000_000 for i in range(1, 101)]
+        )
+        report = build_report(data)
+        assert report.trial_p50_ms == 50.0
+        assert report.trial_p90_ms == 90.0
+        assert report.trial_p99_ms == 99.0
+
+    def test_single_trial_collapses_all_percentiles(self, tmp_path):
+        report = build_report(self._data_with_durations(tmp_path, [7_000_000]))
+        assert report.trial_p50_ms == report.trial_p90_ms == report.trial_p99_ms == 7.0
+
+    def test_percentiles_render_in_text_and_json(self, traced_run):
+        trace, _, _ = traced_run
+        report = build_report(load_trace(trace))
+        assert "trial latency" in report.render_text()
+        latency = json.loads(report.to_json())["trial_latency_ms"]
+        assert set(latency) == {"p50", "p90", "p99"}
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+
+    def test_zero_trials_omit_percentiles(self, tmp_path):
+        report = build_report(self._data_with_durations(tmp_path, []))
+        assert report.trial_p50_ms is None
+        assert "trial latency" not in report.render_text()
+        assert json.loads(report.to_json())["trial_latency_ms"]["p99"] is None
+
+
 class TestSchemaChecker:
     def test_checker_accepts_real_artifacts(self, traced_run):
         trace, metrics, _ = traced_run
