@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro.ioutil import write_json_atomic
 
-__all__ = ["BENCH_CORE", "BENCH_ENGINE", "record"]
+__all__ = ["BENCH_CORE", "BENCH_ENGINE", "BENCH_SERVICE", "record"]
 
 #: Repo root: ``benchmarks/`` lives directly under it.
 _ROOT = Path(__file__).resolve().parent.parent
@@ -28,6 +28,9 @@ BENCH_ENGINE = "BENCH_engine.json"
 
 #: Ledger for core-primitive throughput numbers.
 BENCH_CORE = "BENCH_core.json"
+
+#: Ledger for coverage-service latency/throughput numbers.
+BENCH_SERVICE = "BENCH_service.json"
 
 
 def _git_sha() -> str:

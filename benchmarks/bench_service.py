@@ -1,0 +1,298 @@
+"""Load generator for the coverage service: latency, throughput, coalescing.
+
+A stdlib-only harness that drives N concurrent clients against a
+running ``fullview serve`` instance (or a service it self-hosts on an
+ephemeral port when ``--url`` is omitted) and records three numbers to
+``BENCH_service.json``:
+
+- ``service_p50_ms`` / ``service_p99_ms`` — per-request wall latency
+  percentiles across every client;
+- ``service_throughput_rps`` — completed requests per second over the
+  whole run.
+
+The workload mixes K distinct estimate bodies across N clients x M
+requests, so the run exercises cold computes, warm cache hits and
+coalesced concurrent duplicates — the service's three answer paths.
+
+``--assert-coalesce N`` additionally fires N identical concurrent
+requests at a fresh key (leader first, followers released only once
+the leader's computation is observably in flight via ``/v1/stats``)
+and fails the process unless the coalesce counter grew by exactly
+``N - 1`` and the miss counter by exactly 1 — the CI proof that N
+identical questions cost one engine run.
+
+Usage::
+
+    python benchmarks/bench_service.py                 # self-hosted
+    python benchmarks/bench_service.py --url http://127.0.0.1:8471
+    python benchmarks/bench_service.py --assert-coalesce 6 --no-record
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import statistics
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from _record import BENCH_SERVICE, record
+
+from repro.service import CoverageService, ServiceClient
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """The q-quantile (0..1) of ``samples`` by nearest-rank on sorted data."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _SelfHosted:
+    """A CoverageService on an ephemeral port in a background thread."""
+
+    def __init__(self, queue_limit: int, service_workers: int) -> None:
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.service = CoverageService(
+            queue_limit=queue_limit, service_workers=service_workers
+        )
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await self.service.start("127.0.0.1", 0)
+            self._ready.set()
+            serve = asyncio.ensure_future(self.service.serve_forever())
+            await self._stop.wait()
+            serve.cancel()
+            await self.service.stop()
+
+        asyncio.run(main())
+
+    def start(self) -> Tuple[str, int]:
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("self-hosted service failed to start")
+        assert self.service.host is not None and self.service.port is not None
+        return self.service.host, self.service.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+def _parse_url(url: str) -> Tuple[str, int]:
+    """``http://host:port`` -> ``(host, port)``."""
+    stripped = url.split("//", 1)[-1].rstrip("/")
+    host, _, port = stripped.partition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected http://HOST:PORT, got {url!r}")
+    return host, int(port)
+
+
+def _body(seed: int, trials: int, n: int) -> Dict[str, object]:
+    return {
+        "kind": "point",
+        "radius": 0.25,
+        "angle_of_view": 1.2,
+        "n": n,
+        "theta": 1.0,
+        "trials": trials,
+        "seed": seed,
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests: int,
+    distinct: int,
+    trials: int,
+    n: int,
+) -> Tuple[List[float], float]:
+    """Drive the workload; returns (per-request latencies s, wall s)."""
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[str] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(slot: int) -> None:
+        with ServiceClient(host, port) as client:
+            barrier.wait()
+            for i in range(requests):
+                seed = (slot * requests + i) % distinct
+                begin = time.perf_counter()
+                try:
+                    client.estimate(**_body(seed, trials, n))
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    errors.append(f"client {slot} request {i}: {exc}")
+                    return
+                latencies[slot].append(time.perf_counter() - begin)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError("; ".join(errors[:3]))
+    flat = [sample for per_client in latencies for sample in per_client]
+    return flat, wall
+
+
+def assert_coalesce(host: str, port: int, fan_out: int, trials: int, n: int) -> None:
+    """Prove N identical concurrent requests cost exactly one compute.
+
+    The leader fires first at a never-before-seen seed; followers are
+    held until ``/v1/stats`` shows the computation in flight, then all
+    fire the identical body.  Afterwards the coalesce counter must have
+    grown by exactly ``fan_out - 1`` and the miss counter by exactly 1.
+    """
+    probe = ServiceClient(host, port)
+    before = probe.stats()["metrics"]["counters"]
+    # A seed far outside the load-phase range => guaranteed cold key.
+    body = _body(10_000_019, trials, n)
+    release = threading.Event()
+    failures: List[str] = []
+
+    def fire(wait: bool) -> None:
+        with ServiceClient(host, port) as client:
+            if wait:
+                release.wait(timeout=60)
+            try:
+                client.estimate(**body)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(str(exc))
+
+    leader = threading.Thread(target=fire, args=(False,))
+    followers = [
+        threading.Thread(target=fire, args=(True,)) for _ in range(fan_out - 1)
+    ]
+    for thread in followers:
+        thread.start()
+    leader.start()
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if probe.stats()["inflight_keys"] >= 1:
+            break
+        time.sleep(0.01)
+    else:
+        raise AssertionError("leader computation never became visible in stats")
+    release.set()
+    leader.join()
+    for thread in followers:
+        thread.join()
+    if failures:
+        raise AssertionError(f"coalesce requests failed: {failures[:3]}")
+    after = probe.stats()["metrics"]["counters"]
+    probe.close()
+    coalesced = after.get("service_coalesced", 0) - before.get("service_coalesced", 0)
+    misses = after.get("service_cache_misses", 0) - before.get(
+        "service_cache_misses", 0
+    )
+    if coalesced != fan_out - 1 or misses != 1:
+        raise AssertionError(
+            f"expected {fan_out - 1} coalesced / 1 miss, got "
+            f"{coalesced} coalesced / {misses} miss(es)"
+        )
+    print(
+        f"coalesce check: {fan_out} identical concurrent requests -> "
+        f"1 compute, {coalesced} coalesced"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="target service as http://HOST:PORT; omitted = self-host "
+        "one on an ephemeral port",
+    )
+    parser.add_argument("--clients", type=int, default=8, metavar="N")
+    parser.add_argument(
+        "--requests", type=int, default=12, metavar="M",
+        help="requests per client (default: 12)",
+    )
+    parser.add_argument(
+        "--distinct", type=int, default=6, metavar="K",
+        help="distinct request bodies in the mix (default: 6)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=64, metavar="T",
+        help="Monte-Carlo trials per estimate body (default: 64)",
+    )
+    parser.add_argument(
+        "--sensors", type=int, default=40, metavar="S",
+        help="cameras per deployment (default: 40)",
+    )
+    parser.add_argument(
+        "--assert-coalesce", type=int, default=None, metavar="N",
+        help="also fire N identical concurrent requests and fail unless "
+        "they cost exactly one compute (coalesce counter == N-1)",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true",
+        help="skip appending results to BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+
+    hosted: Optional[_SelfHosted] = None
+    if args.url:
+        host, port = _parse_url(args.url)
+    else:
+        hosted = _SelfHosted(queue_limit=max(8, args.clients), service_workers=4)
+        host, port = hosted.start()
+        print(f"self-hosted coverage service on http://{host}:{port}")
+
+    try:
+        with ServiceClient(host, port) as probe:
+            probe.healthz()
+        latencies, wall = run_load(
+            host,
+            port,
+            clients=args.clients,
+            requests=args.requests,
+            distinct=args.distinct,
+            trials=args.trials,
+            n=args.sensors,
+        )
+        completed = len(latencies)
+        p50 = _percentile(latencies, 0.50) * 1e3
+        p99 = _percentile(latencies, 0.99) * 1e3
+        throughput = completed / wall if wall > 0 else 0.0
+        mean_ms = statistics.fmean(latencies) * 1e3
+        print(
+            f"{completed} requests via {args.clients} clients in {wall:.2f}s: "
+            f"p50 {p50:.1f} ms, p99 {p99:.1f} ms, mean {mean_ms:.1f} ms, "
+            f"{throughput:.1f} req/s"
+        )
+        if args.assert_coalesce:
+            assert_coalesce(
+                host, port, args.assert_coalesce, args.trials * 8, args.sensors
+            )
+        if not args.no_record:
+            record("service_p50_ms", p50, "ms", file=BENCH_SERVICE)
+            record("service_p99_ms", p99, "ms", file=BENCH_SERVICE)
+            record(
+                "service_throughput_rps", throughput, "req/s", file=BENCH_SERVICE
+            )
+            print(f"recorded 3 rows to {BENCH_SERVICE}")
+    finally:
+        if hosted is not None:
+            hosted.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -320,8 +320,11 @@ def check_ledger(path: Path, problems: List[str]) -> None:
         workers = row.get("workers")
         if isinstance(workers, int) and not isinstance(workers, bool) and workers < 1:
             _fail(problems, f"{path}:{number}: workers must be >= 1")
-        if row.get("outcome") not in ("ok", "error"):
-            _fail(problems, f"{path}:{number}: outcome must be 'ok' or 'error'")
+        if row.get("outcome") not in ("ok", "error", "cached"):
+            _fail(
+                problems,
+                f"{path}:{number}: outcome must be 'ok', 'error' or 'cached'",
+            )
     if not rows:
         _fail(problems, f"{path}: empty ledger")
 

@@ -13,6 +13,12 @@ need, with keyword-only arguments and defaults matching the paper:
 - :func:`load_results` — read back the CSV tables ``fullview run
   --out`` wrote.
 
+Two supporting pieces round out the facade: :func:`config_digest`
+(re-exported from :mod:`repro.api.digest`) is the one canonical
+configuration hash shared by the coverage service cache, the run
+ledger and checkpoint stamps; and :mod:`repro.api.schemas` defines the
+``fullview-api-v1`` wire bodies the coverage service speaks.
+
 Everything here re-exports blessed machinery from the deep modules —
 no new behaviour, just a stable spelling.  Deep imports keep working;
 this module exists so casual users never need them.
@@ -54,13 +60,19 @@ from repro.simulation.montecarlo import (
 )
 from repro.simulation.results import ResultTable
 
+from repro.api import schemas
+from repro.api.digest import canonical_payload, config_digest
+
 __all__ = [
     "GridEvaluation",
+    "canonical_payload",
+    "config_digest",
     "deploy",
     "estimate",
     "evaluate_grid",
     "load_results",
     "run_experiment",
+    "schemas",
 ]
 
 #: The estimator kinds :func:`estimate` dispatches on.

@@ -1,0 +1,28 @@
+"""The canonical configuration digest, re-exported at the facade.
+
+``repro.api.config_digest`` is the public spelling of the one digest
+implementation in :mod:`repro.ioutil` — the same canonical
+(dataclass/dict/JSON-agnostic, sorted-key, sha256) hashing that stamps
+checkpoints, keys the service result cache and fills the run ledger's
+``config_digest`` column.  It lives in :mod:`repro.ioutil` so the
+low-level layers (obs, simulation) can share it without importing the
+facade; clients should import it from here.
+
+Two configurations digest identically exactly when they are the same
+configuration: equal seeds, equal parameters, any spelling::
+
+    from repro.api import config_digest
+
+    config_digest({"n": 500, "seed": 7}) == config_digest(
+        {"seed": 7, "n": 500}
+    )  # True — key order never matters
+"""
+
+from __future__ import annotations
+
+from repro.ioutil import canonical_payload, config_digest
+
+__all__ = [
+    "canonical_payload",
+    "config_digest",
+]

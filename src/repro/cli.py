@@ -464,6 +464,8 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             return 1
         print(json.dumps(matches[0], indent=2))
         return 0
+    if getattr(args, "outcome", None):
+        rows = [row for row in rows if row["outcome"] == args.outcome]
     if args.limit is not None and args.limit >= 0:
         rows = rows[: args.limit]
     if args.json:
@@ -472,6 +474,57 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         print(render_runs_table(rows))
     else:
         print(f"no runs recorded in {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.api.schemas import API_SCHEMA
+    from repro.obs.ledger import default_ledger_path
+    from repro.service import CoverageService, ResultCache
+
+    ledger = getattr(args, "ledger", None)
+    if ledger == "":
+        ledger = default_ledger_path()
+    service = CoverageService(
+        cache=ResultCache(args.cache_dir),
+        queue_limit=args.queue_limit,
+        service_workers=args.service_workers,
+        workers=args.workers,
+        executor=args.executor,
+        ledger_path=ledger,
+    )
+
+    async def run() -> None:
+        await service.start(args.host, args.port)
+        print(
+            f"fullview service listening on http://{service.host}:{service.port} "
+            f"(schema {API_SCHEMA})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                # Platforms without signal handlers (or non-main
+                # threads) fall back to KeyboardInterrupt.
+                pass
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        await stop.wait()
+        print("fullview service draining in-flight runs...", flush=True)
+        serve_task.cancel()
+        await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    if args.metrics:
+        service.metrics.export_json(args.metrics)
     return 0
 
 
@@ -930,7 +983,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="show at most the N newest runs",
     )
+    p_runs.add_argument(
+        "--outcome", default=None, choices=("ok", "error", "cached"),
+        help="show only runs with this outcome ('cached' rows are "
+        "coverage-service requests served from the persistent cache "
+        "without an engine run)",
+    )
     p_runs.set_defaults(func=_cmd_runs)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived coverage service (HTTP+JSON)",
+        description="Serve deploy/evaluate/estimate over the versioned "
+        "fullview-api-v1 wire schema, with content-addressed result "
+        "caching, coalescing of concurrent identical requests, bounded "
+        "backpressure, and graceful drain on SIGINT/SIGTERM.",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8471,
+        help="bind port; 0 picks an ephemeral port (default: 8471)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist results on disk under DIR (atomic, checksum-"
+        "stamped fullview-cache-v1 entries); omit for memory-only",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=8, metavar="N",
+        help="max computations pending at once before new work is "
+        "refused with HTTP 503 (default: 8)",
+    )
+    p_serve.add_argument(
+        "--service-workers", type=int, default=2, metavar="N",
+        help="threads in the compute pool (default: 2)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="engine workers forwarded to every Monte-Carlo job",
+    )
+    p_serve.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the service counters/gauges snapshot (JSON) to "
+        "PATH on shutdown",
+    )
+    p_serve.add_argument(
+        "--ledger", metavar="PATH", nargs="?", const="", default=None,
+        help="append one fullview-ledger-v1 row per cache miss (and a "
+        "'cached' row per persistent-cache hit); with no PATH, the "
+        "default ledger — inspect with 'fullview runs'",
+    )
+    _add_executor_argument(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_watch = sub.add_parser(
         "watch",

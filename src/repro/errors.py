@@ -20,6 +20,8 @@ __all__ = [
     "LintError",
     "ObservabilityError",
     "PayloadError",
+    "SchemaError",
+    "ServiceError",
 ]
 
 
@@ -105,4 +107,22 @@ class PayloadError(FullViewError, RuntimeError):
     Raised when a worker resolves a task registration whose segment
     bytes no longer match the content digest in its handle — the
     shared-memory analogue of a truncated checkpoint.
+    """
+
+
+class SchemaError(FullViewError, ValueError):
+    """A wire body violates the ``fullview-api-v1`` contract.
+
+    Raised by :mod:`repro.api.schemas` for unknown fields, missing
+    required fields, wrongly-typed values or an unsupported ``schema``
+    tag; the coverage service maps it to one HTTP 400 response shape.
+    """
+
+
+class ServiceError(FullViewError, RuntimeError):
+    """The coverage service could not accept or complete a request.
+
+    Raised for server-side failures that are not the client's fault:
+    a saturated work queue (mapped to HTTP 503), a shutdown in
+    progress, or an unusable cache directory.
     """

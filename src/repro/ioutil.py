@@ -12,6 +12,7 @@ rename only ever publishes fully-persisted bytes.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -21,6 +22,8 @@ from typing import Any, Mapping, Union
 __all__ = [
     "CHECKSUM_KEY",
     "append_jsonl_line",
+    "canonical_payload",
+    "config_digest",
     "payload_checksum",
     "stamp_checksum",
     "verify_checksum",
@@ -30,6 +33,63 @@ __all__ = [
 
 #: Key under which :func:`stamp_checksum` records a payload's digest.
 CHECKSUM_KEY = "sha256"
+
+
+def canonical_payload(value: Any) -> Any:
+    """Normalize ``value`` into plain, JSON-stable Python data.
+
+    The same logical configuration can arrive as a frozen dataclass, a
+    keyword dict, a tuple-holding structure or a JSON round trip of any
+    of those; digesting must not care.  Recursively: dataclass
+    *instances* become plain field dicts, mappings become dicts with
+    string keys, tuples/lists/sets become lists (sets sorted by their
+    canonical JSON encoding, since JSON has no unordered type), numpy
+    scalars become their Python equivalents, numpy arrays become nested
+    lists, and paths become strings.  Scalars pass through unchanged, so
+    a payload that is already canonical canonicalizes to itself.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: canonical_payload(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(key): canonical_payload(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (canonical_payload(item) for item in value),
+            key=lambda item: json.dumps(item, sort_keys=True),
+        )
+    if isinstance(value, Path):
+        return str(value)
+    if hasattr(value, "item") and hasattr(value, "dtype"):
+        # numpy scalars (and 0-d arrays) carry .item(); n-d arrays carry
+        # .tolist().  Checked structurally so ioutil never imports numpy.
+        if hasattr(value, "tolist") and getattr(value, "ndim", 0) > 0:
+            return canonical_payload(value.tolist())
+        return value.item()
+    return value
+
+
+def config_digest(config: Any) -> str:
+    """The canonical sha256 hex digest of a configuration.
+
+    *The* digest implementation shared by the coverage service's
+    result cache, the run ledger's ``config_digest`` column and the
+    checkpoint stamps: ``config`` is normalized via
+    :func:`canonical_payload` (so dataclasses, keyword dicts and JSON
+    round trips of the same configuration digest identically) and then
+    hashed with the same sorted-key JSON encoding
+    :func:`payload_checksum` uses.  Non-mapping configurations are
+    wrapped as ``{"config": ...}`` so every digest goes through one
+    code path.
+    """
+    canonical = canonical_payload(config)
+    if not isinstance(canonical, dict):
+        canonical = {"config": canonical}
+    return payload_checksum(canonical)
 
 
 def payload_checksum(payload: Mapping[str, Any]) -> str:

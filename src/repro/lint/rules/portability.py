@@ -138,8 +138,9 @@ _LAYER_RANKS: Dict[str, int] = {
     "viz": 8,
     "experiments": 8,
     "api": 9,
-    "cli": 10,
-    "__main__": 11,
+    "service": 10,
+    "cli": 11,
+    "__main__": 12,
 }
 
 

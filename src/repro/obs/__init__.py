@@ -57,7 +57,7 @@ from repro.obs.progress import (
 )
 from repro.obs.report import TRACE_FORMAT
 from repro.obs.trace import TraceRecorder, recording, set_recorder, span
-from repro.ioutil import payload_checksum
+from repro.ioutil import config_digest
 
 __all__ = [
     "ObsContext",
@@ -209,7 +209,7 @@ class ObsContext:
             "format": LEDGER_FORMAT,
             "run_id": self.run_id,
             "experiment": str(self.meta.get("experiment", self.meta.get("command", "?"))),
-            "config_digest": payload_checksum(self.meta),
+            "config_digest": config_digest(self.meta),
             "seed": int(seed) if seed is not None else None,
             "git_sha": git_sha(),
             "executor": executor,

@@ -69,8 +69,10 @@ _ROW_FIELDS: Dict[str, Tuple[tuple, bool]] = {
     "started_unix": ((int, float), False),
 }
 
-#: Values ``outcome`` may take.
-_OUTCOMES = ("ok", "error")
+#: Values ``outcome`` may take.  ``cached`` marks a coverage-service
+#: request answered from the persistent result cache without any
+#: engine run, so throughput analyses can exclude it.
+_OUTCOMES = ("ok", "error", "cached")
 
 
 def default_ledger_path() -> Path:

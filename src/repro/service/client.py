@@ -1,0 +1,107 @@
+"""A minimal stdlib client for the coverage service.
+
+One :class:`ServiceClient` wraps one keep-alive
+:class:`http.client.HTTPConnection` — it is deliberately *not*
+thread-safe, matching the load generator's one-client-per-thread
+design.  Convenience wrappers (:meth:`ServiceClient.deploy`,
+:meth:`ServiceClient.evaluate`, :meth:`ServiceClient.estimate`) build
+``fullview-api-v1`` bodies from keyword arguments and raise
+:class:`~repro.errors.ServiceError` on any non-200 answer, so test and
+benchmark code never parses error envelopes by hand.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Tuple
+
+from repro.api.schemas import API_SCHEMA
+from repro.errors import ServiceError
+
+__all__ = [
+    "ServiceClient",
+]
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one coverage service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._connection = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _exchange(
+        self, method: str, path: str, payload: Any = None
+    ) -> Tuple[int, Any]:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self._connection.close()
+            raise ServiceError(f"service request {method} {path} failed: {exc}") from exc
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError as exc:
+            raise ServiceError(
+                f"service returned non-JSON body for {method} {path}"
+            ) from exc
+        return response.status, decoded
+
+    def get(self, path: str) -> Tuple[int, Any]:
+        """``GET path`` -> ``(status, decoded body)``."""
+        return self._exchange("GET", path)
+
+    def post(self, endpoint: str, body: Dict[str, Any]) -> Tuple[int, Any]:
+        """``POST /v1/<endpoint>`` -> ``(status, decoded body)``."""
+        payload = {"schema": API_SCHEMA}
+        payload.update(body)
+        return self._exchange("POST", f"/v1/{endpoint}", payload)
+
+    def _call(self, endpoint: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        status, envelope = self.post(endpoint, body)
+        if status != 200:
+            detail = envelope.get("error") if isinstance(envelope, dict) else envelope
+            raise ServiceError(f"{endpoint} failed with HTTP {status}: {detail}")
+        return envelope
+
+    def healthz(self) -> Dict[str, Any]:
+        """The health body; raises when the service is not healthy."""
+        status, body = self.get("/v1/healthz")
+        if status != 200:
+            raise ServiceError(f"healthz returned HTTP {status}")
+        return body
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/v1/stats`` body (counters, gauges, cache size)."""
+        status, body = self.get("/v1/stats")
+        if status != 200:
+            raise ServiceError(f"stats returned HTTP {status}")
+        return body
+
+    def deploy(self, **body: Any) -> Dict[str, Any]:
+        """``POST /v1/deploy`` with keyword fields; returns the envelope."""
+        return self._call("deploy", body)
+
+    def evaluate(self, **body: Any) -> Dict[str, Any]:
+        """``POST /v1/evaluate`` with keyword fields; returns the envelope."""
+        return self._call("evaluate", body)
+
+    def estimate(self, **body: Any) -> Dict[str, Any]:
+        """``POST /v1/estimate`` with keyword fields; returns the envelope."""
+        return self._call("estimate", body)

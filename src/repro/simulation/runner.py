@@ -58,7 +58,12 @@ import numpy as np
 from repro._version import __version__
 from repro.deployment.uniform import UniformDeployment
 from repro.errors import CheckpointError, InvalidParameterError
-from repro.ioutil import stamp_checksum, verify_checksum, write_json_atomic
+from repro.ioutil import (
+    config_digest,
+    stamp_checksum,
+    verify_checksum,
+    write_json_atomic,
+)
 from repro.obs.events import (
     CheckpointRecovered,
     CheckpointWritten,
@@ -202,6 +207,12 @@ def _write_checkpoint(
         {
             "format": CHECKPOINT_FORMAT,
             "version": __version__,
+            # The same canonical digest the run ledger and the coverage
+            # service cache use, so a checkpoint can be matched to its
+            # ledger row and cache entries by eye.
+            "config_digest": config_digest(
+                {"seed": config.seed, "trials": config.trials}
+            ),
             "seed": config.seed,
             "trials": config.trials,
             "next_trial": next_trial,
